@@ -1,0 +1,120 @@
+//! CPU baseline model (Intel Xeon E5-2630 v3, Table 4): CSR SpMV, plain
+//! Gauss-Seidel sweeps (CPUs run the dependency chain directly), and
+//! GridGraph/CuSha-class graph processing.
+
+use crate::params::{self, cpu, VALUE_BYTES};
+use crate::{GraphKernel, KernelCost, MatrixProfile, Platform};
+
+/// The CPU baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuModel;
+
+impl CpuModel {
+    /// Creates the model.
+    pub fn new() -> Self {
+        CpuModel
+    }
+
+    fn cost(seconds: f64, traffic: f64) -> KernelCost {
+        KernelCost {
+            seconds,
+            energy_joules: cpu::ACTIVE_POWER_W * seconds
+                + traffic * params::DRAM_PJ_PER_BYTE * 1e-12,
+            traffic_bytes: traffic,
+            cache_time_fraction: 0.0,
+        }
+    }
+
+    /// CSR traffic for one pass: values + column indices + row pointers +
+    /// dense vectors.
+    fn csr_pass_bytes(profile: &MatrixProfile) -> f64 {
+        profile.nnz as f64 * (VALUE_BYTES + params::INDEX_BYTES)
+            + (profile.n as f64 + 1.0) * params::INDEX_BYTES
+            + 2.0 * profile.n as f64 * VALUE_BYTES
+    }
+
+    fn gather_bytes(profile: &MatrixProfile) -> f64 {
+        profile.nnz as f64 * (1.0 - profile.near_diagonal_fraction) * cpu::GATHER_SECTOR_BYTES
+    }
+}
+
+impl Platform for CpuModel {
+    fn name(&self) -> &'static str {
+        "cpu-xeon"
+    }
+
+    fn spmv(&self, profile: &MatrixProfile) -> Option<KernelCost> {
+        let traffic = Self::csr_pass_bytes(profile) + Self::gather_bytes(profile);
+        let seconds = traffic / (cpu::BANDWIDTH * cpu::STREAM_UTILIZATION);
+        Some(Self::cost(seconds, traffic))
+    }
+
+    fn symgs(&self, profile: &MatrixProfile) -> Option<KernelCost> {
+        // The CPU runs the natural sweep order: bandwidth-bound streaming
+        // plus a (cheap) dependent-op term for the whole chain — no
+        // coloring needed, every op is in the dependency order anyway.
+        let traffic = 2.0 * (Self::csr_pass_bytes(profile) + Self::gather_bytes(profile));
+        let stream_seconds = traffic / (cpu::BANDWIDTH * cpu::STREAM_UTILIZATION);
+        let chain_seconds = 2.0 * profile.n as f64 * cpu::DEPENDENT_OP_SECONDS;
+        Some(Self::cost(stream_seconds + chain_seconds, traffic))
+    }
+
+    fn graph_round(&self, profile: &MatrixProfile, _kernel: GraphKernel) -> Option<KernelCost> {
+        let traffic = profile.nnz as f64 * (VALUE_BYTES + params::INDEX_BYTES)
+            + Self::gather_bytes(profile)
+            + 2.0 * profile.n as f64 * VALUE_BYTES;
+        let seconds = traffic / (cpu::BANDWIDTH * cpu::GRAPH_UTILIZATION);
+        Some(Self::cost(seconds, traffic))
+    }
+
+    fn vector_bandwidth(&self) -> f64 {
+        // Dense sweeps prefetch perfectly; charge near-peak DDR4 bandwidth.
+        cpu::BANDWIDTH * 0.8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GpuModel;
+    use alrescha_sparse::{gen, Csr};
+
+    fn profile() -> MatrixProfile {
+        let a = Csr::from_coo(&gen::stencil27(4));
+        MatrixProfile::from_csr(&a, 8)
+    }
+
+    #[test]
+    fn cpu_spmv_slower_than_gpu() {
+        let p = profile();
+        let cpu_t = CpuModel::new().spmv(&p).unwrap().seconds;
+        let gpu_t = GpuModel::new().spmv(&p).unwrap().seconds;
+        assert!(cpu_t > 2.0 * gpu_t, "cpu {cpu_t} gpu {gpu_t}");
+    }
+
+    #[test]
+    fn cpu_symgs_is_less_dependent_bound_than_gpu() {
+        // CPUs lose less to the dependency chain per op than GPUs do —
+        // the chain term must be a small share of CPU SymGS time.
+        let p = profile();
+        let c = CpuModel::new().symgs(&p).unwrap();
+        let chain = 2.0 * p.n as f64 * cpu::DEPENDENT_OP_SECONDS;
+        assert!(chain < 0.5 * c.seconds);
+    }
+
+    #[test]
+    fn graph_round_pays_low_utilization() {
+        let p = profile();
+        let m = CpuModel::new();
+        let g = m.graph_round(&p, GraphKernel::PageRank).unwrap();
+        let s = m.spmv(&p).unwrap();
+        assert!(g.seconds > s.seconds, "graph slower than spmv per pass");
+    }
+
+    #[test]
+    fn energy_includes_package_power() {
+        let p = profile();
+        let c = CpuModel::new().spmv(&p).unwrap();
+        assert!(c.energy_joules > cpu::ACTIVE_POWER_W * c.seconds * 0.99);
+    }
+}

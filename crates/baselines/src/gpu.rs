@@ -1,0 +1,146 @@
+//! GPU baseline model (NVIDIA Tesla K40c, Table 4): cuSPARSE-class SpMV in
+//! ELL, SymGS with the row-reordering/coloring optimization \[8\], and
+//! Gunrock-class graph processing.
+
+use crate::params::{self, gpu, VALUE_BYTES};
+use crate::{GraphKernel, KernelCost, MatrixProfile, Platform};
+
+/// The GPU baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GpuModel;
+
+impl GpuModel {
+    /// Creates the model.
+    pub fn new() -> Self {
+        GpuModel
+    }
+
+    fn cost(seconds: f64, traffic: f64) -> KernelCost {
+        KernelCost {
+            seconds,
+            energy_joules: gpu::ACTIVE_POWER_W * seconds
+                + traffic * params::DRAM_PJ_PER_BYTE * 1e-12,
+            traffic_bytes: traffic,
+            cache_time_fraction: 0.0,
+        }
+    }
+
+    /// ELL traffic for one pass over the matrix: every slot (padding
+    /// included) moves a value and a column index, plus the dense vectors.
+    fn ell_pass_bytes(profile: &MatrixProfile) -> f64 {
+        let slots = (profile.n * profile.ell_width) as f64;
+        slots * (VALUE_BYTES + params::INDEX_BYTES) + 2.0 * profile.n as f64 * VALUE_BYTES
+    }
+
+    /// Extra bytes from irregular gathers of the vector operand: each
+    /// off-locality access drags a full memory sector.
+    fn gather_bytes(profile: &MatrixProfile) -> f64 {
+        profile.nnz as f64 * (1.0 - profile.near_diagonal_fraction) * gpu::GATHER_SECTOR_BYTES
+    }
+
+    /// Effective streaming bandwidth: the thread-per-row mapping leaves
+    /// warp lanes idle on short rows, scaling achievable bandwidth down.
+    fn stream_bandwidth(profile: &MatrixProfile) -> f64 {
+        let mean_row = profile.nnz as f64 / profile.n.max(1) as f64;
+        let row_factor = (mean_row / gpu::ROW_SATURATION_NNZ).min(1.0);
+        gpu::BANDWIDTH * gpu::STREAM_UTILIZATION * row_factor.max(0.1)
+    }
+}
+
+impl Platform for GpuModel {
+    fn name(&self) -> &'static str {
+        "gpu-k40c"
+    }
+
+    fn spmv(&self, profile: &MatrixProfile) -> Option<KernelCost> {
+        let traffic = Self::ell_pass_bytes(profile) + Self::gather_bytes(profile);
+        let seconds = traffic / Self::stream_bandwidth(profile);
+        Some(Self::cost(seconds, traffic))
+    }
+
+    fn symgs(&self, profile: &MatrixProfile) -> Option<KernelCost> {
+        // Two sweeps of ELL traffic; the parallel share of the work streams
+        // at full efficiency, the dependent share serializes across color
+        // steps at the calibrated per-op latency.
+        let traffic = 2.0 * (Self::ell_pass_bytes(profile) + Self::gather_bytes(profile));
+        let parallel_seconds =
+            traffic * (1.0 - profile.gpu_sequential_fraction) / Self::stream_bandwidth(profile);
+        let sequential_ops = 2.0 * profile.nnz as f64 * profile.gpu_sequential_fraction;
+        let sequential_seconds = sequential_ops * gpu::DEPENDENT_OP_SECONDS;
+        Some(Self::cost(parallel_seconds + sequential_seconds, traffic))
+    }
+
+    fn graph_round(&self, profile: &MatrixProfile, _kernel: GraphKernel) -> Option<KernelCost> {
+        // CSR-class edge traffic plus frontier gathers, at graph-workload
+        // bandwidth efficiency.
+        let traffic = profile.nnz as f64 * (VALUE_BYTES + params::INDEX_BYTES)
+            + Self::gather_bytes(profile)
+            + 2.0 * profile.n as f64 * VALUE_BYTES;
+        let seconds = traffic / (gpu::BANDWIDTH * gpu::GRAPH_UTILIZATION);
+        Some(Self::cost(seconds, traffic))
+    }
+
+    fn vector_bandwidth(&self) -> f64 {
+        gpu::BANDWIDTH * gpu::STREAM_UTILIZATION
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alrescha_sparse::{gen, Csr};
+
+    fn profile() -> MatrixProfile {
+        let a = Csr::from_coo(&gen::stencil27(4));
+        MatrixProfile::from_csr(&a, 8)
+    }
+
+    #[test]
+    fn spmv_is_bandwidth_bound() {
+        let p = profile();
+        let c = GpuModel::new().spmv(&p).unwrap();
+        // Time must equal traffic over effective bandwidth (stencil27 rows
+        // saturate the thread-per-row mapping, so no row-factor discount).
+        let expect = c.traffic_bytes / GpuModel::stream_bandwidth(&p);
+        assert!((c.seconds - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn symgs_is_dominated_by_dependent_ops() {
+        let p = profile();
+        let c = GpuModel::new().symgs(&p).unwrap();
+        let seq = 2.0 * p.nnz as f64 * p.gpu_sequential_fraction * gpu::DEPENDENT_OP_SECONDS;
+        assert!(seq / c.seconds > 0.8, "seq {} of total {}", seq, c.seconds);
+    }
+
+    #[test]
+    fn symgs_much_slower_than_spmv() {
+        let p = profile();
+        let m = GpuModel::new();
+        let spmv = m.spmv(&p).unwrap().seconds;
+        let symgs = m.symgs(&p).unwrap().seconds;
+        // Figure 3: SymGS dominates PCG time on the GPU.
+        assert!(symgs > 5.0 * spmv, "symgs {symgs} spmv {spmv}");
+    }
+
+    #[test]
+    fn graph_round_is_slower_per_byte_than_spmv() {
+        let p = profile();
+        let m = GpuModel::new();
+        let spmv = m.spmv(&p).unwrap();
+        let graph = m.graph_round(&p, GraphKernel::Bfs).unwrap();
+        let spmv_bw = spmv.traffic_bytes / spmv.seconds;
+        let graph_bw = graph.traffic_bytes / graph.seconds;
+        assert!(graph_bw < spmv_bw / 1.5, "graph {graph_bw} spmv {spmv_bw}");
+    }
+
+    #[test]
+    fn pcg_iteration_composes() {
+        let p = profile();
+        let m = GpuModel::new();
+        let pcg = m.pcg_iteration(&p).unwrap();
+        let parts = m.spmv(&p).unwrap().seconds + m.symgs(&p).unwrap().seconds;
+        assert!(pcg.seconds > parts);
+        assert!(pcg.energy_joules > 0.0);
+    }
+}

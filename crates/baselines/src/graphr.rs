@@ -1,0 +1,114 @@
+//! GraphR model (Song et al., HPCA 2018) — the ReRAM-based graph
+//! accelerator the paper compares against in Figure 17.
+//!
+//! GraphR stores the graph in 4×4 COO blocks (Table 2) and processes each
+//! block in a small ReRAM crossbar: analog compute is fast and cheap, but
+//! every non-empty block costs a crossbar program/read cycle through digital
+//! peripherals, and the 4×4 granularity multiplies the block count on sparse
+//! graphs.
+
+use crate::params::{self, graphr, VALUE_BYTES};
+use crate::{GraphKernel, KernelCost, MatrixProfile, Platform};
+
+/// The GraphR model. Graph kernels only (Table 2: "Graph").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphRModel;
+
+impl GraphRModel {
+    /// Creates the model.
+    pub fn new() -> Self {
+        GraphRModel
+    }
+}
+
+impl Platform for GraphRModel {
+    fn name(&self) -> &'static str {
+        "graphr"
+    }
+
+    fn spmv(&self, _profile: &MatrixProfile) -> Option<KernelCost> {
+        None // scientific kernels are outside GraphR's domain (Table 2)
+    }
+
+    fn symgs(&self, _profile: &MatrixProfile) -> Option<KernelCost> {
+        None
+    }
+
+    fn graph_round(&self, profile: &MatrixProfile, _kernel: GraphKernel) -> Option<KernelCost> {
+        // Crossbar time: one BLOCK_SECONDS per non-empty 4×4 block, spread
+        // over the parallel crossbar array.
+        let crossbar_seconds =
+            profile.num_blocks_4 as f64 * graphr::BLOCK_SECONDS / graphr::PARALLEL_UNITS;
+        // Memory side: blocks stream as dense 4×4 payloads plus per-block
+        // COO coordinates (GraphR transfers meta-data, Table 2).
+        let block_dim = graphr::BLOCK_DIM as f64;
+        let traffic = profile.num_blocks_4 as f64
+            * (block_dim * block_dim * VALUE_BYTES + 2.0 * params::INDEX_BYTES)
+            + 2.0 * profile.n as f64 * VALUE_BYTES;
+        let stream_seconds = traffic / graphr::BANDWIDTH;
+        let seconds = crossbar_seconds.max(stream_seconds);
+        Some(KernelCost {
+            seconds,
+            energy_joules: graphr::ACTIVE_POWER_W * seconds
+                + traffic * params::DRAM_PJ_PER_BYTE * 1e-12,
+            traffic_bytes: traffic,
+            cache_time_fraction: 0.0,
+        })
+    }
+
+    fn vector_bandwidth(&self) -> f64 {
+        graphr::BANDWIDTH
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CpuModel, GpuModel};
+    use alrescha_sparse::{gen, Csr};
+
+    fn graph_profile() -> MatrixProfile {
+        let a = Csr::from_coo(&gen::GraphClass::Social.generate(512, 3));
+        MatrixProfile::from_csr(&a, 8)
+    }
+
+    #[test]
+    fn only_graph_kernels_supported() {
+        let p = graph_profile();
+        let m = GraphRModel::new();
+        assert!(m.spmv(&p).is_none());
+        assert!(m.symgs(&p).is_none());
+        assert!(m.graph_round(&p, GraphKernel::Bfs).is_some());
+    }
+
+    #[test]
+    fn beats_cpu_and_gpu_on_graphs() {
+        // Figure 17: GraphR sits above the GPU, below ALRESCHA.
+        let p = graph_profile();
+        let g = GraphRModel::new()
+            .graph_round(&p, GraphKernel::Bfs)
+            .unwrap()
+            .seconds;
+        let gpu = GpuModel::new()
+            .graph_round(&p, GraphKernel::Bfs)
+            .unwrap()
+            .seconds;
+        let cpu = CpuModel::new()
+            .graph_round(&p, GraphKernel::Bfs)
+            .unwrap()
+            .seconds;
+        assert!(g < gpu, "graphr {g} gpu {gpu}");
+        assert!(g < cpu, "graphr {g} cpu {cpu}");
+    }
+
+    #[test]
+    fn cost_scales_with_block_count() {
+        let small = graph_profile();
+        let big_a = Csr::from_coo(&gen::GraphClass::Social.generate(2048, 3));
+        let big = MatrixProfile::from_csr(&big_a, 8);
+        let m = GraphRModel::new();
+        let t_small = m.graph_round(&small, GraphKernel::Sssp).unwrap().seconds;
+        let t_big = m.graph_round(&big, GraphKernel::Sssp).unwrap().seconds;
+        assert!(t_big > t_small);
+    }
+}

@@ -1,0 +1,242 @@
+//! Behavioral performance/energy models of the platforms the paper compares
+//! ALRESCHA against (§5.1, Table 4): the CPU and GPU baselines and the
+//! OuterSPACE, GraphR, and Memristive accelerators.
+//!
+//! The models follow the paper's own comparison methodology — analytic
+//! traffic/latency models built from each platform's published parameters,
+//! all given the same memory-bandwidth budget — with the effectiveness
+//! constants collected and documented in [`params`].
+//!
+//! # Example
+//!
+//! ```
+//! use alrescha_baselines::{GpuModel, MatrixProfile, Platform};
+//! use alrescha_sparse::{gen, Csr};
+//!
+//! let a = Csr::from_coo(&gen::stencil27(3));
+//! let profile = MatrixProfile::from_csr(&a, 8);
+//! let cost = GpuModel::new().spmv(&profile).expect("gpu runs spmv");
+//! assert!(cost.seconds > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod capabilities;
+pub mod cpu;
+pub mod gpu;
+pub mod graphr;
+pub mod memristive;
+pub mod outerspace;
+pub mod params;
+
+pub use capabilities::{Capabilities, PLATFORM_CAPABILITIES};
+pub use cpu::CpuModel;
+pub use gpu::GpuModel;
+pub use graphr::GraphRModel;
+pub use memristive::MemristiveModel;
+pub use outerspace::OuterSpaceModel;
+
+use alrescha_kernels::parallelism;
+use alrescha_sparse::{Bcsr, Csr, Ell, MetaData};
+
+/// Graph kernel selector for [`Platform::graph_round`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphKernel {
+    /// Breadth-first search.
+    Bfs,
+    /// Single-source shortest paths.
+    Sssp,
+    /// PageRank.
+    PageRank,
+}
+
+/// Modeled cost of one kernel execution (one matrix pass unless stated).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCost {
+    /// Modeled wall-clock seconds.
+    pub seconds: f64,
+    /// Modeled energy in joules.
+    pub energy_joules: f64,
+    /// Bytes the model moved over the memory interface.
+    pub traffic_bytes: f64,
+    /// Fraction of the execution the platform spends on local-cache access
+    /// (only meaningful for platforms that model one; 0.0 otherwise).
+    pub cache_time_fraction: f64,
+}
+
+impl KernelCost {
+    /// Adds another cost (sequential composition of kernels).
+    #[must_use]
+    pub fn plus(self, other: KernelCost) -> KernelCost {
+        let seconds = self.seconds + other.seconds;
+        KernelCost {
+            seconds,
+            energy_joules: self.energy_joules + other.energy_joules,
+            traffic_bytes: self.traffic_bytes + other.traffic_bytes,
+            cache_time_fraction: if seconds > 0.0 {
+                (self.cache_time_fraction * self.seconds
+                    + other.cache_time_fraction * other.seconds)
+                    / seconds
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Scales the cost by an iteration count.
+    #[must_use]
+    pub fn times(self, iterations: f64) -> KernelCost {
+        KernelCost {
+            seconds: self.seconds * iterations,
+            energy_joules: self.energy_joules * iterations,
+            traffic_bytes: self.traffic_bytes * iterations,
+            cache_time_fraction: self.cache_time_fraction,
+        }
+    }
+}
+
+/// Pre-computed structural profile of one matrix, shared by all models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixProfile {
+    /// Matrix dimension (square).
+    pub n: usize,
+    /// Stored non-zeros.
+    pub nnz: usize,
+    /// ELL row width (max row nnz) — sizes the GPU's padded format.
+    pub ell_width: usize,
+    /// Fraction of non-zeros within ±ω of the diagonal (locality proxy).
+    pub near_diagonal_fraction: f64,
+    /// GPU sequential-operation fraction under coloring (Figure 16 metric).
+    pub gpu_sequential_fraction: f64,
+    /// Non-empty ω×ω blocks.
+    pub num_blocks: usize,
+    /// Mean fill of those blocks.
+    pub block_fill: f64,
+    /// Non-empty 4×4 blocks (GraphR's granularity).
+    pub num_blocks_4: usize,
+    /// Block width the blocked metrics used.
+    pub omega: usize,
+}
+
+impl MatrixProfile {
+    /// Measures a square CSR matrix at block width `omega`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `omega == 0`.
+    pub fn from_csr(a: &Csr, omega: usize) -> Self {
+        assert_eq!(
+            a.rows(),
+            a.cols(),
+            "profiles are defined for square matrices"
+        );
+        assert!(omega > 0, "block width must be positive");
+        let coo = a.to_coo();
+        let ell = Ell::from_coo(&coo);
+        let bcsr = Bcsr::from_coo(&coo, omega).expect("omega validated above");
+        let bcsr4 = Bcsr::from_coo(&coo, 4).expect("constant block width");
+        let stats = alrescha_sparse::stats::StructureStats::measure(&coo, omega)
+            .expect("omega validated above");
+        MatrixProfile {
+            n: a.rows(),
+            nnz: a.nnz(),
+            ell_width: ell.width(),
+            near_diagonal_fraction: stats.near_diagonal_fraction,
+            gpu_sequential_fraction: parallelism::gpu_sequential_fraction(a),
+            num_blocks: bcsr.num_blocks(),
+            block_fill: bcsr.mean_block_fill(),
+            num_blocks_4: bcsr4.num_blocks(),
+            omega,
+        }
+    }
+}
+
+/// A modeled comparison platform.
+///
+/// Methods return `None` when the platform does not support the kernel
+/// (Table 2's application-domain column): OuterSPACE only runs SpMV, GraphR
+/// only graph kernels, the Memristive accelerator only the PDE kernels.
+pub trait Platform {
+    /// Human-readable platform name.
+    fn name(&self) -> &'static str;
+
+    /// One SpMV pass.
+    fn spmv(&self, profile: &MatrixProfile) -> Option<KernelCost>;
+
+    /// One symmetric Gauss-Seidel application (forward + backward sweep).
+    fn symgs(&self, profile: &MatrixProfile) -> Option<KernelCost>;
+
+    /// One round of a graph kernel (one pass over the edges).
+    fn graph_round(&self, profile: &MatrixProfile, kernel: GraphKernel) -> Option<KernelCost>;
+
+    /// One PCG iteration: SpMV + SymGS + the auxiliary vector operations
+    /// (dots and AXPYs, ~10·n memory traffic, bandwidth-bound).
+    fn pcg_iteration(&self, profile: &MatrixProfile) -> Option<KernelCost> {
+        let spmv = self.spmv(profile)?;
+        let symgs = self.symgs(profile)?;
+        // Vector ops: 5 passes over n-length vectors, read+write.
+        let vec_bytes = 10.0 * profile.n as f64 * params::VALUE_BYTES;
+        let vec = KernelCost {
+            seconds: vec_bytes / self.vector_bandwidth(),
+            energy_joules: vec_bytes * params::DRAM_PJ_PER_BYTE * 1e-12,
+            traffic_bytes: vec_bytes,
+            cache_time_fraction: 0.0,
+        };
+        Some(spmv.plus(symgs).plus(vec))
+    }
+
+    /// Effective bandwidth for dense vector sweeps (defaults differ per
+    /// platform; usually the streaming bandwidth).
+    fn vector_bandwidth(&self) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alrescha_sparse::gen;
+
+    #[test]
+    fn profile_measures_sensible_values() {
+        let a = Csr::from_coo(&gen::stencil27(3));
+        let p = MatrixProfile::from_csr(&a, 8);
+        assert_eq!(p.n, 27);
+        assert!(p.nnz > 27);
+        assert!(p.ell_width <= 27);
+        assert!(p.gpu_sequential_fraction > 0.5);
+        assert!(p.block_fill > 0.0 && p.block_fill <= 1.0);
+        assert!(p.num_blocks_4 >= p.num_blocks);
+    }
+
+    #[test]
+    fn kernel_cost_plus_and_times() {
+        let a = KernelCost {
+            seconds: 1.0,
+            energy_joules: 2.0,
+            traffic_bytes: 10.0,
+            cache_time_fraction: 0.5,
+        };
+        let b = KernelCost {
+            seconds: 3.0,
+            energy_joules: 4.0,
+            traffic_bytes: 30.0,
+            cache_time_fraction: 0.1,
+        };
+        let sum = a.plus(b);
+        assert_eq!(sum.seconds, 4.0);
+        assert_eq!(sum.energy_joules, 6.0);
+        assert_eq!(sum.traffic_bytes, 40.0);
+        // Time-weighted cache fraction: (0.5*1 + 0.1*3)/4 = 0.2.
+        assert!((sum.cache_time_fraction - 0.2).abs() < 1e-12);
+        let scaled = a.times(10.0);
+        assert_eq!(scaled.seconds, 10.0);
+        assert_eq!(scaled.cache_time_fraction, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn profile_rejects_rectangular() {
+        let a = Csr::from_coo(&alrescha_sparse::Coo::new(2, 3));
+        let _ = MatrixProfile::from_csr(&a, 8);
+    }
+}

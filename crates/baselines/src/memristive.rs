@@ -1,0 +1,119 @@
+//! Memristive scientific-accelerator model (Feinberg et al., ISCA 2018) —
+//! the state-of-the-art PDE-solver accelerator the paper compares against in
+//! Figure 15.
+//!
+//! The accelerator maps multi-size dense blocks (64×64 … 512×512, Table 2)
+//! of the sparse matrix onto memristive crossbars. Its blocked streaming is
+//! efficient, but per Table 2 it does *not* resolve the data dependencies of
+//! SymGS: the diagonal dependency chain executes row by row.
+
+use crate::params::{self, memristive, VALUE_BYTES};
+use crate::{GraphKernel, KernelCost, MatrixProfile, Platform};
+
+/// The Memristive scientific-computing accelerator model. PDE kernels only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemristiveModel;
+
+impl MemristiveModel {
+    /// Creates the model.
+    pub fn new() -> Self {
+        MemristiveModel
+    }
+
+    fn cost(seconds: f64, traffic: f64) -> KernelCost {
+        KernelCost {
+            seconds,
+            energy_joules: memristive::ACTIVE_POWER_W * seconds
+                + traffic * params::DRAM_PJ_PER_BYTE * 1e-12,
+            traffic_bytes: traffic,
+            cache_time_fraction: 0.0,
+        }
+    }
+
+    /// Blocked payload traffic for one pass: the crossbars consume dense
+    /// blocks; fill below one inflates bytes by 1/fill, bounded by the
+    /// matrix's blocked footprint at the profile's block width.
+    fn pass_bytes(profile: &MatrixProfile) -> f64 {
+        let fill = profile.block_fill.max(1e-3);
+        profile.nnz as f64 * VALUE_BYTES / fill + 2.0 * profile.n as f64 * VALUE_BYTES
+    }
+}
+
+impl Platform for MemristiveModel {
+    fn name(&self) -> &'static str {
+        "memristive"
+    }
+
+    fn spmv(&self, profile: &MatrixProfile) -> Option<KernelCost> {
+        let traffic = Self::pass_bytes(profile);
+        let seconds = traffic / (memristive::BANDWIDTH * memristive::STREAM_UTILIZATION);
+        Some(Self::cost(seconds, traffic))
+    }
+
+    fn symgs(&self, profile: &MatrixProfile) -> Option<KernelCost> {
+        // Streaming as in SpMV (two sweeps), plus the unresolved dependency
+        // chain: one serial crossbar solve per matrix row per sweep.
+        let traffic = 2.0 * Self::pass_bytes(profile);
+        let stream_seconds = traffic / (memristive::BANDWIDTH * memristive::STREAM_UTILIZATION);
+        let chain_seconds = 2.0 * profile.n as f64 * memristive::DEPENDENT_ROW_SECONDS;
+        Some(Self::cost(stream_seconds + chain_seconds, traffic))
+    }
+
+    fn graph_round(&self, _profile: &MatrixProfile, _kernel: GraphKernel) -> Option<KernelCost> {
+        None // graph analytics are outside its domain (Table 2)
+    }
+
+    fn vector_bandwidth(&self) -> f64 {
+        memristive::BANDWIDTH * memristive::STREAM_UTILIZATION
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GpuModel;
+    use alrescha_sparse::{gen, Csr};
+
+    fn profile() -> MatrixProfile {
+        let a = Csr::from_coo(&gen::stencil27(4));
+        MatrixProfile::from_csr(&a, 8)
+    }
+
+    #[test]
+    fn pde_kernels_only() {
+        let p = profile();
+        let m = MemristiveModel::new();
+        assert!(m.spmv(&p).is_some());
+        assert!(m.symgs(&p).is_some());
+        assert!(m.pcg_iteration(&p).is_some());
+        assert!(m.graph_round(&p, GraphKernel::Bfs).is_none());
+    }
+
+    #[test]
+    fn beats_gpu_on_pcg() {
+        // Figure 15: the Memristive accelerator sits above the GPU.
+        let p = profile();
+        let mem = MemristiveModel::new().pcg_iteration(&p).unwrap().seconds;
+        let gpu = GpuModel::new().pcg_iteration(&p).unwrap().seconds;
+        assert!(mem < gpu, "memristive {mem} gpu {gpu}");
+    }
+
+    #[test]
+    fn dependency_chain_is_charged() {
+        let p = profile();
+        let symgs = MemristiveModel::new().symgs(&p).unwrap();
+        let chain = 2.0 * p.n as f64 * memristive::DEPENDENT_ROW_SECONDS;
+        assert!(symgs.seconds > chain);
+    }
+
+    #[test]
+    fn low_fill_inflates_traffic() {
+        let a = Csr::from_coo(&gen::scattered(512, 4, 9));
+        let sparse_p = MatrixProfile::from_csr(&a, 8);
+        let dense_p = profile();
+        let m = MemristiveModel::new();
+        let sparse_bpn = m.spmv(&sparse_p).unwrap().traffic_bytes / sparse_p.nnz as f64;
+        let dense_bpn = m.spmv(&dense_p).unwrap().traffic_bytes / dense_p.nnz as f64;
+        assert!(sparse_bpn > dense_bpn);
+    }
+}

@@ -1,0 +1,95 @@
+//! OuterSPACE model (Pal et al., HPCA 2018) — the state-of-the-art SpMV
+//! accelerator the paper compares against in Figure 18.
+//!
+//! OuterSPACE runs an outer-product formulation: each vector element is
+//! multiplied with a whole matrix row/column and the partial products are
+//! scattered into the output. That maximizes matrix reuse but "produces
+//! random access to a local cache" (§3) — the scatter traffic and the cache
+//! occupancy are the behaviours this model charges.
+
+use crate::params::{self, outerspace, VALUE_BYTES};
+use crate::{GraphKernel, KernelCost, MatrixProfile, Platform};
+
+/// The OuterSPACE model. SpMV only (Table 2: "Graph (only SpMV)").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OuterSpaceModel;
+
+impl OuterSpaceModel {
+    /// Creates the model.
+    pub fn new() -> Self {
+        OuterSpaceModel
+    }
+}
+
+impl Platform for OuterSpaceModel {
+    fn name(&self) -> &'static str {
+        "outerspace"
+    }
+
+    fn spmv(&self, profile: &MatrixProfile) -> Option<KernelCost> {
+        // One CSR-class pass over the matrix (values + indices), the vector
+        // read once (outer product's strength), plus the partial-product
+        // scatter/merge traffic through the cache hierarchy.
+        let traffic = profile.nnz as f64 * (VALUE_BYTES + params::INDEX_BYTES)
+            + profile.n as f64 * 2.0 * VALUE_BYTES
+            + profile.nnz as f64 * outerspace::SCATTER_BYTES_PER_NNZ;
+        let seconds = traffic / (outerspace::BANDWIDTH * outerspace::STREAM_UTILIZATION);
+        Some(KernelCost {
+            seconds,
+            energy_joules: outerspace::ACTIVE_POWER_W * seconds
+                + traffic * params::DRAM_PJ_PER_BYTE * 1e-12,
+            traffic_bytes: traffic,
+            cache_time_fraction: outerspace::CACHE_TIME_FRACTION,
+        })
+    }
+
+    fn symgs(&self, _profile: &MatrixProfile) -> Option<KernelCost> {
+        None // not a supported kernel (Table 2)
+    }
+
+    fn graph_round(&self, _profile: &MatrixProfile, _kernel: GraphKernel) -> Option<KernelCost> {
+        None // not a supported kernel (Table 2)
+    }
+
+    fn vector_bandwidth(&self) -> f64 {
+        outerspace::BANDWIDTH * outerspace::STREAM_UTILIZATION
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GpuModel;
+    use alrescha_sparse::{gen, Csr};
+
+    fn profile() -> MatrixProfile {
+        let a = Csr::from_coo(&gen::stencil27(4));
+        MatrixProfile::from_csr(&a, 8)
+    }
+
+    #[test]
+    fn only_spmv_is_supported() {
+        let p = profile();
+        let m = OuterSpaceModel::new();
+        assert!(m.spmv(&p).is_some());
+        assert!(m.symgs(&p).is_none());
+        assert!(m.graph_round(&p, GraphKernel::Bfs).is_none());
+        assert!(m.pcg_iteration(&p).is_none());
+    }
+
+    #[test]
+    fn beats_gpu_on_spmv() {
+        // Figure 18 shows OuterSPACE above the GPU baseline.
+        let p = profile();
+        let os = OuterSpaceModel::new().spmv(&p).unwrap().seconds;
+        let gpu = GpuModel::new().spmv(&p).unwrap().seconds;
+        assert!(os < gpu, "outerspace {os} gpu {gpu}");
+    }
+
+    #[test]
+    fn cache_time_fraction_is_substantial() {
+        let p = profile();
+        let c = OuterSpaceModel::new().spmv(&p).unwrap();
+        assert!(c.cache_time_fraction > 0.3);
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion bench: Algorithm 1 conversion (the host-side one-time
+//! preprocessing, §4.1) for each kernel type.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use alrescha::convert::{convert, KernelType};
+use alrescha_sparse::gen;
+
+fn bench_preprocessing(c: &mut Criterion) {
+    use alrescha::program::ProgramBinary;
+    use alrescha_sparse::reorder::apply_rcm;
+
+    let sci = gen::stencil27(10);
+    let mut group = c.benchmark_group("preprocessing");
+    let (_, table) = convert(KernelType::SymGs, &sci, 8).expect("suite matrix");
+    group.bench_function("program-binary-encode", |b| {
+        b.iter(|| ProgramBinary::encode(KernelType::SymGs, &table, sci.rows(), 8))
+    });
+    let binary = ProgramBinary::encode(KernelType::SymGs, &table, sci.rows(), 8);
+    group.bench_function("program-binary-decode", |b| {
+        b.iter(|| binary.decode().expect("valid binary"))
+    });
+    group.bench_function("rcm-reorder", |b| {
+        b.iter(|| apply_rcm(&sci).expect("square"))
+    });
+    group.finish();
+}
+
+fn bench_convert(c: &mut Criterion) {
+    let sci = gen::stencil27(10);
+    let graph = gen::GraphClass::Social.generate(1000, 2020);
+    let mut group = c.benchmark_group("convert");
+    for (kernel, coo, label) in [
+        (KernelType::SpMv, &sci, "spmv/stencil27"),
+        (KernelType::SymGs, &sci, "symgs/stencil27"),
+        (KernelType::PageRank, &graph, "pagerank/social"),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
+            b.iter(|| convert(kernel, coo, 8).expect("suite matrix"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convert, bench_preprocessing);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: storage-format construction cost (the preprocessing the
+//! paper argues is linear-time, §4) across formats.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use alrescha_sparse::alf::AlfLayout;
+use alrescha_sparse::{gen, Alf, Bcsr, Csr, Dia, Ell};
+
+fn bench_formats(c: &mut Criterion) {
+    let coo = gen::stencil27(10);
+    let mut group = c.benchmark_group("format-build");
+    group.bench_with_input(BenchmarkId::new("csr", "stencil27"), &coo, |b, coo| {
+        b.iter(|| Csr::from_coo(coo))
+    });
+    group.bench_with_input(BenchmarkId::new("ell", "stencil27"), &coo, |b, coo| {
+        b.iter(|| Ell::from_coo(coo))
+    });
+    group.bench_with_input(BenchmarkId::new("dia", "stencil27"), &coo, |b, coo| {
+        b.iter(|| Dia::from_coo(coo))
+    });
+    group.bench_with_input(BenchmarkId::new("bcsr8", "stencil27"), &coo, |b, coo| {
+        b.iter(|| Bcsr::from_coo(coo, 8).expect("constant width"))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("alf-symgs", "stencil27"),
+        &coo,
+        |b, coo| b.iter(|| Alf::from_coo(coo, 8, AlfLayout::SymGs).expect("constant width")),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_formats);
+criterion_main!(benches);

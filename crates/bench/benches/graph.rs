@@ -1,0 +1,40 @@
+//! Criterion bench: graph kernels on the simulated accelerator (the
+//! Figure 17 workload at bench scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use alrescha::{Alrescha, KernelType};
+use alrescha_sim::{PageRankConfig, SimConfig};
+use alrescha_sparse::gen;
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(10);
+    for class in [gen::GraphClass::Social, gen::GraphClass::Road] {
+        let coo = class.generate(512, 2020);
+
+        let mut acc = Alrescha::new(SimConfig::paper());
+        let bfs_prog = acc.program(KernelType::Bfs, &coo).expect("program");
+        group.bench_with_input(BenchmarkId::new("bfs", class.name()), &(), |b, ()| {
+            b.iter(|| acc.bfs(&bfs_prog, 0).expect("run"))
+        });
+
+        let sssp_prog = acc.program(KernelType::Sssp, &coo).expect("program");
+        group.bench_with_input(BenchmarkId::new("sssp", class.name()), &(), |b, ()| {
+            b.iter(|| acc.sssp(&sssp_prog, 0).expect("run"))
+        });
+
+        let pr_prog = acc.program(KernelType::PageRank, &coo).expect("program");
+        let opts = PageRankConfig {
+            tol: 1e-6,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("pagerank", class.name()), &(), |b, ()| {
+            b.iter(|| acc.pagerank(&pr_prog, &opts).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

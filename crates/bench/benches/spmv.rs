@@ -1,0 +1,34 @@
+//! Criterion bench: SpMV on the simulated accelerator vs the reference
+//! kernel across dataset classes (the Figure 18 workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use alrescha::{Alrescha, KernelType};
+use alrescha_kernels::spmv::spmv;
+use alrescha_sim::SimConfig;
+use alrescha_sparse::{gen, Csr};
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    for class in [gen::ScienceClass::Stencil27, gen::ScienceClass::Circuit] {
+        let coo = class.generate(1000, 2020);
+        let csr = Csr::from_coo(&coo);
+        let x: Vec<f64> = (0..coo.cols()).map(|i| (i as f64 * 0.1).sin()).collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("reference", class.name()),
+            &(&csr, &x),
+            |b, (csr, x)| b.iter(|| spmv(csr, x)),
+        );
+
+        let mut acc = Alrescha::new(SimConfig::paper());
+        let prog = acc.program(KernelType::SpMv, &coo).expect("suite matrix");
+        group.bench_with_input(BenchmarkId::new("simulated", class.name()), &x, |b, x| {
+            b.iter(|| acc.spmv(&prog, x).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

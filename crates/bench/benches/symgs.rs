@@ -1,0 +1,82 @@
+//! Criterion bench: SymGS sweeps — the reference row order vs the
+//! simulated blocked GEMV/D-SymGS decomposition (Figures 15/16 workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use alrescha::{Alrescha, KernelType};
+use alrescha_kernels::symgs;
+use alrescha_sim::SimConfig;
+use alrescha_sparse::{gen, Csr};
+
+fn bench_symgs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symgs");
+    for class in [gen::ScienceClass::Stencil27, gen::ScienceClass::Fluid] {
+        let coo = class.generate(1000, 2020);
+        let csr = Csr::from_coo(&coo);
+        let b: Vec<f64> = (0..coo.rows()).map(|i| 1.0 + (i % 3) as f64).collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("reference", class.name()),
+            &(&csr, &b),
+            |bench, (csr, rhs)| {
+                bench.iter(|| {
+                    let mut x = vec![0.0; csr.cols()];
+                    symgs::symgs(csr, rhs, &mut x).expect("sweep");
+                    x
+                })
+            },
+        );
+
+        let mut acc = Alrescha::new(SimConfig::paper());
+        let prog = acc.program(KernelType::SymGs, &coo).expect("suite matrix");
+        group.bench_with_input(
+            BenchmarkId::new("simulated", class.name()),
+            &b,
+            |bench, rhs| {
+                bench.iter(|| {
+                    let mut x = vec![0.0; coo.cols()];
+                    acc.symgs(&prog, rhs, &mut x).expect("run");
+                    x
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_variants(c: &mut Criterion) {
+    use alrescha_sim::{Engine, SimConfig};
+    use alrescha_sparse::{alf::AlfLayout, Alf};
+
+    let coo = gen::stencil27(8);
+    let csr = Csr::from_coo(&coo);
+    let alf = Alf::from_coo(&coo, 8, AlfLayout::SymGs).expect("suite matrix");
+    let b = vec![1.0; coo.rows()];
+
+    let mut group = c.benchmark_group("symgs-variants");
+    group.bench_function("device-symgs", |bench| {
+        let mut engine = Engine::new(SimConfig::paper());
+        bench.iter(|| {
+            let mut x = vec![0.0; coo.cols()];
+            engine.run_symgs(&alf, &b, &mut x).expect("run");
+            x
+        })
+    });
+    group.bench_function("device-ssor-1.3", |bench| {
+        let mut engine = Engine::new(SimConfig::paper());
+        bench.iter(|| {
+            let mut x = vec![0.0; coo.cols()];
+            engine.run_ssor(&alf, &b, &mut x, 1.3).expect("run");
+            x
+        })
+    });
+    group.bench_function("device-spmv-csr-mode", |bench| {
+        let mut engine = Engine::new(SimConfig::paper());
+        let x = vec![1.0; coo.cols()];
+        bench.iter(|| engine.run_spmv_csr(&csr, &x).expect("run"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_symgs, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,203 @@
+//! `figures` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! figures --all                 # everything at default scale
+//! figures --fig 15              # one figure
+//! figures --fig 15 --scale 2000 # bigger matrices
+//! figures --datasets            # dataset inventory
+//! figures --table 2             # the feature matrix
+//! figures --ablation block-size # the §5.2 block-width sweep
+//! ```
+
+use alrescha_bench::fig;
+
+struct Args {
+    verify: bool,
+    out: Option<String>,
+    fig: Option<u32>,
+    table: Option<u32>,
+    datasets: bool,
+    breakdown: bool,
+    ablation: Option<String>,
+    all: bool,
+    scale: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        verify: false,
+        out: None,
+        fig: None,
+        table: None,
+        datasets: false,
+        breakdown: false,
+        ablation: None,
+        all: false,
+        scale: 1000,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fig" => {
+                let v = it.next().ok_or("--fig needs a number")?;
+                args.fig = Some(v.parse().map_err(|_| format!("bad figure number {v}"))?);
+            }
+            "--table" => {
+                let v = it.next().ok_or("--table needs a number")?;
+                args.table = Some(v.parse().map_err(|_| format!("bad table number {v}"))?);
+            }
+            "--datasets" => args.datasets = true,
+            "--breakdown" => args.breakdown = true,
+            "--verify" => args.verify = true,
+            "--out" => {
+                args.out = Some(it.next().ok_or("--out needs a directory")?);
+            }
+            "--ablation" => {
+                args.ablation = Some(it.next().ok_or("--ablation needs a name")?);
+            }
+            "--all" => args.all = true,
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a number")?;
+                args.scale = v.parse().map_err(|_| format!("bad scale {v}"))?;
+            }
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_help() {
+    println!("figures — regenerate the ALRESCHA paper's evaluation artifacts");
+    println!("  --all                 run every figure and table");
+    println!("  --fig <3|6|12|15|16|17|18|19>");
+    println!("  --table <1|2|3>");
+    println!("  --datasets            dataset inventory (Figure 14 / Table 3)");
+    println!("  --breakdown           device-side SymGS cycle breakdown");
+    println!("  --verify              check every headline claim; exit 1 on failure");
+    println!("  --out <dir>           export every figure's rows as CSV");
+    println!("  --ablation block-size the §5.2 block-width sweep");
+    println!("  --ablation drain      drain-hidden reconfiguration cost");
+    println!("  --ablation reorder    RCM-before-conversion fill/time sweep");
+    println!("  --ablation cache      local-cache geometry sweep");
+    println!("  --ablation format     locally-dense vs CSR streaming on the same hardware");
+    println!("  --ablation bandwidth  memory-bandwidth scaling sweep");
+    println!("  --scale <n>           approximate matrix dimension (default 1000)");
+}
+
+fn run_figure(num: u32, n: usize) {
+    match num {
+        3 => fig::pcg::print_figure3(n),
+        6 => fig::hpcg::print_figure6(n),
+        12 => fig::format::print_figure12(n),
+        15 => fig::pcg::print_figure15(n),
+        16 => fig::pcg::print_figure16(n),
+        17 => fig::graph::print_figure17(n / 2),
+        18 => fig::spmv::print_figure18(n),
+        19 => fig::energy::print_figure19(n),
+        other => eprintln!("figure {other} is not part of the evaluation harness"),
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_help();
+            std::process::exit(2);
+        }
+    };
+    let n = args.scale;
+    let mut ran = false;
+
+    if args.verify {
+        let ok = alrescha_bench::verify::print_verification(n);
+        std::process::exit(if ok { 0 } else { 1 });
+    }
+    if let Some(dir) = &args.out {
+        match fig::export::export_all(std::path::Path::new(dir), n) {
+            Ok(files) => {
+                println!("wrote {} csv files to {dir}:", files.len());
+                for f in files {
+                    println!("  {f}");
+                }
+            }
+            Err(e) => {
+                eprintln!("export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        ran = true;
+    }
+
+    if args.all {
+        for f in [3u32, 6, 12, 15, 16, 17, 18, 19] {
+            run_figure(f, n);
+            println!();
+        }
+        fig::table1::print_table1();
+        println!();
+        fig::table2::print_table2();
+        println!();
+        fig::graph::print_table3_report(n / 2);
+        println!();
+        fig::datasets::print_inventory(n, n / 2);
+        println!();
+        fig::breakdown::print_symgs_breakdown(n);
+        println!();
+        fig::ablation::print_block_size_sweep(n / 2);
+        println!();
+        fig::ablation::print_drain_sweep(n / 2);
+        println!();
+        fig::ablation::print_reorder_sweep(n / 2);
+        println!();
+        fig::ablation::print_cache_sweep(n / 2);
+        println!();
+        fig::ablation::print_format_sweep(n / 2);
+        println!();
+        fig::ablation::print_bandwidth_sweep(n / 2);
+        return;
+    }
+    if let Some(f) = args.fig {
+        run_figure(f, n);
+        ran = true;
+    }
+    if let Some(t) = args.table {
+        match t {
+            1 => fig::table1::print_table1(),
+            2 => fig::table2::print_table2(),
+            3 => fig::graph::print_table3_report(n / 2),
+            other => eprintln!("table {other} is not part of the evaluation harness"),
+        }
+        ran = true;
+    }
+    if args.datasets {
+        fig::datasets::print_inventory(n, n / 2);
+        ran = true;
+    }
+    if args.breakdown {
+        fig::breakdown::print_symgs_breakdown(n);
+        ran = true;
+    }
+    if let Some(name) = &args.ablation {
+        match name.as_str() {
+            "block-size" => fig::ablation::print_block_size_sweep(n / 2),
+            "drain" => fig::ablation::print_drain_sweep(n / 2),
+            "reorder" => fig::ablation::print_reorder_sweep(n / 2),
+            "cache" => fig::ablation::print_cache_sweep(n / 2),
+            "format" => fig::ablation::print_format_sweep(n / 2),
+            "bandwidth" => fig::ablation::print_bandwidth_sweep(n / 2),
+            other => {
+                eprintln!("unknown ablation {other}; try block-size, drain, reorder, cache, format, bandwidth")
+            }
+        }
+        ran = true;
+    }
+    if !ran {
+        print_help();
+    }
+}

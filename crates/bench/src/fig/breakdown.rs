@@ -1,0 +1,87 @@
+//! Device-side time breakdown: where a SymGS application's cycles go, per
+//! dataset — the accelerator-side complement of Figure 16.
+
+use alrescha::{Alrescha, KernelType};
+use alrescha_sim::SimConfig;
+
+use crate::scientific_suite;
+
+/// One breakdown row.
+#[derive(Debug, Clone)]
+pub struct BreakdownRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Share of cycles in GEMV blocks.
+    pub gemv_pct: f64,
+    /// Share in the D-SymGS recurrence.
+    pub dsymgs_pct: f64,
+    /// Share in fills/drains (data-path switching).
+    pub drain_pct: f64,
+}
+
+/// Measures the SymGS cycle breakdown over the scientific suite.
+pub fn symgs_breakdown(n: usize) -> Vec<BreakdownRow> {
+    scientific_suite(n)
+        .iter()
+        .map(|ds| {
+            let mut acc = Alrescha::new(SimConfig::paper());
+            let prog = acc
+                .program(KernelType::SymGs, &ds.coo)
+                .expect("suite matrix");
+            let b = vec![1.0; ds.coo.rows()];
+            let mut x = vec![0.0; ds.coo.cols()];
+            let report = acc.symgs(&prog, &b, &mut x).expect("run");
+            let total = report.cycles.max(1) as f64;
+            BreakdownRow {
+                dataset: ds.name.clone(),
+                gemv_pct: 100.0 * report.breakdown.gemv_cycles as f64 / total,
+                dsymgs_pct: 100.0 * report.breakdown.dsymgs_cycles as f64 / total,
+                drain_pct: 100.0 * report.breakdown.drain_cycles as f64 / total,
+            }
+        })
+        .collect()
+}
+
+/// Prints the breakdown.
+pub fn print_symgs_breakdown(n: usize) {
+    println!("Device time breakdown — one SymGS application on the accelerator");
+    println!(
+        "{:<12} {:>9} {:>11} {:>10}",
+        "dataset", "gemv(%)", "d-symgs(%)", "drain(%)"
+    );
+    for r in symgs_breakdown(n) {
+        println!(
+            "{:<12} {:>9.1} {:>11.1} {:>10.1}",
+            r.dataset, r.gemv_pct, r.dsymgs_pct, r.drain_pct
+        );
+    }
+    println!("(the residual sequential part after Algorithm 1: the D-SymGS share)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        for r in symgs_breakdown(300) {
+            let total = r.gemv_pct + r.dsymgs_pct + r.drain_pct;
+            assert!((total - 100.0).abs() < 0.5, "{}: {total}", r.dataset);
+        }
+    }
+
+    #[test]
+    fn dsymgs_share_tracks_diagonal_heaviness() {
+        let rows = symgs_breakdown(300);
+        // The banded 'fluid' class lives in diagonal blocks; scattered
+        // 'economics' spreads into GEMVs.
+        let fluid = rows.iter().find(|r| r.dataset == "fluid").unwrap();
+        let econ = rows.iter().find(|r| r.dataset == "economics").unwrap();
+        assert!(
+            fluid.dsymgs_pct > econ.dsymgs_pct,
+            "fluid {} economics {}",
+            fluid.dsymgs_pct,
+            econ.dsymgs_pct
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Figure 19 — energy-consumption improvement of ALRESCHA over the CPU and
+//! GPU baselines on SpMV.
+
+use alrescha_baselines::{CpuModel, GpuModel, Platform};
+use alrescha_sim::{EnergyModel, SimConfig};
+
+use crate::{geomean, graph_suite, measure_spmv, profile, scientific_suite, Dataset};
+
+/// One Figure 19 row.
+#[derive(Debug, Clone)]
+pub struct Fig19Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// ALRESCHA SpMV energy in joules (from the simulator's event counters).
+    pub alrescha_joules: f64,
+    /// Energy improvement over the CPU (CPU / ALRESCHA).
+    pub vs_cpu: f64,
+    /// Energy improvement over the GPU (GPU / ALRESCHA).
+    pub vs_gpu: f64,
+}
+
+fn row(ds: &Dataset, config: &SimConfig, model: &EnergyModel) -> Fig19Row {
+    let prof = profile(&ds.coo);
+    let cpu = CpuModel::new().spmv(&prof).expect("cpu runs spmv");
+    let gpu = GpuModel::new().spmv(&prof).expect("gpu runs spmv");
+    let me = measure_spmv(&ds.coo, config);
+    let joules = me.report.energy_joules(model);
+    Fig19Row {
+        dataset: ds.name.clone(),
+        alrescha_joules: joules,
+        vs_cpu: cpu.energy_joules / joules,
+        vs_gpu: gpu.energy_joules / joules,
+    }
+}
+
+/// Computes Figure 19 over both suites.
+pub fn figure19(n: usize) -> Vec<Fig19Row> {
+    let config = SimConfig::paper();
+    let model = EnergyModel::tsmc28();
+    let mut rows = Vec::new();
+    for ds in &scientific_suite(n) {
+        rows.push(row(ds, &config, &model));
+    }
+    for ds in &graph_suite(n / 2) {
+        rows.push(row(ds, &config, &model));
+    }
+    rows
+}
+
+/// Prints Figure 19 and its averages.
+pub fn print_figure19(n: usize) {
+    let rows = figure19(n);
+    println!("Figure 19 — SpMV energy improvement of ALRESCHA");
+    println!(
+        "{:<14} {:>14} {:>10} {:>10}",
+        "dataset", "alrescha(J)", "vs-cpu(x)", "vs-gpu(x)"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>14.3e} {:>10.1} {:>10.1}",
+            r.dataset, r.alrescha_joules, r.vs_cpu, r.vs_gpu
+        );
+    }
+    let cpu: Vec<f64> = rows.iter().map(|r| r.vs_cpu).collect();
+    let gpu: Vec<f64> = rows.iter().map(|r| r.vs_gpu).collect();
+    println!(
+        "geomean: {:.1}x vs cpu, {:.1}x vs gpu (paper: 74x and 14x)",
+        geomean(&cpu),
+        geomean(&gpu)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 512;
+
+    #[test]
+    fn alrescha_saves_energy_everywhere() {
+        for r in figure19(N) {
+            assert!(r.vs_cpu > 1.0, "{} vs cpu {}", r.dataset, r.vs_cpu);
+            assert!(r.vs_gpu > 1.0, "{} vs gpu {}", r.dataset, r.vs_gpu);
+        }
+    }
+
+    #[test]
+    fn cpu_improvement_exceeds_gpu_improvement() {
+        // The paper's ordering: 74x vs CPU, 14x vs GPU.
+        let rows = figure19(N);
+        let cpu: Vec<f64> = rows.iter().map(|r| r.vs_cpu).collect();
+        let gpu: Vec<f64> = rows.iter().map(|r| r.vs_gpu).collect();
+        assert!(geomean(&cpu) > geomean(&gpu));
+    }
+}

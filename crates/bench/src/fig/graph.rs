@@ -1,0 +1,195 @@
+//! Figure 17 — graph-algorithm speedups (BFS, SSSP, PageRank) over the CPU,
+//! comparing ALRESCHA, GraphR, and the GPU.
+
+use alrescha_baselines::{CpuModel, GpuModel, GraphKernel, GraphRModel, Platform};
+use alrescha_sim::SimConfig;
+
+use crate::{geomean, graph_suite, measure_graph, profile, Dataset};
+
+/// One Figure 17 row.
+#[derive(Debug, Clone)]
+pub struct Fig17Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Graph kernel.
+    pub kernel: GraphKernel,
+    /// ALRESCHA speedup over the CPU.
+    pub alrescha_speedup: f64,
+    /// GraphR speedup over the CPU.
+    pub graphr_speedup: f64,
+    /// GPU speedup over the CPU.
+    pub gpu_speedup: f64,
+}
+
+fn row(ds: &Dataset, kernel: GraphKernel, config: &SimConfig) -> Fig17Row {
+    let prof = profile(&ds.coo);
+    let (me, rounds) = measure_graph(&ds.coo, kernel, config);
+    // All platforms execute the same algorithmic rounds (§5.1's equal-budget
+    // rule); each round is one pass over the edges.
+    let cpu = CpuModel::new()
+        .graph_round(&prof, kernel)
+        .expect("cpu runs graphs")
+        .times(rounds as f64);
+    let gpu = GpuModel::new()
+        .graph_round(&prof, kernel)
+        .expect("gpu runs graphs")
+        .times(rounds as f64);
+    let graphr = GraphRModel::new()
+        .graph_round(&prof, kernel)
+        .expect("graphr runs graphs")
+        .times(rounds as f64);
+    Fig17Row {
+        dataset: ds.name.clone(),
+        kernel,
+        alrescha_speedup: cpu.seconds / me.seconds,
+        graphr_speedup: cpu.seconds / graphr.seconds,
+        gpu_speedup: cpu.seconds / gpu.seconds,
+    }
+}
+
+/// Computes Figure 17 over the graph suite, all three kernels.
+pub fn figure17(n: usize) -> Vec<Fig17Row> {
+    let config = SimConfig::paper();
+    let mut rows = Vec::new();
+    for kernel in [GraphKernel::Bfs, GraphKernel::Sssp, GraphKernel::PageRank] {
+        for ds in &graph_suite(n) {
+            rows.push(row(ds, kernel, &config));
+        }
+    }
+    rows
+}
+
+/// Prints Figure 17 with per-kernel averages.
+pub fn print_figure17(n: usize) {
+    let rows = figure17(n);
+    println!("Figure 17 — graph-algorithm speedup over the CPU baseline");
+    println!(
+        "{:<10} {:<14} {:>13} {:>11} {:>9}",
+        "kernel", "dataset", "alrescha(x)", "graphr(x)", "gpu(x)"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:<14} {:>13.2} {:>11.2} {:>9.2}",
+            format!("{:?}", r.kernel),
+            r.dataset,
+            r.alrescha_speedup,
+            r.graphr_speedup,
+            r.gpu_speedup
+        );
+    }
+    for kernel in [GraphKernel::Bfs, GraphKernel::Sssp, GraphKernel::PageRank] {
+        let alr: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.kernel == kernel)
+            .map(|r| r.alrescha_speedup)
+            .collect();
+        println!(
+            "geomean {kernel:?}: alrescha {:.2}x over cpu",
+            geomean(&alr)
+        );
+    }
+    println!("(paper: 15.7x BFS, 7.7x SSSP, 27.6x PR over CPU; ALRESCHA above GraphR above GPU)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 256;
+
+    #[test]
+    fn alrescha_beats_cpu_on_all_graph_runs() {
+        for r in figure17(N) {
+            assert!(r.alrescha_speedup > 1.0, "{} {:?}", r.dataset, r.kernel);
+        }
+    }
+
+    #[test]
+    fn alrescha_beats_graphr_on_average() {
+        let rows = figure17(N);
+        let alr: Vec<f64> = rows.iter().map(|r| r.alrescha_speedup).collect();
+        let gr: Vec<f64> = rows.iter().map(|r| r.graphr_speedup).collect();
+        assert!(
+            geomean(&alr) > geomean(&gr),
+            "alr {} graphr {}",
+            geomean(&alr),
+            geomean(&gr)
+        );
+    }
+
+    #[test]
+    fn graphr_beats_gpu_on_average() {
+        let rows = figure17(N);
+        let gr: Vec<f64> = rows.iter().map(|r| r.graphr_speedup).collect();
+        let gpu: Vec<f64> = rows.iter().map(|r| r.gpu_speedup).collect();
+        assert!(geomean(&gr) > geomean(&gpu));
+    }
+}
+
+/// One Table 3 named-analog row: dataset shape plus a BFS speedup.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Dataset-analog name (the Table 3 graph it mirrors).
+    pub dataset: String,
+    /// Vertices.
+    pub n: usize,
+    /// Edges.
+    pub nnz: usize,
+    /// ALRESCHA BFS speedup over the CPU.
+    pub bfs_speedup: f64,
+}
+
+/// Runs BFS over the eight Table 3 named analogs.
+pub fn table3_report(n: usize) -> Vec<Table3Row> {
+    use alrescha_sparse::MetaData;
+    let config = SimConfig::paper();
+    crate::table3_suite(n)
+        .iter()
+        .map(|ds| {
+            let prof = profile(&ds.coo);
+            let (me, rounds) = measure_graph(&ds.coo, GraphKernel::Bfs, &config);
+            let cpu = CpuModel::new()
+                .graph_round(&prof, GraphKernel::Bfs)
+                .expect("cpu runs graphs")
+                .times(rounds as f64);
+            Table3Row {
+                dataset: ds.name.clone(),
+                n: ds.coo.rows(),
+                nnz: ds.coo.nnz(),
+                bfs_speedup: cpu.seconds / me.seconds,
+            }
+        })
+        .collect()
+}
+
+/// Prints the Table 3 named-analog report.
+pub fn print_table3_report(n: usize) {
+    println!("Table 3 analogs — scaled-down structural stand-ins, BFS speedup over CPU");
+    println!(
+        "{:<15} {:>8} {:>10} {:>9} {:>12}",
+        "dataset", "n", "nnz", "nnz/row", "bfs(x cpu)"
+    );
+    for r in table3_report(n) {
+        println!(
+            "{:<15} {:>8} {:>10} {:>9.1} {:>12.2}",
+            r.dataset,
+            r.n,
+            r.nnz,
+            r.nnz as f64 / r.n as f64,
+            r.bfs_speedup
+        );
+    }
+    println!("(paper scale: com-orkut 3.07M/234M ... roadNet-CA 1.97M/5.5M)");
+}
+
+#[cfg(test)]
+mod table3_report_tests {
+    use super::*;
+
+    #[test]
+    fn all_eight_analogs_beat_the_cpu() {
+        for r in table3_report(256) {
+            assert!(r.bfs_speedup > 1.0, "{}: {}", r.dataset, r.bfs_speedup);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Figure and table regeneration, one module per paper artifact.
+//!
+//! Each module computes the rows of its figure from the simulator and the
+//! baseline models and offers a `print` entry point used by the `figures`
+//! binary. `EXPERIMENTS.md` records the paper-reported versus measured
+//! values these produce.
+
+pub mod ablation;
+pub mod breakdown;
+pub mod datasets;
+pub mod energy;
+pub mod export;
+pub mod format;
+pub mod graph;
+pub mod hpcg;
+pub mod pcg;
+pub mod spmv;
+pub mod table1;
+pub mod table2;

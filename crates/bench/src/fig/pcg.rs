@@ -1,0 +1,225 @@
+//! Figures 3, 15, and 16 — the PCG/SymGS story on scientific datasets.
+
+use alrescha_baselines::{CpuModel, GpuModel, MemristiveModel, Platform};
+use alrescha_kernels::parallelism;
+use alrescha_sim::SimConfig;
+use alrescha_sparse::Csr;
+
+use crate::{geomean, measure_pcg_iteration, profile, scientific_suite, Dataset};
+
+/// One Figure 15 row: PCG speedups over the GPU plus bandwidth utilization.
+#[derive(Debug, Clone)]
+pub struct Fig15Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// ALRESCHA speedup over the GPU baseline.
+    pub alrescha_speedup: f64,
+    /// Memristive-accelerator speedup over the GPU baseline.
+    pub memristive_speedup: f64,
+    /// ALRESCHA memory-bandwidth utilization.
+    pub alrescha_bw_utilization: f64,
+    /// Memristive-accelerator bandwidth utilization.
+    pub memristive_bw_utilization: f64,
+}
+
+/// Computes Figure 15 over the scientific suite.
+pub fn figure15(n: usize) -> Vec<Fig15Row> {
+    let config = SimConfig::paper();
+    scientific_suite(n)
+        .iter()
+        .map(|ds| figure15_row(ds, &config))
+        .collect()
+}
+
+fn figure15_row(ds: &Dataset, config: &SimConfig) -> Fig15Row {
+    let prof = profile(&ds.coo);
+    let gpu = GpuModel::new().pcg_iteration(&prof).expect("gpu runs pcg");
+    let mem = MemristiveModel::new()
+        .pcg_iteration(&prof)
+        .expect("memristive runs pcg");
+    let me = measure_pcg_iteration(&ds.coo, config);
+    let mem_bw = mem.traffic_bytes / mem.seconds / (config.mem_bandwidth_gbps * 1e9);
+    Fig15Row {
+        dataset: ds.name.clone(),
+        alrescha_speedup: gpu.seconds / me.seconds,
+        memristive_speedup: gpu.seconds / mem.seconds,
+        alrescha_bw_utilization: me.report.bandwidth_utilization,
+        memristive_bw_utilization: mem_bw.min(1.0),
+    }
+}
+
+/// Prints Figure 15 and its averages.
+pub fn print_figure15(n: usize) {
+    let rows = figure15(n);
+    println!("Figure 15 — PCG speedup over GPU (bars) and bandwidth utilization (lines)");
+    println!(
+        "{:<12} {:>14} {:>16} {:>12} {:>14}",
+        "dataset", "alrescha(x)", "memristive(x)", "alr-bw(%)", "memr-bw(%)"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>14.2} {:>16.2} {:>12.1} {:>14.1}",
+            r.dataset,
+            r.alrescha_speedup,
+            r.memristive_speedup,
+            100.0 * r.alrescha_bw_utilization,
+            100.0 * r.memristive_bw_utilization
+        );
+    }
+    let alr: Vec<f64> = rows.iter().map(|r| r.alrescha_speedup).collect();
+    let mem: Vec<f64> = rows.iter().map(|r| r.memristive_speedup).collect();
+    println!(
+        "geomean speedup: alrescha {:.2}x, memristive {:.2}x (paper: 15.6x avg, memristive about half of alrescha)",
+        geomean(&alr),
+        geomean(&mem)
+    );
+}
+
+/// One Figure 16 row: sequential-operation percentages.
+#[derive(Debug, Clone)]
+pub struct Fig16Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// GPU-with-row-reordering sequential percentage.
+    pub gpu_sequential_pct: f64,
+    /// ALRESCHA sequential percentage.
+    pub alrescha_sequential_pct: f64,
+}
+
+/// Computes Figure 16 over the scientific suite.
+pub fn figure16(n: usize) -> Vec<Fig16Row> {
+    scientific_suite(n)
+        .iter()
+        .map(|ds| {
+            let csr = Csr::from_coo(&ds.coo);
+            let f = parallelism::sequential_fractions(&csr, 8);
+            Fig16Row {
+                dataset: ds.name.clone(),
+                gpu_sequential_pct: 100.0 * f.gpu,
+                alrescha_sequential_pct: 100.0 * f.alrescha,
+            }
+        })
+        .collect()
+}
+
+/// Prints Figure 16 and its averages.
+pub fn print_figure16(n: usize) {
+    let rows = figure16(n);
+    println!("Figure 16 — sequential operations in PCG: row-reordered GPU vs ALRESCHA");
+    println!("{:<12} {:>10} {:>12}", "dataset", "gpu(%)", "alrescha(%)");
+    for r in &rows {
+        println!(
+            "{:<12} {:>10.1} {:>12.1}",
+            r.dataset, r.gpu_sequential_pct, r.alrescha_sequential_pct
+        );
+    }
+    let gpu_avg: f64 = rows.iter().map(|r| r.gpu_sequential_pct).sum::<f64>() / rows.len() as f64;
+    let alr_avg: f64 =
+        rows.iter().map(|r| r.alrescha_sequential_pct).sum::<f64>() / rows.len() as f64;
+    println!("average: gpu {gpu_avg:.1}%, alrescha {alr_avg:.1}% (paper: 60.9% vs 23.1%)");
+}
+
+/// One Figure 3 row: share of PCG execution time per kernel on a platform.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Platform name.
+    pub platform: &'static str,
+    /// SpMV share of a PCG iteration.
+    pub spmv_pct: f64,
+    /// SymGS share.
+    pub symgs_pct: f64,
+    /// Everything else (vector ops).
+    pub rest_pct: f64,
+}
+
+/// Computes Figure 3 (PCG time breakdown) on the GPU and CPU baselines over
+/// the stencil dataset — the HPCG configuration the paper profiles.
+pub fn figure3(n: usize) -> Vec<Fig3Row> {
+    let ds = &scientific_suite(n)[0]; // stencil27 — HPCG's structure
+    let prof = profile(&ds.coo);
+    let mut rows = Vec::new();
+    for (name, spmv, symgs, pcg) in [
+        (
+            "gpu-k40c",
+            GpuModel::new().spmv(&prof).expect("supported"),
+            GpuModel::new().symgs(&prof).expect("supported"),
+            GpuModel::new().pcg_iteration(&prof).expect("supported"),
+        ),
+        (
+            "cpu-xeon",
+            CpuModel::new().spmv(&prof).expect("supported"),
+            CpuModel::new().symgs(&prof).expect("supported"),
+            CpuModel::new().pcg_iteration(&prof).expect("supported"),
+        ),
+    ] {
+        rows.push(Fig3Row {
+            platform: name,
+            spmv_pct: 100.0 * spmv.seconds / pcg.seconds,
+            symgs_pct: 100.0 * symgs.seconds / pcg.seconds,
+            rest_pct: 100.0 * (pcg.seconds - spmv.seconds - symgs.seconds) / pcg.seconds,
+        });
+    }
+    rows
+}
+
+/// Prints Figure 3.
+pub fn print_figure3(n: usize) {
+    println!("Figure 3 — PCG execution-time breakdown (SpMV + SymGS dominate)");
+    println!(
+        "{:<10} {:>9} {:>10} {:>9}",
+        "platform", "spmv(%)", "symgs(%)", "rest(%)"
+    );
+    for r in figure3(n) {
+        println!(
+            "{:<10} {:>9.1} {:>10.1} {:>9.1}",
+            r.platform, r.spmv_pct, r.symgs_pct, r.rest_pct
+        );
+    }
+    println!("(paper: SymGS plus SpMV consume nearly all PCG time on the K20)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 600;
+
+    #[test]
+    fn alrescha_beats_gpu_on_every_scientific_dataset() {
+        for row in figure15(N) {
+            assert!(
+                row.alrescha_speedup > 1.0,
+                "{}: speedup {}",
+                row.dataset,
+                row.alrescha_speedup
+            );
+        }
+    }
+
+    #[test]
+    fn alrescha_beats_memristive_on_average() {
+        let rows = figure15(N);
+        let alr: Vec<f64> = rows.iter().map(|r| r.alrescha_speedup).collect();
+        let mem: Vec<f64> = rows.iter().map(|r| r.memristive_speedup).collect();
+        assert!(geomean(&alr) > geomean(&mem));
+    }
+
+    #[test]
+    fn figure16_alrescha_below_gpu_everywhere() {
+        for row in figure16(N) {
+            assert!(
+                row.alrescha_sequential_pct < row.gpu_sequential_pct,
+                "{}",
+                row.dataset
+            );
+        }
+    }
+
+    #[test]
+    fn figure3_symgs_dominates_gpu_pcg() {
+        let rows = figure3(N);
+        let gpu = &rows[0];
+        assert!(gpu.symgs_pct > 50.0, "symgs {}%", gpu.symgs_pct);
+        assert!(gpu.spmv_pct + gpu.symgs_pct > 80.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Figure 18 — SpMV speedups over the GPU (ALRESCHA vs OuterSPACE) plus the
+//! share of execution time spent on local-cache accesses.
+
+use alrescha_baselines::{GpuModel, OuterSpaceModel, Platform};
+use alrescha_sim::SimConfig;
+
+use crate::{geomean, graph_suite, measure_spmv, profile, scientific_suite, Dataset};
+
+/// One Figure 18 row.
+#[derive(Debug, Clone)]
+pub struct Fig18Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Scientific or graph suite.
+    pub suite: &'static str,
+    /// ALRESCHA speedup over the GPU.
+    pub alrescha_speedup: f64,
+    /// OuterSPACE speedup over the GPU.
+    pub outerspace_speedup: f64,
+    /// ALRESCHA cache-time share of execution.
+    pub alrescha_cache_pct: f64,
+    /// OuterSPACE cache-time share.
+    pub outerspace_cache_pct: f64,
+}
+
+fn row(ds: &Dataset, suite: &'static str, config: &SimConfig) -> Fig18Row {
+    let prof = profile(&ds.coo);
+    let gpu = GpuModel::new().spmv(&prof).expect("gpu runs spmv");
+    let os = OuterSpaceModel::new()
+        .spmv(&prof)
+        .expect("outerspace runs spmv");
+    let me = measure_spmv(&ds.coo, config);
+    Fig18Row {
+        dataset: ds.name.clone(),
+        suite,
+        alrescha_speedup: gpu.seconds / me.seconds,
+        outerspace_speedup: gpu.seconds / os.seconds,
+        alrescha_cache_pct: 100.0 * me.report.cache_time_fraction,
+        outerspace_cache_pct: 100.0 * os.cache_time_fraction,
+    }
+}
+
+/// Computes Figure 18 over both suites.
+pub fn figure18(n: usize) -> Vec<Fig18Row> {
+    let config = SimConfig::paper();
+    let mut rows = Vec::new();
+    for ds in &scientific_suite(n) {
+        rows.push(row(ds, "scientific", &config));
+    }
+    for ds in &graph_suite(n / 2) {
+        rows.push(row(ds, "graph", &config));
+    }
+    rows
+}
+
+/// Prints Figure 18 with per-suite averages.
+pub fn print_figure18(n: usize) {
+    let rows = figure18(n);
+    println!("Figure 18 — SpMV speedup over GPU (bars) and cache-access time share (lines)");
+    println!(
+        "{:<14} {:<11} {:>13} {:>14} {:>11} {:>11}",
+        "dataset", "suite", "alrescha(x)", "outerspace(x)", "alr-cache%", "os-cache%"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:<11} {:>13.2} {:>14.2} {:>11.1} {:>11.1}",
+            r.dataset,
+            r.suite,
+            r.alrescha_speedup,
+            r.outerspace_speedup,
+            r.alrescha_cache_pct,
+            r.outerspace_cache_pct
+        );
+    }
+    for suite in ["scientific", "graph"] {
+        let alr: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.suite == suite)
+            .map(|r| r.alrescha_speedup)
+            .collect();
+        println!("geomean {suite}: alrescha {:.2}x over gpu", geomean(&alr));
+    }
+    println!("(paper: 6.9x scientific, 13.6x graph; OuterSPACE below ALRESCHA, its cache busier)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 512;
+
+    #[test]
+    fn alrescha_beats_gpu_on_spmv_everywhere() {
+        for r in figure18(N) {
+            assert!(r.alrescha_speedup > 1.0, "{} ({})", r.dataset, r.suite);
+        }
+    }
+
+    #[test]
+    fn alrescha_beats_outerspace_on_average() {
+        let rows = figure18(N);
+        let alr: Vec<f64> = rows.iter().map(|r| r.alrescha_speedup).collect();
+        let os: Vec<f64> = rows.iter().map(|r| r.outerspace_speedup).collect();
+        assert!(geomean(&alr) > geomean(&os));
+    }
+
+    #[test]
+    fn outerspace_cache_share_exceeds_alrescha() {
+        for r in figure18(N) {
+            assert!(
+                r.outerspace_cache_pct > r.alrescha_cache_pct,
+                "{}: os {} alr {}",
+                r.dataset,
+                r.outerspace_cache_pct,
+                r.alrescha_cache_pct
+            );
+        }
+    }
+}

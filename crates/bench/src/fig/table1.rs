@@ -1,0 +1,55 @@
+//! Table 1 — the sparse kernels, their vertex-centric phases, and the dense
+//! data paths implementing them.
+
+use alrescha::convert::KernelType;
+
+/// The kernels in the table's row order.
+pub const KERNELS: [KernelType; 5] = [
+    KernelType::SymGs,
+    KernelType::SpMv,
+    KernelType::PageRank,
+    KernelType::Bfs,
+    KernelType::Sssp,
+];
+
+/// Prints Table 1.
+pub fn print_table1() {
+    println!("Table 1 — sparse kernels and their dense data paths");
+    println!(
+        "{:<10} {:<10} {:>9} {:<16} {:<8} {}",
+        "kernel", "data path", "operands", "phase1-op", "reduce", "phase3-assign"
+    );
+    for kernel in KERNELS {
+        let d = kernel.descriptor();
+        println!(
+            "{:<10} {:<10} {:>9} {:<16} {:<8} {}",
+            format!("{kernel:?}"),
+            format!("{:?}", kernel.data_path()),
+            d.vector_operands,
+            d.phase1_operation,
+            d.phase2_reduce,
+            d.phase3_assign
+        );
+    }
+    println!("(SymGS additionally runs D-SymGS on its diagonal blocks)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_does_not_panic_and_covers_all_kernels() {
+        print_table1();
+        assert_eq!(KERNELS.len(), 5);
+    }
+
+    #[test]
+    fn min_reduce_kernels_are_the_graph_traversals() {
+        for kernel in KERNELS {
+            let d = kernel.descriptor();
+            let is_minplus = matches!(kernel, KernelType::Bfs | KernelType::Sssp);
+            assert_eq!(d.phase2_reduce == "min", is_minplus, "{kernel:?}");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Table 2 — the accelerator feature-comparison matrix.
+
+use alrescha_baselines::PLATFORM_CAPABILITIES;
+
+/// Prints Table 2.
+pub fn print_table2() {
+    println!("Table 2 — comparing the state-of-the-art accelerators for sparse kernels");
+    println!(
+        "{:<14} {:<22} {:>6} {:>9} {:>8} {:>8}",
+        "platform", "domain", "multi", "no-meta", "reconf", "bw-util"
+    );
+    for c in &PLATFORM_CAPABILITIES {
+        println!(
+            "{:<14} {:<22} {:>6} {:>9} {:>8} {:>8}",
+            c.name,
+            c.domain,
+            yn(c.multi_kernel),
+            yn(c.no_metadata_transfer),
+            yn(c.reconfigurable),
+            c.bandwidth_utilization
+        );
+    }
+    println!("storage formats:");
+    for c in &PLATFORM_CAPABILITIES {
+        println!("  {:<14} {}", c.name, c.storage_format);
+    }
+}
+
+fn yn(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn print_does_not_panic() {
+        super::print_table2();
+    }
+}

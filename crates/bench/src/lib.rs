@@ -1,0 +1,294 @@
+//! Benchmark harness shared library: dataset suites, ALRESCHA measurements
+//! through the cycle-level simulator, and baseline-model evaluation — the
+//! machinery behind the `figures` binary that regenerates every table and
+//! figure of the paper's evaluation (§5).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fig;
+pub mod verify;
+
+use alrescha::{AcceleratedPcg, Alrescha, KernelType, SolverOptions};
+use alrescha_baselines::{GraphKernel, KernelCost, MatrixProfile, Platform};
+use alrescha_sim::{ExecutionReport, PageRankConfig, SimConfig};
+use alrescha_sparse::gen::{GraphClass, ScienceClass};
+use alrescha_sparse::{Coo, Csr};
+
+/// Deterministic seed used by every suite.
+pub const SEED: u64 = 2020;
+
+/// One named dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset-style short name.
+    pub name: String,
+    /// The matrix.
+    pub coo: Coo,
+}
+
+/// The scientific suite: one instance per Figure 14 structure class.
+///
+/// `n` is the approximate dimension; generators may round up.
+pub fn scientific_suite(n: usize) -> Vec<Dataset> {
+    ScienceClass::ALL
+        .iter()
+        .map(|&class| Dataset {
+            name: class.name().to_string(),
+            coo: class.generate(n, SEED),
+        })
+        .collect()
+}
+
+/// The graph suite: two scales per Table 3 structure class (eight datasets,
+/// mirroring the table's eight graphs).
+pub fn graph_suite(n: usize) -> Vec<Dataset> {
+    let mut out = Vec::new();
+    for &class in &GraphClass::ALL {
+        out.push(Dataset {
+            name: class.name().to_string(),
+            coo: class.generate(n, SEED),
+        });
+        out.push(Dataset {
+            name: format!("{}-2x", class.name()),
+            coo: class.generate(n * 2, SEED + 1),
+        });
+    }
+    out
+}
+
+/// Table 3, dataset by dataset: synthetic analogs matched to each graph's
+/// structure class and (scaled-down) mean degree. The paper's graphs range
+/// from roadNet-CA's 2.8 edges/vertex to com-orkut's 76.
+pub fn table3_suite(n: usize) -> Vec<Dataset> {
+    use alrescha_sparse::gen::{power_law, rmat, road_grid};
+    let make = |name: &str, coo: Coo| Dataset {
+        name: name.to_string(),
+        coo,
+    };
+    vec![
+        // com-orkut: 3.07 M vertices, 76 nnz/row — dense social network.
+        make("com-orkut", power_law(n, 38, 0.9, SEED)),
+        // hollywood-2009: collaboration network, heavy clustering.
+        make("hollywood", power_law(n, 28, 0.8, SEED + 1)),
+        // kron-g500-logn21: Graph500 Kronecker, 87 nnz/row.
+        make("kron-g500", rmat(n, 43, SEED + 2)),
+        // roadNet-CA: 2.8 nnz/row planar mesh.
+        make("roadnet-CA", road_grid((n as f64).sqrt().ceil() as usize)),
+        // LiveJournal: 14 nnz/row social network.
+        make("livejournal", power_law(n, 14, 0.9, SEED + 3)),
+        // com-youtube: 5.3 nnz/row sparse social network.
+        make("youtube", power_law(n, 5, 1.0, SEED + 4)),
+        // soc-pokec: 18.8 nnz/row social network.
+        make("pokec", power_law(n, 19, 0.9, SEED + 5)),
+        // sx-stackoverflow: 13.9 nnz/row interaction network.
+        make("stackoverflow", power_law(n, 14, 0.85, SEED + 6)),
+    ]
+}
+
+/// ALRESCHA-side measurement of one kernel run.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Modeled wall-clock seconds.
+    pub seconds: f64,
+    /// The simulator's full report.
+    pub report: ExecutionReport,
+}
+
+/// Measures one ALRESCHA PCG iteration (SpMV + SymGS + host vector ops at
+/// full stream bandwidth) on `coo`.
+///
+/// # Panics
+///
+/// Panics if the matrix cannot be programmed (not SPD-shaped) — suite
+/// matrices are SPD by construction.
+pub fn measure_pcg_iteration(coo: &Coo, config: &SimConfig) -> Measurement {
+    let mut acc = Alrescha::new(config.clone());
+    let spmv_prog = acc.program(KernelType::SpMv, coo).expect("suite matrix");
+    let symgs_prog = acc.program(KernelType::SymGs, coo).expect("suite matrix");
+    let x = vec![1.0; coo.cols()];
+    let b = vec![1.0; coo.rows()];
+    let (_, spmv_rep) = acc.spmv(&spmv_prog, &x).expect("spmv run");
+    let mut xs = vec![0.0; coo.cols()];
+    let symgs_rep = acc.symgs(&symgs_prog, &b, &mut xs).expect("symgs run");
+    let mut report = spmv_rep;
+    report.merge(&symgs_rep, config);
+    // Host-side vector ops: 10·n traffic at the full memory bandwidth.
+    let vec_seconds = 10.0 * coo.rows() as f64 * 8.0 / (config.mem_bandwidth_gbps * 1e9);
+    Measurement {
+        seconds: report.seconds + vec_seconds,
+        report,
+    }
+}
+
+/// Measures one ALRESCHA SpMV pass on `coo`.
+///
+/// # Panics
+///
+/// Panics if the matrix cannot be programmed.
+pub fn measure_spmv(coo: &Coo, config: &SimConfig) -> Measurement {
+    let mut acc = Alrescha::new(config.clone());
+    let prog = acc.program(KernelType::SpMv, coo).expect("suite matrix");
+    let x = vec![1.0; coo.cols()];
+    let (_, report) = acc.spmv(&prog, &x).expect("spmv run");
+    Measurement {
+        seconds: report.seconds,
+        report,
+    }
+}
+
+/// Measures a full graph-algorithm run on ALRESCHA; returns the measurement
+/// and the number of algorithm rounds (used to charge the baselines the
+/// same round count).
+///
+/// # Panics
+///
+/// Panics if the graph cannot be programmed or the algorithm fails.
+pub fn measure_graph(coo: &Coo, kernel: GraphKernel, config: &SimConfig) -> (Measurement, u64) {
+    let mut acc = Alrescha::new(config.clone());
+    let report = match kernel {
+        GraphKernel::Bfs => {
+            let prog = acc.program(KernelType::Bfs, coo).expect("graph program");
+            acc.bfs(&prog, 0).expect("bfs run").1
+        }
+        GraphKernel::Sssp => {
+            let prog = acc.program(KernelType::Sssp, coo).expect("graph program");
+            acc.sssp(&prog, 0).expect("sssp run").1
+        }
+        GraphKernel::PageRank => {
+            let prog = acc
+                .program(KernelType::PageRank, coo)
+                .expect("graph program");
+            acc.pagerank(
+                &prog,
+                &PageRankConfig {
+                    tol: 1e-8,
+                    ..Default::default()
+                },
+            )
+            .expect("pagerank run")
+            .1
+        }
+    };
+    let rounds = report.datapaths.iterations.max(1);
+    (
+        Measurement {
+            seconds: report.seconds,
+            report,
+        },
+        rounds,
+    )
+}
+
+/// Measures ALRESCHA PCG end-to-end (convergence) on `coo`.
+///
+/// # Panics
+///
+/// Panics on programming or solve errors.
+pub fn measure_pcg_solve(coo: &Coo, config: &SimConfig) -> (Measurement, usize) {
+    let mut acc = Alrescha::new(config.clone());
+    let solver = AcceleratedPcg::program(&mut acc, coo).expect("suite matrix");
+    let b = vec![1.0; coo.rows()];
+    let out = solver
+        .solve(
+            &mut acc,
+            &b,
+            &SolverOptions {
+                tol: 1e-8,
+                max_iters: 400,
+            },
+        )
+        .expect("solve");
+    (
+        Measurement {
+            seconds: out.report.seconds,
+            report: out.report,
+        },
+        out.iterations,
+    )
+}
+
+/// Builds the baseline profile of a dataset at the paper block width.
+pub fn profile(coo: &Coo) -> MatrixProfile {
+    MatrixProfile::from_csr(&Csr::from_coo(coo), 8)
+}
+
+/// Evaluates a platform kernel, returning `None` when unsupported.
+pub fn platform_pcg_iteration<P: Platform>(p: &P, prof: &MatrixProfile) -> Option<KernelCost> {
+    p.pcg_iteration(prof)
+}
+
+/// Geometric mean of a non-empty slice.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_are_deterministic_and_named() {
+        let a = scientific_suite(100);
+        let b = scientific_suite(100);
+        assert_eq!(a.len(), 8);
+        assert_eq!(a[0].name, "stencil27");
+        assert_eq!(a[0].coo.entries(), b[0].coo.entries());
+        let g = graph_suite(64);
+        assert_eq!(g.len(), 8);
+    }
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pcg_iteration_measurement_is_positive() {
+        let coo = alrescha_sparse::gen::stencil27(3);
+        let m = measure_pcg_iteration(&coo, &SimConfig::paper());
+        assert!(m.seconds > 0.0);
+        assert!(m.report.datapaths.dsymgs_blocks > 0);
+    }
+
+    #[test]
+    fn graph_measurement_reports_rounds() {
+        let coo = alrescha_sparse::gen::road_grid(5);
+        let (m, rounds) = measure_graph(&coo, GraphKernel::Bfs, &SimConfig::paper());
+        assert!(m.seconds > 0.0);
+        assert!(rounds > 1);
+    }
+}
+
+#[cfg(test)]
+mod table3_tests {
+    use super::*;
+    use alrescha_sparse::MetaData;
+
+    #[test]
+    fn table3_suite_has_eight_named_graphs() {
+        let suite = table3_suite(256);
+        assert_eq!(suite.len(), 8);
+        assert_eq!(suite[0].name, "com-orkut");
+        assert_eq!(suite[3].name, "roadnet-CA");
+        assert!(suite.iter().all(|d| d.coo.nnz() > 0));
+    }
+
+    #[test]
+    fn degree_ordering_mirrors_the_real_datasets() {
+        // orkut and kron are the dense graphs; roadnet is the sparsest.
+        let suite = table3_suite(512);
+        let degree = |d: &Dataset| d.coo.nnz() as f64 / d.coo.rows() as f64;
+        let orkut = degree(&suite[0]);
+        let road = degree(&suite[3]);
+        let youtube = degree(&suite[5]);
+        assert!(orkut > youtube, "orkut {orkut} youtube {youtube}");
+        assert!(youtube > road, "youtube {youtube} road {road}");
+    }
+}

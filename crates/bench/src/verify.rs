@@ -1,0 +1,171 @@
+//! Automated reproduction check: asserts the paper's headline *shape*
+//! claims against freshly measured numbers — the executable summary of
+//! `EXPERIMENTS.md`.
+//!
+//! Run it via `figures --verify`; the integration suite runs it too, so
+//! `cargo test` failing means the reproduction has drifted.
+
+use crate::fig;
+use crate::geomean;
+
+/// One verified claim.
+#[derive(Debug, Clone)]
+pub struct Claim {
+    /// What the paper claims (shape form).
+    pub claim: &'static str,
+    /// What we measured.
+    pub measured: String,
+    /// Whether the measurement supports the claim.
+    pub holds: bool,
+}
+
+/// Verifies every headline claim at problem scale `n`. Returns all claims
+/// with their outcomes (callers decide whether to panic).
+pub fn verify_headline_claims(n: usize) -> Vec<Claim> {
+    let mut claims = Vec::new();
+
+    // Figure 15: ALRESCHA beats the GPU on PCG for every scientific set,
+    // averages in the paper's band, and beats the Memristive accelerator.
+    let fig15 = fig::pcg::figure15(n);
+    let alr: Vec<f64> = fig15.iter().map(|r| r.alrescha_speedup).collect();
+    let mem: Vec<f64> = fig15.iter().map(|r| r.memristive_speedup).collect();
+    let g_alr = geomean(&alr);
+    let g_mem = geomean(&mem);
+    claims.push(Claim {
+        claim: "PCG: ALRESCHA speedup over GPU exceeds 1x on every scientific dataset",
+        measured: format!("min {:.2}x", alr.iter().cloned().fold(f64::MAX, f64::min)),
+        holds: alr.iter().all(|&s| s > 1.0),
+    });
+    claims.push(Claim {
+        claim: "PCG: average speedup lands in the paper's band (15.6x reported; accept 5-40x)",
+        measured: format!("geomean {g_alr:.2}x"),
+        holds: (5.0..40.0).contains(&g_alr),
+    });
+    claims.push(Claim {
+        claim: "PCG: ALRESCHA outperforms the Memristive accelerator on average",
+        measured: format!("{g_alr:.2}x vs {g_mem:.2}x"),
+        holds: g_alr > g_mem,
+    });
+
+    // Figure 16: sequential-operation reduction.
+    let fig16 = fig::pcg::figure16(n);
+    let gpu_avg: f64 = fig16.iter().map(|r| r.gpu_sequential_pct).sum::<f64>() / fig16.len() as f64;
+    let alr_avg: f64 =
+        fig16.iter().map(|r| r.alrescha_sequential_pct).sum::<f64>() / fig16.len() as f64;
+    claims.push(Claim {
+        claim: "Sequential ops: ALRESCHA below the colored GPU on every dataset (60.9% vs 23.1% reported)",
+        measured: format!("avg {gpu_avg:.1}% vs {alr_avg:.1}%"),
+        holds: fig16
+            .iter()
+            .all(|r| r.alrescha_sequential_pct < r.gpu_sequential_pct),
+    });
+
+    // Figure 17: graph ordering ALRESCHA > GraphR > GPU over the CPU.
+    let fig17 = fig::graph::figure17(n / 2);
+    let g_a = geomean(&fig17.iter().map(|r| r.alrescha_speedup).collect::<Vec<_>>());
+    let g_g = geomean(&fig17.iter().map(|r| r.graphr_speedup).collect::<Vec<_>>());
+    let g_gpu = geomean(&fig17.iter().map(|r| r.gpu_speedup).collect::<Vec<_>>());
+    claims.push(Claim {
+        claim: "Graph kernels: ALRESCHA above GraphR above GPU (all over the CPU)",
+        measured: format!("{g_a:.2}x > {g_g:.2}x > {g_gpu:.2}x"),
+        holds: g_a > g_g && g_g > g_gpu,
+    });
+
+    // Figure 18: SpMV beats the GPU everywhere; cache far less busy than
+    // OuterSPACE's.
+    let fig18 = fig::spmv::figure18(n);
+    claims.push(Claim {
+        claim: "SpMV: ALRESCHA speedup over GPU exceeds 1x on every dataset",
+        measured: format!(
+            "min {:.2}x",
+            fig18
+                .iter()
+                .map(|r| r.alrescha_speedup)
+                .fold(f64::MAX, f64::min)
+        ),
+        holds: fig18.iter().all(|r| r.alrescha_speedup > 1.0),
+    });
+    claims.push(Claim {
+        claim: "SpMV: ALRESCHA's cache-time share below OuterSPACE's on every dataset",
+        measured: format!(
+            "max alrescha {:.1}% vs outerspace 45%",
+            fig18
+                .iter()
+                .map(|r| r.alrescha_cache_pct)
+                .fold(f64::MIN, f64::max)
+        ),
+        holds: fig18
+            .iter()
+            .all(|r| r.alrescha_cache_pct < r.outerspace_cache_pct),
+    });
+
+    // Figure 19: energy ordering (74x CPU / 14x GPU reported).
+    let fig19 = fig::energy::figure19(n);
+    let e_cpu = geomean(&fig19.iter().map(|r| r.vs_cpu).collect::<Vec<_>>());
+    let e_gpu = geomean(&fig19.iter().map(|r| r.vs_gpu).collect::<Vec<_>>());
+    claims.push(Claim {
+        claim: "Energy: large improvements over both, CPU improvement above GPU improvement",
+        measured: format!("{e_cpu:.1}x vs cpu, {e_gpu:.1}x vs gpu"),
+        holds: e_cpu > e_gpu && e_gpu > 3.0,
+    });
+
+    // §5.2: omega = 8 wins the block-size sweep on most datasets.
+    let sweep = fig::ablation::block_size_sweep(n / 2);
+    let mut wins8 = 0usize;
+    let mut total = 0usize;
+    for chunk in sweep.chunks(3) {
+        let best = chunk
+            .iter()
+            .min_by(|a, b| {
+                a.pcg_iter_seconds
+                    .partial_cmp(&b.pcg_iter_seconds)
+                    .expect("finite")
+            })
+            .expect("chunk of three");
+        total += 1;
+        if best.omega == 8 {
+            wins8 += 1;
+        }
+    }
+    claims.push(Claim {
+        claim: "Block size: omega = 8 is the best configuration on most datasets (paper's pick)",
+        measured: format!("{wins8}/{total} datasets"),
+        holds: wins8 * 2 >= total,
+    });
+
+    claims
+}
+
+/// Prints the verification table; returns `true` when every claim holds.
+pub fn print_verification(n: usize) -> bool {
+    let claims = verify_headline_claims(n);
+    println!("Reproduction verification at scale {n}:");
+    let mut all = true;
+    for c in &claims {
+        println!(
+            "  [{}] {}\n        measured: {}",
+            if c.holds { "PASS" } else { "FAIL" },
+            c.claim,
+            c.measured
+        );
+        all &= c.holds;
+    }
+    println!(
+        "{} of {} headline claims hold",
+        claims.iter().filter(|c| c.holds).count(),
+        claims.len()
+    );
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_headline_claim_holds_at_test_scale() {
+        for c in verify_headline_claims(600) {
+            assert!(c.holds, "{}: measured {}", c.claim, c.measured);
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! The accelerator facade: program once, run kernels, read reports.
+//!
+//! Mirrors the paper's host/accelerator split (Figure 7): the host converts
+//! a sparse kernel into dense data paths and writes the configuration table
+//! through the *program interface* ([`Alrescha::program`]); runs then stream
+//! data through the *data interface* and return an
+//! [`alrescha_sim::ExecutionReport`].
+
+use alrescha_sim::{Engine, ExecutionReport, PageRankConfig, SimConfig};
+use alrescha_sparse::{Coo, Csr, MetaData};
+
+use crate::convert::{convert, ConfigTable, KernelType};
+use crate::{CoreError, Result};
+
+/// A kernel programmed onto the accelerator: the reformatted matrix plus
+/// its configuration table.
+#[derive(Debug, Clone)]
+pub struct ProgrammedKernel {
+    kernel: KernelType,
+    alf: alrescha_sparse::Alf,
+    table: ConfigTable,
+    /// Out-degrees of the original adjacency (graph kernels only).
+    out_degrees: Option<Vec<usize>>,
+}
+
+impl ProgrammedKernel {
+    /// The kernel type this program encodes.
+    pub fn kernel(&self) -> KernelType {
+        self.kernel
+    }
+
+    /// The locally-dense matrix as the accelerator streams it.
+    pub fn matrix(&self) -> &alrescha_sparse::Alf {
+        &self.alf
+    }
+
+    /// The configuration table the host wrote.
+    pub fn table(&self) -> &ConfigTable {
+        &self.table
+    }
+}
+
+/// The ALRESCHA accelerator.
+///
+/// # Example
+///
+/// ```
+/// use alrescha::{Alrescha, KernelType};
+/// use alrescha_sparse::gen;
+///
+/// let mut acc = Alrescha::with_paper_config();
+/// let coo = gen::stencil27(2);
+/// let prog = acc.program(KernelType::SpMv, &coo)?;
+/// let (y, report) = acc.spmv(&prog, &vec![1.0; coo.cols()])?;
+/// assert_eq!(y.len(), coo.rows());
+/// assert!(report.bandwidth_utilization > 0.0);
+/// # Ok::<(), alrescha::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct Alrescha {
+    engine: Engine,
+}
+
+impl Alrescha {
+    /// Creates an accelerator with a custom configuration.
+    pub fn new(config: SimConfig) -> Self {
+        Alrescha {
+            engine: Engine::new(config),
+        }
+    }
+
+    /// Creates an accelerator with the paper's Table 5 configuration.
+    pub fn with_paper_config() -> Self {
+        Alrescha::new(SimConfig::paper())
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        self.engine.config()
+    }
+
+    /// Programs a kernel: runs Algorithm 1 and loads the result (the
+    /// one-time host-side preprocessing of §4).
+    ///
+    /// Graph kernels ([`KernelType::Bfs`], [`KernelType::Sssp`],
+    /// [`KernelType::PageRank`]) are programmed on the *transposed*
+    /// adjacency so each block row gathers a destination chunk's incoming
+    /// edges, and the out-degree vector is captured for PageRank.
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion failures ([`CoreError::Sparse`]).
+    pub fn program(&mut self, kernel: KernelType, a: &Coo) -> Result<ProgrammedKernel> {
+        match kernel {
+            KernelType::ConnectedComponents => {
+                // Label propagation needs both edge directions: symmetrize,
+                // then transpose like the other graph kernels.
+                let mut sym = a.clone();
+                for &(u, v, w) in a.entries() {
+                    sym.push(v, u, w);
+                }
+                let (alf, table) =
+                    convert(kernel, &sym.transpose().compress(), self.config().omega)?;
+                Ok(ProgrammedKernel {
+                    kernel,
+                    alf,
+                    table,
+                    out_degrees: None,
+                })
+            }
+            KernelType::Bfs | KernelType::Sssp | KernelType::PageRank => {
+                let csr = Csr::from_coo(a);
+                let out_degrees = (0..csr.rows()).map(|u| csr.row_nnz(u)).collect();
+                let (alf, table) = convert(kernel, &a.transpose(), self.config().omega)?;
+                Ok(ProgrammedKernel {
+                    kernel,
+                    alf,
+                    table,
+                    out_degrees: Some(out_degrees),
+                })
+            }
+            _ => {
+                let (alf, table) = convert(kernel, a, self.config().omega)?;
+                Ok(ProgrammedKernel {
+                    kernel,
+                    alf,
+                    table,
+                    out_degrees: None,
+                })
+            }
+        }
+    }
+
+    /// Runs SpMV: `y = A·x`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::WrongKernel`] if `prog` was not programmed for SpMV;
+    /// simulator errors otherwise.
+    pub fn spmv(
+        &mut self,
+        prog: &ProgrammedKernel,
+        x: &[f64],
+    ) -> Result<(Vec<f64>, ExecutionReport)> {
+        expect_kernel(prog, KernelType::SpMv)?;
+        Ok(self.engine.run_spmv(&prog.alf, x)?)
+    }
+
+    /// Runs one symmetric Gauss-Seidel application, updating `x` in place.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::WrongKernel`] if `prog` was not programmed for SymGS;
+    /// simulator errors otherwise.
+    pub fn symgs(
+        &mut self,
+        prog: &ProgrammedKernel,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<ExecutionReport> {
+        expect_kernel(prog, KernelType::SymGs)?;
+        Ok(self.engine.run_symgs(&prog.alf, b, x)?)
+    }
+
+    /// Runs one forward Gauss-Seidel sweep, updating `x` in place.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Alrescha::symgs`].
+    pub fn symgs_forward(
+        &mut self,
+        prog: &ProgrammedKernel,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<ExecutionReport> {
+        expect_kernel(prog, KernelType::SymGs)?;
+        Ok(self.engine.run_symgs_forward(&prog.alf, b, x)?)
+    }
+
+    /// Runs BFS from `source`; returns hop levels (∞ where unreachable).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::WrongKernel`] if `prog` was not programmed for BFS;
+    /// simulator errors otherwise.
+    pub fn bfs(
+        &mut self,
+        prog: &ProgrammedKernel,
+        source: usize,
+    ) -> Result<(Vec<f64>, ExecutionReport)> {
+        expect_kernel(prog, KernelType::Bfs)?;
+        Ok(self.engine.run_bfs(&prog.alf, source)?)
+    }
+
+    /// Runs SSSP from `source`; returns distances (∞ where unreachable).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::WrongKernel`] if `prog` was not programmed for SSSP;
+    /// simulator errors otherwise.
+    pub fn sssp(
+        &mut self,
+        prog: &ProgrammedKernel,
+        source: usize,
+    ) -> Result<(Vec<f64>, ExecutionReport)> {
+        expect_kernel(prog, KernelType::Sssp)?;
+        Ok(self.engine.run_sssp(&prog.alf, source)?)
+    }
+
+    /// Runs PageRank to convergence; returns `(ranks, report)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::WrongKernel`] if `prog` was not programmed for
+    /// PageRank; simulator errors (including non-convergence) otherwise.
+    pub fn pagerank(
+        &mut self,
+        prog: &ProgrammedKernel,
+        opts: &PageRankConfig,
+    ) -> Result<(Vec<f64>, ExecutionReport)> {
+        expect_kernel(prog, KernelType::PageRank)?;
+        let out_degrees = prog
+            .out_degrees
+            .as_ref()
+            .expect("pagerank programs always capture out-degrees");
+        Ok(self.engine.run_pagerank(&prog.alf, out_degrees, opts)?)
+    }
+}
+
+impl Alrescha {
+    /// Runs one symmetric SOR application on the device (`omega_relax = 1`
+    /// is [`Alrescha::symgs`]), updating `x` in place.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::WrongKernel`] if `prog` was not programmed for SymGS;
+    /// simulator errors (including an out-of-range relaxation factor)
+    /// otherwise.
+    pub fn ssor(
+        &mut self,
+        prog: &ProgrammedKernel,
+        b: &[f64],
+        x: &mut [f64],
+        omega_relax: f64,
+    ) -> Result<ExecutionReport> {
+        expect_kernel(prog, KernelType::SymGs)?;
+        Ok(self.engine.run_ssor(&prog.alf, b, x, omega_relax)?)
+    }
+
+    /// Runs connected components over the undirected structure of the
+    /// programmed adjacency; returns per-vertex component labels.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::WrongKernel`] if `prog` was not programmed for
+    /// connected components; simulator errors otherwise.
+    pub fn connected_components(
+        &mut self,
+        prog: &ProgrammedKernel,
+    ) -> Result<(Vec<usize>, ExecutionReport)> {
+        expect_kernel(prog, KernelType::ConnectedComponents)?;
+        Ok(self.engine.run_connected_components(&prog.alf)?)
+    }
+}
+
+fn expect_kernel(prog: &ProgrammedKernel, want: KernelType) -> Result<()> {
+    if prog.kernel == want {
+        Ok(())
+    } else {
+        Err(CoreError::WrongKernel {
+            programmed: prog.kernel,
+            requested: want,
+        })
+    }
+}
+
+/// Bytes of runtime meta-data the accelerator streams per non-zero: always
+/// zero — the point of the locally-dense format. Provided for symmetry with
+/// the [`MetaData`] accounting of the classic formats.
+pub fn runtime_meta_bytes_per_nnz(prog: &ProgrammedKernel) -> f64 {
+    let _ = prog.alf.nnz();
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alrescha_sparse::gen;
+
+    #[test]
+    fn program_and_run_spmv() {
+        let mut acc = Alrescha::with_paper_config();
+        let coo = gen::stencil27(3);
+        let prog = acc.program(KernelType::SpMv, &coo).unwrap();
+        let x: Vec<f64> = (0..coo.cols()).map(|i| i as f64).collect();
+        let (y, report) = acc.spmv(&prog, &x).unwrap();
+        let expect = alrescha_kernels::spmv::spmv(&Csr::from_coo(&coo), &x);
+        assert!(alrescha_sparse::approx_eq(&y, &expect, 1e-12));
+        assert_eq!(report.kernel, "spmv");
+    }
+
+    #[test]
+    fn wrong_kernel_is_rejected() {
+        let mut acc = Alrescha::with_paper_config();
+        let coo = gen::stencil27(2);
+        let prog = acc.program(KernelType::SpMv, &coo).unwrap();
+        let mut x = vec![0.0; coo.cols()];
+        let b = vec![1.0; coo.rows()];
+        let err = acc.symgs(&prog, &b, &mut x).unwrap_err();
+        assert!(matches!(err, CoreError::WrongKernel { .. }));
+    }
+
+    #[test]
+    fn symgs_runs_and_reports_switches() {
+        let mut acc = Alrescha::with_paper_config();
+        let coo = gen::stencil27(3);
+        let prog = acc.program(KernelType::SymGs, &coo).unwrap();
+        let b = vec![1.0; coo.rows()];
+        let mut x = vec![0.0; coo.cols()];
+        let report = acc.symgs(&prog, &b, &mut x).unwrap();
+        assert!(report.reconfig.switches > 0);
+        assert!(report.datapaths.dsymgs_blocks > 0);
+    }
+
+    #[test]
+    fn graph_program_transposes_and_runs() {
+        let mut acc = Alrescha::with_paper_config();
+        let g = gen::road_grid(5);
+        let prog = acc.program(KernelType::Bfs, &g).unwrap();
+        let (levels, _) = acc.bfs(&prog, 0).unwrap();
+        let expect = alrescha_kernels::graph::bfs(&Csr::from_coo(&g), 0).unwrap();
+        assert_eq!(levels, expect);
+    }
+
+    #[test]
+    fn pagerank_driver_uses_out_degrees() {
+        let mut acc = Alrescha::with_paper_config();
+        let g = gen::GraphClass::Kronecker.generate(64, 3);
+        let prog = acc.program(KernelType::PageRank, &g).unwrap();
+        let (ranks, _) = acc.pagerank(&prog, &PageRankConfig::default()).unwrap();
+        let total: f64 = ranks.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_runtime_metadata() {
+        let mut acc = Alrescha::with_paper_config();
+        let prog = acc.program(KernelType::SpMv, &gen::stencil27(2)).unwrap();
+        assert_eq!(runtime_meta_bytes_per_nnz(&prog), 0.0);
+    }
+}
+
+impl Alrescha {
+    /// Programs a kernel from a serialized [`crate::program::ProgramBinary`]
+    /// — the full host flow of Figure 7: the binary crosses the program
+    /// interface, is decoded into the configuration table, and is validated
+    /// entry-by-entry against the reformatted matrix before execution.
+    ///
+    /// # Errors
+    ///
+    /// Decoding errors, conversion errors, or
+    /// [`CoreError::DimensionMismatch`] when the binary does not describe
+    /// this matrix (entry count or per-entry fields disagree).
+    pub fn program_from_binary(
+        &mut self,
+        binary: &crate::program::ProgramBinary,
+        a: &Coo,
+    ) -> Result<ProgrammedKernel> {
+        let decoded = binary.decode()?;
+        let prog = self.program(binary.kernel(), a)?;
+        if decoded.entries() != prog.table().entries() {
+            return Err(CoreError::DimensionMismatch {
+                expected: prog.table().entries().len(),
+                found: decoded.entries().len(),
+            });
+        }
+        Ok(prog)
+    }
+}
+
+#[cfg(test)]
+mod binary_flow_tests {
+    use super::*;
+    use crate::program::ProgramBinary;
+    use alrescha_sparse::gen;
+
+    #[test]
+    fn end_to_end_binary_flow_runs_symgs() {
+        let coo = gen::stencil27(3);
+        let mut host_acc = Alrescha::with_paper_config();
+        // Host side: convert and serialize.
+        let prog = host_acc.program(KernelType::SymGs, &coo).unwrap();
+        let binary = ProgramBinary::encode(
+            KernelType::SymGs,
+            prog.table(),
+            coo.rows(),
+            host_acc.config().omega,
+        );
+
+        // Device side: decode, validate, run.
+        let mut device_acc = Alrescha::with_paper_config();
+        let device_prog = device_acc.program_from_binary(&binary, &coo).unwrap();
+        let b = vec![1.0; coo.rows()];
+        let mut x = vec![0.0; coo.cols()];
+        device_acc.symgs(&device_prog, &b, &mut x).unwrap();
+
+        let mut x_ref = vec![0.0; coo.cols()];
+        alrescha_kernels::symgs::symgs(&Csr::from_coo(&coo), &b, &mut x_ref).unwrap();
+        assert!(alrescha_sparse::approx_eq(&x, &x_ref, 1e-10));
+    }
+
+    #[test]
+    fn binary_for_a_different_matrix_is_rejected() {
+        let coo_a = gen::stencil27(3);
+        let coo_b = gen::stencil27(4);
+        let mut acc = Alrescha::with_paper_config();
+        let prog = acc.program(KernelType::SpMv, &coo_a).unwrap();
+        let binary = ProgramBinary::encode(KernelType::SpMv, prog.table(), coo_a.rows(), 8);
+        assert!(acc.program_from_binary(&binary, &coo_b).is_err());
+    }
+}
+
+#[cfg(test)]
+mod cc_facade_tests {
+    use super::*;
+    use alrescha_sparse::gen;
+
+    #[test]
+    fn cc_through_the_facade_matches_reference() {
+        let g = gen::GraphClass::Road.generate(100, 3);
+        let mut acc = Alrescha::with_paper_config();
+        let prog = acc.program(KernelType::ConnectedComponents, &g).unwrap();
+        let (labels, report) = acc.connected_components(&prog).unwrap();
+        let expect = alrescha_kernels::graph::connected_components(&Csr::from_coo(&g)).unwrap();
+        assert_eq!(labels, expect);
+        assert_eq!(report.kernel, "cc");
+    }
+
+    #[test]
+    fn cc_program_rejects_other_kernels() {
+        let g = gen::road_grid(4);
+        let mut acc = Alrescha::with_paper_config();
+        let prog = acc.program(KernelType::Bfs, &g).unwrap();
+        assert!(acc.connected_components(&prog).is_err());
+    }
+}
+
+#[cfg(test)]
+mod ssor_facade_tests {
+    use super::*;
+    use alrescha_sparse::gen;
+
+    #[test]
+    fn ssor_through_the_facade() {
+        let coo = gen::stencil27(3);
+        let csr = Csr::from_coo(&coo);
+        let mut acc = Alrescha::with_paper_config();
+        let prog = acc.program(KernelType::SymGs, &coo).unwrap();
+        let b = vec![1.0; coo.rows()];
+        let mut x = vec![0.0; coo.cols()];
+        acc.ssor(&prog, &b, &mut x, 1.3).unwrap();
+        let mut x_ref = vec![0.0; coo.cols()];
+        alrescha_kernels::smoothers::ssor(&csr, &b, &mut x_ref, 1.3).unwrap();
+        assert!(alrescha_sparse::approx_eq(&x, &x_ref, 1e-9));
+    }
+}

@@ -1,0 +1,397 @@
+//! Kernel-to-data-path conversion — Algorithm 1 of the paper (§4.1).
+//!
+//! The host-side "Convert" step takes a sparse kernel, the sparse matrix
+//! operand, and the block width ω, and emits the configuration table: one
+//! entry per locally-dense block specifying the data-path type, the
+//! input/output vector indices (`Inx_in` / `Inx_out`), the access order
+//! (`l2r` / `r2l`), and the operand source port. The entries appear in
+//! execution order — for SymGS, all the GEMVs of a block row before its
+//! D-SymGS (the reordering the distributive property of inner products makes
+//! exact).
+
+use alrescha_sparse::{alf::config_entry_bits, alf::AlfLayout, Alf, BlockKind, Coo};
+
+use crate::Result;
+
+/// The sparse kernels the accelerator runs (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelType {
+    /// Sparse matrix–vector multiplication.
+    SpMv,
+    /// Symmetric Gauss-Seidel smoother.
+    SymGs,
+    /// Breadth-first search.
+    Bfs,
+    /// Single-source shortest paths.
+    Sssp,
+    /// PageRank.
+    PageRank,
+    /// Connected components by label propagation — an extension kernel
+    /// built on the same min-reduce data path as BFS (not in the paper's
+    /// Table 1; demonstrates adding a kernel to the architecture).
+    ConnectedComponents,
+}
+
+impl KernelType {
+    /// The dense data path this kernel's parallel blocks run as
+    /// (Table 1's "Dense Data Paths" column).
+    pub fn data_path(self) -> DataPath {
+        match self {
+            KernelType::SpMv => DataPath::Gemv,
+            KernelType::SymGs => DataPath::Gemv, // off-diagonal blocks
+            KernelType::Bfs | KernelType::ConnectedComponents => DataPath::DBfs,
+            KernelType::Sssp => DataPath::DSssp,
+            KernelType::PageRank => DataPath::DPr,
+        }
+    }
+
+    /// Table 1 descriptor of this kernel's three vertex-centric phases.
+    pub fn descriptor(self) -> KernelDescriptor {
+        match self {
+            KernelType::SymGs => KernelDescriptor {
+                kernel: self,
+                phase1_operation: "multiplication",
+                phase2_reduce: "sum",
+                phase3_assign: "apply with diagonal and b, update vector",
+                vector_operands: 3,
+            },
+            KernelType::SpMv => KernelDescriptor {
+                kernel: self,
+                phase1_operation: "multiplication",
+                phase2_reduce: "sum",
+                phase3_assign: "sum and update the vector",
+                vector_operands: 2,
+            },
+            KernelType::PageRank => KernelDescriptor {
+                kernel: self,
+                phase1_operation: "AND/division",
+                phase2_reduce: "sum",
+                phase3_assign: "rank vector update",
+                vector_operands: 3,
+            },
+            KernelType::Bfs | KernelType::Sssp => KernelDescriptor {
+                kernel: self,
+                phase1_operation: "sum",
+                phase2_reduce: "min",
+                phase3_assign: "compare and update distance vector",
+                vector_operands: 2,
+            },
+            KernelType::ConnectedComponents => KernelDescriptor {
+                kernel: self,
+                phase1_operation: "pass-through",
+                phase2_reduce: "min",
+                phase3_assign: "compare and update label vector",
+                vector_operands: 2,
+            },
+        }
+    }
+}
+
+/// Dense data-path types (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataPath {
+    /// General matrix–vector multiply.
+    Gemv,
+    /// Data-dependent dense SymGS.
+    DSymGs,
+    /// Dense BFS.
+    DBfs,
+    /// Dense SSSP.
+    DSssp,
+    /// Dense PageRank.
+    DPr,
+}
+
+/// In-block access order (Algorithm 1's `l2r` / `r2l`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessOrder {
+    /// Left to right — natural order.
+    L2R,
+    /// Right to left — the reversed order the D-SymGS operand rotation
+    /// needs (Figure 10).
+    R2L,
+}
+
+/// Which local-cache port supplies the vector operand (Algorithm 1's `Op`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandPort {
+    /// Port 1 — the current iterate `xᵗ`.
+    Port1,
+    /// Port 2 — the previous iterate `xᵗ⁻¹`.
+    Port2,
+}
+
+/// One row of the configuration table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigEntry {
+    /// Data-path type for this block.
+    pub data_path: DataPath,
+    /// Input vector chunk index (`Inx_in`) in units of elements.
+    pub inx_in: usize,
+    /// Output vector chunk index (`Inx_out`); `None` encodes Algorithm 1's
+    /// `-1` (results go to the link stack, not the cache).
+    pub inx_out: Option<usize>,
+    /// In-block access order.
+    pub order: AccessOrder,
+    /// Operand source port.
+    pub op: OperandPort,
+}
+
+/// The configuration table the host writes through the program interface.
+///
+/// # Example
+///
+/// ```
+/// use alrescha::convert::{convert, KernelType};
+/// use alrescha_sparse::gen;
+///
+/// let coo = gen::stencil27(2);
+/// let (alf, table) = convert(KernelType::SymGs, &coo, 8)?;
+/// assert_eq!(table.entries().len(), alf.blocks().len());
+/// assert!(table.entry_bits() >= 3);
+/// # Ok::<(), alrescha::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigTable {
+    entries: Vec<ConfigEntry>,
+    entry_bits: usize,
+}
+
+impl ConfigTable {
+    /// Rebuilds a table from decoded entries (used by the program-binary
+    /// codec in [`crate::program`]).
+    pub(crate) fn from_entries(entries: Vec<ConfigEntry>, entry_bits: usize) -> Self {
+        ConfigTable {
+            entries,
+            entry_bits,
+        }
+    }
+
+    /// The table rows in execution order.
+    pub fn entries(&self) -> &[ConfigEntry] {
+        &self.entries
+    }
+
+    /// Bits per entry: `2·⌈log₂(n/ω)⌉ + 3` (§4.1).
+    pub fn entry_bits(&self) -> usize {
+        self.entry_bits
+    }
+
+    /// Total table size in bits.
+    pub fn total_bits(&self) -> usize {
+        self.entries.len() * self.entry_bits
+    }
+
+    /// Number of data-path switches a straight-line execution of this table
+    /// performs (adjacent entries with different data paths).
+    pub fn switch_count(&self) -> usize {
+        self.entries
+            .windows(2)
+            .filter(|w| w[0].data_path != w[1].data_path)
+            .count()
+    }
+}
+
+/// Algorithm 1: converts `kernel` on matrix `a` at block width `omega` into
+/// the locally-dense format plus its configuration table.
+///
+/// For SymGS the matrix must be square with a fully non-zero diagonal; for
+/// the graph kernels `a` is the adjacency matrix (the caller transposes if
+/// it wants column-major gathering).
+///
+/// # Errors
+///
+/// * [`crate::CoreError::Sparse`] for invalid block widths or (SymGS) a missing
+///   diagonal entry.
+pub fn convert(kernel: KernelType, a: &Coo, omega: usize) -> Result<(Alf, ConfigTable)> {
+    let layout = match kernel {
+        KernelType::SymGs => AlfLayout::SymGs,
+        _ => AlfLayout::Streaming,
+    };
+    let alf = Alf::from_coo(a, omega, layout)?;
+    let entry_bits = config_entry_bits(a.rows().max(a.cols()), omega);
+
+    let entries = alf
+        .blocks()
+        .iter()
+        .map(|block| {
+            let (i, j) = (block.block_row(), block.block_col());
+            match kernel {
+                KernelType::SymGs => {
+                    if block.kind() == BlockKind::Diagonal {
+                        // Line 24-27: D-SymGS on the diagonal block.
+                        ConfigEntry {
+                            data_path: DataPath::DSymGs,
+                            inx_in: j * omega,
+                            inx_out: Some((i + 1) * omega),
+                            order: AccessOrder::R2L,
+                            op: OperandPort::Port2,
+                        }
+                    } else {
+                        // Lines 14-22: GEMV on an off-diagonal block; the
+                        // operand port depends on the triangle.
+                        ConfigEntry {
+                            data_path: DataPath::Gemv,
+                            inx_in: j * omega,
+                            inx_out: None, // Algorithm 1's -1: to the link stack
+                            order: if j > i {
+                                AccessOrder::R2L
+                            } else {
+                                AccessOrder::L2R
+                            },
+                            op: if i > j {
+                                OperandPort::Port2
+                            } else {
+                                OperandPort::Port1
+                            },
+                        }
+                    }
+                }
+                // Lines 8-12: single-data-path kernels.
+                _ => ConfigEntry {
+                    data_path: kernel.data_path(),
+                    inx_in: i * omega,
+                    inx_out: Some(j * omega),
+                    order: AccessOrder::L2R,
+                    op: OperandPort::Port1,
+                },
+            }
+        })
+        .collect();
+
+    Ok((
+        alf,
+        ConfigTable {
+            entries,
+            entry_bits,
+        },
+    ))
+}
+
+/// Table 1 row: the three vertex-centric phases of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelDescriptor {
+    /// The kernel described.
+    pub kernel: KernelType,
+    /// Phase-1 vector operation.
+    pub phase1_operation: &'static str,
+    /// Phase-2 reduction.
+    pub phase2_reduce: &'static str,
+    /// Phase-3 assignment.
+    pub phase3_assign: &'static str,
+    /// Number of vector operands phase 1 consumes.
+    pub vector_operands: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alrescha_sparse::gen;
+
+    fn paper_like() -> Coo {
+        // 9x9, ω=3 — the Figure 8 scale.
+        let mut coo = Coo::new(9, 9);
+        for i in 0..9 {
+            coo.push(i, i, 10.0);
+        }
+        coo.push(0, 6, 1.0); // upper block (0,2)
+        coo.push(7, 1, 4.0); // lower block (2,0)
+        coo
+    }
+
+    #[test]
+    fn symgs_table_orders_gemv_before_dsymgs() {
+        let (_, table) = convert(KernelType::SymGs, &paper_like(), 3).unwrap();
+        let paths: Vec<DataPath> = table.entries().iter().map(|e| e.data_path).collect();
+        assert_eq!(
+            paths,
+            vec![
+                DataPath::Gemv,   // block (0,2)
+                DataPath::DSymGs, // block (0,0)
+                DataPath::DSymGs, // block (1,1)
+                DataPath::Gemv,   // block (2,0)
+                DataPath::DSymGs, // block (2,2)
+            ]
+        );
+    }
+
+    #[test]
+    fn symgs_operand_ports_follow_the_triangle() {
+        let (_, table) = convert(KernelType::SymGs, &paper_like(), 3).unwrap();
+        // Upper-triangle GEMV (block row 0, col 2): port1, r2l.
+        let upper = table.entries()[0];
+        assert_eq!(upper.op, OperandPort::Port1);
+        assert_eq!(upper.order, AccessOrder::R2L);
+        assert_eq!(upper.inx_out, None);
+        // Lower-triangle GEMV (block row 2, col 0): port2, l2r.
+        let lower = table.entries()[3];
+        assert_eq!(lower.op, OperandPort::Port2);
+        assert_eq!(lower.order, AccessOrder::L2R);
+        // Diagonal D-SymGS: r2l, port2, writes the next chunk.
+        let diag = table.entries()[1];
+        assert_eq!(diag.order, AccessOrder::R2L);
+        assert_eq!(diag.op, OperandPort::Port2);
+        assert_eq!(diag.inx_out, Some(3));
+    }
+
+    #[test]
+    fn spmv_table_is_all_gemv_l2r() {
+        let (_, table) = convert(KernelType::SpMv, &paper_like(), 3).unwrap();
+        assert!(table
+            .entries()
+            .iter()
+            .all(|e| e.data_path == DataPath::Gemv && e.order == AccessOrder::L2R));
+        assert_eq!(table.switch_count(), 0);
+    }
+
+    #[test]
+    fn entry_bits_formula() {
+        let (_, table) = convert(KernelType::SpMv, &paper_like(), 3).unwrap();
+        // n = 9, ω = 3: 2·ceil(log2 3) + 3 = 7.
+        assert_eq!(table.entry_bits(), 7);
+        assert_eq!(table.total_bits(), table.entries().len() * 7);
+    }
+
+    #[test]
+    fn switch_count_counts_transitions() {
+        let (_, table) = convert(KernelType::SymGs, &paper_like(), 3).unwrap();
+        // Gemv -> DSymGs -> DSymGs -> Gemv -> DSymGs: 3 switches.
+        assert_eq!(table.switch_count(), 3);
+    }
+
+    #[test]
+    fn graph_kernels_pick_their_data_paths() {
+        let g = gen::road_grid(4);
+        for (kernel, dp) in [
+            (KernelType::Bfs, DataPath::DBfs),
+            (KernelType::Sssp, DataPath::DSssp),
+            (KernelType::PageRank, DataPath::DPr),
+        ] {
+            let (_, table) = convert(kernel, &g, 8).unwrap();
+            assert!(table.entries().iter().all(|e| e.data_path == dp));
+        }
+    }
+
+    #[test]
+    fn symgs_missing_diagonal_is_rejected() {
+        let mut coo = Coo::new(4, 4);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        coo.push(3, 3, 1.0);
+        assert!(convert(KernelType::SymGs, &coo, 2).is_err());
+        // But SpMV on the same matrix is fine.
+        assert!(convert(KernelType::SpMv, &coo, 2).is_ok());
+    }
+
+    #[test]
+    fn descriptors_match_table1() {
+        let d = KernelType::SymGs.descriptor();
+        assert_eq!(d.phase2_reduce, "sum");
+        assert_eq!(d.vector_operands, 3);
+        let d = KernelType::Bfs.descriptor();
+        assert_eq!(d.phase1_operation, "sum");
+        assert_eq!(d.phase2_reduce, "min");
+        let d = KernelType::PageRank.descriptor();
+        assert_eq!(d.phase1_operation, "AND/division");
+    }
+}

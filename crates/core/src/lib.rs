@@ -1,0 +1,163 @@
+//! ALRESCHA: a lightweight reconfigurable sparse-computation accelerator
+//! (HPCA 2020) — public API of the reproduction.
+//!
+//! This crate ties together the substrates:
+//!
+//! * [`convert`] — Algorithm 1: sparse kernel → dense data paths and the
+//!   configuration table.
+//! * [`accelerator::Alrescha`] — program kernels, run them on the
+//!   cycle-level simulator, read [`alrescha_sim::ExecutionReport`]s.
+//! * [`solver::AcceleratedPcg`] — the Figure 2 PCG with the SpMV and SymGS
+//!   kernels on the device.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use alrescha::{Alrescha, KernelType};
+//! use alrescha_sparse::gen;
+//!
+//! // A PDE-style SPD system (27-point stencil on a 3³ grid).
+//! let a = gen::stencil27(3);
+//!
+//! let mut acc = Alrescha::with_paper_config();
+//! let prog = acc.program(KernelType::SpMv, &a)?;
+//! let x = vec![1.0; a.cols()];
+//! let (y, report) = acc.spmv(&prog, &x)?;
+//!
+//! assert_eq!(y.len(), a.rows());
+//! println!("{} cycles, {:.1}% of peak bandwidth",
+//!          report.cycles, 100.0 * report.bandwidth_utilization);
+//! # Ok::<(), alrescha::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accelerator;
+pub mod convert;
+pub mod program;
+pub mod solver;
+
+pub use accelerator::{Alrescha, ProgrammedKernel};
+pub use convert::{ConfigEntry, ConfigTable, DataPath, KernelType};
+pub use program::ProgramBinary;
+pub use solver::{AcceleratedMgPcg, AcceleratedPcg, SolveOutcome, SolverOptions};
+
+use std::fmt;
+
+/// Errors raised by the accelerator API.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A sparse-format operation failed.
+    Sparse(alrescha_sparse::Error),
+    /// The simulator rejected the run.
+    Sim(alrescha_sim::SimError),
+    /// A program was used with a kernel it was not built for.
+    WrongKernel {
+        /// Kernel the program encodes.
+        programmed: KernelType,
+        /// Kernel the caller requested.
+        requested: KernelType,
+    },
+    /// The solver requires a square matrix.
+    NotSquare {
+        /// Rows found.
+        rows: usize,
+        /// Columns found.
+        cols: usize,
+    },
+    /// Operand lengths disagree.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        found: usize,
+    },
+    /// PCG broke down numerically (input was not positive definite).
+    Breakdown {
+        /// Iteration at which `pᵀAp ≤ 0` was observed.
+        iteration: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Sparse(e) => write!(f, "sparse format: {e}"),
+            CoreError::Sim(e) => write!(f, "simulator: {e}"),
+            CoreError::WrongKernel {
+                programmed,
+                requested,
+            } => write!(
+                f,
+                "program encodes {programmed:?} but {requested:?} was requested"
+            ),
+            CoreError::NotSquare { rows, cols } => {
+                write!(f, "solver requires a square matrix, found {rows}x{cols}")
+            }
+            CoreError::DimensionMismatch { expected, found } => {
+                write!(
+                    f,
+                    "operand length mismatch: expected {expected}, found {found}"
+                )
+            }
+            CoreError::Breakdown { iteration } => {
+                write!(
+                    f,
+                    "pcg breakdown at iteration {iteration}: matrix is not positive definite"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Sparse(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<alrescha_sparse::Error> for CoreError {
+    fn from(e: alrescha_sparse::Error) -> Self {
+        CoreError::Sparse(e)
+    }
+}
+
+impl From<alrescha_sim::SimError> for CoreError {
+    fn from(e: alrescha_sim::SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CoreError::NotSquare { rows: 3, cols: 4 };
+        assert_eq!(e.to_string(), "solver requires a square matrix, found 3x4");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+
+    #[test]
+    fn errors_convert_from_substrates() {
+        let sparse_err: CoreError = alrescha_sparse::Error::InvalidBlockWidth { omega: 0 }.into();
+        assert!(matches!(sparse_err, CoreError::Sparse(_)));
+        let sim_err: CoreError = alrescha_sim::SimError::NoConvergence { iterations: 5 }.into();
+        assert!(matches!(sim_err, CoreError::Sim(_)));
+    }
+}

@@ -1,0 +1,501 @@
+//! PCG on the accelerator — the algorithm of Figure 2 driven through the
+//! device kernels.
+//!
+//! SpMV and the SymGS preconditioner run on the accelerator (they dominate
+//! the execution time, Figure 3); the dot products and AXPYs run host-side,
+//! "so ubiquitous that they are executed using special hardware in some
+//! supercomputers" (§2). The returned report accumulates the device work of
+//! every iteration.
+
+use alrescha_kernels::{dot, norm2, spmv::axpy};
+use alrescha_sim::ExecutionReport;
+use alrescha_sparse::Coo;
+
+use crate::accelerator::{Alrescha, ProgrammedKernel};
+use crate::convert::KernelType;
+use crate::{CoreError, Result};
+
+/// Options for [`AcceleratedPcg`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverOptions {
+    /// Relative residual target.
+    pub tol: f64,
+    /// Iteration budget.
+    pub max_iters: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            tol: 1e-10,
+            max_iters: 500,
+        }
+    }
+}
+
+/// Result of an accelerated PCG solve.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final residual norm.
+    pub residual: f64,
+    /// Whether the relative target was met.
+    pub converged: bool,
+    /// Accumulated device-side execution report.
+    pub report: ExecutionReport,
+}
+
+/// A PCG solver whose SpMV and SymGS kernels run on the accelerator.
+#[derive(Debug)]
+pub struct AcceleratedPcg {
+    spmv_prog: ProgrammedKernel,
+    symgs_prog: ProgrammedKernel,
+    n: usize,
+}
+
+impl AcceleratedPcg {
+    /// Programs both device kernels for the SPD matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// Conversion failures (non-square matrix, zero block width, missing
+    /// diagonal for SymGS).
+    pub fn program(acc: &mut Alrescha, a: &Coo) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(CoreError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let spmv_prog = acc.program(KernelType::SpMv, a)?;
+        let symgs_prog = acc.program(KernelType::SymGs, a)?;
+        Ok(AcceleratedPcg {
+            spmv_prog,
+            symgs_prog,
+            n: a.rows(),
+        })
+    }
+
+    /// Solves `A x = b` with the SymGS-preconditioned CG of Figure 2.
+    ///
+    /// # Errors
+    ///
+    /// Device errors, dimension mismatches, or a numerical breakdown
+    /// (`pᵀAp ≤ 0`, impossible for SPD input).
+    pub fn solve(
+        &self,
+        acc: &mut Alrescha,
+        b: &[f64],
+        opts: &SolverOptions,
+    ) -> Result<SolveOutcome> {
+        if b.len() != self.n {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.n,
+                found: b.len(),
+            });
+        }
+        let n = self.n;
+        let mut x = vec![0.0; n];
+        let mut r = b.to_vec();
+        let b_norm = norm2(b).max(f64::MIN_POSITIVE);
+
+        // Device SymGS application: z = M⁻¹ r.
+        let mut report: Option<ExecutionReport> = None;
+        let config = acc.config().clone();
+        let absorb = |rep: ExecutionReport, report: &mut Option<ExecutionReport>| match report {
+            Some(acc_rep) => acc_rep.merge(&rep, &config),
+            None => *report = Some(rep),
+        };
+
+        let r0 = norm2(&r);
+        if r0 <= opts.tol * b_norm {
+            let (_, rep) = acc.spmv(&self.spmv_prog, &x)?;
+            return Ok(SolveOutcome {
+                x,
+                iterations: 0,
+                residual: r0,
+                converged: true,
+                report: rep,
+            });
+        }
+
+        let mut z = vec![0.0; n];
+        absorb(acc.symgs(&self.symgs_prog, &r, &mut z)?, &mut report);
+        let mut p = z.clone();
+        let mut rz = dot(&r, &z);
+
+        for k in 1..=opts.max_iters {
+            let (ap, rep) = acc.spmv(&self.spmv_prog, &p)?;
+            absorb(rep, &mut report);
+            let pap = dot(&p, &ap);
+            if pap <= 0.0 {
+                return Err(CoreError::Breakdown { iteration: k });
+            }
+            let alpha = rz / pap;
+            axpy(alpha, &p, &mut x);
+            axpy(-alpha, &ap, &mut r);
+            let r_norm = norm2(&r);
+            if r_norm <= opts.tol * b_norm {
+                return Ok(SolveOutcome {
+                    x,
+                    iterations: k,
+                    residual: r_norm,
+                    converged: true,
+                    report: report.expect("at least one device call happened"),
+                });
+            }
+            z.fill(0.0);
+            absorb(acc.symgs(&self.symgs_prog, &r, &mut z)?, &mut report);
+            let rz_next = dot(&r, &z);
+            let beta = rz_next / rz;
+            rz = rz_next;
+            for (pi, zi) in p.iter_mut().zip(&z) {
+                *pi = zi + beta * *pi;
+            }
+        }
+
+        let residual = norm2(&r);
+        Ok(SolveOutcome {
+            x,
+            iterations: opts.max_iters,
+            residual,
+            converged: false,
+            report: report.expect("at least one device call happened"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alrescha_kernels::spmv::spmv;
+    use alrescha_sparse::{gen, Csr};
+
+    #[test]
+    fn solves_stencil_system() {
+        let coo = gen::stencil27(3);
+        let csr = Csr::from_coo(&coo);
+        let x_true: Vec<f64> = (0..coo.rows()).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let b = spmv(&csr, &x_true);
+
+        let mut acc = Alrescha::with_paper_config();
+        let solver = AcceleratedPcg::program(&mut acc, &coo).unwrap();
+        let out = solver
+            .solve(&mut acc, &b, &SolverOptions::default())
+            .unwrap();
+        assert!(out.converged, "residual {}", out.residual);
+        assert!(alrescha_sparse::approx_eq(&out.x, &x_true, 1e-6));
+        assert!(out.report.cycles > 0);
+        assert!(out.report.datapaths.dsymgs_blocks > 0);
+    }
+
+    #[test]
+    fn iteration_count_matches_host_pcg() {
+        // The accelerator computes the same arithmetic as the host PCG, so
+        // the convergence trajectory must agree.
+        let coo = gen::banded(200, 4, 7);
+        let csr = Csr::from_coo(&coo);
+        let b: Vec<f64> = (0..200).map(|i| (i as f64 * 0.1).sin()).collect();
+
+        let host =
+            alrescha_kernels::pcg::pcg(&csr, &b, &alrescha_kernels::pcg::PcgOptions::default())
+                .unwrap();
+
+        let mut acc = Alrescha::with_paper_config();
+        let solver = AcceleratedPcg::program(&mut acc, &coo).unwrap();
+        let out = solver
+            .solve(
+                &mut acc,
+                &b,
+                &SolverOptions {
+                    tol: 1e-10,
+                    max_iters: 500,
+                },
+            )
+            .unwrap();
+        assert!(out.converged);
+        let diff = (out.iterations as i64 - host.iterations as i64).abs();
+        assert!(
+            diff <= 1,
+            "device {} host {}",
+            out.iterations,
+            host.iterations
+        );
+        assert!(alrescha_sparse::approx_eq(&out.x, &host.x, 1e-6));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let mut acc = Alrescha::with_paper_config();
+        let a = Coo::new(3, 4);
+        assert!(AcceleratedPcg::program(&mut acc, &a).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_rhs_length() {
+        let mut acc = Alrescha::with_paper_config();
+        let solver = AcceleratedPcg::program(&mut acc, &gen::stencil27(2)).unwrap();
+        assert!(solver
+            .solve(&mut acc, &[1.0], &SolverOptions::default())
+            .is_err());
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let coo = gen::stencil27(2);
+        let mut acc = Alrescha::with_paper_config();
+        let solver = AcceleratedPcg::program(&mut acc, &coo).unwrap();
+        let out = solver
+            .solve(&mut acc, &vec![0.0; coo.rows()], &SolverOptions::default())
+            .unwrap();
+        assert!(out.converged);
+        assert_eq!(out.iterations, 0);
+    }
+}
+
+/// PCG with an HPCG-style multigrid V-cycle preconditioner whose SymGS
+/// smoothers and residual SpMVs all run on the accelerator.
+///
+/// Demonstrates the multi-kernel capability Table 2 credits ALRESCHA with:
+/// a solve interleaves SpMV and SymGS programs across every grid level,
+/// exercising the runtime reconfiguration path continuously.
+#[derive(Debug)]
+pub struct AcceleratedMgPcg {
+    /// Per level: (spmv program, symgs program, coarse injection map).
+    levels: Vec<(ProgrammedKernel, ProgrammedKernel, Vec<usize>)>,
+    n: usize,
+}
+
+impl AcceleratedMgPcg {
+    /// Programs every level of `hierarchy` onto the accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates programming failures (the stencil hierarchy always
+    /// programs cleanly).
+    pub fn program(
+        acc: &mut Alrescha,
+        hierarchy: &alrescha_kernels::multigrid::GridHierarchy,
+    ) -> Result<Self> {
+        let mut levels = Vec::with_capacity(hierarchy.levels().len());
+        for level in hierarchy.levels() {
+            let coo = level.matrix.to_coo();
+            let spmv_prog = acc.program(KernelType::SpMv, &coo)?;
+            let symgs_prog = acc.program(KernelType::SymGs, &coo)?;
+            levels.push((spmv_prog, symgs_prog, level.coarse_to_fine.clone()));
+        }
+        let n = hierarchy.levels()[0].matrix.rows();
+        Ok(AcceleratedMgPcg { levels, n })
+    }
+
+    fn v_cycle(
+        &self,
+        acc: &mut Alrescha,
+        level: usize,
+        r: &[f64],
+        report: &mut Option<ExecutionReport>,
+    ) -> Result<Vec<f64>> {
+        let (spmv_prog, symgs_prog, coarse_map) = &self.levels[level];
+        let n = r.len();
+        let mut z = vec![0.0; n];
+        let config = acc.config().clone();
+        let absorb = |rep: ExecutionReport, report: &mut Option<ExecutionReport>| match report {
+            Some(acc_rep) => acc_rep.merge(&rep, &config),
+            None => *report = Some(rep),
+        };
+
+        absorb(acc.symgs(symgs_prog, r, &mut z)?, report);
+        if level + 1 == self.levels.len() {
+            return Ok(z);
+        }
+
+        let (az, rep) = acc.spmv(spmv_prog, &z)?;
+        absorb(rep, report);
+        let residual: Vec<f64> = r.iter().zip(&az).map(|(ri, azi)| ri - azi).collect();
+        let rc: Vec<f64> = coarse_map.iter().map(|&f| residual[f]).collect();
+        let zc = self.v_cycle(acc, level + 1, &rc, report)?;
+        for (c, &f) in coarse_map.iter().enumerate() {
+            z[f] += zc[c];
+        }
+        absorb(acc.symgs(symgs_prog, r, &mut z)?, report);
+        Ok(z)
+    }
+
+    /// Solves `A x = b` with V-cycle-preconditioned CG on the device.
+    ///
+    /// # Errors
+    ///
+    /// Device errors, dimension mismatches, or [`CoreError::Breakdown`] on
+    /// non-SPD input.
+    pub fn solve(
+        &self,
+        acc: &mut Alrescha,
+        b: &[f64],
+        opts: &SolverOptions,
+    ) -> Result<SolveOutcome> {
+        if b.len() != self.n {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.n,
+                found: b.len(),
+            });
+        }
+        let n = self.n;
+        let mut x = vec![0.0; n];
+        let mut r = b.to_vec();
+        let b_norm = norm2(b).max(f64::MIN_POSITIVE);
+        let config = acc.config().clone();
+        let mut report: Option<ExecutionReport> = None;
+        let absorb = |rep: ExecutionReport, report: &mut Option<ExecutionReport>| match report {
+            Some(acc_rep) => acc_rep.merge(&rep, &config),
+            None => *report = Some(rep),
+        };
+
+        let r0 = norm2(&r);
+        if r0 <= opts.tol * b_norm {
+            let (_, rep) = acc.spmv(&self.levels[0].0, &x)?;
+            return Ok(SolveOutcome {
+                x,
+                iterations: 0,
+                residual: r0,
+                converged: true,
+                report: rep,
+            });
+        }
+
+        let mut z = self.v_cycle(acc, 0, &r, &mut report)?;
+        let mut p = z.clone();
+        let mut rz = dot(&r, &z);
+        for k in 1..=opts.max_iters {
+            let (ap, rep) = acc.spmv(&self.levels[0].0, &p)?;
+            absorb(rep, &mut report);
+            let pap = dot(&p, &ap);
+            if pap <= 0.0 {
+                return Err(CoreError::Breakdown { iteration: k });
+            }
+            let alpha = rz / pap;
+            axpy(alpha, &p, &mut x);
+            axpy(-alpha, &ap, &mut r);
+            let r_norm = norm2(&r);
+            if r_norm <= opts.tol * b_norm {
+                return Ok(SolveOutcome {
+                    x,
+                    iterations: k,
+                    residual: r_norm,
+                    converged: true,
+                    report: report.expect("device work happened"),
+                });
+            }
+            z = self.v_cycle(acc, 0, &r, &mut report)?;
+            let rz_next = dot(&r, &z);
+            let beta = rz_next / rz;
+            rz = rz_next;
+            for (pi, zi) in p.iter_mut().zip(&z) {
+                *pi = zi + beta * *pi;
+            }
+        }
+        let residual = norm2(&r);
+        Ok(SolveOutcome {
+            x,
+            iterations: opts.max_iters,
+            residual,
+            converged: false,
+            report: report.expect("device work happened"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod mg_tests {
+    use super::*;
+    use alrescha_kernels::multigrid::GridHierarchy;
+    use alrescha_kernels::spmv::spmv;
+    use alrescha_sparse::Csr;
+
+    #[test]
+    fn accelerated_mg_pcg_matches_host_mg_pcg() {
+        let hierarchy = GridHierarchy::build(8, 3).unwrap();
+        let a = hierarchy.levels()[0].matrix.clone();
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| ((i % 6) as f64) - 2.5).collect();
+        let b = spmv(&a, &x_true);
+
+        let (_, host_iters, host_converged) = hierarchy.solve(&b, 1e-9, 100).unwrap();
+        assert!(host_converged);
+
+        let mut acc = Alrescha::with_paper_config();
+        let solver = AcceleratedMgPcg::program(&mut acc, &hierarchy).unwrap();
+        let out = solver
+            .solve(
+                &mut acc,
+                &b,
+                &SolverOptions {
+                    tol: 1e-9,
+                    max_iters: 100,
+                },
+            )
+            .unwrap();
+        assert!(out.converged);
+        assert!(alrescha_sparse::approx_eq(&out.x, &x_true, 1e-5));
+        assert!(
+            (out.iterations as i64 - host_iters as i64).abs() <= 1,
+            "device {} host {host_iters}",
+            out.iterations
+        );
+        // The multi-level workload reconfigures constantly, all hidden.
+        assert!(out.report.reconfig.switches > 10);
+        assert_eq!(out.report.reconfig.exposed_cycles, 0);
+    }
+
+    #[test]
+    fn mg_beats_plain_symgs_pcg_on_the_device() {
+        let hierarchy = GridHierarchy::build(8, 3).unwrap();
+        let coo = hierarchy.levels()[0].matrix.to_coo();
+        let csr = Csr::from_coo(&coo);
+        let b = spmv(&csr, &vec![1.0; csr.cols()]);
+
+        let mut acc = Alrescha::with_paper_config();
+        let plain = AcceleratedPcg::program(&mut acc, &coo).unwrap();
+        let plain_out = plain
+            .solve(
+                &mut acc,
+                &b,
+                &SolverOptions {
+                    tol: 1e-9,
+                    max_iters: 100,
+                },
+            )
+            .unwrap();
+
+        let mg = AcceleratedMgPcg::program(&mut acc, &hierarchy).unwrap();
+        let mg_out = mg
+            .solve(
+                &mut acc,
+                &b,
+                &SolverOptions {
+                    tol: 1e-9,
+                    max_iters: 100,
+                },
+            )
+            .unwrap();
+
+        assert!(plain_out.converged && mg_out.converged);
+        assert!(
+            mg_out.iterations <= plain_out.iterations,
+            "mg {} plain {}",
+            mg_out.iterations,
+            plain_out.iterations
+        );
+    }
+
+    #[test]
+    fn mg_rejects_wrong_rhs() {
+        let hierarchy = GridHierarchy::build(4, 2).unwrap();
+        let mut acc = Alrescha::with_paper_config();
+        let solver = AcceleratedMgPcg::program(&mut acc, &hierarchy).unwrap();
+        assert!(solver
+            .solve(&mut acc, &[1.0], &SolverOptions::default())
+            .is_err());
+    }
+}

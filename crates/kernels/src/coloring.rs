@@ -1,0 +1,323 @@
+//! Row reordering by greedy matrix coloring — the GPU-side optimization \[8\]
+//! the paper compares against (Table 2, Figures 15/16).
+//!
+//! Coloring partitions the rows so that no two rows of the same color are
+//! coupled through an off-diagonal entry; Gauss-Seidel can then update all
+//! rows of one color in parallel and iterate over the colors sequentially.
+//! Its effectiveness "depends on the distribution of non-zero values in a
+//! matrix" (§1) — exactly what [`crate::parallelism`] quantifies.
+
+use alrescha_sparse::Csr;
+
+/// A row coloring of a square matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    /// Color id per row.
+    pub color: Vec<usize>,
+    /// Number of distinct colors.
+    pub num_colors: usize,
+}
+
+impl Coloring {
+    /// Rows grouped by color, colors in ascending order.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.num_colors];
+        for (row, &c) in self.color.iter().enumerate() {
+            groups[c].push(row);
+        }
+        groups
+    }
+
+    /// Size of the largest color class — the per-step parallelism bound.
+    pub fn max_group(&self) -> usize {
+        self.groups().iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Greedy first-fit coloring of the symmetrized structure of `a`.
+///
+/// Two rows conflict when either `A[i][j]` or `A[j][i]` is stored, because a
+/// Gauss-Seidel update of one then reads the other's value mid-sweep.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn greedy_coloring(a: &Csr) -> Coloring {
+    assert_eq!(a.rows(), a.cols(), "coloring requires a square matrix");
+    let n = a.rows();
+    // Symmetrize the adjacency once.
+    let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for r in 0..n {
+        for (c, _) in a.row_entries(r) {
+            if c != r {
+                neighbors[r].push(c);
+                neighbors[c].push(r);
+            }
+        }
+    }
+    let mut color = vec![usize::MAX; n];
+    let mut num_colors = 0;
+    let mut forbidden = vec![usize::MAX; 0];
+    for v in 0..n {
+        forbidden.clear();
+        forbidden.resize(num_colors + 1, usize::MAX);
+        for &u in &neighbors[v] {
+            if color[u] != usize::MAX && color[u] < forbidden.len() {
+                forbidden[color[u]] = v;
+            }
+        }
+        let c = (0..).find(|&c| forbidden.get(c) != Some(&v)).unwrap();
+        color[v] = c;
+        num_colors = num_colors.max(c + 1);
+    }
+    Coloring { color, num_colors }
+}
+
+/// Level scheduling of the *forward* Gauss-Seidel dependency DAG: row `j`
+/// depends on every row `i < j` with `A[j][i] ≠ 0`. Returns the level of
+/// each row (rows of equal level are mutually independent within a sweep)
+/// and the number of levels — the critical-path length of the sweep.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn forward_levels(a: &Csr) -> (Vec<usize>, usize) {
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "level scheduling requires a square matrix"
+    );
+    let n = a.rows();
+    let mut level = vec![0usize; n];
+    let mut depth = 0usize;
+    for j in 0..n {
+        let mut lvl = 0;
+        for (i, _) in a.row_entries(j) {
+            if i < j {
+                lvl = lvl.max(level[i] + 1);
+            }
+        }
+        level[j] = lvl;
+        depth = depth.max(lvl + 1);
+    }
+    (level, if n == 0 { 0 } else { depth })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alrescha_sparse::{gen, Coo};
+
+    fn check_proper(a: &Csr, coloring: &Coloring) {
+        for r in 0..a.rows() {
+            for (c, _) in a.row_entries(r) {
+                if c != r {
+                    assert_ne!(
+                        coloring.color[r], coloring.color[c],
+                        "rows {r},{c} conflict"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tridiagonal_needs_two_colors() {
+        let a = Csr::from_coo(&gen::banded(50, 1, 1));
+        let coloring = greedy_coloring(&a);
+        check_proper(&a, &coloring);
+        assert_eq!(coloring.num_colors, 2);
+    }
+
+    #[test]
+    fn coloring_is_proper_on_all_science_classes() {
+        for class in gen::ScienceClass::ALL {
+            let a = Csr::from_coo(&class.generate(120, 17));
+            let coloring = greedy_coloring(&a);
+            check_proper(&a, &coloring);
+            assert!(coloring.num_colors >= 2, "{}", class.name());
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_is_one_color() {
+        let mut coo = Coo::new(5, 5);
+        for i in 0..5 {
+            coo.push(i, i, 1.0);
+        }
+        let coloring = greedy_coloring(&Csr::from_coo(&coo));
+        assert_eq!(coloring.num_colors, 1);
+        assert_eq!(coloring.max_group(), 5);
+    }
+
+    #[test]
+    fn groups_partition_rows() {
+        let a = Csr::from_coo(&gen::banded(40, 3, 2));
+        let coloring = greedy_coloring(&a);
+        let total: usize = coloring.groups().iter().map(Vec::len).sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn forward_levels_of_lower_chain() {
+        // Lower bidiagonal: each row depends on the previous -> n levels.
+        let mut coo = Coo::new(6, 6);
+        for i in 0..6 {
+            coo.push(i, i, 2.0);
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+            }
+        }
+        let (levels, depth) = forward_levels(&Csr::from_coo(&coo));
+        assert_eq!(depth, 6);
+        assert_eq!(levels, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn forward_levels_of_diagonal_matrix_is_one() {
+        let mut coo = Coo::new(4, 4);
+        for i in 0..4 {
+            coo.push(i, i, 1.0);
+        }
+        let (_, depth) = forward_levels(&Csr::from_coo(&coo));
+        assert_eq!(depth, 1);
+    }
+
+    #[test]
+    fn upper_triangle_does_not_create_forward_dependencies() {
+        let mut coo = Coo::new(4, 4);
+        for i in 0..4 {
+            coo.push(i, i, 1.0);
+        }
+        coo.push(0, 3, 5.0); // upper entry: read from x^{t-1}, no dependency
+        let (_, depth) = forward_levels(&Csr::from_coo(&coo));
+        assert_eq!(depth, 1);
+    }
+}
+
+/// One colored Gauss-Seidel sweep: colors execute in ascending order; rows
+/// within a color update in parallel semantics (they read only values from
+/// other colors and the previous iterate).
+///
+/// This is the GPU baseline optimization \[8\] the paper compares against:
+/// reordering by color exposes parallelism but changes the sweep's update
+/// order, which typically costs convergence speed relative to the natural
+/// order — exactly the trade ALRESCHA avoids by keeping the natural order
+/// and extracting parallelism structurally instead.
+///
+/// # Errors
+///
+/// * [`crate::KernelError::DimensionMismatch`] on operand length mismatch.
+/// * [`crate::KernelError::Structure`] on a structurally zero diagonal.
+pub fn colored_forward_sweep(
+    a: &Csr,
+    coloring: &Coloring,
+    b: &[f64],
+    x: &mut [f64],
+) -> crate::Result<()> {
+    crate::check_len(a.rows(), b.len())?;
+    crate::check_len(a.cols(), x.len())?;
+    a.require_nonzero_diagonal()?;
+    for group in coloring.groups() {
+        // Within a color no two rows are coupled, so reading `x` during the
+        // group is equivalent to a parallel update.
+        for &j in &group {
+            let mut sum = b[j];
+            let mut diag = 0.0;
+            for (i, v) in a.row_entries(j) {
+                if i == j {
+                    diag = v;
+                } else {
+                    sum -= v * x[i];
+                }
+            }
+            x[j] = sum / diag;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod colored_tests {
+    use super::*;
+    use crate::{norm2, spmv::spmv, symgs};
+    use alrescha_sparse::gen;
+
+    #[test]
+    fn colored_sweep_converges_on_dd_systems() {
+        let a = Csr::from_coo(&gen::stencil27(3));
+        let coloring = greedy_coloring(&a);
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| ((i % 4) as f64) - 1.0).collect();
+        let b = spmv(&a, &x_true);
+        let mut x = vec![0.0; a.cols()];
+        for _ in 0..500 {
+            colored_forward_sweep(&a, &coloring, &b, &mut x).unwrap();
+        }
+        assert!(alrescha_sparse::approx_eq(&x, &x_true, 1e-6));
+    }
+
+    #[test]
+    fn colored_order_is_independent_within_a_color() {
+        // Updating a color's rows in any order gives the same result: no
+        // two same-color rows are coupled. Verify by comparing ascending
+        // and descending within-group order.
+        let coo = gen::banded(60, 2, 5);
+        let a = Csr::from_coo(&coo);
+        let coloring = greedy_coloring(&a);
+        let b: Vec<f64> = (0..60).map(|i| (i as f64).cos()).collect();
+
+        let mut x_fwd = vec![0.0; 60];
+        colored_forward_sweep(&a, &coloring, &b, &mut x_fwd).unwrap();
+
+        let mut x_rev = vec![0.0; 60];
+        for group in coloring.groups() {
+            for &j in group.iter().rev() {
+                let mut sum = b[j];
+                let mut diag = 0.0;
+                for (i, v) in a.row_entries(j) {
+                    if i == j {
+                        diag = v;
+                    } else {
+                        sum -= v * x_rev[i];
+                    }
+                }
+                x_rev[j] = sum / diag;
+            }
+        }
+        assert!(alrescha_sparse::approx_eq(&x_fwd, &x_rev, 1e-14));
+    }
+
+    #[test]
+    fn colored_and_natural_orders_converge_comparably() {
+        // Young's theory: for consistently ordered matrices the colored and
+        // natural Gauss-Seidel rates agree asymptotically; on general
+        // matrices they differ but stay within a small factor. Both must
+        // converge, within 3x of each other's iteration count.
+        let a = Csr::from_coo(&gen::banded(300, 3, 5));
+        let coloring = greedy_coloring(&a);
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.05).sin()).collect();
+        let b = spmv(&a, &x_true);
+        let target = 1e-8 * norm2(&b);
+
+        let iterate = |colored: bool| -> usize {
+            let mut x = vec![0.0; a.cols()];
+            for k in 1..=2000 {
+                if colored {
+                    colored_forward_sweep(&a, &coloring, &b, &mut x).unwrap();
+                } else {
+                    symgs::forward_sweep(&a, &b, &mut x).unwrap();
+                }
+                let r = symgs::residual(&a, &b, &x);
+                if norm2(&r) <= target {
+                    return k;
+                }
+            }
+            2000
+        };
+        let natural = iterate(false);
+        let colored = iterate(true);
+        assert!(natural < 2000 && colored < 2000);
+        let (lo, hi) = (natural.min(colored), natural.max(colored));
+        assert!(hi <= 3 * lo, "natural {natural} colored {colored}");
+    }
+}

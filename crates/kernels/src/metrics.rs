@@ -1,0 +1,46 @@
+//! Floating-point operation accounting for the HPCG-style figures of merit
+//! (Figure 6 and the `hpcg_mini` example).
+
+/// Flops of one SpMV pass: a multiply and an add per stored non-zero.
+pub fn spmv_flops(nnz: usize) -> u64 {
+    2 * nnz as u64
+}
+
+/// Flops of one symmetric Gauss-Seidel application: two sweeps, each a
+/// multiply-add per non-zero (the divisions are counted once per row per
+/// sweep).
+pub fn symgs_flops(nnz: usize, n: usize) -> u64 {
+    2 * (2 * nnz as u64 + n as u64)
+}
+
+/// Flops of the PCG auxiliary vector operations per iteration: two dots
+/// (2·2n), three AXPY-class updates (3·2n).
+pub fn pcg_vector_flops(n: usize) -> u64 {
+    10 * n as u64
+}
+
+/// Flops of one full PCG iteration (SpMV + SymGS + vector ops).
+pub fn pcg_iteration_flops(nnz: usize, n: usize) -> u64 {
+    spmv_flops(nnz) + symgs_flops(nnz, n) + pcg_vector_flops(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_compose() {
+        assert_eq!(spmv_flops(100), 200);
+        assert_eq!(symgs_flops(100, 10), 2 * (200 + 10));
+        assert_eq!(pcg_vector_flops(10), 100);
+        assert_eq!(
+            pcg_iteration_flops(100, 10),
+            spmv_flops(100) + symgs_flops(100, 10) + pcg_vector_flops(10)
+        );
+    }
+
+    #[test]
+    fn zero_sized_problem_is_zero_flops() {
+        assert_eq!(pcg_iteration_flops(0, 0), 0);
+    }
+}

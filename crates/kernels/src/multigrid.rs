@@ -1,0 +1,310 @@
+//! Geometric multigrid on stencil grids — the preconditioner the real HPCG
+//! benchmark wraps around the SymGS smoother.
+//!
+//! The paper evaluates PCG with a plain SymGS preconditioner (its Figure 2);
+//! production HPCG strengthens that into a short V-cycle: smooth with SymGS,
+//! restrict the residual to a coarser grid (injection), recurse, prolongate
+//! the correction back, and post-smooth. Every smoother application is the
+//! same SymGS kernel ALRESCHA accelerates, so the V-cycle is a natural
+//! multi-level workload for the accelerator (see
+//! `alrescha::solver::AcceleratedMgPcg`).
+//!
+//! The hierarchy mirrors HPCG's: each level halves the grid side and
+//! *rediscretizes* the 27-point operator on the coarse grid; restriction is
+//! injection at the even-indexed fine points and prolongation is its
+//! transpose.
+
+use alrescha_sparse::{gen, Csr};
+
+use crate::spmv::spmv;
+use crate::symgs;
+use crate::{KernelError, Result};
+
+/// One level of the grid hierarchy.
+#[derive(Debug, Clone)]
+pub struct GridLevel {
+    /// Grid side length (level matrix is `side³ × side³`).
+    pub side: usize,
+    /// The 27-point operator on this grid.
+    pub matrix: Csr,
+    /// Fine-grid index of each coarse point (empty on the coarsest level).
+    /// `coarse_to_fine[c]` is the fine-level row that coarse row `c`
+    /// injects from/to.
+    pub coarse_to_fine: Vec<usize>,
+}
+
+/// A geometric multigrid hierarchy over 27-point stencil grids.
+///
+/// # Example
+///
+/// ```
+/// use alrescha_kernels::multigrid::GridHierarchy;
+///
+/// let mg = GridHierarchy::build(8, 3)?;
+/// assert_eq!(mg.levels().len(), 3);
+/// assert_eq!(mg.levels()[0].side, 8);
+/// assert_eq!(mg.levels()[2].side, 2);
+/// # Ok::<(), alrescha_kernels::KernelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridHierarchy {
+    levels: Vec<GridLevel>,
+    /// Pre/post smoothing sweeps per level.
+    pub smoothing_sweeps: usize,
+}
+
+impl GridHierarchy {
+    /// Builds a hierarchy of `depth` levels starting from a `side`³ grid.
+    /// Each level halves the side; `side` must be divisible by
+    /// `2^(depth-1)` and the coarsest side must be at least 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::DimensionMismatch`] when the side cannot be
+    /// halved `depth - 1` times down to ≥ 2.
+    pub fn build(side: usize, depth: usize) -> Result<Self> {
+        if depth == 0 {
+            return Err(KernelError::DimensionMismatch {
+                expected: 1,
+                found: 0,
+            });
+        }
+        if side % (1 << (depth - 1)) != 0 || side >> (depth - 1) < 2 {
+            return Err(KernelError::DimensionMismatch {
+                expected: 1 << (depth - 1),
+                found: side,
+            });
+        }
+        let mut levels = Vec::with_capacity(depth);
+        let mut s = side;
+        for level in 0..depth {
+            let matrix = Csr::from_coo(&gen::stencil27(s));
+            let coarse_to_fine = if level + 1 < depth {
+                coarse_injection_map(s)
+            } else {
+                Vec::new()
+            };
+            levels.push(GridLevel {
+                side: s,
+                matrix,
+                coarse_to_fine,
+            });
+            s /= 2;
+        }
+        Ok(GridHierarchy {
+            levels,
+            smoothing_sweeps: 1,
+        })
+    }
+
+    /// The levels, finest first.
+    pub fn levels(&self) -> &[GridLevel] {
+        &self.levels
+    }
+
+    /// Applies one V-cycle to `r` on the finest level, returning the
+    /// correction `z ≈ A⁻¹ r`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates smoother errors (the stencil operators always have full
+    /// diagonals, so these do not occur for hierarchies built here).
+    pub fn v_cycle(&self, r: &[f64]) -> Result<Vec<f64>> {
+        self.v_cycle_at(0, r)
+    }
+
+    fn v_cycle_at(&self, level: usize, r: &[f64]) -> Result<Vec<f64>> {
+        let lvl = &self.levels[level];
+        let a = &lvl.matrix;
+        let mut z = vec![0.0; a.cols()];
+
+        // Pre-smooth.
+        for _ in 0..self.smoothing_sweeps {
+            symgs::symgs(a, r, &mut z)?;
+        }
+        if level + 1 == self.levels.len() {
+            return Ok(z);
+        }
+
+        // Coarse-grid correction: restrict the residual by injection.
+        let residual = symgs::residual(a, r, &z);
+        let rc: Vec<f64> = lvl.coarse_to_fine.iter().map(|&f| residual[f]).collect();
+        let zc = self.v_cycle_at(level + 1, &rc)?;
+
+        // Prolongate (transpose injection) and correct.
+        for (c, &f) in lvl.coarse_to_fine.iter().enumerate() {
+            z[f] += zc[c];
+        }
+
+        // Post-smooth.
+        for _ in 0..self.smoothing_sweeps {
+            symgs::symgs(a, r, &mut z)?;
+        }
+        Ok(z)
+    }
+
+    /// Solves `A x = b` on the finest grid with V-cycle-preconditioned CG.
+    /// Returns `(x, iterations, converged)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates smoother errors and reports
+    /// [`KernelError::NoConvergence`]-free results (convergence is a flag,
+    /// not an error, matching [`crate::pcg::pcg`]).
+    pub fn solve(&self, b: &[f64], tol: f64, max_iters: usize) -> Result<(Vec<f64>, usize, bool)> {
+        let a = &self.levels[0].matrix;
+        crate::check_len(a.rows(), b.len())?;
+        let n = a.rows();
+        let mut x = vec![0.0; n];
+        let mut r = b.to_vec();
+        let b_norm = crate::norm2(b).max(f64::MIN_POSITIVE);
+        if crate::norm2(&r) <= tol * b_norm {
+            return Ok((x, 0, true));
+        }
+        let mut z = self.v_cycle(&r)?;
+        let mut p = z.clone();
+        let mut rz = crate::dot(&r, &z);
+        for k in 1..=max_iters {
+            let ap = spmv(a, &p);
+            let pap = crate::dot(&p, &ap);
+            if pap <= 0.0 {
+                return Err(KernelError::NoConvergence {
+                    iterations: k,
+                    residual: crate::norm2(&r),
+                });
+            }
+            let alpha = rz / pap;
+            crate::spmv::axpy(alpha, &p, &mut x);
+            crate::spmv::axpy(-alpha, &ap, &mut r);
+            if crate::norm2(&r) <= tol * b_norm {
+                return Ok((x, k, true));
+            }
+            z = self.v_cycle(&r)?;
+            let rz_next = crate::dot(&r, &z);
+            let beta = rz_next / rz;
+            rz = rz_next;
+            for (pi, zi) in p.iter_mut().zip(&z) {
+                *pi = zi + beta * *pi;
+            }
+        }
+        Ok((x, max_iters, false))
+    }
+}
+
+/// Fine-grid indices of the coarse points: every even-coordinate point of a
+/// `side`³ grid, in the coarse grid's row order.
+fn coarse_injection_map(side: usize) -> Vec<usize> {
+    let coarse = side / 2;
+    let fine_idx = |x: usize, y: usize, z: usize| (z * side + y) * side + x;
+    let mut map = Vec::with_capacity(coarse * coarse * coarse);
+    for z in 0..coarse {
+        for y in 0..coarse {
+            for x in 0..coarse {
+                map.push(fine_idx(2 * x, 2 * y, 2 * z));
+            }
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcg::{pcg, PcgOptions};
+
+    #[test]
+    fn hierarchy_shapes_halve() {
+        let mg = GridHierarchy::build(8, 3).unwrap();
+        let sides: Vec<usize> = mg.levels().iter().map(|l| l.side).collect();
+        assert_eq!(sides, vec![8, 4, 2]);
+        assert_eq!(mg.levels()[0].matrix.rows(), 512);
+        assert_eq!(mg.levels()[1].matrix.rows(), 64);
+        assert_eq!(mg.levels()[0].coarse_to_fine.len(), 64);
+        assert!(mg.levels()[2].coarse_to_fine.is_empty());
+    }
+
+    #[test]
+    fn build_rejects_bad_depths() {
+        assert!(GridHierarchy::build(6, 3).is_err()); // 6 -> 3 -> not even
+        assert!(GridHierarchy::build(4, 3).is_err()); // coarsest would be 1
+        assert!(GridHierarchy::build(8, 0).is_err());
+    }
+
+    #[test]
+    fn injection_map_picks_even_points() {
+        let map = coarse_injection_map(4);
+        assert_eq!(map.len(), 8);
+        assert_eq!(map[0], 0); // (0,0,0)
+        assert_eq!(map[1], 2); // (2,0,0)
+        assert_eq!(map[2], 8); // (0,2,0)
+        assert_eq!(map[4], 32); // (0,0,2)
+    }
+
+    #[test]
+    fn v_cycle_reduces_residual() {
+        let mg = GridHierarchy::build(8, 3).unwrap();
+        let a = &mg.levels()[0].matrix;
+        let b = vec![1.0; a.rows()];
+        let z = mg.v_cycle(&b).unwrap();
+        let after = crate::norm2(&symgs::residual(a, &b, &z));
+        let before = crate::norm2(&b);
+        assert!(after < before, "v-cycle must contract: {after} !< {before}");
+        // And it must contract at least as well as a bare SymGS sweep.
+        let mut z1 = vec![0.0; a.cols()];
+        symgs::symgs(a, &b, &mut z1).unwrap();
+        let bare = crate::norm2(&symgs::residual(a, &b, &z1));
+        assert!(
+            after <= bare * 1.0001,
+            "v-cycle {after} vs bare symgs {bare}"
+        );
+    }
+
+    #[test]
+    fn mg_pcg_converges_and_beats_symgs_pcg() {
+        let mg = GridHierarchy::build(8, 3).unwrap();
+        let a = mg.levels()[0].matrix.clone();
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| ((i % 9) as f64) - 4.0).collect();
+        let b = spmv(&a, &x_true);
+
+        let (x, mg_iters, converged) = mg.solve(&b, 1e-9, 100).unwrap();
+        assert!(converged);
+        assert!(alrescha_sparse::approx_eq(&x, &x_true, 1e-5));
+
+        let plain = pcg(
+            &a,
+            &b,
+            &PcgOptions {
+                tol: 1e-9,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(plain.converged);
+        assert!(
+            mg_iters <= plain.iterations,
+            "mg {mg_iters} vs symgs-pcg {}",
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn single_level_hierarchy_is_symgs_pcg() {
+        // depth=1 degenerates to plain SymGS preconditioning.
+        let mg = GridHierarchy::build(4, 1).unwrap();
+        let a = mg.levels()[0].matrix.clone();
+        let b = vec![1.0; a.rows()];
+        let (x1, i1, c1) = mg.solve(&b, 1e-10, 200).unwrap();
+        let plain = pcg(
+            &a,
+            &b,
+            &PcgOptions {
+                tol: 1e-10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(c1 && plain.converged);
+        assert_eq!(i1, plain.iterations);
+        assert!(alrescha_sparse::approx_eq(&x1, &plain.x, 1e-8));
+    }
+}

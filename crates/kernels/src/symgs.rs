@@ -1,0 +1,200 @@
+//! Symmetric Gauss-Seidel (SymGS) smoother — the data-dependent kernel of
+//! Equation 2 and the performance bottleneck the paper attacks.
+
+use alrescha_sparse::Csr;
+
+use crate::{check_len, Result};
+
+/// One forward Gauss-Seidel sweep, updating `x` in place:
+///
+/// `x[j] ← (b[j] − Σ_{i<j} A[j][i]·x[i] − Σ_{i>j} A[j][i]·x_old[i]) / A[j][j]`
+///
+/// Entries left of the diagonal read values already updated *this* sweep
+/// (the blue `xᵗ` operands of Figure 4b); entries right of the diagonal read
+/// the previous iterate (the red `xᵗ⁻¹` operands). This is exactly the
+/// row-to-row dependency chain that serializes the kernel.
+///
+/// # Errors
+///
+/// * [`crate::KernelError::DimensionMismatch`] if operand lengths disagree.
+/// * [`crate::KernelError::Structure`] if a diagonal entry is structurally
+///   zero.
+pub fn forward_sweep(a: &Csr, b: &[f64], x: &mut [f64]) -> Result<()> {
+    check_len(a.rows(), b.len())?;
+    check_len(a.cols(), x.len())?;
+    a.require_nonzero_diagonal()?;
+    for j in 0..a.rows() {
+        let mut sum = b[j];
+        let mut diag = 0.0;
+        for (i, v) in a.row_entries(j) {
+            if i == j {
+                diag = v;
+            } else {
+                sum -= v * x[i];
+            }
+        }
+        x[j] = sum / diag;
+    }
+    Ok(())
+}
+
+/// One backward Gauss-Seidel sweep (rows in descending order).
+///
+/// # Errors
+///
+/// Same conditions as [`forward_sweep`].
+pub fn backward_sweep(a: &Csr, b: &[f64], x: &mut [f64]) -> Result<()> {
+    check_len(a.rows(), b.len())?;
+    check_len(a.cols(), x.len())?;
+    a.require_nonzero_diagonal()?;
+    for j in (0..a.rows()).rev() {
+        let mut sum = b[j];
+        let mut diag = 0.0;
+        for (i, v) in a.row_entries(j) {
+            if i == j {
+                diag = v;
+            } else {
+                sum -= v * x[i];
+            }
+        }
+        x[j] = sum / diag;
+    }
+    Ok(())
+}
+
+/// One symmetric Gauss-Seidel application (forward then backward sweep),
+/// the HPCG smoother and the `SymGS` kernel of Table 1.
+///
+/// # Errors
+///
+/// Same conditions as [`forward_sweep`].
+pub fn symgs(a: &Csr, b: &[f64], x: &mut [f64]) -> Result<()> {
+    forward_sweep(a, b, x)?;
+    backward_sweep(a, b, x)
+}
+
+/// Solves `A x = b` by iterating [`symgs`] until the residual drops below
+/// `tol·‖b‖` or `max_iters` is reached. Returns the iterate and whether it
+/// converged. Used by tests to confirm the smoother contracts the error on
+/// SPD matrices.
+///
+/// # Errors
+///
+/// Same conditions as [`forward_sweep`].
+pub fn solve(a: &Csr, b: &[f64], tol: f64, max_iters: usize) -> Result<(Vec<f64>, bool)> {
+    let mut x = vec![0.0; a.cols()];
+    let target = tol * crate::norm2(b).max(f64::MIN_POSITIVE);
+    for _ in 0..max_iters {
+        symgs(a, b, &mut x)?;
+        let r = residual(a, b, &x);
+        if crate::norm2(&r) <= target {
+            return Ok((x, true));
+        }
+    }
+    Ok((x, false))
+}
+
+/// Residual `b − A·x`.
+///
+/// # Panics
+///
+/// Panics if operand lengths disagree.
+pub fn residual(a: &Csr, b: &[f64], x: &[f64]) -> Vec<f64> {
+    let ax = crate::spmv::spmv(a, x);
+    b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alrescha_sparse::{gen, Coo};
+
+    fn small_spd() -> Csr {
+        // [[4,-1,0],[-1,4,-1],[0,-1,4]]
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 0, 4.0);
+        coo.push(0, 1, -1.0);
+        coo.push(1, 0, -1.0);
+        coo.push(1, 1, 4.0);
+        coo.push(1, 2, -1.0);
+        coo.push(2, 1, -1.0);
+        coo.push(2, 2, 4.0);
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn forward_sweep_hand_computed() {
+        let a = small_spd();
+        let b = vec![1.0, 2.0, 3.0];
+        let mut x = vec![0.0; 3];
+        forward_sweep(&a, &b, &mut x).unwrap();
+        // x0 = 1/4; x1 = (2 + x0)/4 = 0.5625; x2 = (3 + x1)/4 = 0.890625.
+        assert!(alrescha_sparse::approx_eq(
+            &x,
+            &[0.25, 0.5625, 0.890625],
+            1e-15
+        ));
+    }
+
+    #[test]
+    fn backward_sweep_hand_computed() {
+        let a = small_spd();
+        let b = vec![1.0, 2.0, 3.0];
+        let mut x = vec![0.0; 3];
+        backward_sweep(&a, &b, &mut x).unwrap();
+        // x2 = 3/4; x1 = (2 + x2)/4 = 0.6875; x0 = (1 + x1)/4 = 0.421875.
+        assert!(alrescha_sparse::approx_eq(
+            &x,
+            &[0.421875, 0.6875, 0.75],
+            1e-15
+        ));
+    }
+
+    #[test]
+    fn symgs_iteration_converges_on_spd() {
+        let a = small_spd();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = crate::spmv::spmv(&a, &x_true);
+        let (x, converged) = solve(&a, &b, 1e-12, 100).unwrap();
+        assert!(converged);
+        assert!(alrescha_sparse::approx_eq(&x, &x_true, 1e-9));
+    }
+
+    #[test]
+    fn converges_on_generated_stencil() {
+        let a = Csr::from_coo(&gen::stencil27(3));
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.1).cos()).collect();
+        let b = crate::spmv::spmv(&a, &x_true);
+        let (x, converged) = solve(&a, &b, 1e-10, 500).unwrap();
+        assert!(converged);
+        assert!(alrescha_sparse::approx_eq(&x, &x_true, 1e-6));
+    }
+
+    #[test]
+    fn missing_diagonal_is_rejected() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        let a = Csr::from_coo(&coo);
+        let mut x = vec![0.0; 2];
+        assert!(forward_sweep(&a, &[1.0, 1.0], &mut x).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_is_rejected() {
+        let a = small_spd();
+        let mut x = vec![0.0; 3];
+        assert!(forward_sweep(&a, &[1.0], &mut x).is_err());
+        let mut short = vec![0.0; 2];
+        assert!(forward_sweep(&a, &[1.0; 3], &mut short).is_err());
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let a = small_spd();
+        let x = vec![1.0, 2.0, 3.0];
+        let b = crate::spmv::spmv(&a, &x);
+        let r = residual(&a, &b, &x);
+        assert!(crate::norm2(&r) < 1e-14);
+    }
+}

@@ -1,0 +1,163 @@
+//! Workload preflight: check a matrix against a kernel's mathematical
+//! requirements *before* programming the accelerator, with actionable
+//! diagnostics instead of a mid-solve surprise.
+
+use alrescha_sparse::stats::gershgorin;
+use alrescha_sparse::{Coo, Csr, MetaData};
+
+/// One diagnostic from a preflight check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Issue {
+    /// The matrix is not square (`rows`, `cols`).
+    NotSquare(usize, usize),
+    /// A diagonal entry is structurally zero at this row.
+    ZeroDiagonal(usize),
+    /// The matrix is not symmetric (first witnessing coordinate).
+    NotSymmetric(usize, usize),
+    /// Gershgorin could not certify positive definiteness
+    /// (the smallest disc edge).
+    SpdNotCertified(f64),
+    /// The matrix has no stored entries.
+    Empty,
+}
+
+impl std::fmt::Display for Issue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Issue::NotSquare(r, c) => write!(f, "matrix is {r}x{c}, not square"),
+            Issue::ZeroDiagonal(row) => {
+                write!(f, "diagonal entry at row {row} is structurally zero")
+            }
+            Issue::NotSymmetric(r, c) => {
+                write!(f, "entry ({r}, {c}) has no symmetric counterpart")
+            }
+            Issue::SpdNotCertified(lower) => write!(
+                f,
+                "gershgorin lower bound {lower} does not certify positive definiteness \
+                 (pcg may still converge; proceed with care)"
+            ),
+            Issue::Empty => write!(f, "matrix has no stored entries"),
+        }
+    }
+}
+
+/// Checks a matrix for PCG-with-SymGS: square, non-empty, full diagonal,
+/// symmetric, and (best-effort) SPD-certified. Returns every issue found
+/// (empty = clean).
+pub fn validate_for_pcg(coo: &Coo) -> Vec<Issue> {
+    let mut issues = Vec::new();
+    if coo.rows() != coo.cols() {
+        issues.push(Issue::NotSquare(coo.rows(), coo.cols()));
+        return issues; // everything else assumes square
+    }
+    if coo.nnz() == 0 {
+        issues.push(Issue::Empty);
+        return issues;
+    }
+    let csr = Csr::from_coo(coo);
+    for i in 0..csr.rows() {
+        if csr.get(i, i) == 0.0 {
+            issues.push(Issue::ZeroDiagonal(i));
+            break; // one witness suffices
+        }
+    }
+    if !coo.is_symmetric(1e-12) {
+        // Find a witness coordinate for the diagnostic.
+        let witness = csr_asymmetry_witness(&csr);
+        issues.push(Issue::NotSymmetric(witness.0, witness.1));
+    }
+    if let Ok(bounds) = gershgorin(&csr) {
+        if !bounds.certifies_spd() {
+            issues.push(Issue::SpdNotCertified(bounds.lower));
+        }
+    }
+    issues
+}
+
+/// Checks a matrix for the graph kernels: square and non-negative weights.
+pub fn validate_for_graph(coo: &Coo) -> Vec<Issue> {
+    let mut issues = Vec::new();
+    if coo.rows() != coo.cols() {
+        issues.push(Issue::NotSquare(coo.rows(), coo.cols()));
+    }
+    issues
+}
+
+fn csr_asymmetry_witness(csr: &Csr) -> (usize, usize) {
+    for r in 0..csr.rows() {
+        for (c, v) in csr.row_entries(r) {
+            if (csr.get(c, r) - v).abs() > 1e-12 {
+                return (r, c);
+            }
+        }
+    }
+    (0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alrescha_sparse::gen;
+
+    #[test]
+    fn generator_matrices_are_clean() {
+        for class in gen::ScienceClass::ALL {
+            let issues = validate_for_pcg(&class.generate(150, 3));
+            assert!(issues.is_empty(), "{}: {issues:?}", class.name());
+        }
+    }
+
+    #[test]
+    fn rectangular_is_flagged_first() {
+        let issues = validate_for_pcg(&Coo::new(3, 4));
+        assert_eq!(issues, vec![Issue::NotSquare(3, 4)]);
+    }
+
+    #[test]
+    fn zero_diagonal_is_witnessed() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(2, 2, 1.0);
+        coo.push(1, 0, 0.5);
+        coo.push(0, 1, 0.5);
+        let issues = validate_for_pcg(&coo);
+        assert!(issues.contains(&Issue::ZeroDiagonal(1)), "{issues:?}");
+    }
+
+    #[test]
+    fn asymmetry_is_witnessed_with_coordinates() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 1, 2.0);
+        coo.push(0, 1, 1.0); // no (1,0) counterpart
+        let issues = validate_for_pcg(&coo);
+        assert!(
+            issues
+                .iter()
+                .any(|i| matches!(i, Issue::NotSymmetric(0, 1))),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn non_dd_matrix_gets_a_soft_spd_warning() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        coo.push(0, 1, -5.0);
+        coo.push(1, 0, -5.0);
+        let issues = validate_for_pcg(&coo);
+        assert!(
+            issues
+                .iter()
+                .any(|i| matches!(i, Issue::SpdNotCertified(_))),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn display_is_actionable() {
+        let text = Issue::ZeroDiagonal(7).to_string();
+        assert!(text.contains("row 7"));
+    }
+}

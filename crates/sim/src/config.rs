@@ -1,0 +1,216 @@
+//! Simulator configuration — Table 5 of the paper.
+
+/// Microarchitecture and memory parameters of the simulated accelerator.
+///
+/// [`SimConfig::paper`] reproduces Table 5 exactly; the fields are public so
+/// ablation benches can sweep them (block width ω in §5.2, cache geometry,
+/// bandwidth).
+///
+/// # Example
+///
+/// ```
+/// use alrescha_sim::SimConfig;
+///
+/// let cfg = SimConfig::paper();
+/// assert_eq!(cfg.omega, 8);
+/// // 288 GB/s at 2.5 GHz moves 14.4 eight-byte values per cycle.
+/// assert!((cfg.values_per_cycle() - 14.4).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Core clock in GHz (Table 5: 2.5 GHz, chosen so the compute logic
+    /// follows the memory streaming rate).
+    pub clock_ghz: f64,
+    /// Block width ω = number of parallel ALU lanes (§5.2 picks 8).
+    pub omega: usize,
+    /// ALU (multiplier) latency in cycles (Table 5: 3).
+    pub alu_latency: u64,
+    /// Reduce-engine latency for `sum` in cycles (Table 5: 3).
+    pub re_sum_latency: u64,
+    /// Reduce-engine latency for `min` in cycles (Table 5: 1).
+    pub re_min_latency: u64,
+    /// RCU processing-element latency in cycles (LUT-based mul/div/add/sub;
+    /// modeled at the ALU latency).
+    pub pe_latency: u64,
+    /// Local cache capacity in bytes (Table 5: 1 KB).
+    pub cache_bytes: usize,
+    /// Cache line size in bytes (Table 5: 64 B).
+    pub cache_line_bytes: usize,
+    /// Cache access latency in cycles (Table 5: 4).
+    pub cache_latency: u64,
+    /// Cache associativity in ways (1 = direct-mapped; the paper's 1 KB
+    /// cache is small enough that this is a design-space knob, exercised
+    /// by the cache-geometry ablation).
+    pub cache_ways: usize,
+    /// Off-chip memory bandwidth in GB/s (Table 5: 288 GB/s GDDR5).
+    pub mem_bandwidth_gbps: f64,
+    /// Latency of a demand miss to memory, in cycles (GDDR5-class ~100 ns
+    /// at 2.5 GHz is ~250 cycles; streaming traffic hides it, only demand
+    /// fetches of vector operands pay it).
+    pub mem_latency_cycles: u64,
+    /// Ablation knob: when true, the reduction-tree drain at a data-path
+    /// switch overlaps with the next data path's first block (an
+    /// aggressive-forwarding design the paper's drain-hidden
+    /// reconfiguration suggests as the limit case). The paper
+    /// configuration leaves this off.
+    pub overlap_drain: bool,
+}
+
+impl SimConfig {
+    /// The exact Table 5 configuration.
+    pub fn paper() -> Self {
+        SimConfig {
+            clock_ghz: 2.5,
+            omega: 8,
+            alu_latency: 3,
+            re_sum_latency: 3,
+            re_min_latency: 1,
+            pe_latency: 3,
+            cache_bytes: 1024,
+            cache_line_bytes: 64,
+            cache_latency: 4,
+            cache_ways: 1,
+            mem_bandwidth_gbps: 288.0,
+            mem_latency_cycles: 250,
+            overlap_drain: false,
+        }
+    }
+
+    /// Same configuration with a different block width (the §5.2 ablation).
+    #[must_use]
+    pub fn with_omega(mut self, omega: usize) -> Self {
+        self.omega = omega;
+        self
+    }
+
+    /// Same configuration with drain overlap toggled (the drain ablation).
+    #[must_use]
+    pub fn with_overlap_drain(mut self, overlap: bool) -> Self {
+        self.overlap_drain = overlap;
+        self
+    }
+
+    /// Same configuration with a different cache associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or exceeds the number of lines.
+    #[must_use]
+    pub fn with_cache_ways(mut self, ways: usize) -> Self {
+        assert!(
+            ways >= 1 && ways <= self.cache_lines(),
+            "invalid associativity"
+        );
+        self.cache_ways = ways;
+        self
+    }
+
+    /// Payload values (8-byte doubles) the memory can deliver per core cycle.
+    pub fn values_per_cycle(&self) -> f64 {
+        self.mem_bandwidth_gbps / (self.clock_ghz * 8.0)
+    }
+
+    /// Cycles needed to stream `values` doubles at full bandwidth, at least 1.
+    pub fn stream_cycles(&self, values: usize) -> u64 {
+        if values == 0 {
+            return 0;
+        }
+        (values as f64 / self.values_per_cycle()).ceil().max(1.0) as u64
+    }
+
+    /// Depth of the FCU reduction tree: ⌈log₂ ω⌉ reduce stages.
+    pub fn tree_depth(&self) -> u32 {
+        self.omega.next_power_of_two().trailing_zeros().max(1)
+    }
+
+    /// Pipeline latency of one FCU pass with a `sum` reduction: the ALU
+    /// stage plus the full reduction tree. This is also the drain time that
+    /// hides RCU reconfiguration (§4.4).
+    pub fn fcu_sum_latency(&self) -> u64 {
+        self.alu_latency + self.tree_depth() as u64 * self.re_sum_latency
+    }
+
+    /// Pipeline latency of one FCU pass with a `min` reduction.
+    pub fn fcu_min_latency(&self) -> u64 {
+        self.alu_latency + self.tree_depth() as u64 * self.re_min_latency
+    }
+
+    /// Latency of one D-SymGS recurrence step: the newly produced `xⱼ` must
+    /// traverse a multiplier, the reduction tree, and the RCU PE (subtract/
+    /// divide) before `xⱼ₊₁`'s combine can complete (Figure 10).
+    pub fn dsymgs_step_latency(&self) -> u64 {
+        self.fcu_sum_latency() + self.pe_latency
+    }
+
+    /// Wall-clock seconds for a cycle count at the configured clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e9)
+    }
+
+    /// Number of cache lines.
+    pub fn cache_lines(&self) -> usize {
+        (self.cache_bytes / self.cache_line_bytes).max(1)
+    }
+
+    /// Values (doubles) per cache line.
+    pub fn values_per_line(&self) -> usize {
+        (self.cache_line_bytes / 8).max(1)
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_table5() {
+        let c = SimConfig::paper();
+        assert_eq!(c.clock_ghz, 2.5);
+        assert_eq!(c.alu_latency, 3);
+        assert_eq!(c.re_sum_latency, 3);
+        assert_eq!(c.re_min_latency, 1);
+        assert_eq!(c.cache_bytes, 1024);
+        assert_eq!(c.cache_line_bytes, 64);
+        assert_eq!(c.cache_latency, 4);
+        assert_eq!(c.mem_bandwidth_gbps, 288.0);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let c = SimConfig::paper();
+        assert_eq!(c.tree_depth(), 3);
+        assert_eq!(c.fcu_sum_latency(), 3 + 3 * 3);
+        assert_eq!(c.fcu_min_latency(), 3 + 3 * 1);
+        assert_eq!(c.dsymgs_step_latency(), 12 + 3);
+        assert_eq!(c.cache_lines(), 16);
+        assert_eq!(c.values_per_line(), 8);
+    }
+
+    #[test]
+    fn stream_cycles_rounds_up() {
+        let c = SimConfig::paper();
+        assert_eq!(c.stream_cycles(0), 0);
+        assert_eq!(c.stream_cycles(14), 1);
+        assert_eq!(c.stream_cycles(15), 2);
+        assert_eq!(c.stream_cycles(144), 10);
+    }
+
+    #[test]
+    fn with_omega_changes_tree_depth() {
+        let c = SimConfig::paper().with_omega(32);
+        assert_eq!(c.omega, 32);
+        assert_eq!(c.tree_depth(), 5);
+    }
+
+    #[test]
+    fn cycles_to_seconds() {
+        let c = SimConfig::paper();
+        assert!((c.cycles_to_seconds(2_500_000_000) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,162 @@
+//! Per-event energy model (28 nm-class constants).
+//!
+//! The paper measures energy by modeling every microarchitectural component
+//! in a TSMC 28 nm standard-cell + SRAM library (§5.2). We reproduce the
+//! methodology with per-event energy constants of the same technology class
+//! (double-precision FPU, small SRAM, GDDR5 interface). Figure 19 is
+//! normalized, so only the *ratios* between compute, SRAM, and DRAM energy
+//! matter — and those ratios (DRAM ≫ FPU ≫ SRAM access) are what the
+//! constants encode.
+
+/// Per-event energies in picojoules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// One double-precision multiply in an FCU ALU.
+    pub alu_op_pj: f64,
+    /// One reduce-engine operation (add or min) in the tree.
+    pub re_op_pj: f64,
+    /// One RCU processing-element operation (LUT-based mul/div/add/sub).
+    pub pe_op_pj: f64,
+    /// One local-cache access (1 KB SRAM, per 64-bit word).
+    pub cache_access_pj: f64,
+    /// One FIFO/stack buffer push or pop (small register-file class).
+    pub buffer_op_pj: f64,
+    /// One byte moved over the memory interface (GDDR5-class ~14 pJ/bit
+    /// system energy ⇒ ~112 pJ/B; we charge the device+interface share).
+    pub dram_byte_pj: f64,
+    /// One configuration-switch event (rewriting the RCU switch from the
+    /// configuration table).
+    pub reconfig_pj: f64,
+}
+
+impl EnergyModel {
+    /// 28 nm-class defaults.
+    pub fn tsmc28() -> Self {
+        EnergyModel {
+            alu_op_pj: 20.0,
+            re_op_pj: 8.0,
+            pe_op_pj: 10.0,
+            cache_access_pj: 1.2,
+            buffer_op_pj: 0.6,
+            dram_byte_pj: 60.0,
+            reconfig_pj: 25.0,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::tsmc28()
+    }
+}
+
+/// Event counters accumulated by the simulator, convertible to joules.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EnergyCounters {
+    /// FCU ALU operations.
+    pub alu_ops: u64,
+    /// Reduce-engine operations.
+    pub re_ops: u64,
+    /// RCU PE operations.
+    pub pe_ops: u64,
+    /// Local-cache word accesses (reads + writes).
+    pub cache_accesses: u64,
+    /// FIFO/stack operations.
+    pub buffer_ops: u64,
+    /// Bytes streamed from or to memory.
+    pub dram_bytes: u64,
+    /// RCU reconfiguration events.
+    pub reconfigs: u64,
+}
+
+impl EnergyCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &EnergyCounters) {
+        self.alu_ops += other.alu_ops;
+        self.re_ops += other.re_ops;
+        self.pe_ops += other.pe_ops;
+        self.cache_accesses += other.cache_accesses;
+        self.buffer_ops += other.buffer_ops;
+        self.dram_bytes += other.dram_bytes;
+        self.reconfigs += other.reconfigs;
+    }
+
+    /// Total energy in joules under `model`.
+    pub fn total_joules(&self, model: &EnergyModel) -> f64 {
+        self.breakdown_joules(model).iter().map(|(_, j)| j).sum()
+    }
+
+    /// Per-component energy in joules: `(component, joules)` pairs.
+    pub fn breakdown_joules(&self, model: &EnergyModel) -> Vec<(&'static str, f64)> {
+        let pj = 1e-12;
+        vec![
+            ("alu", self.alu_ops as f64 * model.alu_op_pj * pj),
+            ("reduce", self.re_ops as f64 * model.re_op_pj * pj),
+            ("pe", self.pe_ops as f64 * model.pe_op_pj * pj),
+            (
+                "cache",
+                self.cache_accesses as f64 * model.cache_access_pj * pj,
+            ),
+            ("buffer", self.buffer_ops as f64 * model.buffer_op_pj * pj),
+            ("dram", self.dram_bytes as f64 * model.dram_byte_pj * pj),
+            ("reconfig", self.reconfigs as f64 * model.reconfig_pj * pj),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_dominates_compute_per_value() {
+        let m = EnergyModel::tsmc28();
+        // Moving one 8-byte value costs more than computing with it.
+        assert!(8.0 * m.dram_byte_pj > m.alu_op_pj + m.re_op_pj);
+        // SRAM access is far cheaper than DRAM per value.
+        assert!(m.cache_access_pj * 20.0 < 8.0 * m.dram_byte_pj);
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let m = EnergyModel::tsmc28();
+        let c = EnergyCounters {
+            alu_ops: 1000,
+            dram_bytes: 64,
+            ..Default::default()
+        };
+        let expect = (1000.0 * 20.0 + 64.0 * 60.0) * 1e-12;
+        assert!((c.total_joules(&m) - expect).abs() < 1e-18);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = EnergyCounters {
+            alu_ops: 1,
+            re_ops: 2,
+            ..Default::default()
+        };
+        let b = EnergyCounters {
+            alu_ops: 10,
+            cache_accesses: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.alu_ops, 11);
+        assert_eq!(a.re_ops, 2);
+        assert_eq!(a.cache_accesses, 5);
+    }
+
+    #[test]
+    fn breakdown_has_all_components() {
+        let c = EnergyCounters::new();
+        let parts = c.breakdown_joules(&EnergyModel::tsmc28());
+        assert_eq!(parts.len(), 7);
+        assert!(parts.iter().all(|(_, j)| *j == 0.0));
+    }
+}

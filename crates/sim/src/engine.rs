@@ -1,0 +1,1733 @@
+//! The execution engine: drives the FCU/RCU/cache/memory models through a
+//! locally-dense matrix, producing both the functional result and a
+//! cycle-accurate [`ExecutionReport`].
+//!
+//! # Timing model
+//!
+//! The engine charges, per locally-dense block, the maximum of the memory
+//! cycles (payload streaming plus any vector-chunk fills) and the compute
+//! cycles of the active data path:
+//!
+//! * **GEMV / D-BFS / D-SSSP / D-PR** — fully pipelined: one ω-element block
+//!   row enters the FCU per cycle, so a block costs ω compute cycles.
+//! * **D-SymGS** — the recurrence of Figure 10: each of the ω steps waits
+//!   for the previous `xⱼ` to traverse multiplier → reduction tree → PE,
+//!   i.e. [`SimConfig::dsymgs_step_latency`] cycles per step.
+//!
+//! Switching data paths drains the reduction tree; the RCU switch is
+//! reprogrammed inside that drain window (§4.4), so only the drain itself
+//! (and any exposed remainder) appears on the critical path.
+//!
+//! Vector-operand chunks are prefetched into the local cache under the
+//! guidance of the configuration table (`Inx_in` is known ahead of time), so
+//! a chunk miss consumes memory bandwidth but no exposed latency; cache
+//! access time is tracked separately for the Figure 18 analysis.
+
+use alrescha_sparse::{alf::AlfLayout, Alf, BlockKind};
+
+use crate::buffers::{Fifo, LinkStack};
+use crate::cache::LocalCache;
+use crate::config::SimConfig;
+use crate::energy::EnergyCounters;
+use crate::error::{Result, SimError};
+use crate::fcu::{Fcu, Reduce};
+use crate::memory::MemoryStream;
+use crate::rcu::{DataPathKind, Rcu};
+use crate::report::{CacheStats, DataPathCounts, ExecutionReport};
+
+/// Distance value marking an unreached vertex in graph kernels.
+pub const UNREACHED: f64 = f64::INFINITY;
+
+/// Options for the simulated PageRank driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageRankConfig {
+    /// Damping factor.
+    pub damping: f64,
+    /// L1 convergence threshold.
+    pub tol: f64,
+    /// Iteration budget.
+    pub max_iters: usize,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig {
+            damping: 0.85,
+            tol: 1e-10,
+            max_iters: 200,
+        }
+    }
+}
+
+/// Cycle-level accelerator engine.
+///
+/// # Example
+///
+/// ```
+/// use alrescha_sim::{Engine, SimConfig};
+/// use alrescha_sparse::{alf::AlfLayout, gen, Alf};
+///
+/// let coo = gen::stencil27(2);
+/// let a = Alf::from_coo(&coo, 8, AlfLayout::Streaming)?;
+/// let x = vec![1.0; a.cols()];
+/// let mut engine = Engine::new(SimConfig::paper());
+/// let (y, report) = engine.run_spmv(&a, &x)?;
+/// assert_eq!(y.len(), a.rows());
+/// assert!(report.cycles > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    config: SimConfig,
+    fcu: Fcu,
+    rcu: Rcu,
+    cache: LocalCache,
+    trace: crate::trace::Trace,
+}
+
+/// Per-run mutable accounting.
+#[derive(Debug)]
+struct RunState {
+    cycles: u64,
+    memory: MemoryStream,
+    cache_busy: u64,
+    counts: DataPathCounts,
+    cache_base: (u64, u64, u64), // (hits, misses, writes) at run start
+    reconfig_base: crate::rcu::ReconfigStats,
+    breakdown: crate::report::CycleBreakdown,
+    link_stack_peak: usize,
+}
+
+// Word-address regions for the cached vector operands.
+const REGION_X: usize = 0;
+const REGION_B: usize = 2 << 28;
+const REGION_DIAG: usize = 3 << 28;
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        let fcu = Fcu::new(&config);
+        let rcu = Rcu::new(&config);
+        let cache = LocalCache::new(&config);
+        Engine {
+            config,
+            fcu,
+            rcu,
+            cache,
+            trace: crate::trace::Trace::new(),
+        }
+    }
+
+    /// Turns on event tracing (see [`crate::trace`]).
+    pub fn enable_tracing(&mut self) {
+        self.trace.enable();
+    }
+
+    /// Takes the recorded trace events (empty unless tracing is enabled).
+    pub fn take_trace(&mut self) -> Vec<crate::trace::TraceEvent> {
+        self.trace.take()
+    }
+
+    fn trace_reconfigure(&mut self, to: DataPathKind, exposed: u64) {
+        self.trace
+            .record(crate::trace::TraceEvent::Reconfigure { to, exposed });
+    }
+
+    fn trace_block(&mut self, block_row: usize, block_col: usize, kind: DataPathKind) {
+        self.trace.record(crate::trace::TraceEvent::BlockBegin {
+            block_row,
+            block_col,
+            kind,
+        });
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    fn begin(&mut self, reduce: Reduce) -> RunState {
+        self.cache.flush();
+        let fill = self.fcu.fill_latency(reduce);
+        RunState {
+            cycles: fill,
+            memory: MemoryStream::new(&self.config),
+            cache_busy: 0,
+            counts: DataPathCounts::default(),
+            cache_base: (self.cache.hits(), self.cache.misses(), self.cache.writes()),
+            reconfig_base: self.rcu.stats(),
+            breakdown: crate::report::CycleBreakdown {
+                drain_cycles: fill,
+                ..Default::default()
+            },
+            link_stack_peak: 0,
+        }
+    }
+
+    fn finish(&mut self, kernel: &'static str, state: RunState, reduce: Reduce) -> ExecutionReport {
+        // Reconfiguration statistics are engine-lifetime totals; report the
+        // delta accumulated by this run only.
+        let totals = self.rcu.stats();
+        let reconfig = crate::rcu::ReconfigStats {
+            switches: totals.switches - state.reconfig_base.switches,
+            hidden_cycles: totals.hidden_cycles - state.reconfig_base.hidden_cycles,
+            exposed_cycles: totals.exposed_cycles - state.reconfig_base.exposed_cycles,
+        };
+        let mut breakdown = state.breakdown;
+        breakdown.drain_cycles += self.fcu.drain(reduce) + reconfig.exposed_cycles;
+        let mut cycles = state.cycles + self.fcu.drain(reduce);
+        cycles += reconfig.exposed_cycles;
+        let mut energy = EnergyCounters::new();
+        energy.merge(&self.fcu.take_counters());
+        energy.merge(&self.rcu.take_counters());
+        let (h0, m0, w0) = state.cache_base;
+        let cache = CacheStats {
+            hits: self.cache.hits() - h0,
+            misses: self.cache.misses() - m0,
+            writes: self.cache.writes() - w0,
+            busy_cycles: state.cache_busy,
+        };
+        energy.cache_accesses = cache.accesses();
+        energy.dram_bytes = state.memory.bytes_streamed();
+        self.trace
+            .record(crate::trace::TraceEvent::KernelEnd { cycles });
+        let seconds = self.config.cycles_to_seconds(cycles);
+        ExecutionReport {
+            kernel,
+            cycles,
+            seconds,
+            bytes_streamed: state.memory.bytes_streamed(),
+            bandwidth_utilization: state.memory.utilization(cycles),
+            cache_time_fraction: if cycles > 0 {
+                (state.cache_busy as f64 / cycles as f64).min(1.0)
+            } else {
+                0.0
+            },
+            energy,
+            reconfig,
+            cache,
+            datapaths: state.counts,
+            breakdown,
+        }
+    }
+
+    /// Reads one ω-chunk of a cached vector operand; charges cache-port
+    /// occupancy (the cache is pipelined: one line access per cycle, so a
+    /// chunk read occupies ⌈ω/line⌉ cycles) and, on a miss, the bandwidth
+    /// of fetching the chunk (prefetched via the configuration table, so no
+    /// exposed latency).
+    fn read_chunk(&mut self, state: &mut RunState, region: usize, chunk_start: usize) {
+        let omega = self.config.omega;
+        let mut missed = false;
+        for k in 0..omega {
+            let access = self.cache.read(region + chunk_start + k);
+            if !access.hit {
+                missed = true;
+            }
+        }
+        state.cache_busy += omega.div_ceil(self.config.values_per_line()) as u64;
+        if missed {
+            state.memory.stream_values(omega);
+        }
+    }
+
+    /// Writes one ω-chunk of a cached vector operand.
+    fn write_chunk(&mut self, state: &mut RunState, region: usize, chunk_start: usize) {
+        for k in 0..self.config.omega {
+            self.cache.write(region + chunk_start + k);
+        }
+        state.cache_busy += self.config.omega.div_ceil(self.config.values_per_line()) as u64;
+    }
+
+    fn operand_slice(x: &[f64], start: usize, omega: usize) -> Vec<f64> {
+        (0..omega)
+            .map(|k| x.get(start + k).copied().unwrap_or(0.0))
+            .collect()
+    }
+
+    /// Runs SpMV (`y = A·x`) over a [`AlfLayout::Streaming`] matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::LayoutMismatch`] if `a` was built for SymGS.
+    /// * [`SimError::DimensionMismatch`] if `x.len() != a.cols()`.
+    pub fn run_spmv(&mut self, a: &Alf, x: &[f64]) -> Result<(Vec<f64>, ExecutionReport)> {
+        if a.layout() != AlfLayout::Streaming {
+            return Err(SimError::LayoutMismatch {
+                expected: "streaming",
+                found: "symgs",
+            });
+        }
+        if x.len() != a.cols() {
+            return Err(SimError::DimensionMismatch {
+                expected: a.cols(),
+                found: x.len(),
+            });
+        }
+        let omega = self.config.omega;
+        if a.omega() != omega {
+            return Err(SimError::BlockWidthMismatch {
+                engine: omega,
+                matrix: a.omega(),
+            });
+        }
+
+        let mut state = self.begin(Reduce::Sum);
+        self.trace
+            .record(crate::trace::TraceEvent::KernelBegin { kernel: "spmv" });
+        let mut y = vec![0.0; a.rows()];
+        let exposed = self
+            .rcu
+            .configure(DataPathKind::Gemv, self.fcu.drain(Reduce::Sum));
+        self.trace_reconfigure(DataPathKind::Gemv, exposed);
+
+        for block in a.blocks() {
+            let row_base = block.block_row() * omega;
+            let col_base = block.block_col() * omega;
+            self.trace_block(block.block_row(), block.block_col(), DataPathKind::Gemv);
+            let mem = {
+                let payload = state.memory.stream_values(omega * omega);
+                self.read_chunk(&mut state, REGION_X, col_base);
+                payload
+            };
+            let compute = omega as u64;
+            let block_cycles = mem.max(compute);
+            state.cycles += block_cycles;
+            state.breakdown.gemv_cycles += block_cycles;
+            state.counts.gemv_blocks += 1;
+
+            let operand = Self::operand_slice(x, col_base, omega);
+            for i in 0..omega {
+                let logical: Vec<f64> = (0..omega).map(|j| block.get(i, j)).collect();
+                let dot = self.fcu.mac_row(&logical, &operand);
+                if row_base + i < y.len() {
+                    y[row_base + i] += dot;
+                }
+            }
+        }
+
+        // Result write-back: one pass over y through the cache and out.
+        for chunk in (0..a.rows()).step_by(omega) {
+            self.write_chunk(&mut state, REGION_X, chunk);
+        }
+        state.memory.record_bytes(a.rows() as u64 * 8);
+
+        let report = self.finish("spmv", state, Reduce::Sum);
+        Ok((y, report))
+    }
+
+    /// One forward Gauss-Seidel sweep over a [`AlfLayout::SymGs`] matrix,
+    /// updating `x` in place. Functionally identical (up to floating-point
+    /// reassociation) to `alrescha_kernels::symgs::forward_sweep`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::LayoutMismatch`] if `a` was built for streaming.
+    /// * [`SimError::DimensionMismatch`] on operand length mismatches.
+    pub fn run_symgs_forward(
+        &mut self,
+        a: &Alf,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<ExecutionReport> {
+        self.run_symgs_sweep(a, b, x, false)
+    }
+
+    /// One backward Gauss-Seidel sweep (block rows and in-block rows in
+    /// descending order). See [`Engine::run_symgs_forward`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::run_symgs_forward`].
+    pub fn run_symgs_backward(
+        &mut self,
+        a: &Alf,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<ExecutionReport> {
+        self.run_symgs_sweep(a, b, x, true)
+    }
+
+    /// One symmetric Gauss-Seidel application (forward then backward sweep),
+    /// the SymGS kernel of Table 1.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::run_symgs_forward`].
+    pub fn run_symgs(&mut self, a: &Alf, b: &[f64], x: &mut [f64]) -> Result<ExecutionReport> {
+        let mut report = self.run_symgs_forward(a, b, x)?;
+        let back = self.run_symgs_backward(a, b, x)?;
+        report.merge(&back, &self.config.clone());
+        report.datapaths.iterations = 1;
+        Ok(report)
+    }
+
+    fn run_symgs_sweep(
+        &mut self,
+        a: &Alf,
+        b: &[f64],
+        x: &mut [f64],
+        backward: bool,
+    ) -> Result<ExecutionReport> {
+        self.run_sor_sweep(a, b, x, backward, 1.0)
+    }
+
+    fn run_sor_sweep(
+        &mut self,
+        a: &Alf,
+        b: &[f64],
+        x: &mut [f64],
+        backward: bool,
+        omega_relax: f64,
+    ) -> Result<ExecutionReport> {
+        if a.layout() != AlfLayout::SymGs {
+            return Err(SimError::LayoutMismatch {
+                expected: "symgs",
+                found: "streaming",
+            });
+        }
+        if b.len() != a.rows() {
+            return Err(SimError::DimensionMismatch {
+                expected: a.rows(),
+                found: b.len(),
+            });
+        }
+        if x.len() != a.cols() {
+            return Err(SimError::DimensionMismatch {
+                expected: a.cols(),
+                found: x.len(),
+            });
+        }
+        let omega = self.config.omega;
+        if a.omega() != omega {
+            return Err(SimError::BlockWidthMismatch {
+                engine: omega,
+                matrix: a.omega(),
+            });
+        }
+
+        let mut state = self.begin(Reduce::Sum);
+        self.trace.record(crate::trace::TraceEvent::KernelBegin {
+            kernel: if backward {
+                "symgs-backward"
+            } else {
+                "symgs-forward"
+            },
+        });
+        // The extracted diagonal is loaded into the local cache once per
+        // sweep (programming-time traffic, §4.5).
+        state.memory.record_bytes(a.diagonal().len() as u64 * 8);
+
+        let block_rows = a.block_rows();
+        let mut order: Vec<usize> = (0..block_rows).collect();
+        if backward {
+            order.reverse();
+        }
+
+        // Index blocks by block row once; within a row keep stream order.
+        let mut per_row: Vec<Vec<&alrescha_sparse::AlfBlock>> = vec![Vec::new(); block_rows];
+        for block in a.blocks() {
+            per_row[block.block_row()].push(block);
+        }
+
+        for &br in &order {
+            let row_base = br * omega;
+            // Intermediate GEMV results ride the LIFO link stack to the
+            // D-SymGS data path (Figure 11): one (lane, value) per block
+            // row lane per GEMV block.
+            let mut link_stack: LinkStack<(usize, f64)> = LinkStack::new();
+            let mut diag_block: Option<&alrescha_sparse::AlfBlock> = None;
+
+            for block in &per_row[br] {
+                if block.kind() == BlockKind::Diagonal {
+                    diag_block = Some(block);
+                    continue;
+                }
+                // GEMV data path on an off-diagonal block.
+                let switched = self.rcu.current() != Some(DataPathKind::Gemv);
+                let exposed = self
+                    .rcu
+                    .configure(DataPathKind::Gemv, self.fcu.drain(Reduce::Sum));
+                if switched {
+                    self.trace_reconfigure(DataPathKind::Gemv, exposed);
+                }
+                self.trace_block(block.block_row(), block.block_col(), DataPathKind::Gemv);
+                let col_base = block.block_col() * omega;
+                let payload_cycles = state.memory.stream_values(omega * omega);
+                self.read_chunk(&mut state, REGION_X, col_base);
+                let block_cycles = payload_cycles.max(omega as u64);
+                state.cycles += block_cycles;
+                state.breakdown.gemv_cycles += block_cycles;
+                state.counts.gemv_blocks += 1;
+
+                let operand = Self::operand_slice(x, col_base, omega);
+                for i in 0..omega {
+                    let logical: Vec<f64> = (0..omega).map(|j| block.get(i, j)).collect();
+                    let dot = self.fcu.mac_row(&logical, &operand);
+                    link_stack.push((i, dot));
+                    self.rcu.buffer_event();
+                }
+            }
+
+            // The successive D-SymGS pops the GEMV results off the stack
+            // and reduces them per lane (the pops happen in LIFO order —
+            // the reverse of the push order, which the reduction is
+            // insensitive to because addition commutes).
+            let mut partial = vec![0.0; omega];
+            state.link_stack_peak = state.link_stack_peak.max(link_stack.max_depth());
+            while let Some((lane, value)) = link_stack.pop() {
+                partial[lane] += value;
+                self.rcu.buffer_event();
+            }
+
+            // D-SymGS on the diagonal block (always present for rows that
+            // hold any diagonal entry; absent only for all-zero block rows).
+            let drain = self.fcu.drain(Reduce::Sum);
+            let switched = self.rcu.current() != Some(DataPathKind::DSymGs);
+            let exposed = self.rcu.configure(DataPathKind::DSymGs, drain);
+            if switched {
+                self.trace_reconfigure(DataPathKind::DSymGs, exposed);
+            }
+            self.trace_block(br, br, DataPathKind::DSymGs);
+            // Switching data paths costs the drain of the in-flight GEMV —
+            // unless the overlap-drain ablation forwards through it.
+            if !self.config.overlap_drain {
+                state.cycles += drain;
+                state.breakdown.drain_cycles += drain;
+            }
+
+            self.read_chunk(&mut state, REGION_B, row_base);
+            self.read_chunk(&mut state, REGION_DIAG, row_base);
+            // The right-hand side and the extracted diagonal arrive through
+            // FIFOs (deterministic access order, §4.3).
+            let mut b_fifo: Fifo<f64> = Fifo::new();
+            let mut diag_fifo: Fifo<f64> = Fifo::new();
+            for i in 0..omega {
+                let g = row_base + i;
+                if g < a.rows() {
+                    b_fifo.push(b[g]);
+                    diag_fifo.push(a.diagonal()[g]);
+                    self.rcu.buffer_event();
+                    self.rcu.buffer_event();
+                }
+            }
+            if backward {
+                // The r2l access order of the diagonal block consumes the
+                // operands back to front; drain the FIFOs into reverse
+                // order buffers (the hardware's addressable cache serves
+                // this; the FIFO still sized/counted the traffic).
+            }
+
+            let rows_iter: Box<dyn Iterator<Item = usize>> = if backward {
+                Box::new((0..omega).rev())
+            } else {
+                Box::new(0..omega)
+            };
+            // Forward sweeps feed the multipliers from the Figure 10 shift
+            // register: lane k starts as x^{t-1}[ω−1−k]; each step pushes
+            // the fresh x^t into lane 0. The streamed (reversed) payload
+            // row, rotated by the step index, lines each lane up with its
+            // logical column. The backward sweep is the mirror-image
+            // hardware and uses the addressable cache path directly.
+            let mut shift_reg = if backward {
+                None
+            } else {
+                let initial: Vec<f64> = (0..omega)
+                    .map(|k| x.get(row_base + omega - 1 - k).copied().unwrap_or(0.0))
+                    .collect();
+                Some(crate::shift::ShiftRegister::load(&initial))
+            };
+            let mut steps = 0u64;
+            for i in rows_iter {
+                let g = row_base + i;
+                if g >= a.rows() {
+                    continue;
+                }
+                let diag = a.diagonal()[g];
+                if !backward {
+                    // Forward sweeps consume the operand FIFOs in order.
+                    let fb = b_fifo.pop().unwrap_or(b[g]);
+                    let fd = diag_fifo.pop().unwrap_or(diag);
+                    debug_assert_eq!(fb.to_bits(), b[g].to_bits());
+                    debug_assert_eq!(fd.to_bits(), diag.to_bits());
+                }
+                if diag == 0.0 {
+                    return Err(SimError::Structure(
+                        alrescha_sparse::Error::MissingDiagonal { row: g },
+                    ));
+                }
+                let mut sum = b[g] - partial[i];
+                if let Some(block) = diag_block {
+                    // Payload of the diagonal block streams in parallel with
+                    // the recurrence; its diagonal slots are zero so the
+                    // full ω-wide dot product is safe.
+                    match &shift_reg {
+                        Some(reg) => {
+                            // Lane k multiplies streamed slot (k + ω − i)
+                            // mod ω ("rotating the inputs of the
+                            // multipliers", §4.2).
+                            let streamed = block.row(i);
+                            let rotated: Vec<f64> = (0..omega)
+                                .map(|k| streamed[(k + omega - (i % omega)) % omega])
+                                .collect();
+                            sum -= self.fcu.mac_row(&rotated, reg.lanes());
+                        }
+                        None => {
+                            let logical: Vec<f64> = (0..omega).map(|j| block.get(i, j)).collect();
+                            let operand = Self::operand_slice(x, row_base, omega);
+                            sum -= self.fcu.mac_row(&logical, &operand);
+                        }
+                    }
+                    // Link-stack pop feeding the recurrence.
+                    self.rcu.buffer_event();
+                }
+                // PE: subtract/divide producing x_g, with the SOR blend
+                // (a second PE op) when the relaxation factor is not 1.
+                let _ = self.rcu.pe_op();
+                if (omega_relax - 1.0).abs() < f64::EPSILON {
+                    x[g] = sum / diag;
+                } else {
+                    let _ = self.rcu.pe_op();
+                    x[g] = (1.0 - omega_relax) * x[g] + omega_relax * sum / diag;
+                }
+                if let Some(reg) = &mut shift_reg {
+                    reg.push(x[g]);
+                }
+                steps += 1;
+            }
+            if diag_block.is_some() {
+                let payload_cycles = state.memory.stream_values(omega * omega);
+                let compute = steps * self.config.dsymgs_step_latency();
+                let block_cycles = payload_cycles.max(compute);
+                state.cycles += block_cycles;
+                state.breakdown.dsymgs_cycles += block_cycles;
+                state.counts.dsymgs_blocks += 1;
+            } else if steps > 0 {
+                // Rows with only an extracted diagonal: pure PE updates.
+                let block_cycles = steps * self.config.dsymgs_step_latency();
+                state.cycles += block_cycles;
+                state.breakdown.dsymgs_cycles += block_cycles;
+            }
+            self.write_chunk(&mut state, REGION_X, row_base);
+        }
+
+        state.memory.record_bytes(a.rows() as u64 * 8); // x write-back
+        state.counts.link_stack_peak = state.link_stack_peak as u64;
+        let mut report = self.finish(
+            if backward {
+                "symgs-backward"
+            } else {
+                "symgs-forward"
+            },
+            state,
+            Reduce::Sum,
+        );
+        report.datapaths.iterations = 1;
+        Ok(report)
+    }
+
+    /// Runs BFS from `source` over the transposed adjacency structure
+    /// `at` ([`AlfLayout::Streaming`], built from `Aᵀ` so each block row
+    /// gathers a destination chunk's incoming edges). Edge weights are
+    /// ignored (unit hop cost). Returns levels with [`UNREACHED`] where no
+    /// path exists.
+    ///
+    /// # Errors
+    ///
+    /// Layout/shape errors as in [`Engine::run_spmv`], plus a source bound
+    /// check.
+    pub fn run_bfs(&mut self, at: &Alf, source: usize) -> Result<(Vec<f64>, ExecutionReport)> {
+        self.run_minplus(at, source, "bfs", DataPathKind::DBfs, |_w| 1.0)
+    }
+
+    /// Runs SSSP from `source` over the transposed adjacency `at` with the
+    /// stored edge weights. Returns distances with [`UNREACHED`] where no
+    /// path exists.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::run_bfs`].
+    pub fn run_sssp(&mut self, at: &Alf, source: usize) -> Result<(Vec<f64>, ExecutionReport)> {
+        self.run_minplus(at, source, "sssp", DataPathKind::DSssp, |w| w)
+    }
+
+    fn run_minplus(
+        &mut self,
+        at: &Alf,
+        source: usize,
+        kernel: &'static str,
+        kind: DataPathKind,
+        weight_of: impl Fn(f64) -> f64,
+    ) -> Result<(Vec<f64>, ExecutionReport)> {
+        if at.layout() != AlfLayout::Streaming {
+            return Err(SimError::LayoutMismatch {
+                expected: "streaming",
+                found: "symgs",
+            });
+        }
+        if at.rows() != at.cols() {
+            return Err(SimError::DimensionMismatch {
+                expected: at.rows(),
+                found: at.cols(),
+            });
+        }
+        if source >= at.rows() {
+            return Err(SimError::DimensionMismatch {
+                expected: at.rows(),
+                found: source,
+            });
+        }
+        let omega = self.config.omega;
+        if at.omega() != omega {
+            return Err(SimError::BlockWidthMismatch {
+                engine: omega,
+                matrix: at.omega(),
+            });
+        }
+
+        let n = at.rows();
+        let mut dist = vec![UNREACHED; n];
+        dist[source] = 0.0;
+
+        let mut state = self.begin(Reduce::Min);
+        self.rcu.configure(kind, self.fcu.drain(Reduce::Min));
+        let mut rounds = 0u64;
+
+        loop {
+            let mut changed = false;
+            rounds += 1;
+            for block in at.blocks() {
+                // Block of Aᵀ: rows are destinations, columns sources.
+                let dst_base = block.block_row() * omega;
+                let src_base = block.block_col() * omega;
+                let payload = state.memory.stream_values(omega * omega);
+                self.read_chunk(&mut state, REGION_X, src_base);
+                let block_cycles = payload.max(omega as u64);
+                state.cycles += block_cycles;
+                state.breakdown.graph_cycles += block_cycles;
+                state.counts.graph_blocks += 1;
+
+                let operand = Self::operand_slice(&dist, src_base, omega);
+                for i in 0..omega {
+                    let d = dst_base + i;
+                    if d >= n {
+                        continue;
+                    }
+                    let logical: Vec<f64> = (0..omega).map(|j| block.get(i, j)).collect();
+                    let cand = self
+                        .fcu
+                        .min_reduce_row(&logical, &operand, |w, dsrc| weight_of(w) + dsrc);
+                    if cand < dist[d] {
+                        // Phase-3 assign: compare and update (Table 1).
+                        let _ = self.rcu.pe_op();
+                        self.cache.write(REGION_X + d);
+                        state.cache_busy += 1;
+                        dist[d] = cand;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed || rounds as usize > n {
+                break;
+            }
+        }
+
+        state.memory.record_bytes(n as u64 * 8);
+        let mut report = self.finish(kernel, state, Reduce::Min);
+        report.datapaths.iterations = rounds;
+        Ok((dist, report))
+    }
+
+    /// Runs PageRank over the transposed adjacency structure `at`
+    /// (edge `u → v` gathered at `v`), with `out_degrees[u]` counting `u`'s
+    /// outgoing edges. Dangling mass is redistributed uniformly. Returns
+    /// `(ranks, report)`.
+    ///
+    /// # Errors
+    ///
+    /// Layout/shape errors as in [`Engine::run_spmv`], plus
+    /// [`SimError::NoConvergence`] when the iteration budget is exhausted.
+    pub fn run_pagerank(
+        &mut self,
+        at: &Alf,
+        out_degrees: &[usize],
+        opts: &PageRankConfig,
+    ) -> Result<(Vec<f64>, ExecutionReport)> {
+        if at.layout() != AlfLayout::Streaming {
+            return Err(SimError::LayoutMismatch {
+                expected: "streaming",
+                found: "symgs",
+            });
+        }
+        if at.rows() != at.cols() {
+            return Err(SimError::DimensionMismatch {
+                expected: at.rows(),
+                found: at.cols(),
+            });
+        }
+        if out_degrees.len() != at.rows() {
+            return Err(SimError::DimensionMismatch {
+                expected: at.rows(),
+                found: out_degrees.len(),
+            });
+        }
+        let omega = self.config.omega;
+        if at.omega() != omega {
+            return Err(SimError::BlockWidthMismatch {
+                engine: omega,
+                matrix: at.omega(),
+            });
+        }
+
+        let n = at.rows();
+        let mut state = self.begin(Reduce::Sum);
+        self.rcu
+            .configure(DataPathKind::DPr, self.fcu.drain(Reduce::Sum));
+        let mut rank = vec![1.0 / n as f64; n];
+
+        for it in 1..=opts.max_iters {
+            // Phase-1 division: contribution of every vertex (ω-wide PEs).
+            let mut contrib = vec![0.0; n];
+            let mut dangling = 0.0;
+            for u in 0..n {
+                if out_degrees[u] == 0 {
+                    dangling += rank[u];
+                } else {
+                    let _ = self.rcu.pe_op();
+                    contrib[u] = opts.damping * rank[u] / out_degrees[u] as f64;
+                }
+            }
+            let div_cycles = (n as u64).div_ceil(omega as u64) * self.config.pe_latency;
+            state.cycles += div_cycles;
+            state.breakdown.graph_cycles += div_cycles;
+
+            let base = (1.0 - opts.damping) / n as f64 + opts.damping * dangling / n as f64;
+            let mut next = vec![base; n];
+            for block in at.blocks() {
+                let dst_base = block.block_row() * omega;
+                let src_base = block.block_col() * omega;
+                let payload = state.memory.stream_values(omega * omega);
+                self.read_chunk(&mut state, REGION_X, src_base);
+                let block_cycles = payload.max(omega as u64);
+                state.cycles += block_cycles;
+                state.breakdown.graph_cycles += block_cycles;
+                state.counts.graph_blocks += 1;
+
+                let operand = Self::operand_slice(&contrib, src_base, omega);
+                for i in 0..omega {
+                    let d = dst_base + i;
+                    if d >= n {
+                        continue;
+                    }
+                    // Structure-only gather: an edge contributes its
+                    // source's (already damped and divided) share.
+                    let indicator: Vec<f64> = (0..omega)
+                        .map(|j| if block.get(i, j) != 0.0 { 1.0 } else { 0.0 })
+                        .collect();
+                    next[d] += self.fcu.mac_row(&indicator, &operand);
+                }
+            }
+            for chunk in (0..n).step_by(omega) {
+                self.write_chunk(&mut state, REGION_X, chunk);
+            }
+
+            let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+            rank = next;
+            if delta < opts.tol {
+                state.memory.record_bytes(n as u64 * 8);
+                let mut report = self.finish("pagerank", state, Reduce::Sum);
+                report.datapaths.iterations = it as u64;
+                return Ok((rank, report));
+            }
+        }
+        Err(SimError::NoConvergence {
+            iterations: opts.max_iters,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alrescha_sparse::{gen, Coo, Csr};
+
+    fn engine() -> Engine {
+        Engine::new(SimConfig::paper())
+    }
+
+    fn spmv_alf(coo: &Coo) -> Alf {
+        Alf::from_coo(coo, 8, AlfLayout::Streaming).unwrap()
+    }
+
+    #[test]
+    fn spmv_matches_reference() {
+        let coo = gen::stencil27(3);
+        let a = spmv_alf(&coo);
+        let csr = Csr::from_coo(&coo);
+        let x: Vec<f64> = (0..coo.cols()).map(|i| (i as f64 * 0.3).sin()).collect();
+        let (y, report) = engine().run_spmv(&a, &x).unwrap();
+        let expect = alrescha_kernels::spmv::spmv(&csr, &x);
+        assert!(alrescha_sparse::approx_eq(&y, &expect, 1e-12));
+        assert!(report.cycles > 0);
+        assert!(report.bandwidth_utilization > 0.0);
+        assert_eq!(report.datapaths.gemv_blocks as usize, a.blocks().len());
+    }
+
+    #[test]
+    fn spmv_rejects_symgs_layout() {
+        let coo = gen::stencil27(2);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::SymGs).unwrap();
+        let x = vec![0.0; a.cols()];
+        assert!(matches!(
+            engine().run_spmv(&a, &x),
+            Err(SimError::LayoutMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn spmv_rejects_wrong_x_len() {
+        let a = spmv_alf(&gen::stencil27(2));
+        assert!(engine().run_spmv(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn spmv_rejects_block_width_mismatch() {
+        let coo = gen::stencil27(2);
+        let a = Alf::from_coo(&coo, 4, AlfLayout::Streaming).unwrap();
+        let x = vec![0.0; a.cols()];
+        assert!(matches!(
+            engine().run_spmv(&a, &x),
+            Err(SimError::BlockWidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn symgs_forward_matches_reference() {
+        let coo = gen::stencil27(3);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::SymGs).unwrap();
+        let csr = Csr::from_coo(&coo);
+        let b: Vec<f64> = (0..coo.rows()).map(|i| 1.0 + (i % 5) as f64).collect();
+
+        let mut x_sim = vec![0.0; coo.cols()];
+        engine().run_symgs_forward(&a, &b, &mut x_sim).unwrap();
+
+        let mut x_ref = vec![0.0; coo.cols()];
+        alrescha_kernels::symgs::forward_sweep(&csr, &b, &mut x_ref).unwrap();
+        assert!(alrescha_sparse::approx_eq(&x_sim, &x_ref, 1e-10));
+    }
+
+    #[test]
+    fn symgs_full_matches_reference_on_all_classes() {
+        for class in gen::ScienceClass::ALL {
+            let coo = class.generate(120, 3);
+            let a = Alf::from_coo(&coo, 8, AlfLayout::SymGs).unwrap();
+            let csr = Csr::from_coo(&coo);
+            let b: Vec<f64> = (0..coo.rows()).map(|i| (i as f64 * 0.7).cos()).collect();
+
+            let mut x_sim = vec![0.0; coo.cols()];
+            engine().run_symgs(&a, &b, &mut x_sim).unwrap();
+
+            let mut x_ref = vec![0.0; coo.cols()];
+            alrescha_kernels::symgs::symgs(&csr, &b, &mut x_ref).unwrap();
+            assert!(
+                alrescha_sparse::approx_eq(&x_sim, &x_ref, 1e-9),
+                "mismatch on {}",
+                class.name()
+            );
+        }
+    }
+
+    #[test]
+    fn symgs_counts_both_datapaths_and_switches() {
+        let coo = gen::stencil27(3);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::SymGs).unwrap();
+        let b = vec![1.0; coo.rows()];
+        let mut x = vec![0.0; coo.cols()];
+        let report = engine().run_symgs_forward(&a, &b, &mut x).unwrap();
+        assert!(report.datapaths.gemv_blocks > 0);
+        assert!(report.datapaths.dsymgs_blocks > 0);
+        assert!(
+            report.reconfig.switches > 1,
+            "must switch between data paths"
+        );
+        assert_eq!(report.reconfig.exposed_cycles, 0, "drain hides the switch");
+    }
+
+    #[test]
+    fn bfs_matches_reference() {
+        let coo = gen::road_grid(6);
+        let at = spmv_alf(&coo.transpose());
+        let csr = Csr::from_coo(&coo);
+        let (levels, report) = engine().run_bfs(&at, 0).unwrap();
+        let expect = alrescha_kernels::graph::bfs(&csr, 0).unwrap();
+        assert_eq!(levels, expect);
+        assert!(report.datapaths.iterations > 1);
+    }
+
+    #[test]
+    fn sssp_matches_reference() {
+        let coo = gen::GraphClass::Social.generate(100, 5);
+        let at = spmv_alf(&coo.transpose());
+        let csr = Csr::from_coo(&coo);
+        let (dist, _) = engine().run_sssp(&at, 0).unwrap();
+        let expect = alrescha_kernels::graph::sssp(&csr, 0).unwrap();
+        assert!(dist
+            .iter()
+            .zip(&expect)
+            .all(|(a, b)| (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9));
+    }
+
+    #[test]
+    fn pagerank_matches_reference() {
+        let coo = gen::GraphClass::Kronecker.generate(64, 7);
+        let at = spmv_alf(&coo.transpose());
+        let csr = Csr::from_coo(&coo);
+        let out_deg: Vec<usize> = (0..csr.rows()).map(|u| csr.row_nnz(u)).collect();
+        let (ranks, report) = engine()
+            .run_pagerank(&at, &out_deg, &PageRankConfig::default())
+            .unwrap();
+        let (expect, _) = alrescha_kernels::graph::pagerank(
+            &csr,
+            &alrescha_kernels::graph::PageRankOptions::default(),
+        )
+        .unwrap();
+        assert!(alrescha_sparse::approx_eq(&ranks, &expect, 1e-6));
+        assert!(report.datapaths.iterations > 1);
+    }
+
+    #[test]
+    fn bfs_source_out_of_range() {
+        let at = spmv_alf(&gen::road_grid(3).transpose());
+        assert!(engine().run_bfs(&at, 10_000).is_err());
+    }
+
+    #[test]
+    fn dsymgs_blocks_dominate_cycles_on_diagonal_matrices() {
+        // A banded matrix living inside diagonal blocks: almost all time is
+        // the sequential D-SymGS recurrence.
+        let coo = gen::banded(256, 3, 1);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::SymGs).unwrap();
+        let b = vec![1.0; 256];
+        let mut x = vec![0.0; 256];
+        let report = engine().run_symgs_forward(&a, &b, &mut x).unwrap();
+        let step = SimConfig::paper().dsymgs_step_latency();
+        let dsymgs_cycles = report.datapaths.dsymgs_blocks * 8 * step;
+        assert!(
+            dsymgs_cycles * 2 > report.cycles,
+            "dsymgs {} of total {}",
+            dsymgs_cycles,
+            report.cycles
+        );
+    }
+
+    #[test]
+    fn energy_counters_populate() {
+        let coo = gen::stencil27(2);
+        let a = spmv_alf(&coo);
+        let x = vec![1.0; a.cols()];
+        let (_, report) = engine().run_spmv(&a, &x).unwrap();
+        assert!(report.energy.alu_ops > 0);
+        assert!(report.energy.re_ops > 0);
+        assert!(report.energy.dram_bytes > 0);
+        assert!(report.energy.cache_accesses > 0);
+    }
+}
+
+#[cfg(test)]
+mod breakdown_tests {
+    use super::*;
+    use alrescha_sparse::gen;
+
+    #[test]
+    fn breakdown_accounts_every_cycle() {
+        let coo = gen::stencil27(4);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::SymGs).unwrap();
+        let b = vec![1.0; coo.rows()];
+        let mut x = vec![0.0; coo.cols()];
+        let mut engine = Engine::new(SimConfig::paper());
+        let report = engine.run_symgs_forward(&a, &b, &mut x).unwrap();
+        assert_eq!(
+            report.breakdown.total(),
+            report.cycles,
+            "breakdown {:?} vs cycles {}",
+            report.breakdown,
+            report.cycles
+        );
+        assert!(report.breakdown.gemv_cycles > 0);
+        assert!(report.breakdown.dsymgs_cycles > 0);
+        assert!(report.breakdown.drain_cycles > 0);
+        assert_eq!(report.breakdown.graph_cycles, 0);
+    }
+
+    #[test]
+    fn overlap_drain_removes_switch_cost() {
+        let coo = gen::stencil27(4);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::SymGs).unwrap();
+        let b = vec![1.0; coo.rows()];
+
+        let mut baseline_engine = Engine::new(SimConfig::paper());
+        let mut x1 = vec![0.0; coo.cols()];
+        let baseline = baseline_engine.run_symgs_forward(&a, &b, &mut x1).unwrap();
+
+        let mut overlap_engine = Engine::new(SimConfig::paper().with_overlap_drain(true));
+        let mut x2 = vec![0.0; coo.cols()];
+        let overlapped = overlap_engine.run_symgs_forward(&a, &b, &mut x2).unwrap();
+
+        assert!(overlapped.cycles < baseline.cycles);
+        assert!(overlapped.breakdown.drain_cycles < baseline.breakdown.drain_cycles);
+        // Functional results are identical: the knob is timing-only.
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn spmv_breakdown_is_gemv_plus_drain() {
+        let coo = gen::stencil27(3);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::Streaming).unwrap();
+        let x = vec![1.0; coo.cols()];
+        let mut engine = Engine::new(SimConfig::paper());
+        let (_, report) = engine.run_spmv(&a, &x).unwrap();
+        assert_eq!(report.breakdown.total(), report.cycles);
+        assert_eq!(report.breakdown.dsymgs_cycles, 0);
+        assert!(report.breakdown.gemv_cycles > report.breakdown.drain_cycles);
+    }
+
+    #[test]
+    fn graph_breakdown_uses_graph_bucket() {
+        let coo = gen::road_grid(5);
+        let at = Alf::from_coo(&coo.transpose(), 8, AlfLayout::Streaming).unwrap();
+        let mut engine = Engine::new(SimConfig::paper());
+        let (_, report) = engine.run_bfs(&at, 0).unwrap();
+        assert_eq!(report.breakdown.total(), report.cycles);
+        assert!(report.breakdown.graph_cycles > 0);
+        assert_eq!(report.breakdown.gemv_cycles, 0);
+    }
+}
+
+#[cfg(test)]
+mod link_stack_tests {
+    use super::*;
+    use alrescha_sparse::gen;
+
+    #[test]
+    fn symgs_reports_link_stack_peak() {
+        let coo = gen::stencil27(4);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::SymGs).unwrap();
+        let b = vec![1.0; coo.rows()];
+        let mut x = vec![0.0; coo.cols()];
+        let mut engine = Engine::new(SimConfig::paper());
+        let report = engine.run_symgs_forward(&a, &b, &mut x).unwrap();
+        // Every block row with k off-diagonal blocks pushes k*omega entries
+        // before D-SymGS pops them, so the peak is a positive multiple of
+        // omega.
+        assert!(report.datapaths.link_stack_peak >= 8);
+        assert_eq!(report.datapaths.link_stack_peak % 8, 0);
+    }
+
+    #[test]
+    fn spmv_does_not_use_the_link_stack() {
+        let coo = gen::stencil27(3);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::Streaming).unwrap();
+        let x = vec![1.0; coo.cols()];
+        let mut engine = Engine::new(SimConfig::paper());
+        let (_, report) = engine.run_spmv(&a, &x).unwrap();
+        assert_eq!(report.datapaths.link_stack_peak, 0);
+    }
+
+    #[test]
+    fn lifo_handoff_preserves_functional_result() {
+        // The stack reverses the order of GEMV results; the per-lane
+        // reduction must still match the reference sweep exactly.
+        let coo = gen::electromagnetic(200, 3);
+        let csr = alrescha_sparse::Csr::from_coo(&coo);
+        let b: Vec<f64> = (0..200).map(|i| (i as f64 * 0.7).sin()).collect();
+
+        let a = Alf::from_coo(&coo, 8, AlfLayout::SymGs).unwrap();
+        let mut x_dev = vec![0.0; 200];
+        Engine::new(SimConfig::paper())
+            .run_symgs_forward(&a, &b, &mut x_dev)
+            .unwrap();
+
+        let mut x_ref = vec![0.0; 200];
+        alrescha_kernels::symgs::forward_sweep(&csr, &b, &mut x_ref).unwrap();
+        assert!(alrescha_sparse::approx_eq(&x_dev, &x_ref, 1e-10));
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+    use alrescha_sparse::gen;
+
+    #[test]
+    fn symgs_trace_orders_gemv_before_dsymgs_per_block_row() {
+        let coo = gen::stencil27(4);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::SymGs).unwrap();
+        let b = vec![1.0; coo.rows()];
+        let mut x = vec![0.0; coo.cols()];
+        let mut engine = Engine::new(SimConfig::paper());
+        engine.enable_tracing();
+        engine.run_symgs_forward(&a, &b, &mut x).unwrap();
+        let events = engine.take_trace();
+        assert!(!events.is_empty());
+
+        // Within each block row, every GEMV block precedes the D-SymGS.
+        let mut seen_dsymgs_for_row: Option<usize> = None;
+        for event in &events {
+            if let TraceEvent::BlockBegin {
+                block_row, kind, ..
+            } = event
+            {
+                match kind {
+                    DataPathKind::DSymGs => seen_dsymgs_for_row = Some(*block_row),
+                    DataPathKind::Gemv => {
+                        if let Some(done_row) = seen_dsymgs_for_row {
+                            assert_ne!(
+                                *block_row, done_row,
+                                "gemv after d-symgs within block row {done_row}"
+                            );
+                        }
+                    }
+                    _ => unreachable!("symgs uses only gemv and d-symgs"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_brackets_the_kernel() {
+        let coo = gen::stencil27(2);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::Streaming).unwrap();
+        let x = vec![1.0; coo.cols()];
+        let mut engine = Engine::new(SimConfig::paper());
+        engine.enable_tracing();
+        let (_, report) = engine.run_spmv(&a, &x).unwrap();
+        let events = engine.take_trace();
+        assert_eq!(
+            events.first(),
+            Some(&TraceEvent::KernelBegin { kernel: "spmv" })
+        );
+        assert_eq!(
+            events.last(),
+            Some(&TraceEvent::KernelEnd {
+                cycles: report.cycles
+            })
+        );
+        let blocks = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::BlockBegin { .. }))
+            .count();
+        assert_eq!(blocks, a.blocks().len());
+    }
+
+    #[test]
+    fn reconfigure_events_match_report_switches() {
+        let coo = gen::stencil27(3);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::SymGs).unwrap();
+        let b = vec![1.0; coo.rows()];
+        let mut x = vec![0.0; coo.cols()];
+        let mut engine = Engine::new(SimConfig::paper());
+        engine.enable_tracing();
+        let report = engine.run_symgs_forward(&a, &b, &mut x).unwrap();
+        let events = engine.take_trace();
+        let reconfigs = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Reconfigure { .. }))
+            .count() as u64;
+        assert_eq!(reconfigs, report.reconfig.switches);
+    }
+
+    #[test]
+    fn tracing_off_by_default() {
+        let coo = gen::stencil27(2);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::Streaming).unwrap();
+        let x = vec![1.0; coo.cols()];
+        let mut engine = Engine::new(SimConfig::paper());
+        engine.run_spmv(&a, &x).unwrap();
+        assert!(engine.take_trace().is_empty());
+    }
+}
+
+impl Engine {
+    /// Runs SpMV streaming the matrix in *CSR* instead of the locally-dense
+    /// format — the ALRESCHA-minus-its-format ablation.
+    ///
+    /// The same FCU/RCU hardware now pays for what the format otherwise
+    /// eliminates: column indices and row pointers stream alongside the
+    /// values (12 bytes per non-zero instead of dense 8-byte payload), the
+    /// vector operand is gathered per element through the cache with no
+    /// chunk locality, and rows shorter than ω leave ALU lanes idle. This
+    /// quantifies the paper's "NOT transferring meta-data" row of Table 2
+    /// on otherwise identical hardware.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DimensionMismatch`] if `x.len() != a.cols()`.
+    pub fn run_spmv_csr(
+        &mut self,
+        a: &alrescha_sparse::Csr,
+        x: &[f64],
+    ) -> Result<(Vec<f64>, ExecutionReport)> {
+        if x.len() != a.cols() {
+            return Err(SimError::DimensionMismatch {
+                expected: a.cols(),
+                found: x.len(),
+            });
+        }
+        let omega = self.config.omega;
+        let mut state = self.begin(Reduce::Sum);
+        self.trace
+            .record(crate::trace::TraceEvent::KernelBegin { kernel: "spmv-csr" });
+        self.rcu
+            .configure(DataPathKind::Gemv, self.fcu.drain(Reduce::Sum));
+
+        let mut y = vec![0.0; a.rows()];
+        // Row pointers stream once (4 bytes each).
+        state.memory.record_bytes((a.rows() as u64 + 1) * 4);
+        for r in 0..a.rows() {
+            let row: Vec<(usize, f64)> = a.row_entries(r).collect();
+            let mut acc = 0.0;
+            for chunk in row.chunks(omega) {
+                // Values (8 B) + column indices (4 B) per element, padded
+                // to the ω-lane issue width.
+                let payload_values = chunk.len() + chunk.len().div_ceil(2); // 12 B/nnz in 8 B units
+                let mem = state.memory.stream_values(payload_values.max(1));
+                // Irregular gather: every element is its own cache access,
+                // no chunk reuse guarantee.
+                let mut gather_cycles = 0u64;
+                for &(c, _) in chunk {
+                    let access = self.cache.read(c);
+                    if !access.hit {
+                        state.memory.stream_values(self.config.values_per_line());
+                    }
+                    gather_cycles += 1;
+                }
+                state.cache_busy += gather_cycles;
+                // One ω-wide FCU pass per chunk, lanes beyond the chunk idle.
+                let mut lanes = vec![0.0; omega];
+                let mut operand = vec![0.0; omega];
+                for (k, &(c, v)) in chunk.iter().enumerate() {
+                    lanes[k] = v;
+                    operand[k] = x[c];
+                }
+                acc += self.fcu.mac_row(&lanes, &operand);
+                let compute = 1u64.max(gather_cycles);
+                let cycles = mem.max(compute);
+                state.cycles += cycles;
+                state.breakdown.gemv_cycles += cycles;
+                state.counts.gemv_blocks += 1;
+            }
+            y[r] = acc;
+        }
+        state.memory.record_bytes(a.rows() as u64 * 8);
+        let report = self.finish("spmv-csr", state, Reduce::Sum);
+        Ok((y, report))
+    }
+}
+
+#[cfg(test)]
+mod csr_mode_tests {
+    use super::*;
+    use alrescha_sparse::{gen, Csr};
+
+    #[test]
+    fn csr_mode_is_functionally_correct() {
+        let coo = gen::stencil27(3);
+        let csr = Csr::from_coo(&coo);
+        let x: Vec<f64> = (0..coo.cols()).map(|i| (i as f64 * 0.21).cos()).collect();
+        let (y, _) = Engine::new(SimConfig::paper())
+            .run_spmv_csr(&csr, &x)
+            .unwrap();
+        let expect = alrescha_kernels::spmv::spmv(&csr, &x);
+        assert!(alrescha_sparse::approx_eq(&y, &expect, 1e-12));
+    }
+
+    #[test]
+    fn locally_dense_format_beats_csr_streaming_on_stencils() {
+        // The format ablation: same hardware, same matrix — the
+        // locally-dense layout must win on block-friendly structure.
+        let coo = gen::stencil27(6);
+        let csr = Csr::from_coo(&coo);
+        let alf = Alf::from_coo(&coo, 8, AlfLayout::Streaming).unwrap();
+        let x = vec![1.0; coo.cols()];
+
+        let (_, alf_report) = Engine::new(SimConfig::paper()).run_spmv(&alf, &x).unwrap();
+        let (_, csr_report) = Engine::new(SimConfig::paper())
+            .run_spmv_csr(&csr, &x)
+            .unwrap();
+        assert!(
+            alf_report.cycles < csr_report.cycles,
+            "alf {} csr {}",
+            alf_report.cycles,
+            csr_report.cycles
+        );
+    }
+
+    #[test]
+    fn csr_mode_streams_metadata() {
+        let coo = gen::banded(200, 3, 1);
+        let csr = Csr::from_coo(&coo);
+        let x = vec![1.0; 200];
+        let (_, report) = Engine::new(SimConfig::paper())
+            .run_spmv_csr(&csr, &x)
+            .unwrap();
+        // At least 12 bytes per nnz must have moved (values + indices).
+        use alrescha_sparse::MetaData;
+        assert!(report.bytes_streamed >= 12 * csr.nnz() as u64);
+    }
+
+    #[test]
+    fn csr_mode_rejects_bad_operand() {
+        let csr = Csr::from_coo(&gen::banded(10, 1, 1));
+        assert!(Engine::new(SimConfig::paper())
+            .run_spmv_csr(&csr, &[1.0])
+            .is_err());
+    }
+}
+
+impl Engine {
+    /// Runs connected components by label propagation over `at`, the
+    /// [`AlfLayout::Streaming`] format of the *symmetrized, transposed*
+    /// adjacency (callers symmetrize; propagation needs both directions).
+    ///
+    /// A new dense data path built from the existing machinery: phase-1
+    /// pass-through of neighbor labels, `min` reduce, compare-and-assign —
+    /// demonstrating the §4.2 claim that Table 1's common phases make new
+    /// kernels cheap to add. Returns the per-vertex component labels.
+    ///
+    /// # Errors
+    ///
+    /// Layout/shape errors as in [`Engine::run_spmv`].
+    pub fn run_connected_components(&mut self, at: &Alf) -> Result<(Vec<usize>, ExecutionReport)> {
+        if at.layout() != AlfLayout::Streaming {
+            return Err(SimError::LayoutMismatch {
+                expected: "streaming",
+                found: "symgs",
+            });
+        }
+        if at.rows() != at.cols() {
+            return Err(SimError::DimensionMismatch {
+                expected: at.rows(),
+                found: at.cols(),
+            });
+        }
+        let omega = self.config.omega;
+        if at.omega() != omega {
+            return Err(SimError::BlockWidthMismatch {
+                engine: omega,
+                matrix: at.omega(),
+            });
+        }
+
+        let n = at.rows();
+        let mut label: Vec<f64> = (0..n).map(|v| v as f64).collect();
+        let mut state = self.begin(Reduce::Min);
+        self.trace
+            .record(crate::trace::TraceEvent::KernelBegin { kernel: "cc" });
+        self.rcu
+            .configure(DataPathKind::DBfs, self.fcu.drain(Reduce::Min));
+        let mut rounds = 0u64;
+
+        loop {
+            let mut changed = false;
+            rounds += 1;
+            for block in at.blocks() {
+                let dst_base = block.block_row() * omega;
+                let src_base = block.block_col() * omega;
+                self.trace_block(block.block_row(), block.block_col(), DataPathKind::DBfs);
+                let payload = state.memory.stream_values(omega * omega);
+                self.read_chunk(&mut state, REGION_X, src_base);
+                let block_cycles = payload.max(omega as u64);
+                state.cycles += block_cycles;
+                state.breakdown.graph_cycles += block_cycles;
+                state.counts.graph_blocks += 1;
+
+                let operand = Self::operand_slice(&label, src_base, omega);
+                for i in 0..omega {
+                    let d = dst_base + i;
+                    if d >= n {
+                        continue;
+                    }
+                    let logical: Vec<f64> = (0..omega).map(|j| block.get(i, j)).collect();
+                    // Phase 1 passes the neighbor label through untouched.
+                    let cand = self.fcu.min_reduce_row(&logical, &operand, |_w, l| l);
+                    if cand < label[d] {
+                        let _ = self.rcu.pe_op();
+                        self.cache.write(REGION_X + d);
+                        state.cache_busy += 1;
+                        label[d] = cand;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed || rounds as usize > n {
+                break;
+            }
+        }
+
+        state.memory.record_bytes(n as u64 * 8);
+        let mut report = self.finish("cc", state, Reduce::Min);
+        report.datapaths.iterations = rounds;
+        Ok((label.iter().map(|&l| l as usize).collect(), report))
+    }
+}
+
+#[cfg(test)]
+mod cc_tests {
+    use super::*;
+    use alrescha_sparse::{gen, Coo, Csr};
+
+    fn symmetrized_transposed(adj: &Coo) -> Alf {
+        let mut sym = adj.clone();
+        for &(u, v, w) in adj.entries() {
+            sym.push(v, u, w);
+        }
+        Alf::from_coo(&sym.transpose().compress(), 8, AlfLayout::Streaming).unwrap()
+    }
+
+    #[test]
+    fn cc_matches_reference_on_road_grid() {
+        let adj = gen::road_grid(6);
+        let at = symmetrized_transposed(&adj);
+        let (labels, report) = Engine::new(SimConfig::paper())
+            .run_connected_components(&at)
+            .unwrap();
+        let expect = alrescha_kernels::graph::connected_components(&Csr::from_coo(&adj)).unwrap();
+        assert_eq!(labels, expect);
+        assert!(report.datapaths.iterations >= 1);
+    }
+
+    #[test]
+    fn cc_finds_separate_components() {
+        let mut coo = Coo::new(10, 10);
+        coo.push(0, 1, 1.0);
+        coo.push(2, 3, 1.0);
+        coo.push(3, 4, 1.0);
+        let at = symmetrized_transposed(&coo);
+        let (labels, _) = Engine::new(SimConfig::paper())
+            .run_connected_components(&at)
+            .unwrap();
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[1], 0);
+        assert_eq!(labels[2], 2);
+        assert_eq!(labels[4], 2);
+        assert_eq!(labels[9], 9);
+    }
+
+    #[test]
+    fn cc_rejects_symgs_layout() {
+        let coo = gen::stencil27(2);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::SymGs).unwrap();
+        assert!(Engine::new(SimConfig::paper())
+            .run_connected_components(&a)
+            .is_err());
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use super::*;
+    use alrescha_sparse::gen;
+
+    #[test]
+    fn pagerank_budget_exhaustion_is_an_error() {
+        let coo = gen::GraphClass::Kronecker.generate(64, 5);
+        let at = Alf::from_coo(&coo.transpose(), 8, AlfLayout::Streaming).unwrap();
+        let csr = alrescha_sparse::Csr::from_coo(&coo);
+        let out_deg: Vec<usize> = (0..csr.rows()).map(|u| csr.row_nnz(u)).collect();
+        let opts = PageRankConfig {
+            max_iters: 1,
+            tol: 1e-16,
+            ..Default::default()
+        };
+        let err = Engine::new(SimConfig::paper()).run_pagerank(&at, &out_deg, &opts);
+        assert!(matches!(
+            err,
+            Err(SimError::NoConvergence { iterations: 1 })
+        ));
+    }
+
+    #[test]
+    fn non_power_of_two_lanes_run_spmv_correctly() {
+        let coo = gen::banded(50, 2, 3);
+        let config = SimConfig::paper().with_omega(6);
+        let a = Alf::from_coo(&coo, 6, AlfLayout::Streaming).unwrap();
+        let x: Vec<f64> = (0..50).map(|i| (i as f64 * 0.4).sin()).collect();
+        let (y, report) = Engine::new(config).run_spmv(&a, &x).unwrap();
+        let expect = alrescha_kernels::spmv::spmv(&alrescha_sparse::Csr::from_coo(&coo), &x);
+        assert!(alrescha_sparse::approx_eq(&y, &expect, 1e-12));
+        assert!(report.cycles > 0);
+    }
+
+    #[test]
+    fn empty_matrix_spmv_is_trivial() {
+        let coo = alrescha_sparse::Coo::new(16, 16);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::Streaming).unwrap();
+        let x = vec![1.0; 16];
+        let (y, report) = Engine::new(SimConfig::paper()).run_spmv(&a, &x).unwrap();
+        assert_eq!(y, vec![0.0; 16]);
+        assert_eq!(report.datapaths.gemv_blocks, 0);
+    }
+
+    #[test]
+    fn single_vertex_graph_kernels() {
+        let mut coo = alrescha_sparse::Coo::new(1, 1);
+        let _ = &mut coo; // no edges
+        let at = Alf::from_coo(&coo, 8, AlfLayout::Streaming).unwrap();
+        let (levels, _) = Engine::new(SimConfig::paper()).run_bfs(&at, 0).unwrap();
+        assert_eq!(levels, vec![0.0]);
+    }
+}
+
+impl Engine {
+    /// One forward SOR sweep on the device: the D-SymGS data path with the
+    /// RCU's PEs additionally applying the relaxation blend
+    /// `x ← (1−ω_r)·x_old + ω_r·x_gs` (one extra PE operation per row —
+    /// the LUT-based PEs provide exactly these operations, §4.3).
+    ///
+    /// `omega_relax = 1` is identical to [`Engine::run_symgs_forward`].
+    ///
+    /// # Errors
+    ///
+    /// The [`Engine::run_symgs_forward`] conditions, plus
+    /// [`SimError::DimensionMismatch`] for a relaxation factor outside
+    /// `(0, 2)`.
+    pub fn run_sor_forward(
+        &mut self,
+        a: &Alf,
+        b: &[f64],
+        x: &mut [f64],
+        omega_relax: f64,
+    ) -> Result<ExecutionReport> {
+        if !(omega_relax > 0.0 && omega_relax < 2.0) {
+            return Err(SimError::DimensionMismatch {
+                expected: 1,
+                found: 0,
+            });
+        }
+        self.run_sor_sweep(a, b, x, false, omega_relax)
+    }
+}
+
+#[cfg(test)]
+mod sor_tests {
+    use super::*;
+    use alrescha_sparse::gen;
+
+    #[test]
+    fn device_sor_matches_reference() {
+        let coo = gen::stencil27(3);
+        let csr = alrescha_sparse::Csr::from_coo(&coo);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::SymGs).unwrap();
+        let b: Vec<f64> = (0..coo.rows()).map(|i| (i as f64 * 0.3).sin()).collect();
+
+        for omega_relax in [1.0f64, 1.3, 0.7] {
+            let mut x_dev = vec![0.0; coo.cols()];
+            Engine::new(SimConfig::paper())
+                .run_sor_forward(&a, &b, &mut x_dev, omega_relax)
+                .unwrap();
+            let mut x_ref = vec![0.0; coo.cols()];
+            alrescha_kernels::smoothers::sor_forward(&csr, &b, &mut x_ref, omega_relax).unwrap();
+            assert!(
+                alrescha_sparse::approx_eq(&x_dev, &x_ref, 1e-9),
+                "omega_relax {omega_relax}"
+            );
+        }
+    }
+
+    #[test]
+    fn device_sor_rejects_bad_relaxation() {
+        let coo = gen::stencil27(2);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::SymGs).unwrap();
+        let b = vec![1.0; coo.rows()];
+        let mut x = vec![0.0; coo.cols()];
+        let mut engine = Engine::new(SimConfig::paper());
+        assert!(engine.run_sor_forward(&a, &b, &mut x, 0.0).is_err());
+        assert!(engine.run_sor_forward(&a, &b, &mut x, 2.5).is_err());
+    }
+}
+
+impl Engine {
+    /// One backward SOR sweep on the device (rows descending).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::run_sor_forward`].
+    pub fn run_sor_backward(
+        &mut self,
+        a: &Alf,
+        b: &[f64],
+        x: &mut [f64],
+        omega_relax: f64,
+    ) -> Result<ExecutionReport> {
+        if !(omega_relax > 0.0 && omega_relax < 2.0) {
+            return Err(SimError::DimensionMismatch {
+                expected: 1,
+                found: 0,
+            });
+        }
+        self.run_sor_sweep(a, b, x, true, omega_relax)
+    }
+
+    /// One symmetric SOR (SSOR) application on the device: forward then
+    /// backward sweep. `omega_relax = 1` is [`Engine::run_symgs`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::run_sor_forward`].
+    pub fn run_ssor(
+        &mut self,
+        a: &Alf,
+        b: &[f64],
+        x: &mut [f64],
+        omega_relax: f64,
+    ) -> Result<ExecutionReport> {
+        let mut report = self.run_sor_forward(a, b, x, omega_relax)?;
+        let back = self.run_sor_backward(a, b, x, omega_relax)?;
+        report.merge(&back, &self.config.clone());
+        report.datapaths.iterations = 1;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod ssor_tests {
+    use super::*;
+    use alrescha_sparse::gen;
+
+    #[test]
+    fn device_ssor_matches_reference_for_any_relaxation() {
+        let coo = gen::electromagnetic(150, 9);
+        let csr = alrescha_sparse::Csr::from_coo(&coo);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::SymGs).unwrap();
+        let b: Vec<f64> = (0..coo.rows()).map(|i| 1.0 + (i % 4) as f64).collect();
+        for omega_relax in [1.0f64, 1.4, 0.6] {
+            let mut x_dev = vec![0.0; coo.cols()];
+            Engine::new(SimConfig::paper())
+                .run_ssor(&a, &b, &mut x_dev, omega_relax)
+                .unwrap();
+            let mut x_ref = vec![0.0; coo.cols()];
+            alrescha_kernels::smoothers::ssor(&csr, &b, &mut x_ref, omega_relax).unwrap();
+            assert!(
+                alrescha_sparse::approx_eq(&x_dev, &x_ref, 1e-9),
+                "omega_relax {omega_relax}"
+            );
+        }
+    }
+
+    #[test]
+    fn ssor_at_unit_relaxation_equals_symgs_on_device() {
+        let coo = gen::stencil27(3);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::SymGs).unwrap();
+        let b = vec![1.0; coo.rows()];
+        let mut x1 = vec![0.0; coo.cols()];
+        Engine::new(SimConfig::paper())
+            .run_ssor(&a, &b, &mut x1, 1.0)
+            .unwrap();
+        let mut x2 = vec![0.0; coo.cols()];
+        Engine::new(SimConfig::paper())
+            .run_symgs(&a, &b, &mut x2)
+            .unwrap();
+        assert_eq!(x1, x2);
+    }
+}

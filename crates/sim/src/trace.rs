@@ -1,0 +1,117 @@
+//! Execution tracing: an optional event log of what the engine did, in
+//! order.
+//!
+//! Enable with [`crate::engine::Engine::enable_tracing`]; retrieve with
+//! [`crate::engine::Engine::take_trace`]. The trace is the ground truth for
+//! ordering invariants (all GEMVs of a block row precede its D-SymGS;
+//! reconfigurations happen exactly at data-path boundaries) and a
+//! debugging aid for new data paths.
+
+use crate::rcu::DataPathKind;
+
+/// One logged engine event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A kernel run started.
+    KernelBegin {
+        /// Kernel name.
+        kernel: &'static str,
+    },
+    /// The RCU switch was rewired.
+    Reconfigure {
+        /// New data-path personality.
+        to: DataPathKind,
+        /// Stall cycles not hidden by the drain (0 under Table 5).
+        exposed: u64,
+    },
+    /// A locally-dense block began executing.
+    BlockBegin {
+        /// Block-row coordinate.
+        block_row: usize,
+        /// Block-column coordinate.
+        block_col: usize,
+        /// Data path executing it.
+        kind: DataPathKind,
+    },
+    /// A kernel run finished.
+    KernelEnd {
+        /// Total cycles of the run.
+        cycles: u64,
+    },
+}
+
+/// An event log. Wraps a `Vec` so the engine can cheaply no-op when
+/// tracing is disabled.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates a disabled trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Enables recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// True when recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// The recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Takes the events, leaving the trace empty but still enabled.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.record(TraceEvent::KernelBegin { kernel: "spmv" });
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::new();
+        t.enable();
+        t.record(TraceEvent::KernelBegin { kernel: "spmv" });
+        t.record(TraceEvent::KernelEnd { cycles: 10 });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0], TraceEvent::KernelBegin { kernel: "spmv" });
+    }
+
+    #[test]
+    fn take_drains_but_stays_enabled() {
+        let mut t = Trace::new();
+        t.enable();
+        t.record(TraceEvent::KernelEnd { cycles: 1 });
+        let events = t.take();
+        assert_eq!(events.len(), 1);
+        assert!(t.events().is_empty());
+        assert!(t.is_enabled());
+    }
+}

@@ -1,0 +1,649 @@
+//! The ALRESCHA locally-dense storage format (§4.5 of the paper).
+//!
+//! The format adapts BCSR so that the order of stored values *equals* the
+//! order of computation, letting the accelerator stream payload from memory
+//! with no runtime meta-data:
+//!
+//! * **Block order** — within a block row, all non-diagonal non-zero blocks
+//!   are stored first, followed by the diagonal block. This realizes the
+//!   GEMV-before-D-SymGS reordering of Algorithm 1 directly in memory layout.
+//! * **Value order** — blocks in the strict upper triangle store each row's
+//!   values right-to-left (`r2l`), matching the operand rotation of the
+//!   D-SymGS data path (Figure 10); lower-triangle blocks keep the natural
+//!   left-to-right order.
+//! * **Diagonal extraction** — for SymGS the main diagonal of `A` is removed
+//!   from the payload and kept in a separate vector that the accelerator
+//!   loads into its local cache, so memory bandwidth carries only dot-product
+//!   operands.
+//! * **Meta-data** — block indices (`Inx_in`/`Inx_out`) are not streamed;
+//!   they live in the one-time configuration table
+//!   (see [`config_entry_bits`]).
+
+use crate::{Bcsr, Coo, DenseMatrix, Error, MetaData, Result};
+
+/// Bits per configuration-table entry for an `n`×`n` matrix blocked at `ω`:
+/// `2·ceil(log2(n/ω)) + 3` (§4.1 — two block indices plus one bit each for
+/// data-path type, access order, and operand source).
+pub fn config_entry_bits(n: usize, omega: usize) -> usize {
+    let block_rows = n.div_ceil(omega).max(1);
+    let idx_bits = usize::BITS as usize - (block_rows - 1).leading_zeros() as usize;
+    // ceil(log2(block_rows)) with log2(1) = 0.
+    let idx_bits = if block_rows == 1 { 0 } else { idx_bits };
+    2 * idx_bits + 3
+}
+
+/// Role of a block in the streamed layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// Off-diagonal block: executed as a parallel data path (GEMV / D-BFS /
+    /// D-SSSP / D-PR).
+    OffDiagonal,
+    /// Diagonal block: executed as the data-dependent D-SymGS path when the
+    /// kernel is SymGS.
+    Diagonal,
+}
+
+/// Layout flavor: SymGS needs the diagonal extracted and upper-triangle rows
+/// reversed; single-data-path kernels (SpMV, BFS, SSSP, PR) stream every
+/// block left-to-right with the diagonal kept in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlfLayout {
+    /// All blocks ordered `l2r`, diagonal values stay in the payload.
+    Streaming,
+    /// SymGS layout: diagonal extracted, upper-triangle value order reversed,
+    /// diagonal block stored last in its block row.
+    SymGs,
+}
+
+/// One locally-dense block in streaming order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlfBlock {
+    block_row: usize,
+    block_col: usize,
+    kind: BlockKind,
+    /// ω×ω values in *streaming* order: row-major, each row already permuted
+    /// to the access order the compute engine consumes (reversed for
+    /// upper-triangle blocks under [`AlfLayout::SymGs`]). Extracted diagonal
+    /// slots hold `0.0`.
+    payload: Vec<f64>,
+    omega: usize,
+    reversed: bool,
+}
+
+impl AlfBlock {
+    /// Block-row coordinate.
+    pub fn block_row(&self) -> usize {
+        self.block_row
+    }
+
+    /// Block-column coordinate.
+    pub fn block_col(&self) -> usize {
+        self.block_col
+    }
+
+    /// Whether this is a diagonal or off-diagonal block.
+    pub fn kind(&self) -> BlockKind {
+        self.kind
+    }
+
+    /// The ω² payload values in streaming order.
+    pub fn payload(&self) -> &[f64] {
+        &self.payload
+    }
+
+    /// True if this block's rows are streamed right-to-left.
+    pub fn reversed(&self) -> bool {
+        self.reversed
+    }
+
+    /// One streamed row of the payload (already in access order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= ω`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.payload[i * self.omega..(i + 1) * self.omega]
+    }
+
+    /// Value at logical in-block position `(i, j)` (matrix orientation,
+    /// before any streaming reversal).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let jj = if self.reversed { self.omega - 1 - j } else { j };
+        self.payload[i * self.omega + jj]
+    }
+}
+
+/// A sparse matrix in the ALRESCHA locally-dense format.
+///
+/// # Example
+///
+/// ```
+/// use alrescha_sparse::{alf::AlfLayout, Alf, Coo};
+///
+/// let mut coo = Coo::new(4, 4);
+/// for i in 0..4 { coo.push(i, i, 2.0); }
+/// coo.push(0, 3, -1.0);
+/// let alf = Alf::from_coo(&coo, 2, AlfLayout::SymGs)?;
+/// assert_eq!(alf.diagonal(), &[2.0, 2.0, 2.0, 2.0]);
+/// // Block row 0: off-diagonal block (0,1) streams before diagonal block (0,0).
+/// let order: Vec<(usize, usize)> = alf.blocks().iter()
+///     .map(|b| (b.block_row(), b.block_col())).collect();
+/// assert_eq!(order, vec![(0, 1), (0, 0), (1, 1)]);
+/// # Ok::<(), alrescha_sparse::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alf {
+    rows: usize,
+    cols: usize,
+    omega: usize,
+    layout: AlfLayout,
+    blocks: Vec<AlfBlock>,
+    /// Extracted main diagonal (empty under [`AlfLayout::Streaming`]).
+    diagonal: Vec<f64>,
+    nnz: usize,
+}
+
+impl Alf {
+    /// Converts from COO with block width `omega`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidBlockWidth`] if `omega == 0`.
+    /// * [`Error::MissingDiagonal`] if `layout` is [`AlfLayout::SymGs`] and a
+    ///   diagonal entry of a square matrix is structurally zero (Gauss-Seidel
+    ///   divides by it).
+    pub fn from_coo(coo: &Coo, omega: usize, layout: AlfLayout) -> Result<Self> {
+        if omega == 0 {
+            return Err(Error::InvalidBlockWidth { omega });
+        }
+        let bcsr = Bcsr::from_coo(coo, omega)?;
+        let symgs = layout == AlfLayout::SymGs;
+
+        let mut diagonal = vec![0.0; coo.rows().min(coo.cols())];
+        let mut blocks = Vec::with_capacity(bcsr.num_blocks());
+
+        for br in 0..bcsr.block_rows() {
+            let mut diag_block: Option<AlfBlock> = None;
+            for (bc, payload) in bcsr.block_row(br) {
+                let is_diag = symgs && bc == br;
+                let block = build_block(br, bc, payload, omega, layout, is_diag, &mut diagonal);
+                if is_diag {
+                    diag_block = Some(block);
+                } else {
+                    blocks.push(block);
+                }
+            }
+            // Block order rule: the diagonal block closes its block row.
+            if let Some(b) = diag_block {
+                blocks.push(b);
+            }
+        }
+
+        if symgs && coo.rows() == coo.cols() {
+            if let Some(row) = diagonal.iter().position(|&d| d == 0.0) {
+                return Err(Error::MissingDiagonal { row });
+            }
+        }
+        if !symgs {
+            diagonal.clear();
+        }
+
+        Ok(Alf {
+            rows: coo.rows(),
+            cols: coo.cols(),
+            omega,
+            layout,
+            blocks,
+            diagonal,
+            nnz: bcsr.nnz(),
+        })
+    }
+
+    /// Reconstructs the matrix as COO (inverse of [`Alf::from_coo`]).
+    pub fn to_coo(&self) -> Coo {
+        let mut coo = Coo::with_capacity(self.rows, self.cols, self.nnz);
+        for block in &self.blocks {
+            for i in 0..self.omega {
+                for j in 0..self.omega {
+                    let v = block.get(i, j);
+                    let (r, c) = (
+                        block.block_row * self.omega + i,
+                        block.block_col * self.omega + j,
+                    );
+                    if v != 0.0 && r < self.rows && c < self.cols {
+                        coo.push(r, c, v);
+                    }
+                }
+            }
+        }
+        if self.layout == AlfLayout::SymGs {
+            for (i, &d) in self.diagonal.iter().enumerate() {
+                if d != 0.0 {
+                    coo.push(i, i, d);
+                }
+            }
+        }
+        coo
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Block width ω.
+    pub fn omega(&self) -> usize {
+        self.omega
+    }
+
+    /// The layout flavor this matrix was built with.
+    pub fn layout(&self) -> AlfLayout {
+        self.layout
+    }
+
+    /// Blocks in exact streaming order.
+    pub fn blocks(&self) -> &[AlfBlock] {
+        &self.blocks
+    }
+
+    /// Number of block rows.
+    pub fn block_rows(&self) -> usize {
+        self.rows.div_ceil(self.omega)
+    }
+
+    /// The extracted main diagonal (empty for [`AlfLayout::Streaming`]).
+    pub fn diagonal(&self) -> &[f64] {
+        &self.diagonal
+    }
+
+    /// Bits per configuration-table entry for this matrix (§4.1).
+    pub fn config_entry_bits(&self) -> usize {
+        config_entry_bits(self.rows.max(self.cols), self.omega)
+    }
+
+    /// Total configuration-table size in bits (one entry per block).
+    pub fn config_table_bits(&self) -> usize {
+        self.blocks.len() * self.config_entry_bits()
+    }
+
+    /// Bytes streamed from memory per full pass over the matrix: the dense
+    /// block payloads only — no indices, no pointers (the ALRESCHA headline
+    /// property). The extracted diagonal is loaded once into the local cache
+    /// and is charged separately by the simulator.
+    pub fn streamed_bytes(&self) -> usize {
+        self.blocks.len() * self.omega * self.omega * std::mem::size_of::<f64>()
+    }
+
+    /// Mean fraction of non-zero slots across stored blocks.
+    pub fn mean_block_fill(&self) -> f64 {
+        if self.blocks.is_empty() {
+            return 0.0;
+        }
+        let slots = self.omega * self.omega;
+        let fill: f64 = self
+            .blocks
+            .iter()
+            .map(|b| b.payload.iter().filter(|v| **v != 0.0).count() as f64 / slots as f64)
+            .sum();
+        fill / self.blocks.len() as f64
+    }
+}
+
+impl MetaData for Alf {
+    fn meta_bytes(&self) -> usize {
+        // "Same meta-data overhead" as BCSR (§4.5): one block index per block
+        // plus block-row pointers — except it lives in the configuration
+        // table rather than being streamed at runtime.
+        self.blocks.len() * 4 + (self.block_rows() + 1) * 4
+    }
+
+    fn payload_bytes(&self) -> usize {
+        self.streamed_bytes()
+    }
+
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+}
+
+fn build_block(
+    br: usize,
+    bc: usize,
+    payload: &DenseMatrix,
+    omega: usize,
+    layout: AlfLayout,
+    extract_diag: bool,
+    diagonal: &mut [f64],
+) -> AlfBlock {
+    let upper = bc > br;
+    let reverse = layout == AlfLayout::SymGs && (upper || extract_diag);
+    let mut data = vec![0.0; omega * omega];
+    for i in 0..omega {
+        for j in 0..omega {
+            let mut v = payload[(i, j)];
+            if extract_diag && i == j {
+                let global = br * omega + i;
+                if global < diagonal.len() {
+                    diagonal[global] = v;
+                }
+                v = 0.0;
+            }
+            let jj = if reverse { omega - 1 - j } else { j };
+            data[i * omega + jj] = v;
+        }
+    }
+    let kind = if extract_diag {
+        BlockKind::Diagonal
+    } else {
+        BlockKind::OffDiagonal
+    };
+    AlfBlock {
+        block_row: br,
+        block_col: bc,
+        kind,
+        payload: data,
+        omega,
+        reversed: reverse,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 9x9, ω=3 example shape of Figure 8/13: blocks on the diagonal
+    /// plus off-diagonal blocks (0,2), (1,0)-ish pattern.
+    fn paper_like() -> Coo {
+        let mut coo = Coo::new(9, 9);
+        for i in 0..9 {
+            coo.push(i, i, 10.0 + i as f64);
+        }
+        // Off-diagonal block (0, 2): upper triangle.
+        coo.push(0, 6, 1.0);
+        coo.push(0, 7, 2.0);
+        coo.push(1, 8, 3.0);
+        // Off-diagonal block (2, 0): lower triangle.
+        coo.push(7, 1, 4.0);
+        coo.push(8, 0, 5.0);
+        // In-diagonal-block off-diagonal entries.
+        coo.push(0, 1, 6.0);
+        coo.push(4, 3, 7.0);
+        coo
+    }
+
+    #[test]
+    fn block_order_puts_diagonal_last_per_block_row() {
+        let alf = Alf::from_coo(&paper_like(), 3, AlfLayout::SymGs).unwrap();
+        let order: Vec<(usize, usize, BlockKind)> = alf
+            .blocks()
+            .iter()
+            .map(|b| (b.block_row(), b.block_col(), b.kind()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (0, 2, BlockKind::OffDiagonal),
+                (0, 0, BlockKind::Diagonal),
+                (1, 1, BlockKind::Diagonal),
+                (2, 0, BlockKind::OffDiagonal),
+                (2, 2, BlockKind::Diagonal),
+            ]
+        );
+    }
+
+    #[test]
+    fn diagonal_is_extracted_for_symgs() {
+        let alf = Alf::from_coo(&paper_like(), 3, AlfLayout::SymGs).unwrap();
+        let expect: Vec<f64> = (0..9).map(|i| 10.0 + i as f64).collect();
+        assert_eq!(alf.diagonal(), expect.as_slice());
+        // Diagonal block payloads must not contain the diagonal values.
+        for b in alf
+            .blocks()
+            .iter()
+            .filter(|b| b.kind() == BlockKind::Diagonal)
+        {
+            for i in 0..3 {
+                assert_eq!(b.get(i, i), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn upper_triangle_rows_are_reversed_in_stream() {
+        let alf = Alf::from_coo(&paper_like(), 3, AlfLayout::SymGs).unwrap();
+        let upper = &alf.blocks()[0];
+        assert_eq!((upper.block_row(), upper.block_col()), (0, 2));
+        assert!(upper.reversed());
+        // Logical row 0 of block (0,2) is [1.0, 2.0, 0.0] (cols 6,7,8);
+        // streamed right-to-left it must read [0.0, 2.0, 1.0].
+        assert_eq!(upper.row(0), &[0.0, 2.0, 1.0]);
+        // Logical accessor undoes the reversal.
+        assert_eq!(upper.get(0, 0), 1.0);
+        assert_eq!(upper.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn lower_triangle_rows_keep_natural_order() {
+        let alf = Alf::from_coo(&paper_like(), 3, AlfLayout::SymGs).unwrap();
+        let lower = alf
+            .blocks()
+            .iter()
+            .find(|b| (b.block_row(), b.block_col()) == (2, 0))
+            .unwrap();
+        assert!(!lower.reversed());
+        // Row 1 of block (2,0) holds A[7][1] = 4.0 at logical col 1.
+        assert_eq!(lower.row(1), &[0.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn symgs_round_trips_through_coo() {
+        let coo = paper_like().compress();
+        let alf = Alf::from_coo(&coo, 3, AlfLayout::SymGs).unwrap();
+        assert_eq!(alf.to_coo().compress(), coo);
+    }
+
+    #[test]
+    fn streaming_round_trips_through_coo() {
+        let coo = paper_like().compress();
+        let alf = Alf::from_coo(&coo, 3, AlfLayout::Streaming).unwrap();
+        assert_eq!(alf.to_coo().compress(), coo);
+        assert!(alf.diagonal().is_empty());
+    }
+
+    #[test]
+    fn streaming_layout_keeps_value_order() {
+        let alf = Alf::from_coo(&paper_like(), 3, AlfLayout::Streaming).unwrap();
+        for b in alf.blocks() {
+            assert_eq!(b.kind(), BlockKind::OffDiagonal);
+        }
+        let first = &alf.blocks()[0];
+        // Under Streaming, block (0,0) comes first and keeps l2r order:
+        assert_eq!((first.block_row(), first.block_col()), (0, 0));
+        assert_eq!(first.row(0), &[10.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn missing_diagonal_rejected_for_symgs() {
+        let mut coo = Coo::new(4, 4);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        coo.push(3, 3, 1.0); // row 2 diagonal missing
+        coo.push(2, 0, 5.0);
+        let err = Alf::from_coo(&coo, 2, AlfLayout::SymGs).unwrap_err();
+        assert_eq!(err, Error::MissingDiagonal { row: 2 });
+    }
+
+    #[test]
+    fn config_entry_bits_formula() {
+        // n = 9, ω = 3 -> 3 block rows -> ceil(log2 3) = 2 -> 2*2 + 3 = 7.
+        assert_eq!(config_entry_bits(9, 3), 7);
+        // n = 64, ω = 8 -> 8 block rows -> 3 bits -> 9.
+        assert_eq!(config_entry_bits(64, 8), 9);
+        // Single block row: only the 3 flag bits remain.
+        assert_eq!(config_entry_bits(8, 8), 3);
+    }
+
+    #[test]
+    fn meta_matches_bcsr_accounting() {
+        let coo = paper_like();
+        let alf = Alf::from_coo(&coo, 3, AlfLayout::SymGs).unwrap();
+        let bcsr = Bcsr::from_coo(&coo, 3).unwrap();
+        assert_eq!(alf.meta_bytes(), bcsr.meta_bytes());
+    }
+
+    #[test]
+    fn streamed_bytes_counts_dense_blocks_only() {
+        let alf = Alf::from_coo(&paper_like(), 3, AlfLayout::SymGs).unwrap();
+        assert_eq!(alf.streamed_bytes(), 5 * 9 * 8);
+    }
+
+    #[test]
+    fn rejects_zero_omega() {
+        assert!(Alf::from_coo(&paper_like(), 0, AlfLayout::SymGs).is_err());
+    }
+}
+
+/// One streamed ω-element row, as the memory interface delivers it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamedRow<'a> {
+    /// Block-row coordinate of the owning block.
+    pub block_row: usize,
+    /// Block-column coordinate of the owning block.
+    pub block_col: usize,
+    /// Diagonal or off-diagonal block.
+    pub kind: BlockKind,
+    /// Row index within the block (`0..ω`).
+    pub row_in_block: usize,
+    /// The ω payload values in streaming (access) order.
+    pub values: &'a [f64],
+}
+
+impl Alf {
+    /// Iterates over every ω-element row in the exact order the accelerator
+    /// streams them from memory: blocks in storage order, rows top to
+    /// bottom, values already permuted to their access order.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use alrescha_sparse::{alf::AlfLayout, Alf, Coo};
+    ///
+    /// let mut coo = Coo::new(4, 4);
+    /// for i in 0..4 { coo.push(i, i, 2.0); }
+    /// let alf = Alf::from_coo(&coo, 2, AlfLayout::Streaming)?;
+    /// let rows: Vec<_> = alf.stream_rows().collect();
+    /// assert_eq!(rows.len(), alf.blocks().len() * 2);
+    /// assert_eq!(rows[0].values, &[2.0, 0.0]);
+    /// # Ok::<(), alrescha_sparse::Error>(())
+    /// ```
+    pub fn stream_rows(&self) -> impl Iterator<Item = StreamedRow<'_>> {
+        let omega = self.omega;
+        self.blocks.iter().flat_map(move |block| {
+            (0..omega).map(move |i| StreamedRow {
+                block_row: block.block_row(),
+                block_col: block.block_col(),
+                kind: block.kind(),
+                row_in_block: i,
+                values: block.row(i),
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod stream_tests {
+    use super::*;
+
+    #[test]
+    fn stream_covers_every_payload_value_in_order() {
+        let mut coo = Coo::new(6, 6);
+        for i in 0..6 {
+            coo.push(i, i, 1.0 + i as f64);
+        }
+        coo.push(0, 5, 9.0);
+        let alf = Alf::from_coo(&coo, 3, AlfLayout::SymGs).unwrap();
+
+        let streamed: Vec<f64> = alf
+            .stream_rows()
+            .flat_map(|r| r.values.iter().copied())
+            .collect();
+        let direct: Vec<f64> = alf
+            .blocks()
+            .iter()
+            .flat_map(|b| b.payload().iter().copied())
+            .collect();
+        assert_eq!(streamed, direct);
+        assert_eq!(streamed.len(), alf.blocks().len() * 9);
+    }
+
+    #[test]
+    fn streamed_rows_carry_block_metadata() {
+        let mut coo = Coo::new(4, 4);
+        for i in 0..4 {
+            coo.push(i, i, 2.0);
+        }
+        coo.push(0, 3, -1.0);
+        let alf = Alf::from_coo(&coo, 2, AlfLayout::SymGs).unwrap();
+        let rows: Vec<_> = alf.stream_rows().collect();
+        // First block is the off-diagonal (0,1); its rows stream reversed.
+        assert_eq!(rows[0].block_col, 1);
+        assert_eq!(rows[0].kind, BlockKind::OffDiagonal);
+        assert_eq!(rows[0].values, &[-1.0, 0.0]); // col 3 reversed to slot 0
+        assert_eq!(rows[1].row_in_block, 1);
+    }
+}
+
+impl Alf {
+    /// Physical byte offset of each block's payload in the accelerator's
+    /// memory space — the Figure 13 mapping. Blocks are packed contiguously
+    /// in streaming order, ω²·8 bytes each; the returned vector is indexed
+    /// like [`Alf::blocks`].
+    pub fn physical_offsets(&self) -> Vec<usize> {
+        let block_bytes = self.omega * self.omega * std::mem::size_of::<f64>();
+        (0..self.blocks.len()).map(|k| k * block_bytes).collect()
+    }
+}
+
+#[cfg(test)]
+mod physical_tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_contiguous_in_streaming_order() {
+        let mut coo = Coo::new(9, 9);
+        for i in 0..9 {
+            coo.push(i, i, 1.0);
+        }
+        coo.push(0, 6, 2.0);
+        let alf = Alf::from_coo(&coo, 3, AlfLayout::SymGs).unwrap();
+        let offsets = alf.physical_offsets();
+        assert_eq!(offsets.len(), alf.blocks().len());
+        for (k, off) in offsets.iter().enumerate() {
+            assert_eq!(*off, k * 9 * 8);
+        }
+        // Total footprint equals the streamed payload bytes.
+        assert_eq!(offsets.last().unwrap() + 9 * 8, alf.streamed_bytes());
+    }
+
+    #[test]
+    fn non_power_of_two_block_width_works_end_to_end() {
+        let mut coo = Coo::new(13, 13);
+        for i in 0..13 {
+            coo.push(i, i, 3.0);
+            if i + 2 < 13 {
+                coo.push(i, i + 2, -0.5);
+                coo.push(i + 2, i, -0.5);
+            }
+        }
+        let coo = coo.compress();
+        for omega in [3usize, 5, 6, 7] {
+            let alf = Alf::from_coo(&coo, omega, AlfLayout::SymGs).unwrap();
+            assert_eq!(alf.to_coo().compress(), coo, "omega {omega}");
+        }
+    }
+}

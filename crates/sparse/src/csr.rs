@@ -1,0 +1,334 @@
+//! Compressed sparse row (CSR) format.
+
+use crate::{Coo, Error, MetaData, Result};
+
+/// A sparse matrix in compressed sparse row (CSR) format.
+///
+/// CSR stores per-row extents (`row_ptr`), per-entry column indices, and the
+/// values themselves. In the paper's storage-format spectrum (Figure 12) CSR
+/// sits at the "fully independent non-zeros" end: maximal flexibility at the
+/// cost of one index per value plus one pointer per row. OuterSPACE uses CSR
+/// (Table 2).
+///
+/// Within a row, entries are sorted by column index; this is the invariant
+/// every kernel in `alrescha-kernels` relies on.
+///
+/// # Example
+///
+/// ```
+/// use alrescha_sparse::{Coo, Csr};
+///
+/// let mut coo = Coo::new(2, 2);
+/// coo.push(0, 0, 2.0);
+/// coo.push(1, 0, 1.0);
+/// coo.push(1, 1, 3.0);
+/// let a = Csr::from_coo(&coo);
+/// assert_eq!(a.row_entries(1).collect::<Vec<_>>(), vec![(0, 1.0), (1, 3.0)]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// Converts from COO, summing duplicate coordinates.
+    pub fn from_coo(coo: &Coo) -> Self {
+        let canon = coo.clone().compress();
+        let mut row_ptr = vec![0usize; canon.rows() + 1];
+        for &(r, _, _) in canon.entries() {
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..canon.rows() {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = Vec::with_capacity(canon.nnz());
+        let mut values = Vec::with_capacity(canon.nnz());
+        for &(_, c, v) in canon.entries() {
+            col_idx.push(c);
+            values.push(v);
+        }
+        Csr {
+            rows: canon.rows(),
+            cols: canon.cols(),
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Builds a CSR matrix directly from its raw parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the arrays are inconsistent: `row_ptr` must have
+    /// `rows + 1` monotonically non-decreasing entries ending at
+    /// `col_idx.len()`, `col_idx` and `values` must have equal lengths, and
+    /// every column index must be in range and strictly increasing within a
+    /// row.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if row_ptr.len() != rows + 1
+            || col_idx.len() != values.len()
+            || *row_ptr.last().unwrap_or(&0) != col_idx.len()
+            || row_ptr.first() != Some(&0)
+        {
+            return Err(Error::DimensionMismatch {
+                expected: (rows + 1, values.len()),
+                found: (row_ptr.len(), col_idx.len()),
+            });
+        }
+        // Validate pointers fully before slicing col_idx with them.
+        for r in 0..rows {
+            if row_ptr[r] > row_ptr[r + 1] || row_ptr[r + 1] > col_idx.len() {
+                return Err(Error::Parse {
+                    line: r,
+                    message: "row_ptr is not monotone".to_string(),
+                });
+            }
+        }
+        for r in 0..rows {
+            let mut prev: Option<usize> = None;
+            for &c in &col_idx[row_ptr[r]..row_ptr[r + 1]] {
+                if c >= cols {
+                    return Err(Error::IndexOutOfBounds {
+                        row: r,
+                        col: c,
+                        rows,
+                        cols,
+                    });
+                }
+                if prev.is_some_and(|p| p >= c) {
+                    return Err(Error::Parse {
+                        line: r,
+                        message: "column indices not strictly increasing".to_string(),
+                    });
+                }
+                prev = Some(c);
+            }
+        }
+        Ok(Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Converts back to COO (round-trip partner of [`Csr::from_coo`]).
+    pub fn to_coo(&self) -> Coo {
+        let mut coo = Coo::with_capacity(self.rows, self.cols, self.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                coo.push(r, c, v);
+            }
+        }
+        coo
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The row-pointer array (`rows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column indices, row-major.
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Non-zero values, row-major.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates over `(col, value)` pairs of one row, sorted by column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row_entries(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let span = self.row_ptr[row]..self.row_ptr[row + 1];
+        self.col_idx[span.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[span].iter().copied())
+    }
+
+    /// Number of stored entries in `row`.
+    pub fn row_nnz(&self, row: usize) -> usize {
+        self.row_ptr[row + 1] - self.row_ptr[row]
+    }
+
+    /// Value at `(row, col)`, or `0.0` if structurally absent.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        let span = self.row_ptr[row]..self.row_ptr[row + 1];
+        match self.col_idx[span.clone()].binary_search(&col) {
+            Ok(k) => self.values[span.start + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The main diagonal as a dense vector (zeros where absent).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
+    }
+
+    /// Checks that every diagonal entry of a square matrix is structurally
+    /// present and non-zero — precondition of Gauss-Seidel (Equation 2
+    /// divides by `A[j][j]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MissingDiagonal`] naming the first offending row.
+    pub fn require_nonzero_diagonal(&self) -> Result<()> {
+        for i in 0..self.rows.min(self.cols) {
+            if self.get(i, i) == 0.0 {
+                return Err(Error::MissingDiagonal { row: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the transpose as a new CSR matrix.
+    #[must_use]
+    pub fn transpose(&self) -> Csr {
+        Csr::from_coo(&self.to_coo().transpose())
+    }
+
+    /// Maximum number of stored entries in any row (the ELL width).
+    pub fn max_row_nnz(&self) -> usize {
+        (0..self.rows).map(|r| self.row_nnz(r)).max().unwrap_or(0)
+    }
+}
+
+impl MetaData for Csr {
+    fn meta_bytes(&self) -> usize {
+        // 32-bit column indices plus 32-bit row pointers, matching the
+        // accounting the paper uses when ranking formats.
+        self.col_idx.len() * 4 + self.row_ptr.len() * 4
+    }
+
+    fn payload_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f64>()
+    }
+
+    fn nnz(&self) -> usize {
+        self.values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 0, 4.0);
+        coo.push(0, 2, 1.0);
+        coo.push(1, 1, 5.0);
+        coo.push(2, 0, 2.0);
+        coo.push(2, 2, 6.0);
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn from_coo_layout() {
+        let a = sample();
+        assert_eq!(a.row_ptr(), &[0, 2, 3, 5]);
+        assert_eq!(a.col_idx(), &[0, 2, 1, 0, 2]);
+        assert_eq!(a.values(), &[4.0, 1.0, 5.0, 2.0, 6.0]);
+    }
+
+    #[test]
+    fn round_trips_through_coo() {
+        let a = sample();
+        let back = Csr::from_coo(&a.to_coo());
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn get_and_diagonal() {
+        let a = sample();
+        assert_eq!(a.get(0, 2), 1.0);
+        assert_eq!(a.get(0, 1), 0.0);
+        assert_eq!(a.diagonal(), vec![4.0, 5.0, 6.0]);
+        assert!(a.require_nonzero_diagonal().is_ok());
+    }
+
+    #[test]
+    fn missing_diagonal_detected() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 0, 1.0);
+        let a = Csr::from_coo(&coo);
+        assert_eq!(
+            a.require_nonzero_diagonal(),
+            Err(Error::MissingDiagonal { row: 1 })
+        );
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = sample();
+        let tt = a.transpose().transpose();
+        assert_eq!(a, tt);
+    }
+
+    #[test]
+    fn from_parts_accepts_valid() {
+        let a = Csr::from_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert!(a.is_ok());
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_pointer() {
+        let a = Csr::from_parts(2, 2, vec![0, 3, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert!(a.is_err());
+    }
+
+    #[test]
+    fn from_parts_rejects_unsorted_columns() {
+        let a = Csr::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]);
+        assert!(a.is_err());
+    }
+
+    #[test]
+    fn from_parts_rejects_out_of_range_column() {
+        let a = Csr::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
+        assert!(a.is_err());
+    }
+
+    #[test]
+    fn max_row_nnz() {
+        assert_eq!(sample().max_row_nnz(), 2);
+        assert_eq!(Csr::from_coo(&Coo::new(3, 3)).max_row_nnz(), 0);
+    }
+
+    #[test]
+    fn metadata_counts_pointers_and_indices() {
+        let a = sample();
+        assert_eq!(a.meta_bytes(), 5 * 4 + 4 * 4);
+        assert_eq!(a.payload_bytes(), 5 * 8);
+    }
+}

@@ -1,0 +1,161 @@
+//! A small row-major dense matrix used as a correctness oracle and for
+//! locally-dense block payloads.
+
+use crate::{Coo, Error, Result};
+
+/// A row-major dense `f64` matrix.
+///
+/// The simulator and the reference kernels use `DenseMatrix` for tests and
+/// for the payload of locally-dense blocks; it is not intended as a
+/// high-performance dense-linear-algebra type.
+///
+/// # Example
+///
+/// ```
+/// use alrescha_sparse::DenseMatrix;
+///
+/// let mut m = DenseMatrix::zeros(2, 2);
+/// m[(0, 1)] = 3.0;
+/// assert_eq!(m[(0, 1)], 3.0);
+/// assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an all-zero `rows`×`cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a dense matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(Error::DimensionMismatch {
+                expected: (rows, cols),
+                found: (data.len(), 1),
+            });
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// Materializes a sparse matrix densely. Intended for small test oracles.
+    pub fn from_coo(coo: &Coo) -> Self {
+        let mut m = DenseMatrix::zeros(coo.rows(), coo.cols());
+        for &(r, c, v) in coo.entries() {
+            m[(r, c)] += v;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-major backing slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Borrows one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row(&self, row: usize) -> &[f64] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Dense matrix–vector product `A * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec operand length mismatch");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Number of exactly-zero entries — used to measure block fill ratios.
+    pub fn count_zeros(&self) -> usize {
+        self.data.iter().filter(|v| **v == 0.0).count()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "dense index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "dense index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_index() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        assert_eq!(m[(1, 2)], 0.0);
+        m[(1, 2)] = 9.0;
+        assert_eq!(m[(1, 2)], 9.0);
+        assert_eq!(m.count_zeros(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense index out of bounds")]
+    fn index_panics_out_of_bounds() {
+        let m = DenseMatrix::zeros(2, 2);
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn from_row_major_validates_len() {
+        assert!(DenseMatrix::from_row_major(2, 2, vec![1.0; 3]).is_err());
+        assert!(DenseMatrix::from_row_major(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_coo_sums_duplicates() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 0, 2.0);
+        let m = DenseMatrix::from_coo(&coo);
+        assert_eq!(m[(0, 0)], 3.0);
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let m = DenseMatrix::from_row_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+}

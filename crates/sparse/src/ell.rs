@@ -1,0 +1,187 @@
+//! ELLPACK-ITPACK (ELL) storage format.
+
+use crate::{Coo, Csr, MetaData};
+
+/// A sparse matrix in ELLPACK-ITPACK (ELL) format.
+///
+/// ELL pads every row to the width of the widest row, storing a dense
+/// `rows × width` value grid plus a matching grid of column indices. The
+/// paper notes ELL is the format used by the GPU SymGS implementation it
+/// compares against (Table 4), and places it between DIA and CSR on the
+/// Figure 12 spectrum: regular, streamable, but with per-slot indices and
+/// padding that wastes bandwidth on irregular matrices.
+///
+/// Padded slots carry the sentinel column [`Ell::PAD`] and value `0.0`.
+///
+/// # Example
+///
+/// ```
+/// use alrescha_sparse::{Coo, Ell};
+///
+/// let mut coo = Coo::new(2, 3);
+/// coo.push(0, 0, 1.0);
+/// coo.push(0, 2, 2.0);
+/// coo.push(1, 1, 3.0);
+/// let a = Ell::from_coo(&coo);
+/// assert_eq!(a.width(), 2);
+/// assert_eq!(a.get(0, 2), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ell {
+    rows: usize,
+    cols: usize,
+    width: usize,
+    /// `rows * width` column indices, row-major; `PAD` marks padding.
+    col_idx: Vec<usize>,
+    /// `rows * width` values, row-major; padding slots are `0.0`.
+    values: Vec<f64>,
+    nnz: usize,
+}
+
+impl Ell {
+    /// Sentinel column index marking a padded slot.
+    pub const PAD: usize = usize::MAX;
+
+    /// Converts from COO, summing duplicate coordinates.
+    pub fn from_coo(coo: &Coo) -> Self {
+        let csr = Csr::from_coo(coo);
+        let width = csr.max_row_nnz();
+        let rows = csr.rows();
+        let mut col_idx = vec![Self::PAD; rows * width];
+        let mut values = vec![0.0; rows * width];
+        for r in 0..rows {
+            for (slot, (c, v)) in csr.row_entries(r).enumerate() {
+                col_idx[r * width + slot] = c;
+                values[r * width + slot] = v;
+            }
+        }
+        Ell {
+            rows,
+            cols: csr.cols(),
+            width,
+            col_idx,
+            values,
+            nnz: csr.nnz(),
+        }
+    }
+
+    /// Converts back to COO, dropping padding.
+    pub fn to_coo(&self) -> Coo {
+        let mut coo = Coo::with_capacity(self.rows, self.cols, self.nnz);
+        for r in 0..self.rows {
+            for s in 0..self.width {
+                let c = self.col_idx[r * self.width + s];
+                if c != Self::PAD {
+                    coo.push(r, c, self.values[r * self.width + s]);
+                }
+            }
+        }
+        coo
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Padded row width (max non-zeros in any row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Value at `(row, col)`, or `0.0` if structurally absent.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        (0..self.width)
+            .find(|s| self.col_idx[row * self.width + s] == col)
+            .map_or(0.0, |s| self.values[row * self.width + s])
+    }
+
+    /// Fraction of slots that are padding — ELL's waste metric.
+    pub fn padding_ratio(&self) -> f64 {
+        let slots = self.rows * self.width;
+        if slots == 0 {
+            0.0
+        } else {
+            1.0 - self.nnz as f64 / slots as f64
+        }
+    }
+}
+
+impl MetaData for Ell {
+    fn meta_bytes(&self) -> usize {
+        // One 32-bit column index per slot, padding included: ELL transfers
+        // them all when streaming.
+        self.rows * self.width * 4
+    }
+
+    fn payload_bytes(&self) -> usize {
+        self.rows * self.width * std::mem::size_of::<f64>()
+    }
+
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ragged() -> Coo {
+        let mut coo = Coo::new(3, 4);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 2.0);
+        coo.push(0, 3, 3.0);
+        coo.push(1, 2, 4.0);
+        coo.push(2, 0, 5.0);
+        coo.push(2, 3, 6.0);
+        coo
+    }
+
+    #[test]
+    fn width_is_max_row_nnz() {
+        let a = Ell::from_coo(&ragged());
+        assert_eq!(a.width(), 3);
+    }
+
+    #[test]
+    fn round_trips_through_coo() {
+        let coo = ragged().compress();
+        let back = Ell::from_coo(&coo).to_coo().compress();
+        assert_eq!(coo, back);
+    }
+
+    #[test]
+    fn padding_ratio_matches_hand_count() {
+        let a = Ell::from_coo(&ragged());
+        // 9 slots, 6 nnz -> 1/3 padding.
+        assert!((a.padding_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn get_reads_through_padding() {
+        let a = Ell::from_coo(&ragged());
+        assert_eq!(a.get(1, 2), 4.0);
+        assert_eq!(a.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn meta_charges_padded_slots() {
+        let a = Ell::from_coo(&ragged());
+        assert_eq!(a.meta_bytes(), 9 * 4);
+        // Per-nnz meta exceeds CSR's ~4B because of padding.
+        assert!(a.meta_bytes_per_nnz() > 4.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Ell::from_coo(&Coo::new(4, 4));
+        assert_eq!(a.width(), 0);
+        assert_eq!(a.padding_ratio(), 0.0);
+    }
+}

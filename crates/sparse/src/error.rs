@@ -1,0 +1,121 @@
+//! Error types shared across the sparse substrate.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while building, converting, or parsing sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An entry's coordinates fall outside the matrix dimensions.
+    IndexOutOfBounds {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// Number of matrix rows.
+        rows: usize,
+        /// Number of matrix columns.
+        cols: usize,
+    },
+    /// Two operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Shape expected by the operation.
+        expected: (usize, usize),
+        /// Shape actually provided.
+        found: (usize, usize),
+    },
+    /// A blocked format was asked for a block width that does not fit.
+    InvalidBlockWidth {
+        /// The requested block width.
+        omega: usize,
+    },
+    /// A kernel requires a structural property the matrix lacks
+    /// (e.g. SymGS requires a full non-zero diagonal).
+    MissingDiagonal {
+        /// First row whose diagonal entry is structurally zero.
+        row: usize,
+    },
+    /// Matrix Market input could not be parsed.
+    Parse {
+        /// 1-based line where parsing failed.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An I/O failure while reading or writing a matrix file.
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "entry ({row}, {col}) is outside the {rows}x{cols} matrix"
+            ),
+            Error::DimensionMismatch { expected, found } => write!(
+                f,
+                "dimension mismatch: expected {}x{}, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            Error::InvalidBlockWidth { omega } => {
+                write!(
+                    f,
+                    "invalid block width {omega}: must be a positive power of two"
+                )
+            }
+            Error::MissingDiagonal { row } => {
+                write!(f, "matrix has a structurally zero diagonal at row {row}")
+            }
+            Error::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            Error::Io(message) => write!(f, "i/o error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(err: std::io::Error) -> Self {
+        Error::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let err = Error::IndexOutOfBounds {
+            row: 5,
+            col: 6,
+            rows: 4,
+            cols: 4,
+        };
+        assert_eq!(err.to_string(), "entry (5, 6) is outside the 4x4 matrix");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err: Error = io.into();
+        assert!(matches!(err, Error::Io(_)));
+    }
+}

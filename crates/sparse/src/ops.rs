@@ -1,0 +1,255 @@
+//! Structural matrix operations: permutation, triangle extraction, scaling,
+//! and addition.
+//!
+//! These support the preprocessing pipeline around the locally-dense format:
+//! reordering (see [`crate::reorder`]) permutes a matrix symmetrically to
+//! raise block fill, and SymGS analysis splits a matrix into its strict
+//! lower/upper triangles and diagonal (the three operand groups of
+//! Equation 2).
+
+use crate::{Coo, Csr, Error, Result};
+
+/// Applies a symmetric permutation: `B[p[i]][p[j]] = A[i][j]`.
+///
+/// `perm` maps old indices to new indices and must be a bijection on
+/// `0..n`.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if the matrix is not square or the
+/// permutation has the wrong length, and [`Error::Parse`] if `perm` is not
+/// a bijection.
+pub fn permute_symmetric(a: &Coo, perm: &[usize]) -> Result<Coo> {
+    if a.rows() != a.cols() {
+        return Err(Error::DimensionMismatch {
+            expected: (a.rows(), a.rows()),
+            found: (a.rows(), a.cols()),
+        });
+    }
+    if perm.len() != a.rows() {
+        return Err(Error::DimensionMismatch {
+            expected: (a.rows(), 1),
+            found: (perm.len(), 1),
+        });
+    }
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        if p >= perm.len() || seen[p] {
+            return Err(Error::Parse {
+                line: p,
+                message: "permutation is not a bijection".to_string(),
+            });
+        }
+        seen[p] = true;
+    }
+    let mut out = Coo::with_capacity(a.rows(), a.cols(), a.entries().len());
+    for &(r, c, v) in a.entries() {
+        out.push(perm[r], perm[c], v);
+    }
+    Ok(out)
+}
+
+/// Inverts a permutation: `inv[perm[i]] = i`.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a bijection on `0..perm.len()`.
+pub fn invert_permutation(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![usize::MAX; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        assert!(p < perm.len() && inv[p] == usize::MAX, "not a bijection");
+        inv[p] = i;
+    }
+    inv
+}
+
+/// Permutes a vector into the reordered index space:
+/// `out[perm[i]] = v[i]`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn permute_vector(v: &[f64], perm: &[usize]) -> Vec<f64> {
+    assert_eq!(v.len(), perm.len(), "permutation length mismatch");
+    let mut out = vec![0.0; v.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        out[p] = v[i];
+    }
+    out
+}
+
+/// The three operand groups of Equation 2, split structurally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Triangles {
+    /// Strict lower triangle (`col < row`).
+    pub lower: Coo,
+    /// Main diagonal values (dense, zeros where absent).
+    pub diagonal: Vec<f64>,
+    /// Strict upper triangle (`col > row`).
+    pub upper: Coo,
+}
+
+/// Splits a square matrix into strict-lower / diagonal / strict-upper parts.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if the matrix is not square.
+pub fn split_triangles(a: &Coo) -> Result<Triangles> {
+    if a.rows() != a.cols() {
+        return Err(Error::DimensionMismatch {
+            expected: (a.rows(), a.rows()),
+            found: (a.rows(), a.cols()),
+        });
+    }
+    let n = a.rows();
+    let mut lower = Coo::new(n, n);
+    let mut upper = Coo::new(n, n);
+    let mut diagonal = vec![0.0; n];
+    for &(r, c, v) in a.entries() {
+        match c.cmp(&r) {
+            std::cmp::Ordering::Less => lower.push(r, c, v),
+            std::cmp::Ordering::Equal => diagonal[r] += v,
+            std::cmp::Ordering::Greater => upper.push(r, c, v),
+        }
+    }
+    Ok(Triangles {
+        lower,
+        diagonal,
+        upper,
+    })
+}
+
+/// `A + alpha * B` for matching shapes.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] on shape mismatch.
+pub fn add_scaled(a: &Coo, alpha: f64, b: &Coo) -> Result<Coo> {
+    if a.rows() != b.rows() || a.cols() != b.cols() {
+        return Err(Error::DimensionMismatch {
+            expected: (a.rows(), a.cols()),
+            found: (b.rows(), b.cols()),
+        });
+    }
+    let mut out = Coo::with_capacity(a.rows(), a.cols(), a.entries().len() + b.entries().len());
+    for &(r, c, v) in a.entries() {
+        out.push(r, c, v);
+    }
+    for &(r, c, v) in b.entries() {
+        out.push(r, c, alpha * v);
+    }
+    Ok(out.compress())
+}
+
+/// Bandwidth of a square matrix: `max |col − row|` over stored entries.
+pub fn bandwidth(a: &Csr) -> usize {
+    let mut bw = 0usize;
+    for r in 0..a.rows() {
+        for (c, _) in a.row_entries(r) {
+            bw = bw.max(r.abs_diff(c));
+        }
+    }
+    bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn sample() -> Coo {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 2, 2.0);
+        coo.push(1, 0, 3.0);
+        coo.push(2, 2, 4.0);
+        coo
+    }
+
+    #[test]
+    fn permute_symmetric_reverses() {
+        let perm = vec![2, 1, 0];
+        let b = permute_symmetric(&sample(), &perm).unwrap();
+        assert_eq!(b.get(2, 2), 1.0); // was (0,0)
+        assert_eq!(b.get(2, 0), 2.0); // was (0,2)
+        assert_eq!(b.get(1, 2), 3.0); // was (1,0)
+        assert_eq!(b.get(0, 0), 4.0); // was (2,2)
+    }
+
+    #[test]
+    fn permute_identity_is_noop() {
+        let b = permute_symmetric(&sample(), &[0, 1, 2]).unwrap();
+        assert_eq!(b.compress(), sample().compress());
+    }
+
+    #[test]
+    fn permute_rejects_non_bijection() {
+        assert!(permute_symmetric(&sample(), &[0, 0, 1]).is_err());
+        assert!(permute_symmetric(&sample(), &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn invert_permutation_round_trips() {
+        let perm = vec![3, 0, 2, 1];
+        let inv = invert_permutation(&perm);
+        assert_eq!(inv, vec![1, 3, 2, 0]);
+        for i in 0..perm.len() {
+            assert_eq!(inv[perm[i]], i);
+        }
+    }
+
+    #[test]
+    fn permute_vector_matches_matrix_permutation() {
+        // (P A Pᵀ)(P x) = P (A x): permuting operand and matrix commutes.
+        let coo = gen::banded(30, 3, 5);
+        let csr = Csr::from_coo(&coo);
+        let perm: Vec<usize> = (0..30).map(|i| (i * 7) % 30).collect();
+        let permuted = Csr::from_coo(&permute_symmetric(&coo, &perm).unwrap());
+        let x: Vec<f64> = (0..30).map(|i| (i as f64).sin()).collect();
+        let ax = alrescha_sp_matvec(&csr, &x);
+        let px = permute_vector(&x, &perm);
+        let p_ax = permute_vector(&ax, &perm);
+        let apx = alrescha_sp_matvec(&permuted, &px);
+        assert!(crate::approx_eq(&p_ax, &apx, 1e-12));
+    }
+
+    fn alrescha_sp_matvec(a: &Csr, x: &[f64]) -> Vec<f64> {
+        (0..a.rows())
+            .map(|r| a.row_entries(r).map(|(c, v)| v * x[c]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn split_triangles_partitions() {
+        let t = split_triangles(&sample()).unwrap();
+        assert_eq!(t.lower.get(1, 0), 3.0);
+        assert_eq!(t.upper.get(0, 2), 2.0);
+        assert_eq!(t.diagonal, vec![1.0, 0.0, 4.0]);
+        assert_eq!(t.lower.entries().len() + t.upper.entries().len(), 2);
+    }
+
+    #[test]
+    fn split_rejects_rectangular() {
+        assert!(split_triangles(&Coo::new(2, 3)).is_err());
+    }
+
+    #[test]
+    fn add_scaled_cancels() {
+        let a = sample();
+        let sum = add_scaled(&a, -1.0, &a).unwrap();
+        assert!(sum.entries().iter().all(|&(_, _, v)| v == 0.0));
+    }
+
+    #[test]
+    fn add_scaled_rejects_mismatch() {
+        assert!(add_scaled(&sample(), 1.0, &Coo::new(2, 2)).is_err());
+    }
+
+    #[test]
+    fn bandwidth_of_banded_matrix() {
+        let a = Csr::from_coo(&gen::banded(40, 3, 1));
+        assert_eq!(bandwidth(&a), 3);
+        let d = Csr::from_coo(&Coo::new(5, 5));
+        assert_eq!(bandwidth(&d), 0);
+    }
+}

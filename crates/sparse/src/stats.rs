@@ -1,0 +1,245 @@
+//! Structure statistics of sparse matrices.
+//!
+//! These metrics drive the evaluation analysis: the paper attributes the
+//! Figure 15/16 speedup variation to *how diagonal* a matrix's non-zero
+//! distribution is (diagonal-heavy ⇒ less in-row parallelism for the GPU ⇒
+//! larger ALRESCHA advantage) and bounds bandwidth utilization by block fill.
+
+use crate::{Bcsr, Coo, Csr, MetaData, Result};
+
+/// Summary of a matrix's non-zero distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructureStats {
+    /// Matrix dimensions.
+    pub shape: (usize, usize),
+    /// Number of stored non-zeros.
+    pub nnz: usize,
+    /// Mean stored entries per row.
+    pub mean_row_nnz: f64,
+    /// Maximum stored entries in any row.
+    pub max_row_nnz: usize,
+    /// Fraction of non-zeros with |col − row| ≤ half the block width —
+    /// the "diagonal heaviness" the Figure 16 analysis keys on.
+    pub near_diagonal_fraction: f64,
+    /// Mean fill of non-empty ω×ω blocks at the reference block width.
+    pub block_fill: f64,
+    /// Number of non-empty blocks at the reference block width.
+    pub num_blocks: usize,
+    /// Block width used for the blocked metrics.
+    pub omega: usize,
+}
+
+impl StructureStats {
+    /// Computes statistics at block width `omega`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::Error::InvalidBlockWidth`] when `omega == 0`.
+    pub fn measure(coo: &Coo, omega: usize) -> Result<Self> {
+        let csr = Csr::from_coo(coo);
+        let bcsr = Bcsr::from_coo(coo, omega)?;
+        let nnz = csr.nnz();
+        let near = csr_near_diagonal(&csr, omega);
+        let rows = csr.rows().max(1);
+        Ok(StructureStats {
+            shape: (csr.rows(), csr.cols()),
+            nnz,
+            mean_row_nnz: nnz as f64 / rows as f64,
+            max_row_nnz: csr.max_row_nnz(),
+            near_diagonal_fraction: if nnz == 0 {
+                0.0
+            } else {
+                near as f64 / nnz as f64
+            },
+            block_fill: bcsr.mean_block_fill(),
+            num_blocks: bcsr.num_blocks(),
+            omega,
+        })
+    }
+}
+
+fn csr_near_diagonal(csr: &Csr, omega: usize) -> usize {
+    let band = omega as isize;
+    let mut near = 0usize;
+    for r in 0..csr.rows() {
+        for (c, _) in csr.row_entries(r) {
+            if (c as isize - r as isize).abs() <= band {
+                near += 1;
+            }
+        }
+    }
+    near
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn stencil_is_diagonal_heavy() {
+        let coo = gen::stencil27(4);
+        let s = StructureStats::measure(&coo, 8).unwrap();
+        assert!(
+            s.near_diagonal_fraction > 0.3,
+            "{}",
+            s.near_diagonal_fraction
+        );
+        assert!(s.block_fill > 0.05);
+        assert_eq!(s.shape, (64, 64));
+    }
+
+    #[test]
+    fn scattered_is_not_diagonal_heavy() {
+        let coo = gen::scattered(400, 6, 1);
+        let s = StructureStats::measure(&coo, 8).unwrap();
+        assert!(
+            s.near_diagonal_fraction < 0.6,
+            "{}",
+            s.near_diagonal_fraction
+        );
+    }
+
+    #[test]
+    fn empty_matrix_stats() {
+        let s = StructureStats::measure(&Coo::new(10, 10), 4).unwrap();
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.near_diagonal_fraction, 0.0);
+        assert_eq!(s.num_blocks, 0);
+    }
+
+    #[test]
+    fn mean_and_max_row_nnz() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 1, 1.0);
+        let s = StructureStats::measure(&coo, 2).unwrap();
+        assert_eq!(s.max_row_nnz, 2);
+        assert!((s.mean_row_nnz - 1.0).abs() < 1e-12);
+    }
+}
+
+/// Gershgorin disc bounds on the eigenvalues of a square matrix: every
+/// eigenvalue lies in `[min_i (A_ii − R_i), max_i (A_ii + R_i)]` where
+/// `R_i` is the off-diagonal absolute row sum.
+///
+/// For the generators' symmetric diagonally dominant matrices the lower
+/// bound is positive, *certifying* positive definiteness — the property PCG
+/// requires (§2's "symmetric positive-definite matrix").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GershgorinBounds {
+    /// Smallest possible eigenvalue.
+    pub lower: f64,
+    /// Largest possible eigenvalue.
+    pub upper: f64,
+}
+
+impl GershgorinBounds {
+    /// True when the bounds certify positive definiteness (for a symmetric
+    /// matrix): every disc lies strictly right of zero.
+    pub fn certifies_spd(&self) -> bool {
+        self.lower > 0.0
+    }
+
+    /// Upper bound on the 2-norm condition number implied by the discs
+    /// (∞ when the lower bound is non-positive).
+    pub fn condition_bound(&self) -> f64 {
+        if self.lower > 0.0 {
+            self.upper / self.lower
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Computes the Gershgorin bounds of a square matrix.
+///
+/// # Errors
+///
+/// Returns [`crate::Error::DimensionMismatch`] if the matrix is not square.
+pub fn gershgorin(a: &Csr) -> Result<GershgorinBounds> {
+    if a.rows() != a.cols() {
+        return Err(crate::Error::DimensionMismatch {
+            expected: (a.rows(), a.rows()),
+            found: (a.rows(), a.cols()),
+        });
+    }
+    let mut lower = f64::INFINITY;
+    let mut upper = f64::NEG_INFINITY;
+    for i in 0..a.rows() {
+        let mut diag = 0.0;
+        let mut radius = 0.0;
+        for (j, v) in a.row_entries(i) {
+            if j == i {
+                diag = v;
+            } else {
+                radius += v.abs();
+            }
+        }
+        lower = lower.min(diag - radius);
+        upper = upper.max(diag + radius);
+    }
+    if a.rows() == 0 {
+        lower = 0.0;
+        upper = 0.0;
+    }
+    Ok(GershgorinBounds { lower, upper })
+}
+
+#[cfg(test)]
+mod gershgorin_tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn all_science_generators_are_certified_spd() {
+        for class in gen::ScienceClass::ALL {
+            let a = Csr::from_coo(&class.generate(200, 31));
+            let bounds = gershgorin(&a).unwrap();
+            assert!(
+                bounds.certifies_spd(),
+                "{}: lower {}",
+                class.name(),
+                bounds.lower
+            );
+            assert!(bounds.condition_bound().is_finite());
+        }
+    }
+
+    #[test]
+    fn known_tridiagonal_bounds() {
+        // [[2,-1],[-1,2],...]: discs are [2-2, 2+2] interior / [1, 3] edges.
+        let a = Csr::from_coo(&{
+            let mut coo = Coo::new(5, 5);
+            for i in 0..5 {
+                coo.push(i, i, 2.0);
+                if i + 1 < 5 {
+                    coo.push(i, i + 1, -1.0);
+                    coo.push(i + 1, i, -1.0);
+                }
+            }
+            coo
+        });
+        let bounds = gershgorin(&a).unwrap();
+        assert_eq!(bounds.lower, 0.0);
+        assert_eq!(bounds.upper, 4.0);
+        assert!(!bounds.certifies_spd(), "bound is not strict here");
+    }
+
+    #[test]
+    fn indefinite_matrix_not_certified() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, -1.0);
+        coo.push(1, 1, 3.0);
+        let bounds = gershgorin(&Csr::from_coo(&coo)).unwrap();
+        assert!(!bounds.certifies_spd());
+        assert!(bounds.condition_bound().is_infinite());
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let a = Csr::from_coo(&Coo::new(2, 3));
+        assert!(gershgorin(&a).is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! Umbrella crate for the ALRESCHA reproduction workspace.
+//!
+//! This crate only re-exports the member crates so that the repository-level
+//! examples and integration tests have a single dependency root. Use the
+//! individual crates ([`alrescha`], [`alrescha_sparse`], [`alrescha_sim`],
+//! [`alrescha_kernels`], [`alrescha_baselines`]) directly in downstream code.
+//!
+//! ```
+//! use alrescha_suite::alrescha::{Alrescha, KernelType};
+//! use alrescha_suite::alrescha_sparse::gen;
+//!
+//! let a = gen::stencil27(2);
+//! let mut acc = Alrescha::with_paper_config();
+//! let prog = acc.program(KernelType::SpMv, &a)?;
+//! let (y, _) = acc.spmv(&prog, &vec![1.0; a.cols()])?;
+//! assert_eq!(y.len(), a.rows());
+//! # Ok::<(), alrescha_suite::alrescha::CoreError>(())
+//! ```
+
+pub use alrescha;
+pub use alrescha_baselines;
+pub use alrescha_kernels;
+pub use alrescha_sim;
+pub use alrescha_sparse;

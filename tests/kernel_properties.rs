@@ -1,0 +1,202 @@
+//! Property-based tests on kernel invariants: the SymGS decomposition is
+//! exact, solvers converge on diagonally dominant systems, and the graph
+//! kernels obey their mathematical contracts.
+
+use proptest::prelude::*;
+
+use alrescha::{Alrescha, KernelType};
+use alrescha_kernels::{graph, spmv, symgs};
+use alrescha_sparse::{approx_eq, Coo, Csr};
+
+/// Strategy: a strictly diagonally dominant SPD-style matrix up to 24x24.
+fn arb_dd_matrix() -> impl Strategy<Value = Coo> {
+    (2usize..24).prop_flat_map(|n| {
+        let entry = (0..n, 0..n, 1i32..50);
+        proptest::collection::vec(entry, 0..60).prop_map(move |entries| {
+            let mut coo = Coo::new(n, n);
+            let mut row_sum = vec![0.0; n];
+            for (r, c, v) in entries {
+                if r != c {
+                    let v = -(v as f64) / 50.0;
+                    coo.push(r, c, v);
+                    coo.push(c, r, v);
+                    row_sum[r] += v.abs();
+                    row_sum[c] += v.abs();
+                }
+            }
+            for (i, s) in row_sum.iter().enumerate() {
+                coo.push(i, i, s + 1.0);
+            }
+            coo.compress()
+        })
+    })
+}
+
+/// Strategy: a small directed weighted graph.
+fn arb_graph() -> impl Strategy<Value = Coo> {
+    (2usize..24).prop_flat_map(|n| {
+        let edge = (0..n, 0..n, 1i32..100);
+        proptest::collection::vec(edge, 0..80).prop_map(move |edges| {
+            let mut coo = Coo::new(n, n);
+            for (u, v, w) in edges {
+                if u != v {
+                    coo.push(u, v, w as f64 / 10.0);
+                }
+            }
+            coo.compress()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocked_symgs_equals_row_symgs(coo in arb_dd_matrix(), omega in 1usize..6) {
+        // The heart of the paper: Algorithm 1's GEMV/D-SymGS decomposition
+        // and reordering is mathematically exact (distributivity of the
+        // inner product). The simulator executes the blocked order; the
+        // reference executes the row order; results must agree.
+        let omega = 1 << omega; // 2..32 lanes
+        let csr = Csr::from_coo(&coo);
+        let b: Vec<f64> = (0..coo.rows()).map(|i| (i as f64 * 0.3).sin()).collect();
+
+        let mut acc = Alrescha::new(alrescha_sim::SimConfig::paper().with_omega(omega));
+        let prog = acc.program(KernelType::SymGs, &coo).expect("dd matrix programs");
+        let mut x_dev = vec![0.0; coo.cols()];
+        acc.symgs(&prog, &b, &mut x_dev).expect("device symgs");
+
+        let mut x_ref = vec![0.0; coo.cols()];
+        symgs::symgs(&csr, &b, &mut x_ref).expect("reference symgs");
+        prop_assert!(approx_eq(&x_dev, &x_ref, 1e-9));
+    }
+
+    #[test]
+    fn symgs_iteration_is_a_contraction(coo in arb_dd_matrix()) {
+        // On strictly diagonally dominant systems Gauss-Seidel converges:
+        // the residual after a sweep is no larger than before (up to fp).
+        let csr = Csr::from_coo(&coo);
+        let x_true: Vec<f64> = (0..coo.rows()).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let b = spmv::spmv(&csr, &x_true);
+        let mut x = vec![0.0; coo.cols()];
+        let r0 = alrescha_kernels::norm2(&symgs::residual(&csr, &b, &x));
+        symgs::symgs(&csr, &b, &mut x).expect("sweep");
+        let r1 = alrescha_kernels::norm2(&symgs::residual(&csr, &b, &x));
+        prop_assert!(r1 <= r0 * (1.0 + 1e-9), "r0 {r0} r1 {r1}");
+    }
+
+    #[test]
+    fn pcg_solves_dd_systems(coo in arb_dd_matrix()) {
+        let csr = Csr::from_coo(&coo);
+        let x_true: Vec<f64> = (0..coo.rows()).map(|i| 1.0 + (i as f64 * 0.2).cos()).collect();
+        let b = spmv::spmv(&csr, &x_true);
+        let sol = alrescha_kernels::pcg::pcg(
+            &csr,
+            &b,
+            &alrescha_kernels::pcg::PcgOptions::default(),
+        ).expect("pcg runs");
+        prop_assert!(sol.converged);
+        prop_assert!(approx_eq(&sol.x, &x_true, 1e-5));
+    }
+
+    #[test]
+    fn bfs_levels_respect_edges(g in arb_graph()) {
+        // Contract: along every edge u->v, level(v) <= level(u) + 1.
+        let csr = Csr::from_coo(&g);
+        let levels = graph::bfs(&csr, 0).expect("bfs");
+        prop_assert_eq!(levels[0], 0.0);
+        for u in 0..csr.rows() {
+            if levels[u].is_finite() {
+                for (v, _) in csr.row_entries(u) {
+                    prop_assert!(levels[v] <= levels[u] + 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_satisfies_triangle_inequality(g in arb_graph()) {
+        // Contract: dist(v) <= dist(u) + w(u, v) for every edge, and
+        // dist(source) = 0.
+        let csr = Csr::from_coo(&g);
+        let dist = graph::sssp(&csr, 0).expect("sssp");
+        prop_assert_eq!(dist[0], 0.0);
+        for u in 0..csr.rows() {
+            if dist[u].is_finite() {
+                for (v, w) in csr.row_entries(u) {
+                    prop_assert!(dist[v] <= dist[u] + w + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pagerank_is_a_distribution(g in arb_graph()) {
+        let csr = Csr::from_coo(&g);
+        let (ranks, _) = graph::pagerank(&csr, &graph::PageRankOptions::default())
+            .expect("pagerank");
+        let total: f64 = ranks.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "sum {total}");
+        prop_assert!(ranks.iter().all(|r| *r >= 0.0));
+    }
+
+    #[test]
+    fn spmv_is_linear(coo in arb_dd_matrix(), alpha in -4.0f64..4.0) {
+        // A(alpha x + y) = alpha A x + A y.
+        let csr = Csr::from_coo(&coo);
+        let n = coo.cols();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.5).cos()).collect();
+        let combined: Vec<f64> = x.iter().zip(&y).map(|(a, b)| alpha * a + b).collect();
+        let lhs = spmv::spmv(&csr, &combined);
+        let ax = spmv::spmv(&csr, &x);
+        let ay = spmv::spmv(&csr, &y);
+        let rhs: Vec<f64> = ax.iter().zip(&ay).map(|(a, b)| alpha * a + b).collect();
+        prop_assert!(approx_eq(&lhs, &rhs, 1e-9));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn device_ssor_equals_reference_for_arbitrary_systems(
+        coo in arb_dd_matrix(),
+        relax_pct in 40u32..160,
+    ) {
+        let omega_relax = relax_pct as f64 / 100.0;
+        let csr = Csr::from_coo(&coo);
+        let b: Vec<f64> = (0..coo.rows()).map(|i| (i as f64 * 0.23).cos()).collect();
+
+        let mut acc = Alrescha::with_paper_config();
+        let prog = acc.program(KernelType::SymGs, &coo).expect("dd matrix");
+        let mut x_dev = vec![0.0; coo.cols()];
+        acc.ssor(&prog, &b, &mut x_dev, omega_relax).expect("device ssor");
+
+        let mut x_ref = vec![0.0; coo.cols()];
+        alrescha_kernels::smoothers::ssor(&csr, &b, &mut x_ref, omega_relax)
+            .expect("reference ssor");
+        prop_assert!(approx_eq(&x_dev, &x_ref, 1e-9));
+    }
+
+    #[test]
+    fn device_cc_equals_reference_for_arbitrary_graphs(
+        edges in proptest::collection::vec((0usize..24, 0usize..24), 0..60)
+    ) {
+        let mut coo = alrescha_sparse::Coo::new(24, 24);
+        for (u, v) in edges {
+            if u != v {
+                coo.push(u, v, 1.0);
+            }
+        }
+        let coo = coo.compress();
+        let csr = Csr::from_coo(&coo);
+        let mut acc = Alrescha::with_paper_config();
+        let prog = acc
+            .program(KernelType::ConnectedComponents, &coo)
+            .expect("program");
+        let (labels, _) = acc.connected_components(&prog).expect("run");
+        let expect = graph::connected_components(&csr).expect("reference");
+        prop_assert_eq!(labels, expect);
+    }
+}

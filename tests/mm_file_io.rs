@@ -1,0 +1,70 @@
+//! File-level Matrix Market round trips through real temporary files,
+//! including running the accelerator on a matrix loaded from disk.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use alrescha::{Alrescha, KernelType};
+use alrescha_sparse::mm::{read_matrix_market, write_matrix_market};
+use alrescha_sparse::{gen, Csr, MetaData};
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("alrescha-test-{}-{name}.mtx", std::process::id()));
+    p
+}
+
+#[test]
+fn write_read_file_round_trip() {
+    let coo = gen::circuit(150, 3).compress();
+    let path = temp_path("roundtrip");
+    {
+        let file = File::create(&path).expect("create temp file");
+        write_matrix_market(BufWriter::new(file), &coo).expect("write");
+    }
+    let file = File::open(&path).expect("open temp file");
+    let back = read_matrix_market(BufReader::new(file)).expect("read");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(back.compress(), coo);
+}
+
+#[test]
+fn accelerator_runs_on_matrix_from_disk() {
+    let coo = gen::stencil27(3);
+    let path = temp_path("device");
+    {
+        let file = File::create(&path).expect("create temp file");
+        write_matrix_market(BufWriter::new(file), &coo).expect("write");
+    }
+    let file = File::open(&path).expect("open temp file");
+    let loaded = read_matrix_market(BufReader::new(file)).expect("read");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(loaded.nnz(), coo.nnz());
+    let mut acc = Alrescha::with_paper_config();
+    let prog = acc.program(KernelType::SpMv, &loaded).expect("program");
+    let x = vec![1.0; loaded.cols()];
+    let (y, report) = acc.spmv(&prog, &x).expect("run");
+    let expect = alrescha_kernels::spmv::spmv(&Csr::from_coo(&coo), &x);
+    assert!(alrescha_sparse::approx_eq(&y, &expect, 1e-12));
+    assert!(report.cycles > 0);
+}
+
+#[test]
+fn values_survive_the_text_round_trip_exactly_enough() {
+    // `{:e}` formatting keeps ~16 significant digits; values must survive
+    // to f64 round-trip precision.
+    let mut coo = alrescha_sparse::Coo::new(2, 2);
+    coo.push(0, 0, std::f64::consts::PI);
+    coo.push(1, 1, -1.0 / 3.0);
+    let path = temp_path("precision");
+    {
+        let file = File::create(&path).expect("create temp file");
+        write_matrix_market(BufWriter::new(file), &coo).expect("write");
+    }
+    let file = File::open(&path).expect("open temp file");
+    let back = read_matrix_market(BufReader::new(file)).expect("read");
+    std::fs::remove_file(&path).ok();
+    assert!((back.get(0, 0) - std::f64::consts::PI).abs() < 1e-15);
+    assert!((back.get(1, 1) + 1.0 / 3.0).abs() < 1e-15);
+}

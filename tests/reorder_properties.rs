@@ -1,0 +1,104 @@
+//! Property-based tests on reordering: RCM and degree orderings are valid
+//! permutations, preserve the matrix up to relabeling, and never break the
+//! kernels that run on the reordered system.
+
+use proptest::prelude::*;
+
+use alrescha_sparse::ops::{invert_permutation, permute_symmetric, permute_vector};
+use alrescha_sparse::reorder::{apply_rcm, degree_ordering, rcm_ordering};
+use alrescha_sparse::{Coo, Csr, MetaData};
+
+fn arb_symmetric() -> impl Strategy<Value = Coo> {
+    (2usize..28).prop_flat_map(|n| {
+        let entry = (0..n, 0..n, 1i32..40);
+        proptest::collection::vec(entry, 0..70).prop_map(move |entries| {
+            let mut coo = Coo::new(n, n);
+            let mut row_sum = vec![0.0; n];
+            for (r, c, v) in entries {
+                if r != c {
+                    let v = -(v as f64) / 40.0;
+                    coo.push(r, c, v);
+                    coo.push(c, r, v);
+                    row_sum[r] += v.abs();
+                    row_sum[c] += v.abs();
+                }
+            }
+            for (i, s) in row_sum.iter().enumerate() {
+                coo.push(i, i, s + 1.0);
+            }
+            coo.compress()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rcm_is_always_a_bijection(coo in arb_symmetric()) {
+        let perm = rcm_ordering(&Csr::from_coo(&coo));
+        let inv = invert_permutation(&perm); // panics if not a bijection
+        prop_assert_eq!(inv.len(), coo.rows());
+    }
+
+    #[test]
+    fn degree_ordering_is_always_a_bijection(coo in arb_symmetric()) {
+        let perm = degree_ordering(&Csr::from_coo(&coo));
+        let inv = invert_permutation(&perm);
+        prop_assert_eq!(inv.len(), coo.rows());
+    }
+
+    #[test]
+    fn rcm_preserves_nnz_and_symmetry(coo in arb_symmetric()) {
+        let (reordered, _) = apply_rcm(&coo).expect("square input");
+        prop_assert_eq!(reordered.clone().compress().nnz(), coo.nnz());
+        prop_assert!(reordered.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn permutation_round_trips(coo in arb_symmetric()) {
+        let (reordered, perm) = apply_rcm(&coo).expect("square input");
+        let inv = invert_permutation(&perm);
+        let back = permute_symmetric(&reordered, &inv).expect("bijection");
+        prop_assert_eq!(back.compress(), coo);
+    }
+
+    #[test]
+    fn spmv_commutes_with_reordering(coo in arb_symmetric()) {
+        // P(Ax) = (PAPᵀ)(Px): solving in the reordered space and mapping
+        // back gives the original answer.
+        let csr = Csr::from_coo(&coo);
+        let x: Vec<f64> = (0..coo.cols()).map(|i| (i as f64 * 0.31).sin()).collect();
+        let ax = alrescha_kernels::spmv::spmv(&csr, &x);
+
+        let (reordered, perm) = apply_rcm(&coo).expect("square input");
+        let rx = permute_vector(&x, &perm);
+        let r_ax = alrescha_kernels::spmv::spmv(&Csr::from_coo(&reordered), &rx);
+        let expected = permute_vector(&ax, &perm);
+        prop_assert!(alrescha_sparse::approx_eq(&r_ax, &expected, 1e-10));
+    }
+
+    #[test]
+    fn pcg_converges_identically_after_reordering(coo in arb_symmetric()) {
+        // The spectrum is permutation-invariant: CG takes the same number
+        // of iterations (up to fp noise) on the reordered system.
+        use alrescha_kernels::pcg::{pcg, PcgOptions, Preconditioner};
+        let csr = Csr::from_coo(&coo);
+        let b: Vec<f64> = (0..coo.rows()).map(|i| 1.0 + (i % 3) as f64).collect();
+        let opts = PcgOptions {
+            preconditioner: Preconditioner::Identity,
+            tol: 1e-8,
+            max_iters: 400,
+        };
+        let host = pcg(&csr, &b, &opts).expect("runs");
+
+        let (reordered, perm) = apply_rcm(&coo).expect("square input");
+        let rb = permute_vector(&b, &perm);
+        let re = pcg(&Csr::from_coo(&reordered), &rb, &opts).expect("runs");
+        prop_assert!(host.converged && re.converged);
+        prop_assert!(
+            (host.iterations as i64 - re.iterations as i64).abs() <= 2,
+            "original {} reordered {}", host.iterations, re.iterations
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests on simulator invariants: timing and accounting hold
+//! for arbitrary diagonally dominant inputs and block widths.
+
+use proptest::prelude::*;
+
+use alrescha::{Alrescha, KernelType};
+use alrescha_sim::SimConfig;
+use alrescha_sparse::Coo;
+
+fn arb_dd_matrix() -> impl Strategy<Value = Coo> {
+    (2usize..32).prop_flat_map(|n| {
+        let entry = (0..n, 0..n, 1i32..50);
+        proptest::collection::vec(entry, 0..80).prop_map(move |entries| {
+            let mut coo = Coo::new(n, n);
+            let mut row_sum = vec![0.0; n];
+            for (r, c, v) in entries {
+                if r != c {
+                    let v = -(v as f64) / 60.0;
+                    coo.push(r, c, v);
+                    row_sum[r] += v.abs();
+                }
+            }
+            for (i, s) in row_sum.iter().enumerate() {
+                coo.push(i, i, s + 1.0);
+            }
+            coo.compress()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn spmv_report_invariants(coo in arb_dd_matrix(), omega_pow in 1usize..6) {
+        let omega = 1 << omega_pow;
+        let config = SimConfig::paper().with_omega(omega);
+        let mut acc = Alrescha::new(config);
+        let prog = acc.program(KernelType::SpMv, &coo).expect("programs");
+        let x = vec![1.0; coo.cols()];
+        let (_, report) = acc.spmv(&prog, &x).expect("runs");
+
+        prop_assert!(report.cycles > 0);
+        prop_assert!(report.seconds > 0.0);
+        prop_assert!((0.0..=1.0).contains(&report.bandwidth_utilization));
+        prop_assert!((0.0..=1.0).contains(&report.cache_time_fraction));
+        // Payload streamed is at least the dense blocks of the matrix.
+        let expected_payload = prog.matrix().streamed_bytes() as u64;
+        prop_assert!(report.bytes_streamed >= expected_payload);
+        // ALU work: one omega-wide MAC row per block row.
+        let block_count = prog.matrix().blocks().len() as u64;
+        prop_assert_eq!(
+            report.energy.alu_ops,
+            block_count * (omega * omega) as u64
+        );
+    }
+
+    #[test]
+    fn symgs_reconfiguration_is_always_hidden(coo in arb_dd_matrix()) {
+        let mut acc = Alrescha::with_paper_config();
+        let prog = acc.program(KernelType::SymGs, &coo).expect("programs");
+        let b = vec![1.0; coo.rows()];
+        let mut x = vec![0.0; coo.cols()];
+        let report = acc.symgs(&prog, &b, &mut x).expect("runs");
+        // Table 5's latencies guarantee the switch fits under the drain.
+        prop_assert_eq!(report.reconfig.exposed_cycles, 0);
+        prop_assert!(report.reconfig.switches >= 1);
+        prop_assert!(report.datapaths.dsymgs_blocks >= 1);
+    }
+
+    #[test]
+    fn wider_blocks_never_reduce_streamed_bytes(coo in arb_dd_matrix()) {
+        // Padding grows (weakly) with block width for a fixed matrix.
+        let bytes: Vec<u64> = [4usize, 8, 16]
+            .iter()
+            .map(|&omega| {
+                let mut acc = Alrescha::new(SimConfig::paper().with_omega(omega));
+                let prog = acc.program(KernelType::SpMv, &coo).expect("programs");
+                let x = vec![1.0; coo.cols()];
+                acc.spmv(&prog, &x).expect("runs").1.bytes_streamed
+            })
+            .collect();
+        prop_assert!(bytes[0] <= bytes[1] * 2, "4 -> 8: {} vs {}", bytes[0], bytes[1]);
+        // Monotone within rounding: an omega-doubling cannot shrink the
+        // dense-block footprint below the finer blocking's footprint.
+        prop_assert!(bytes[1] <= bytes[2] * 2);
+    }
+
+    #[test]
+    fn config_table_switches_bound_simulator_switches(coo in arb_dd_matrix()) {
+        let mut acc = Alrescha::with_paper_config();
+        let prog = acc.program(KernelType::SymGs, &coo).expect("programs");
+        let table_switches = prog.table().switch_count() as u64;
+        let block_rows = prog.matrix().block_rows() as u64;
+        let b = vec![1.0; coo.rows()];
+        let mut x = vec![0.0; coo.cols()];
+        let report = acc.symgs(&prog, &b, &mut x).expect("runs");
+        // Two sweeps; each block row switches at most twice per sweep
+        // (into GEMV, into D-SymGS), plus the initial configuration. The
+        // table's straight-line switch count is a lower-bound witness.
+        prop_assert!(report.reconfig.switches >= table_switches.min(1));
+        prop_assert!(
+            report.reconfig.switches <= 2 * (2 * block_rows + 1),
+            "sim {} block rows {}",
+            report.reconfig.switches,
+            block_rows
+        );
+    }
+}

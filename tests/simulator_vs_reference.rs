@@ -1,0 +1,179 @@
+//! Cross-crate integration tests: the cycle-level simulator's functional
+//! output must agree with the reference kernels on every dataset class.
+
+use alrescha::{AcceleratedPcg, Alrescha, KernelType, SolverOptions};
+use alrescha_kernels::{graph, pcg, spmv, symgs};
+use alrescha_sim::PageRankConfig;
+use alrescha_sparse::{approx_eq, gen, Csr};
+
+#[test]
+fn spmv_agrees_on_every_scientific_class() {
+    let mut acc = Alrescha::with_paper_config();
+    for class in gen::ScienceClass::ALL {
+        let coo = class.generate(300, 11);
+        let csr = Csr::from_coo(&coo);
+        let x: Vec<f64> = (0..coo.cols()).map(|i| (i as f64 * 0.13).sin()).collect();
+        let prog = acc.program(KernelType::SpMv, &coo).expect("program");
+        let (y, _) = acc.spmv(&prog, &x).expect("run");
+        let expect = spmv::spmv(&csr, &x);
+        assert!(
+            approx_eq(&y, &expect, 1e-11),
+            "spmv mismatch on {}",
+            class.name()
+        );
+    }
+}
+
+#[test]
+fn spmv_agrees_on_every_graph_class() {
+    let mut acc = Alrescha::with_paper_config();
+    for class in gen::GraphClass::ALL {
+        let coo = class.generate(256, 11);
+        let csr = Csr::from_coo(&coo);
+        let x: Vec<f64> = (0..coo.cols()).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let prog = acc.program(KernelType::SpMv, &coo).expect("program");
+        let (y, _) = acc.spmv(&prog, &x).expect("run");
+        let expect = spmv::spmv(&csr, &x);
+        assert!(
+            approx_eq(&y, &expect, 1e-11),
+            "spmv mismatch on {}",
+            class.name()
+        );
+    }
+}
+
+#[test]
+fn symgs_sweeps_agree_on_every_scientific_class() {
+    let mut acc = Alrescha::with_paper_config();
+    for class in gen::ScienceClass::ALL {
+        let coo = class.generate(300, 13);
+        let csr = Csr::from_coo(&coo);
+        let b: Vec<f64> = (0..coo.rows())
+            .map(|i| ((i * 7) % 13) as f64 - 6.0)
+            .collect();
+
+        let prog = acc.program(KernelType::SymGs, &coo).expect("program");
+        let mut x_dev = vec![0.0; coo.cols()];
+        acc.symgs(&prog, &b, &mut x_dev).expect("device symgs");
+
+        let mut x_ref = vec![0.0; coo.cols()];
+        symgs::symgs(&csr, &b, &mut x_ref).expect("reference symgs");
+        assert!(
+            approx_eq(&x_dev, &x_ref, 1e-9),
+            "symgs mismatch on {}",
+            class.name()
+        );
+    }
+}
+
+#[test]
+fn accelerated_pcg_matches_host_pcg_trajectory() {
+    for class in [gen::ScienceClass::Stencil27, gen::ScienceClass::Structural] {
+        let coo = class.generate(250, 3);
+        let csr = Csr::from_coo(&coo);
+        let x_true: Vec<f64> = (0..coo.rows())
+            .map(|i| ((i % 9) as f64) * 0.5 - 2.0)
+            .collect();
+        let b = spmv::spmv(&csr, &x_true);
+
+        let host = pcg::pcg(&csr, &b, &pcg::PcgOptions::default()).expect("host pcg");
+
+        let mut acc = Alrescha::with_paper_config();
+        let solver = AcceleratedPcg::program(&mut acc, &coo).expect("program");
+        let dev = solver
+            .solve(
+                &mut acc,
+                &b,
+                &SolverOptions {
+                    tol: 1e-10,
+                    max_iters: 500,
+                },
+            )
+            .expect("device solve");
+
+        assert!(host.converged && dev.converged, "{}", class.name());
+        assert!(
+            (host.iterations as i64 - dev.iterations as i64).abs() <= 1,
+            "{}: host {} device {}",
+            class.name(),
+            host.iterations,
+            dev.iterations
+        );
+        assert!(approx_eq(&dev.x, &x_true, 1e-5), "{}", class.name());
+    }
+}
+
+#[test]
+fn bfs_agrees_on_every_graph_class() {
+    let mut acc = Alrescha::with_paper_config();
+    for class in gen::GraphClass::ALL {
+        let coo = class.generate(200, 17);
+        let csr = Csr::from_coo(&coo);
+        let prog = acc.program(KernelType::Bfs, &coo).expect("program");
+        let (levels, _) = acc.bfs(&prog, 0).expect("run");
+        let expect = graph::bfs(&csr, 0).expect("reference");
+        assert_eq!(levels, expect, "bfs mismatch on {}", class.name());
+    }
+}
+
+#[test]
+fn sssp_agrees_on_every_graph_class() {
+    let mut acc = Alrescha::with_paper_config();
+    for class in gen::GraphClass::ALL {
+        let coo = class.generate(200, 19);
+        let csr = Csr::from_coo(&coo);
+        let prog = acc.program(KernelType::Sssp, &coo).expect("program");
+        let (dist, _) = acc.sssp(&prog, 0).expect("run");
+        let expect = graph::sssp(&csr, 0).expect("reference");
+        assert!(
+            dist.iter()
+                .zip(&expect)
+                .all(|(a, b)| (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9),
+            "sssp mismatch on {}",
+            class.name()
+        );
+    }
+}
+
+#[test]
+fn pagerank_agrees_on_every_graph_class() {
+    let mut acc = Alrescha::with_paper_config();
+    for class in gen::GraphClass::ALL {
+        let coo = class.generate(128, 23);
+        let csr = Csr::from_coo(&coo);
+        let prog = acc.program(KernelType::PageRank, &coo).expect("program");
+        let (ranks, _) = acc
+            .pagerank(&prog, &PageRankConfig::default())
+            .expect("run");
+        let (expect, _) =
+            graph::pagerank(&csr, &graph::PageRankOptions::default()).expect("reference");
+        assert!(
+            approx_eq(&ranks, &expect, 1e-6),
+            "pagerank mismatch on {}",
+            class.name()
+        );
+    }
+}
+
+#[test]
+fn reports_are_internally_consistent() {
+    let mut acc = Alrescha::with_paper_config();
+    let coo = gen::stencil27(5);
+    let prog = acc.program(KernelType::SymGs, &coo).expect("program");
+    let b = vec![1.0; coo.rows()];
+    let mut x = vec![0.0; coo.cols()];
+    let report = acc.symgs(&prog, &b, &mut x).expect("run");
+
+    assert!(report.seconds > 0.0);
+    assert!((0.0..=1.0).contains(&report.bandwidth_utilization));
+    assert!((0.0..=1.0).contains(&report.cache_time_fraction));
+    assert_eq!(
+        report.reconfig.exposed_cycles, 0,
+        "drain must hide reconfiguration"
+    );
+    assert!(report.energy.dram_bytes as u64 == report.bytes_streamed);
+    assert!(report.energy.alu_ops > 0 && report.energy.pe_ops > 0);
+    // Both data paths executed, and the table switches match the layout.
+    assert!(report.datapaths.gemv_blocks > 0);
+    assert!(report.datapaths.dsymgs_blocks > 0);
+}

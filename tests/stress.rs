@@ -1,0 +1,67 @@
+//! Moderate-scale end-to-end runs, plus an `--ignored` large-scale check.
+
+use alrescha::{AcceleratedPcg, Alrescha, KernelType, SolverOptions};
+use alrescha_kernels::spmv::spmv;
+use alrescha_sparse::{gen, Csr, MetaData};
+
+#[test]
+fn device_pcg_solves_a_sixteen_cubed_stencil() {
+    // 4096 unknowns, ~105k non-zeros: a real (if small) PDE system.
+    let coo = gen::stencil27(16);
+    let csr = Csr::from_coo(&coo);
+    let x_true: Vec<f64> = (0..coo.rows())
+        .map(|i| ((i % 11) as f64) * 0.3 - 1.5)
+        .collect();
+    let b = spmv(&csr, &x_true);
+
+    let mut acc = Alrescha::with_paper_config();
+    let solver = AcceleratedPcg::program(&mut acc, &coo).expect("program");
+    let out = solver
+        .solve(
+            &mut acc,
+            &b,
+            &SolverOptions {
+                tol: 1e-8,
+                max_iters: 100,
+            },
+        )
+        .expect("solve");
+    assert!(out.converged, "residual {}", out.residual);
+    assert!(alrescha_sparse::approx_eq(&out.x, &x_true, 1e-4));
+    // The device did real work: tens of millions of ALU ops.
+    assert!(out.report.energy.alu_ops > 10_000_000);
+}
+
+#[test]
+fn device_graph_kernels_at_four_thousand_vertices() {
+    let g = gen::GraphClass::Kronecker.generate(4096, 99);
+    assert!(g.nnz() > 20_000);
+    let mut acc = Alrescha::with_paper_config();
+    let prog = acc.program(KernelType::Bfs, &g).expect("program");
+    let (levels, report) = acc.bfs(&prog, 0).expect("run");
+    let expect = alrescha_kernels::graph::bfs(&Csr::from_coo(&g), 0).expect("reference");
+    assert_eq!(levels, expect);
+    assert!(report.seconds > 0.0);
+}
+
+#[test]
+#[ignore = "large-scale check: ~1 minute; run with cargo test -- --ignored"]
+fn device_pcg_solves_a_thirtytwo_cubed_stencil() {
+    // 32768 unknowns, ~880k non-zeros — HPCG's smallest official grid.
+    let coo = gen::stencil27(32);
+    let csr = Csr::from_coo(&coo);
+    let b = spmv(&csr, &vec![1.0; coo.cols()]);
+    let mut acc = Alrescha::with_paper_config();
+    let solver = AcceleratedPcg::program(&mut acc, &coo).expect("program");
+    let out = solver
+        .solve(
+            &mut acc,
+            &b,
+            &SolverOptions {
+                tol: 1e-6,
+                max_iters: 60,
+            },
+        )
+        .expect("solve");
+    assert!(out.converged);
+}
