@@ -130,6 +130,10 @@ pub const DRAM_PJ_PER_BYTE: f64 = 60.0;
 
 #[cfg(test)]
 mod tests {
+    // The whole point of these tests is to pin relationships between
+    // compile-time platform constants.
+    #![allow(clippy::assertions_on_constants)]
+
     use super::*;
 
     #[test]

@@ -16,8 +16,8 @@ pub const KERNELS: [KernelType; 5] = [
 pub fn print_table1() {
     println!("Table 1 — sparse kernels and their dense data paths");
     println!(
-        "{:<10} {:<10} {:>9} {:<16} {:<8} {}",
-        "kernel", "data path", "operands", "phase1-op", "reduce", "phase3-assign"
+        "{:<10} {:<10} {:>9} {:<16} {:<8} phase3-assign",
+        "kernel", "data path", "operands", "phase1-op", "reduce"
     );
     for kernel in KERNELS {
         let d = kernel.descriptor();

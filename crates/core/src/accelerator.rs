@@ -6,7 +6,10 @@
 //! data through the *data interface* and return an
 //! [`alrescha_sim::ExecutionReport`].
 
-use alrescha_sim::{Engine, ExecutionReport, PageRankConfig, SimConfig};
+use alrescha_sim::{
+    Engine, ExecutionReport, FaultCounters, FaultPlan, PageRankConfig, RecoveryPolicy, SimConfig,
+    SimError,
+};
 use alrescha_sparse::{Coo, Csr, MetaData};
 
 use crate::convert::{convert, ConfigTable, KernelType};
@@ -79,6 +82,68 @@ impl Alrescha {
         self.engine.config()
     }
 
+    /// Arms (or, with `None`, disarms) a deterministic fault-injection plan.
+    ///
+    /// With no plan armed the engine takes its historical code path and
+    /// results are bit-identical to an un-instrumented accelerator.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.engine.set_fault_plan(plan);
+    }
+
+    /// Sets the policy applied when a detected fault survives in-run
+    /// recovery: fail fast, retry from the block checkpoint, or degrade the
+    /// whole kernel to the host reference implementation.
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        self.engine.set_recovery_policy(policy);
+    }
+
+    /// The active recovery policy.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.engine.recovery_policy()
+    }
+
+    /// Cumulative fault counters since the plan was armed (all zero when no
+    /// plan is armed). Per-run deltas appear in each [`ExecutionReport`].
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.engine
+            .fault_injector()
+            .map(|inj| inj.counters())
+            .unwrap_or_default()
+    }
+
+    /// Whether a failed device run should fall back to the host kernel.
+    fn degrades_to_cpu(&self) -> bool {
+        self.engine.fault_injector().is_some() && self.engine.recovery_policy().degrades_to_cpu()
+    }
+
+    /// Builds the report for a run completed on the host after the device
+    /// gave up: no device cycles, but the fault accounting of the failed
+    /// attempts (relative to `base`) plus the degradation marker.
+    fn degraded_report(&self, kernel: &'static str, base: &FaultCounters) -> ExecutionReport {
+        if let Some(inj) = self.engine.fault_injector() {
+            inj.note_degraded();
+        }
+        let faults = self
+            .engine
+            .fault_injector()
+            .map(|inj| inj.counters().delta(base))
+            .unwrap_or_default();
+        ExecutionReport {
+            kernel,
+            cycles: 0,
+            seconds: 0.0,
+            bytes_streamed: 0,
+            bandwidth_utilization: 0.0,
+            cache_time_fraction: 0.0,
+            energy: alrescha_sim::EnergyCounters::new(),
+            reconfig: alrescha_sim::rcu::ReconfigStats::default(),
+            cache: alrescha_sim::report::CacheStats::default(),
+            datapaths: alrescha_sim::report::DataPathCounts::default(),
+            breakdown: alrescha_sim::report::CycleBreakdown::default(),
+            faults,
+        }
+    }
+
     /// Programs a kernel: runs Algorithm 1 and loads the result (the
     /// one-time host-side preprocessing of §4).
     ///
@@ -133,6 +198,10 @@ impl Alrescha {
 
     /// Runs SpMV: `y = A·x`.
     ///
+    /// Under a [`RecoveryPolicy`] that degrades to the CPU, an unrecovered
+    /// fault falls back to the host reference kernel; the returned report
+    /// then carries zero device cycles and `faults.degraded == 1`.
+    ///
     /// # Errors
     ///
     /// [`CoreError::WrongKernel`] if `prog` was not programmed for SpMV;
@@ -143,10 +212,22 @@ impl Alrescha {
         x: &[f64],
     ) -> Result<(Vec<f64>, ExecutionReport)> {
         expect_kernel(prog, KernelType::SpMv)?;
-        Ok(self.engine.run_spmv(&prog.alf, x)?)
+        let base = self.fault_counters();
+        match self.engine.run_spmv(&prog.alf, x) {
+            Err(SimError::FaultDetected { .. }) if self.degrades_to_cpu() => {
+                let csr = Csr::from_coo(&prog.alf.to_coo());
+                let y = alrescha_kernels::spmv::spmv(&csr, x);
+                Ok((y, self.degraded_report("spmv", &base)))
+            }
+            run => Ok(run?),
+        }
     }
 
     /// Runs one symmetric Gauss-Seidel application, updating `x` in place.
+    ///
+    /// Under a [`RecoveryPolicy`] that degrades to the CPU, an unrecovered
+    /// fault restores `x` to its pre-call state and reruns the sweep with
+    /// the host reference kernel (report as in [`Alrescha::spmv`]).
     ///
     /// # Errors
     ///
@@ -159,14 +240,26 @@ impl Alrescha {
         x: &mut [f64],
     ) -> Result<ExecutionReport> {
         expect_kernel(prog, KernelType::SymGs)?;
-        Ok(self.engine.run_symgs(&prog.alf, b, x)?)
+        let snapshot = self.degrades_to_cpu().then(|| x.to_vec());
+        let base = self.fault_counters();
+        match self.engine.run_symgs(&prog.alf, b, x) {
+            Err(SimError::FaultDetected { .. }) if snapshot.is_some() => {
+                if let Some(saved) = snapshot {
+                    x.copy_from_slice(&saved);
+                }
+                let csr = Csr::from_coo(&prog.alf.to_coo());
+                alrescha_kernels::symgs::symgs(&csr, b, x)?;
+                Ok(self.degraded_report("symgs", &base))
+            }
+            run => Ok(run?),
+        }
     }
 
     /// Runs one forward Gauss-Seidel sweep, updating `x` in place.
     ///
     /// # Errors
     ///
-    /// Same as [`Alrescha::symgs`].
+    /// Same as [`Alrescha::symgs`] (including the degraded fallback).
     pub fn symgs_forward(
         &mut self,
         prog: &ProgrammedKernel,
@@ -174,7 +267,19 @@ impl Alrescha {
         x: &mut [f64],
     ) -> Result<ExecutionReport> {
         expect_kernel(prog, KernelType::SymGs)?;
-        Ok(self.engine.run_symgs_forward(&prog.alf, b, x)?)
+        let snapshot = self.degrades_to_cpu().then(|| x.to_vec());
+        let base = self.fault_counters();
+        match self.engine.run_symgs_forward(&prog.alf, b, x) {
+            Err(SimError::FaultDetected { .. }) if snapshot.is_some() => {
+                if let Some(saved) = snapshot {
+                    x.copy_from_slice(&saved);
+                }
+                let csr = Csr::from_coo(&prog.alf.to_coo());
+                alrescha_kernels::symgs::forward_sweep(&csr, b, x)?;
+                Ok(self.degraded_report("symgs", &base))
+            }
+            run => Ok(run?),
+        }
     }
 
     /// Runs BFS from `source`; returns hop levels (∞ where unreachable).
@@ -219,10 +324,9 @@ impl Alrescha {
         opts: &PageRankConfig,
     ) -> Result<(Vec<f64>, ExecutionReport)> {
         expect_kernel(prog, KernelType::PageRank)?;
-        let out_degrees = prog
-            .out_degrees
-            .as_ref()
-            .expect("pagerank programs always capture out-degrees");
+        let out_degrees = prog.out_degrees.as_ref().ok_or(CoreError::InvalidProgram {
+            reason: "pagerank program lacks out-degrees",
+        })?;
         Ok(self.engine.run_pagerank(&prog.alf, out_degrees, opts)?)
     }
 }
@@ -340,6 +444,71 @@ mod tests {
         let (ranks, _) = acc.pagerank(&prog, &PageRankConfig::default()).unwrap();
         let total: f64 = ranks.iter().sum();
         assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unrecovered_spmv_fault_degrades_to_cpu() {
+        use alrescha_sim::{FaultPlan, RecoveryPolicy};
+        let mut acc = Alrescha::with_paper_config();
+        let coo = gen::stencil27(3);
+        let prog = acc.program(KernelType::SpMv, &coo).unwrap();
+        // Stuck-at faults survive retries by construction, so the device
+        // must give up and fall back to the host kernel.
+        acc.set_fault_plan(Some(FaultPlan::inert(42).with_memory_stuck_rate(1.0)));
+        acc.set_recovery_policy(RecoveryPolicy::DegradeToCpu {
+            max_retries: 2,
+            backoff_cycles: 8,
+        });
+        let x = vec![1.0; coo.cols()];
+        let (y, report) = acc.spmv(&prog, &x).unwrap();
+        let expect = alrescha_kernels::spmv::spmv(&Csr::from_coo(&coo), &x);
+        assert!(alrescha_sparse::approx_eq(&y, &expect, 1e-12));
+        assert_eq!(report.faults.degraded, 1);
+        assert!(report.faults.injected > 0);
+        assert!(report.faults.detected > 0);
+        assert!(report.faults.retries > 0);
+        assert_eq!(report.cycles, 0, "degraded run has no device cycles");
+    }
+
+    #[test]
+    fn unrecovered_symgs_fault_degrades_and_restores_x() {
+        use alrescha_sim::{FaultPlan, RecoveryPolicy};
+        let mut acc = Alrescha::with_paper_config();
+        let coo = gen::stencil27(3);
+        let prog = acc.program(KernelType::SymGs, &coo).unwrap();
+        acc.set_fault_plan(Some(FaultPlan::inert(7).with_memory_stuck_rate(1.0)));
+        acc.set_recovery_policy(RecoveryPolicy::DegradeToCpu {
+            max_retries: 1,
+            backoff_cycles: 4,
+        });
+        let b = vec![1.0; coo.rows()];
+        let mut x = vec![0.0; coo.cols()];
+        let report = acc.symgs(&prog, &b, &mut x).unwrap();
+        assert_eq!(report.faults.degraded, 1);
+        let mut x_ref = vec![0.0; coo.cols()];
+        alrescha_kernels::symgs::symgs(&Csr::from_coo(&coo), &b, &mut x_ref).unwrap();
+        assert!(
+            alrescha_sparse::approx_eq(&x, &x_ref, 1e-12),
+            "fallback must run from the pre-call state"
+        );
+    }
+
+    #[test]
+    fn fail_fast_policy_surfaces_the_fault() {
+        use alrescha_sim::{FaultPlan, SimError};
+        let mut acc = Alrescha::with_paper_config();
+        let coo = gen::stencil27(3);
+        let prog = acc.program(KernelType::SpMv, &coo).unwrap();
+        acc.set_fault_plan(Some(FaultPlan::inert(42).with_memory_stuck_rate(1.0)));
+        // Default policy is FailFast.
+        let err = acc.spmv(&prog, &vec![1.0; coo.cols()]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::Sim(SimError::FaultDetected { .. })
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

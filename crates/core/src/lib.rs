@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod accelerator;
 pub mod convert;
@@ -43,6 +44,10 @@ pub use convert::{ConfigEntry, ConfigTable, DataPath, KernelType};
 pub use program::ProgramBinary;
 pub use solver::{AcceleratedMgPcg, AcceleratedPcg, SolveOutcome, SolverOptions};
 
+// Fault-injection surface, re-exported so facade users configure resilience
+// without importing the simulator crate directly.
+pub use alrescha_sim::{FaultCounters, FaultPlan, FaultSite, RecoveryPolicy};
+
 use std::fmt;
 
 /// Errors raised by the accelerator API.
@@ -53,6 +58,8 @@ pub enum CoreError {
     Sparse(alrescha_sparse::Error),
     /// The simulator rejected the run.
     Sim(alrescha_sim::SimError),
+    /// A host-side reference kernel failed (e.g. during a degraded run).
+    Kernel(alrescha_kernels::KernelError),
     /// A program was used with a kernel it was not built for.
     WrongKernel {
         /// Kernel the program encodes.
@@ -79,6 +86,20 @@ pub enum CoreError {
         /// Iteration at which `pᵀAp ≤ 0` was observed.
         iteration: usize,
     },
+    /// The residual became non-finite or grew past the divergence guard —
+    /// typically the footprint of an undetected fault or ill-posed input.
+    Diverged {
+        /// Iteration at which divergence was detected.
+        iteration: usize,
+        /// Residual norm observed (may be NaN or infinite).
+        residual: f64,
+    },
+    /// A programmed kernel is missing data its driver requires — the
+    /// program was corrupted or built by an incompatible host.
+    InvalidProgram {
+        /// What was missing or inconsistent.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -86,6 +107,7 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Sparse(e) => write!(f, "sparse format: {e}"),
             CoreError::Sim(e) => write!(f, "simulator: {e}"),
+            CoreError::Kernel(e) => write!(f, "reference kernel: {e}"),
             CoreError::WrongKernel {
                 programmed,
                 requested,
@@ -108,6 +130,18 @@ impl fmt::Display for CoreError {
                     "pcg breakdown at iteration {iteration}: matrix is not positive definite"
                 )
             }
+            CoreError::Diverged {
+                iteration,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "solver diverged at iteration {iteration}: residual {residual:e}"
+                )
+            }
+            CoreError::InvalidProgram { reason } => {
+                write!(f, "invalid program: {reason}")
+            }
         }
     }
 }
@@ -117,6 +151,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Sparse(e) => Some(e),
             CoreError::Sim(e) => Some(e),
+            CoreError::Kernel(e) => Some(e),
             _ => None,
         }
     }
@@ -134,6 +169,12 @@ impl From<alrescha_sim::SimError> for CoreError {
     }
 }
 
+impl From<alrescha_kernels::KernelError> for CoreError {
+    fn from(e: alrescha_kernels::KernelError) -> Self {
+        CoreError::Kernel(e)
+    }
+}
+
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;
 
@@ -145,6 +186,19 @@ mod tests {
     fn error_display_is_informative() {
         let e = CoreError::NotSquare { rows: 3, cols: 4 };
         assert_eq!(e.to_string(), "solver requires a square matrix, found 3x4");
+    }
+
+    #[test]
+    fn diverged_and_invalid_program_display() {
+        let d = CoreError::Diverged {
+            iteration: 7,
+            residual: f64::NAN,
+        };
+        assert!(d.to_string().contains("diverged at iteration 7"));
+        let p = CoreError::InvalidProgram {
+            reason: "pagerank program lacks out-degrees",
+        };
+        assert!(p.to_string().contains("out-degrees"));
     }
 
     #[test]

@@ -15,6 +15,31 @@ use crate::accelerator::{Alrescha, ProgrammedKernel};
 use crate::convert::KernelType;
 use crate::{CoreError, Result};
 
+/// Divergence guard: a residual that grows this far past its starting point
+/// (or goes non-finite) aborts the solve with [`CoreError::Diverged`] —
+/// typically the footprint of a fault that slipped past detection.
+const DIVERGENCE_FACTOR: f64 = 1e8;
+
+/// Returns [`CoreError::Diverged`] when a residual norm is non-finite or has
+/// blown up relative to the larger of its starting value and `‖b‖`.
+fn check_residual(r_norm: f64, r0: f64, b_norm: f64, iteration: usize) -> Result<()> {
+    if !r_norm.is_finite() || r_norm > DIVERGENCE_FACTOR * r0.max(b_norm) {
+        return Err(CoreError::Diverged {
+            iteration,
+            residual: r_norm,
+        });
+    }
+    Ok(())
+}
+
+/// Unwraps the accumulated device report; every solve path performs device
+/// work before reaching a return, so `None` means the driver is broken.
+fn finished_report(report: Option<ExecutionReport>) -> Result<ExecutionReport> {
+    report.ok_or(CoreError::InvalidProgram {
+        reason: "solver finished without any device work",
+    })
+}
+
 /// Options for [`AcceleratedPcg`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolverOptions {
@@ -111,6 +136,7 @@ impl AcceleratedPcg {
         };
 
         let r0 = norm2(&r);
+        check_residual(r0, r0, b_norm, 0)?;
         if r0 <= opts.tol * b_norm {
             let (_, rep) = acc.spmv(&self.spmv_prog, &x)?;
             return Ok(SolveOutcome {
@@ -131,6 +157,12 @@ impl AcceleratedPcg {
             let (ap, rep) = acc.spmv(&self.spmv_prog, &p)?;
             absorb(rep, &mut report);
             let pap = dot(&p, &ap);
+            if !pap.is_finite() {
+                return Err(CoreError::Diverged {
+                    iteration: k,
+                    residual: norm2(&r),
+                });
+            }
             if pap <= 0.0 {
                 return Err(CoreError::Breakdown { iteration: k });
             }
@@ -144,9 +176,10 @@ impl AcceleratedPcg {
                     iterations: k,
                     residual: r_norm,
                     converged: true,
-                    report: report.expect("at least one device call happened"),
+                    report: finished_report(report)?,
                 });
             }
+            check_residual(r_norm, r0, b_norm, k)?;
             z.fill(0.0);
             absorb(acc.symgs(&self.symgs_prog, &r, &mut z)?, &mut report);
             let rz_next = dot(&r, &z);
@@ -163,7 +196,7 @@ impl AcceleratedPcg {
             iterations: opts.max_iters,
             residual,
             converged: false,
-            report: report.expect("at least one device call happened"),
+            report: finished_report(report)?,
         })
     }
 }
@@ -241,6 +274,35 @@ mod tests {
         assert!(solver
             .solve(&mut acc, &[1.0], &SolverOptions::default())
             .is_err());
+    }
+
+    #[test]
+    fn nan_rhs_is_reported_as_divergence() {
+        let coo = gen::stencil27(2);
+        let mut acc = Alrescha::with_paper_config();
+        let solver = AcceleratedPcg::program(&mut acc, &coo).unwrap();
+        let mut b = vec![1.0; coo.rows()];
+        b[0] = f64::NAN;
+        let err = solver
+            .solve(&mut acc, &b, &SolverOptions::default())
+            .unwrap_err();
+        assert!(
+            matches!(err, CoreError::Diverged { iteration: 0, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn infinite_rhs_is_reported_as_divergence() {
+        let coo = gen::stencil27(2);
+        let mut acc = Alrescha::with_paper_config();
+        let solver = AcceleratedPcg::program(&mut acc, &coo).unwrap();
+        let mut b = vec![1.0; coo.rows()];
+        b[3] = f64::INFINITY;
+        let err = solver
+            .solve(&mut acc, &b, &SolverOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Diverged { .. }), "{err:?}");
     }
 
     #[test]
@@ -354,6 +416,7 @@ impl AcceleratedMgPcg {
         };
 
         let r0 = norm2(&r);
+        check_residual(r0, r0, b_norm, 0)?;
         if r0 <= opts.tol * b_norm {
             let (_, rep) = acc.spmv(&self.levels[0].0, &x)?;
             return Ok(SolveOutcome {
@@ -372,6 +435,12 @@ impl AcceleratedMgPcg {
             let (ap, rep) = acc.spmv(&self.levels[0].0, &p)?;
             absorb(rep, &mut report);
             let pap = dot(&p, &ap);
+            if !pap.is_finite() {
+                return Err(CoreError::Diverged {
+                    iteration: k,
+                    residual: norm2(&r),
+                });
+            }
             if pap <= 0.0 {
                 return Err(CoreError::Breakdown { iteration: k });
             }
@@ -385,9 +454,10 @@ impl AcceleratedMgPcg {
                     iterations: k,
                     residual: r_norm,
                     converged: true,
-                    report: report.expect("device work happened"),
+                    report: finished_report(report)?,
                 });
             }
+            check_residual(r_norm, r0, b_norm, k)?;
             z = self.v_cycle(acc, 0, &r, &mut report)?;
             let rz_next = dot(&r, &z);
             let beta = rz_next / rz;
@@ -402,7 +472,7 @@ impl AcceleratedMgPcg {
             iterations: opts.max_iters,
             residual,
             converged: false,
-            report: report.expect("device work happened"),
+            report: finished_report(report)?,
         })
     }
 }
@@ -487,6 +557,20 @@ mod mg_tests {
             mg_out.iterations,
             plain_out.iterations
         );
+    }
+
+    #[test]
+    fn mg_nan_rhs_is_reported_as_divergence() {
+        let hierarchy = GridHierarchy::build(4, 2).unwrap();
+        let mut acc = Alrescha::with_paper_config();
+        let solver = AcceleratedMgPcg::program(&mut acc, &hierarchy).unwrap();
+        let n = hierarchy.levels()[0].matrix.rows();
+        let mut b = vec![1.0; n];
+        b[0] = f64::NAN;
+        let err = solver
+            .solve(&mut acc, &b, &SolverOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Diverged { .. }), "{err:?}");
     }
 
     #[test]

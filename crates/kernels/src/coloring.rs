@@ -66,7 +66,11 @@ pub fn greedy_coloring(a: &Csr) -> Coloring {
                 forbidden[color[u]] = v;
             }
         }
-        let c = (0..).find(|&c| forbidden.get(c) != Some(&v)).unwrap();
+        // `forbidden.get(forbidden.len())` is None, so the search always
+        // terminates within the range.
+        let c = (0..=forbidden.len())
+            .find(|&c| forbidden.get(c) != Some(&v))
+            .unwrap_or(forbidden.len());
         color[v] = c;
         num_colors = num_colors.max(c + 1);
     }

@@ -243,7 +243,7 @@ mod tests {
         let (ranks, _) = pagerank(&Csr::from_coo(&coo), &PageRankOptions::default()).unwrap();
         assert!(alrescha_sparse::approx_eq(
             &ranks,
-            &vec![1.0 / 3.0; 3],
+            &[1.0 / 3.0; 3],
             1e-8
         ));
     }

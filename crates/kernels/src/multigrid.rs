@@ -69,7 +69,7 @@ impl GridHierarchy {
                 found: 0,
             });
         }
-        if side % (1 << (depth - 1)) != 0 || side >> (depth - 1) < 2 {
+        if !side.is_multiple_of(1 << (depth - 1)) || side >> (depth - 1) < 2 {
             return Err(KernelError::DimensionMismatch {
                 expected: 1 << (depth - 1),
                 found: side,

@@ -32,7 +32,7 @@ pub fn par_spmv(a: &Csr, x: &[f64], threads: usize) -> Result<Vec<f64>> {
     if chunk == 0 {
         return Ok(y);
     }
-    crossbeam::thread::scope(|scope| {
+    let scope = crossbeam::thread::scope(|scope| {
         for (t, y_chunk) in y.chunks_mut(chunk).enumerate() {
             let start = t * chunk;
             scope.spawn(move |_| {
@@ -42,8 +42,10 @@ pub fn par_spmv(a: &Csr, x: &[f64], threads: usize) -> Result<Vec<f64>> {
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
+    if scope.is_err() {
+        panic!("spmv worker panicked");
+    }
     Ok(y)
 }
 
@@ -62,7 +64,7 @@ pub fn par_dot(a: &[f64], b: &[f64], threads: usize) -> f64 {
     }
     let chunk = n.div_ceil(threads.min(n));
     let mut partials = vec![0.0; n.div_ceil(chunk)];
-    crossbeam::thread::scope(|scope| {
+    let scope = crossbeam::thread::scope(|scope| {
         for (t, out) in partials.iter_mut().enumerate() {
             let lo = t * chunk;
             let hi = (lo + chunk).min(n);
@@ -70,8 +72,10 @@ pub fn par_dot(a: &[f64], b: &[f64], threads: usize) -> f64 {
                 *out = a[lo..hi].iter().zip(&b[lo..hi]).map(|(x, y)| x * y).sum();
             });
         }
-    })
-    .expect("worker panicked");
+    });
+    if scope.is_err() {
+        panic!("dot worker panicked");
+    }
     partials.iter().sum()
 }
 

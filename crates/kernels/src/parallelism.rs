@@ -74,7 +74,7 @@ pub fn alrescha_sequential_fraction(a: &Csr, omega: usize) -> f64 {
     for r in 0..a.rows() {
         for (c, _) in a.row_entries(r) {
             let in_diag_block = r / omega == c / omega;
-            if in_diag_block && (c < r || c == r) {
+            if in_diag_block && c <= r {
                 sequential += 1;
             }
         }

@@ -92,7 +92,10 @@ pub fn pcg(a: &Csr, b: &[f64], opts: &PcgOptions) -> Result<PcgSolution> {
 ///
 /// # Errors
 ///
-/// Same conditions as [`pcg`] (the closure's errors propagate).
+/// Same conditions as [`pcg`] (the closure's errors propagate), plus
+/// [`KernelError::NoConvergence`] when the iteration goes numerically bad:
+/// a non-finite right-hand side, `pᵀAp` non-finite, or a residual that is
+/// non-finite or has diverged eight orders of magnitude past its start.
 pub fn pcg_with<F>(
     a: &Csr,
     b: &[f64],
@@ -111,6 +114,14 @@ where
 
     let b_norm = norm2(b).max(f64::MIN_POSITIVE);
     let mut history = vec![norm2(&r)];
+    let r0 = history[0];
+    if !r0.is_finite() {
+        // NaN/Inf in the right-hand side: no iteration can recover.
+        return Err(KernelError::NoConvergence {
+            iterations: 0,
+            residual: r0,
+        });
+    }
     if history[0] <= tol * b_norm {
         return Ok(PcgSolution {
             x,
@@ -128,7 +139,7 @@ where
     for k in 1..=max_iters {
         let ap = spmv(a, &p);
         let pap = dot(&p, &ap);
-        if pap <= 0.0 {
+        if !pap.is_finite() || pap <= 0.0 {
             // Not SPD (or numerically broken down): report honestly.
             return Err(KernelError::NoConvergence {
                 iterations: k,
@@ -140,6 +151,14 @@ where
         axpy(-alpha, &ap, &mut r);
         let r_norm = norm2(&r);
         history.push(r_norm);
+        // Divergence guard: a residual blowing up 8 orders of magnitude past
+        // its start (or going non-finite) will not come back.
+        if !r_norm.is_finite() || r_norm > 1e8 * r0.max(b_norm) {
+            return Err(KernelError::NoConvergence {
+                iterations: k,
+                residual: r_norm,
+            });
+        }
         if r_norm <= tol * b_norm {
             return Ok(PcgSolution {
                 x,
@@ -311,6 +330,26 @@ mod pcg_with_tests {
         assert!(via_closure.converged && converged);
         assert_eq!(via_closure.iterations, iters_direct);
         assert!(alrescha_sparse::approx_eq(&via_closure.x, &x_direct, 1e-8));
+    }
+
+    #[test]
+    fn nan_rhs_errors_immediately() {
+        let a = Csr::from_coo(&gen::stencil27(2));
+        let mut b = vec![1.0; a.rows()];
+        b[0] = f64::NAN;
+        let err = pcg(&a, &b, &PcgOptions::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            KernelError::NoConvergence { iterations: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn nan_preconditioner_output_is_caught() {
+        let a = Csr::from_coo(&gen::stencil27(2));
+        let b = vec![1.0; a.rows()];
+        let err = pcg_with(&a, &b, 1e-9, 10, |_, r| Ok(vec![f64::NAN; r.len()])).unwrap_err();
+        assert!(matches!(err, KernelError::NoConvergence { .. }));
     }
 
     #[test]

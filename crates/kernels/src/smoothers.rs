@@ -125,7 +125,7 @@ fn validate_relaxation(omega_relax: f64) -> Result<()> {
 pub fn smooth_until<F>(
     a: &Csr,
     b: &[f64],
-    x: &mut Vec<f64>,
+    x: &mut [f64],
     tol: f64,
     max_iters: usize,
     mut sweep: F,

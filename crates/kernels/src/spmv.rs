@@ -27,7 +27,10 @@ use crate::{check_len, Result};
 /// assert_eq!(spmv(&a, &[3.0, 0.0]), vec![6.0, 3.0]);
 /// ```
 pub fn spmv(a: &Csr, x: &[f64]) -> Vec<f64> {
-    try_spmv(a, x).expect("spmv operand length mismatch")
+    match try_spmv(a, x) {
+        Ok(y) => y,
+        Err(e) => panic!("spmv: {e}"),
+    }
 }
 
 /// Fallible [`spmv`].
@@ -50,9 +53,9 @@ pub fn try_spmv(a: &Csr, x: &[f64]) -> Result<Vec<f64>> {
 pub fn try_spmv_transpose(a: &Csr, x: &[f64]) -> Result<Vec<f64>> {
     check_len(a.rows(), x.len())?;
     let mut y = vec![0.0; a.cols()];
-    for r in 0..a.rows() {
+    for (r, &xr) in x.iter().enumerate() {
         for (c, v) in a.row_entries(r) {
-            y[c] += v * x[r];
+            y[c] += v * xr;
         }
     }
     Ok(y)

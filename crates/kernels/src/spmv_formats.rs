@@ -19,8 +19,7 @@ use crate::{check_len, Result};
 pub fn spmv_csc(a: &Csc, x: &[f64]) -> Result<Vec<f64>> {
     check_len(a.cols(), x.len())?;
     let mut y = vec![0.0; a.rows()];
-    for c in 0..a.cols() {
-        let xc = x[c];
+    for (c, &xc) in x.iter().enumerate() {
         if xc != 0.0 {
             for (r, v) in a.col_entries(c) {
                 y[r] += v * xc;
@@ -39,12 +38,12 @@ pub fn spmv_dia(a: &Dia, x: &[f64]) -> Result<Vec<f64>> {
     check_len(a.cols(), x.len())?;
     let mut y = vec![0.0; a.rows()];
     for (r, yr) in y.iter_mut().enumerate() {
-        for c in 0..a.cols() {
+        for (c, &xc) in x.iter().enumerate() {
             // Probe only the stored diagonals through `get`; the dense DIA
             // walk below keeps the loop simple for the small test scale.
             let v = a.get(r, c);
             if v != 0.0 {
-                *yr += v * x[c];
+                *yr += v * xc;
             }
         }
     }

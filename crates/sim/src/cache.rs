@@ -8,6 +8,7 @@
 //! is fetched only once per `n/ω` pass (§4.2).
 
 use crate::config::SimConfig;
+use crate::fault::FaultInjector;
 
 /// Outcome of one cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +39,7 @@ pub struct LocalCache {
     hits: u64,
     misses: u64,
     writes: u64,
+    faults: Option<FaultInjector>,
 }
 
 impl LocalCache {
@@ -55,7 +57,13 @@ impl LocalCache {
             hits: 0,
             misses: 0,
             writes: 0,
+            faults: None,
         }
+    }
+
+    /// Attaches (or detaches) a fault injector for parity-error modeling.
+    pub fn attach_injector(&mut self, injector: Option<FaultInjector>) {
+        self.faults = injector;
     }
 
     /// Probes a line address; returns hit/miss and makes the line resident
@@ -75,9 +83,22 @@ impl LocalCache {
     }
 
     /// Reads one word; fills the line on a miss.
+    ///
+    /// With a fault injector attached, a hit line may suffer a parity error:
+    /// detection is transparent and the line is refetched, so the access is
+    /// accounted (and billed) as a miss.
     pub fn read(&mut self, word_addr: usize) -> CacheAccess {
         let hit = self.touch(word_addr / self.values_per_line);
         if hit {
+            if let Some(inj) = &self.faults {
+                if inj.cache_parity_on_hit() {
+                    self.misses += 1;
+                    return CacheAccess {
+                        hit: false,
+                        cycles: self.miss_latency,
+                    };
+                }
+            }
             self.hits += 1;
             CacheAccess {
                 hit: true,
@@ -202,6 +223,24 @@ mod tests {
     #[test]
     fn empty_cache_hit_rate_is_one() {
         assert_eq!(cache().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn parity_fault_converts_hit_into_recovered_miss() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let mut c = cache();
+        let inj = FaultInjector::new(FaultPlan::inert(1).with_cache_fault_rate(1.0));
+        c.attach_injector(Some(inj.clone()));
+        assert!(!c.read(0).hit, "cold miss");
+        let again = c.read(0);
+        assert!(!again.hit, "parity error forces a refetch");
+        assert_eq!(again.cycles, 4 + 250);
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.hits(), 0);
+        let counters = inj.counters();
+        assert_eq!(counters.injected, 1);
+        assert_eq!(counters.detected, 1);
+        assert_eq!(counters.recovered, 1);
     }
 }
 

@@ -182,6 +182,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // spelled as alu + depth·re to mirror the formula
     fn derived_quantities() {
         let c = SimConfig::paper();
         assert_eq!(c.tree_depth(), 3);

@@ -30,6 +30,7 @@ use crate::cache::LocalCache;
 use crate::config::SimConfig;
 use crate::energy::EnergyCounters;
 use crate::error::{Result, SimError};
+use crate::fault::{self, FaultCounters, FaultInjector, FaultPlan, FaultSite, RecoveryPolicy};
 use crate::fcu::{Fcu, Reduce};
 use crate::memory::MemoryStream;
 use crate::rcu::{DataPathKind, Rcu};
@@ -83,6 +84,8 @@ pub struct Engine {
     rcu: Rcu,
     cache: LocalCache,
     trace: crate::trace::Trace,
+    faults: Option<FaultInjector>,
+    recovery: RecoveryPolicy,
 }
 
 /// Per-run mutable accounting.
@@ -96,6 +99,7 @@ struct RunState {
     reconfig_base: crate::rcu::ReconfigStats,
     breakdown: crate::report::CycleBreakdown,
     link_stack_peak: usize,
+    fault_base: FaultCounters,
 }
 
 // Word-address regions for the cached vector operands.
@@ -115,7 +119,39 @@ impl Engine {
             rcu,
             cache,
             trace: crate::trace::Trace::new(),
+            faults: None,
+            recovery: RecoveryPolicy::default(),
         }
+    }
+
+    /// Arms (or, with `None`, disarms) deterministic fault injection for
+    /// all subsequent runs. The injector is shared with the FCU, the RCU,
+    /// the local cache, and each run's memory stream.
+    ///
+    /// Attaching an *inert* plan ([`FaultPlan::inert`]) enables the ABFT
+    /// verification machinery without perturbing anything: results and
+    /// timing stay bit-identical to an un-instrumented engine.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan.map(FaultInjector::new);
+        self.fcu.attach_injector(self.faults.clone());
+        self.rcu.attach_injector(self.faults.clone());
+        self.cache.attach_injector(self.faults.clone());
+    }
+
+    /// Sets what the engine does when a fault is detected (default:
+    /// [`RecoveryPolicy::FailFast`]).
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        self.recovery = policy;
+    }
+
+    /// The active recovery policy.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    /// The armed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
     }
 
     /// Turns on event tracing (see [`crate::trace`]).
@@ -149,9 +185,11 @@ impl Engine {
     fn begin(&mut self, reduce: Reduce) -> RunState {
         self.cache.flush();
         let fill = self.fcu.fill_latency(reduce);
+        let mut memory = MemoryStream::new(&self.config);
+        memory.attach_injector(self.faults.clone());
         RunState {
             cycles: fill,
-            memory: MemoryStream::new(&self.config),
+            memory,
             cache_busy: 0,
             counts: DataPathCounts::default(),
             cache_base: (self.cache.hits(), self.cache.misses(), self.cache.writes()),
@@ -161,6 +199,19 @@ impl Engine {
                 ..Default::default()
             },
             link_stack_peak: 0,
+            fault_base: self
+                .faults
+                .as_ref()
+                .map(FaultInjector::counters)
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Publishes the run's cycle count to the injector (window gating and
+    /// error reporting).
+    fn publish_cycle(&self, state: &RunState) {
+        if let Some(inj) = &self.faults {
+            inj.set_cycle(state.cycles);
         }
     }
 
@@ -192,6 +243,11 @@ impl Engine {
         self.trace
             .record(crate::trace::TraceEvent::KernelEnd { cycles });
         let seconds = self.config.cycles_to_seconds(cycles);
+        let faults = self
+            .faults
+            .as_ref()
+            .map(|inj| inj.counters().delta(&state.fault_base))
+            .unwrap_or_default();
         ExecutionReport {
             kernel,
             cycles,
@@ -208,6 +264,7 @@ impl Engine {
             cache,
             datapaths: state.counts,
             breakdown,
+            faults,
         }
     }
 
@@ -243,6 +300,111 @@ impl Engine {
         (0..omega)
             .map(|k| x.get(start + k).copied().unwrap_or(0.0))
             .collect()
+    }
+
+    /// Computes the ω dot products of one GEMV block through the FCU.
+    ///
+    /// With a fault injector armed, the partial sums are verified against
+    /// the block's ABFT column-sum checksum — Σᵢ dotᵢ must equal
+    /// (Σᵢ rowᵢ)·x up to rounding, with the checksum vector computed from
+    /// the pristine payload at format-programming time — and the block is
+    /// re-executed (re-stream + recompute + backoff stall) under the
+    /// engine's [`RecoveryPolicy`] when the check trips. `stuck` is a
+    /// permanent payload corruption reported by the memory stream; it
+    /// re-applies on every retry, so it exhausts the retry budget and
+    /// surfaces as [`SimError::FaultDetected`] at [`FaultSite::Memory`].
+    ///
+    /// Without an injector this is a plain, checksum-free block execution,
+    /// bit- and cycle-identical to the historical code path.
+    fn gemv_block_checked(
+        &mut self,
+        state: &mut RunState,
+        block: &alrescha_sparse::AlfBlock,
+        operand: &[f64],
+        stuck: Option<(usize, u32)>,
+    ) -> Result<Vec<f64>> {
+        let omega = self.config.omega;
+        let Some(inj) = self.faults.clone() else {
+            let mut dots = Vec::with_capacity(omega);
+            for i in 0..omega {
+                let logical: Vec<f64> = (0..omega).map(|j| block.get(i, j)).collect();
+                dots.push(self.fcu.mac_row(&logical, operand));
+            }
+            return Ok(dots);
+        };
+
+        let mut chk = vec![0.0; omega];
+        let mut chk_abs = vec![0.0; omega];
+        for i in 0..omega {
+            for j in 0..omega {
+                let v = block.get(i, j);
+                chk[j] += v;
+                chk_abs[j] += v.abs();
+            }
+        }
+        let expected: f64 = chk.iter().zip(operand).map(|(c, x)| c * x).sum();
+        let scale: f64 = chk_abs.iter().zip(operand).map(|(c, x)| c * x.abs()).sum();
+        if !expected.is_finite() || !scale.is_finite() {
+            // Non-finite inputs: retrying cannot help.
+            return Err(SimError::NumericalBreakdown {
+                context: "gemv checksum",
+                cycle: state.cycles,
+            });
+        }
+        let tol = 1e-9 * scale;
+
+        let max_retries = self.recovery.max_retries();
+        let mut attempt = 0u32;
+        let mut caught = 0u64;
+        let outcome = loop {
+            inj.begin_scope();
+            if stuck.is_some() {
+                inj.note_stuck_applied();
+            }
+            inj.set_fcu_armed(true);
+            let mut dots = Vec::with_capacity(omega);
+            for i in 0..omega {
+                let mut logical: Vec<f64> = (0..omega).map(|j| block.get(i, j)).collect();
+                if let Some((word, bit)) = stuck {
+                    if word / omega == i {
+                        logical[word % omega] = fault::flip_bit(logical[word % omega], bit);
+                    }
+                }
+                dots.push(self.fcu.mac_row(&logical, operand));
+            }
+            inj.set_fcu_armed(false);
+            let actual: f64 = dots.iter().sum();
+            if actual.is_finite() && (actual - expected).abs() <= tol {
+                if caught > 0 {
+                    inj.note_recovered(caught);
+                }
+                // Faults that slipped past the checksum stay injected-only.
+                inj.begin_scope();
+                break Ok(dots);
+            }
+            caught += inj.confirm_detected();
+            if attempt >= max_retries {
+                let site = if stuck.is_some() {
+                    FaultSite::Memory
+                } else {
+                    FaultSite::FcuLane
+                };
+                break Err(SimError::FaultDetected {
+                    site,
+                    cycle: state.cycles,
+                });
+            }
+            attempt += 1;
+            inj.note_retry();
+            // Retry from checkpoint: re-stream the payload, re-run the ω
+            // rows, and pay the policy's backoff stall.
+            let re_mem = state.memory.stream_values(omega * omega);
+            let redo = re_mem.max(omega as u64) + self.recovery.backoff_cycles();
+            state.cycles += redo;
+            state.breakdown.gemv_cycles += redo;
+            self.publish_cycle(state);
+        };
+        outcome
     }
 
     /// Runs SpMV (`y = A·x`) over a [`AlfLayout::Streaming`] matrix.
@@ -285,21 +447,24 @@ impl Engine {
             let row_base = block.block_row() * omega;
             let col_base = block.block_col() * omega;
             self.trace_block(block.block_row(), block.block_col(), DataPathKind::Gemv);
-            let mem = {
-                let payload = state.memory.stream_values(omega * omega);
+            let (mem, stuck) = {
+                let (payload, stuck) =
+                    state
+                        .memory
+                        .stream_block(block.block_row(), block.block_col(), omega * omega);
                 self.read_chunk(&mut state, REGION_X, col_base);
-                payload
+                (payload, stuck)
             };
             let compute = omega as u64;
             let block_cycles = mem.max(compute);
             state.cycles += block_cycles;
             state.breakdown.gemv_cycles += block_cycles;
             state.counts.gemv_blocks += 1;
+            self.publish_cycle(&state);
 
             let operand = Self::operand_slice(x, col_base, omega);
-            for i in 0..omega {
-                let logical: Vec<f64> = (0..omega).map(|j| block.get(i, j)).collect();
-                let dot = self.fcu.mac_row(&logical, &operand);
+            let dots = self.gemv_block_checked(&mut state, block, &operand, stuck)?;
+            for (i, dot) in dots.into_iter().enumerate() {
                 if row_base + i < y.len() {
                     y[row_base + i] += dot;
                 }
@@ -453,19 +618,62 @@ impl Engine {
                 }
                 self.trace_block(block.block_row(), block.block_col(), DataPathKind::Gemv);
                 let col_base = block.block_col() * omega;
-                let payload_cycles = state.memory.stream_values(omega * omega);
+                let (payload_cycles, stuck) =
+                    state
+                        .memory
+                        .stream_block(block.block_row(), block.block_col(), omega * omega);
                 self.read_chunk(&mut state, REGION_X, col_base);
                 let block_cycles = payload_cycles.max(omega as u64);
                 state.cycles += block_cycles;
                 state.breakdown.gemv_cycles += block_cycles;
                 state.counts.gemv_blocks += 1;
+                self.publish_cycle(&state);
 
                 let operand = Self::operand_slice(x, col_base, omega);
-                for i in 0..omega {
-                    let logical: Vec<f64> = (0..omega).map(|j| block.get(i, j)).collect();
-                    let dot = self.fcu.mac_row(&logical, &operand);
-                    link_stack.push((i, dot));
-                    self.rcu.buffer_event();
+                let dots = self.gemv_block_checked(&mut state, block, &operand, stuck)?;
+                // The verified dots ride the link stack; entries can still
+                // be dropped in flight, which the occupancy check below
+                // catches (the stack grew by fewer than ω entries).
+                let mut push_attempt = 0u32;
+                let mut drops_caught = 0u64;
+                loop {
+                    if let Some(inj) = &self.faults {
+                        inj.begin_scope();
+                    }
+                    let before = link_stack.len();
+                    for (i, dot) in dots.iter().enumerate() {
+                        if !self.rcu.link_push_event() {
+                            link_stack.push((i, *dot));
+                        }
+                    }
+                    if link_stack.len() - before == omega {
+                        if drops_caught > 0 {
+                            if let Some(inj) = &self.faults {
+                                inj.note_recovered(drops_caught);
+                            }
+                        }
+                        break;
+                    }
+                    drops_caught += self
+                        .faults
+                        .as_ref()
+                        .map_or(0, FaultInjector::confirm_detected);
+                    // Roll back this attempt's (LIFO-ordered) pushes.
+                    while link_stack.len() > before {
+                        let _ = link_stack.pop();
+                    }
+                    if push_attempt >= self.recovery.max_retries() {
+                        return Err(SimError::FaultDetected {
+                            site: FaultSite::RcuLifo,
+                            cycle: state.cycles,
+                        });
+                    }
+                    push_attempt += 1;
+                    if let Some(inj) = &self.faults {
+                        inj.note_retry();
+                    }
+                    state.cycles += self.recovery.backoff_cycles();
+                    state.breakdown.drain_cycles += self.recovery.backoff_cycles();
                 }
             }
 
@@ -502,14 +710,53 @@ impl Engine {
             // FIFOs (deterministic access order, §4.3).
             let mut b_fifo: Fifo<f64> = Fifo::new();
             let mut diag_fifo: Fifo<f64> = Fifo::new();
-            for i in 0..omega {
-                let g = row_base + i;
-                if g < a.rows() {
-                    b_fifo.push(b[g]);
-                    diag_fifo.push(a.diagonal()[g]);
-                    self.rcu.buffer_event();
-                    self.rcu.buffer_event();
+            let mut fifo_attempt = 0u32;
+            let mut fifo_caught = 0u64;
+            loop {
+                if let Some(inj) = &self.faults {
+                    inj.begin_scope();
                 }
+                let mut filled = 0usize;
+                for i in 0..omega {
+                    let g = row_base + i;
+                    if g < a.rows() {
+                        if !self.rcu.fifo_push_event() {
+                            b_fifo.push(b[g]);
+                        }
+                        if !self.rcu.fifo_push_event() {
+                            diag_fifo.push(a.diagonal()[g]);
+                        }
+                        filled += 1;
+                    }
+                }
+                // Occupancy check: both FIFOs must hold exactly one entry
+                // per valid lane before the recurrence starts.
+                if b_fifo.len() == filled && diag_fifo.len() == filled {
+                    if fifo_caught > 0 {
+                        if let Some(inj) = &self.faults {
+                            inj.note_recovered(fifo_caught);
+                        }
+                    }
+                    break;
+                }
+                fifo_caught += self
+                    .faults
+                    .as_ref()
+                    .map_or(0, FaultInjector::confirm_detected);
+                while b_fifo.pop().is_some() {}
+                while diag_fifo.pop().is_some() {}
+                if fifo_attempt >= self.recovery.max_retries() {
+                    return Err(SimError::FaultDetected {
+                        site: FaultSite::RcuFifo,
+                        cycle: state.cycles,
+                    });
+                }
+                fifo_attempt += 1;
+                if let Some(inj) = &self.faults {
+                    inj.note_retry();
+                }
+                state.cycles += self.recovery.backoff_cycles();
+                state.breakdown.drain_cycles += self.recovery.backoff_cycles();
             }
             if backward {
                 // The r2l access order of the diagonal block consumes the
@@ -608,6 +855,7 @@ impl Engine {
                 state.cycles += block_cycles;
                 state.breakdown.dsymgs_cycles += block_cycles;
             }
+            self.publish_cycle(&state);
             self.write_chunk(&mut state, REGION_X, row_base);
         }
 
@@ -1284,7 +1532,7 @@ impl Engine {
         let mut y = vec![0.0; a.rows()];
         // Row pointers stream once (4 bytes each).
         state.memory.record_bytes((a.rows() as u64 + 1) * 4);
-        for r in 0..a.rows() {
+        for (r, yr) in y.iter_mut().enumerate() {
             let row: Vec<(usize, f64)> = a.row_entries(r).collect();
             let mut acc = 0.0;
             for chunk in row.chunks(omega) {
@@ -1317,7 +1565,7 @@ impl Engine {
                 state.breakdown.gemv_cycles += cycles;
                 state.counts.gemv_blocks += 1;
             }
-            y[r] = acc;
+            *yr = acc;
         }
         state.memory.record_bytes(a.rows() as u64 * 8);
         let report = self.finish("spmv-csr", state, Reduce::Sum);

@@ -38,6 +38,22 @@ pub enum SimError {
         /// Iterations performed.
         iterations: usize,
     },
+    /// An injected fault was detected and could not be recovered within the
+    /// active [`RecoveryPolicy`](crate::fault::RecoveryPolicy).
+    FaultDetected {
+        /// Where the fault struck.
+        site: crate::fault::FaultSite,
+        /// Engine cycle at which detection gave up.
+        cycle: u64,
+    },
+    /// Computation produced a non-finite value from finite inputs (or was
+    /// handed non-finite inputs) — not recoverable by retrying.
+    NumericalBreakdown {
+        /// Which check tripped (e.g. `"gemv checksum"`).
+        context: &'static str,
+        /// Engine cycle at the point of detection.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -62,6 +78,12 @@ impl fmt::Display for SimError {
             SimError::Structure(e) => write!(f, "matrix structure: {e}"),
             SimError::NoConvergence { iterations } => {
                 write!(f, "no convergence after {iterations} iterations")
+            }
+            SimError::FaultDetected { site, cycle } => {
+                write!(f, "unrecovered fault at {site} (cycle {cycle})")
+            }
+            SimError::NumericalBreakdown { context, cycle } => {
+                write!(f, "numerical breakdown in {context} (cycle {cycle})")
             }
         }
     }
@@ -102,6 +124,23 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn fault_variants_display_site_and_cycle() {
+        let e = SimError::FaultDetected {
+            site: crate::fault::FaultSite::FcuTree,
+            cycle: 42,
+        };
+        assert_eq!(
+            e.to_string(),
+            "unrecovered fault at FCU reduction tree (cycle 42)"
+        );
+        let e = SimError::NumericalBreakdown {
+            context: "gemv checksum",
+            cycle: 7,
+        };
+        assert_eq!(e.to_string(), "numerical breakdown in gemv checksum (cycle 7)");
     }
 
     #[test]

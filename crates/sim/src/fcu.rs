@@ -9,6 +9,7 @@
 
 use crate::config::SimConfig;
 use crate::energy::EnergyCounters;
+use crate::fault::{self, FaultInjector};
 
 /// Reduction operation performed by the reduce engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -28,6 +29,7 @@ pub struct Fcu {
     re_min_latency: u64,
     tree_depth: u32,
     counters: EnergyCounters,
+    faults: Option<FaultInjector>,
 }
 
 impl Fcu {
@@ -40,7 +42,15 @@ impl Fcu {
             re_min_latency: config.re_min_latency,
             tree_depth: config.tree_depth(),
             counters: EnergyCounters::new(),
+            faults: None,
         }
+    }
+
+    /// Attaches (or detaches) a fault injector. Lane and tree faults fire
+    /// only while the injector is armed for the FCU, which the engine does
+    /// around checksum-protected GEMV blocks.
+    pub fn attach_injector(&mut self, injector: Option<FaultInjector>) {
+        self.faults = injector;
     }
 
     /// Number of parallel lanes (ω).
@@ -68,7 +78,18 @@ impl Fcu {
         assert_eq!(operand.len(), self.omega, "operand width must be omega");
         self.counters.alu_ops += self.omega as u64;
         self.counters.re_ops += (self.omega - 1) as u64;
-        row.iter().zip(operand).map(|(a, b)| a * b).sum()
+        let mut sum: f64 = row.iter().zip(operand).map(|(a, b)| a * b).sum();
+        if let Some(inj) = &self.faults {
+            if let Some((lane, bit)) = inj.lane_fault(self.omega) {
+                // A single lane product is upset before it enters the tree.
+                let clean = row[lane] * operand[lane];
+                sum = sum - clean + fault::flip_bit(clean, bit);
+            }
+            if let Some(bit) = inj.tree_fault() {
+                sum = fault::flip_bit(sum, bit);
+            }
+        }
+        sum
     }
 
     /// One pipelined pass with an element-wise `op` and a `min` reduction
@@ -162,6 +183,22 @@ mod tests {
     #[should_panic(expected = "row width must be omega")]
     fn wrong_width_panics() {
         fcu().mac_row(&[1.0; 4], &[1.0; 4]);
+    }
+
+    #[test]
+    fn armed_injector_perturbs_mac_row() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let mut f = fcu();
+        let row = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let x = [1.0; 8];
+        let clean = f.mac_row(&row, &x);
+        let inj = FaultInjector::new(FaultPlan::inert(3).with_fcu_tree_rate(1.0));
+        f.attach_injector(Some(inj.clone()));
+        // Disarmed: identical result.
+        assert_eq!(f.mac_row(&row, &x).to_bits(), clean.to_bits());
+        inj.set_fcu_armed(true);
+        assert_ne!(f.mac_row(&row, &x).to_bits(), clean.to_bits());
+        assert_eq!(inj.counters().injected, 1);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod buffers;
 pub mod cache;
@@ -47,6 +48,7 @@ pub mod des;
 pub mod energy;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod fcu;
 pub mod memory;
 pub mod pipeline;
@@ -59,5 +61,6 @@ pub use config::SimConfig;
 pub use energy::{EnergyCounters, EnergyModel};
 pub use engine::{Engine, PageRankConfig, UNREACHED};
 pub use error::{Result, SimError};
+pub use fault::{FaultCounters, FaultInjector, FaultPlan, FaultSite, RecoveryPolicy};
 pub use rcu::DataPathKind;
 pub use report::ExecutionReport;

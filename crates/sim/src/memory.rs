@@ -7,6 +7,7 @@
 //! utilization (the secondary axis of Figure 15).
 
 use crate::config::SimConfig;
+use crate::fault::FaultInjector;
 
 /// Bandwidth-accounting memory stream.
 #[derive(Debug, Clone)]
@@ -14,6 +15,7 @@ pub struct MemoryStream {
     values_per_cycle: f64,
     bytes_streamed: u64,
     busy_cycles: u64,
+    faults: Option<FaultInjector>,
 }
 
 impl MemoryStream {
@@ -23,7 +25,32 @@ impl MemoryStream {
             values_per_cycle: config.values_per_cycle(),
             bytes_streamed: 0,
             busy_cycles: 0,
+            faults: None,
         }
+    }
+
+    /// Attaches (or detaches) a fault injector for stuck-at modeling.
+    pub fn attach_injector(&mut self, injector: Option<FaultInjector>) {
+        self.faults = injector;
+    }
+
+    /// Streams one ω×ω block payload (`values` doubles) addressed by its
+    /// block coordinates. Returns the transfer cycles plus any permanent
+    /// stuck-at fault afflicting the payload, as `(word_index, bit)` — the
+    /// same block address yields the same fault on every stream, so retries
+    /// cannot mask it.
+    pub fn stream_block(
+        &mut self,
+        block_row: usize,
+        block_col: usize,
+        values: usize,
+    ) -> (u64, Option<(usize, u32)>) {
+        let cycles = self.stream_values(values);
+        let stuck = self
+            .faults
+            .as_ref()
+            .and_then(|inj| inj.memory_stuck(block_row, block_col, values));
+        (cycles, stuck)
     }
 
     /// Streams `values` doubles; returns the cycles the transfer occupies

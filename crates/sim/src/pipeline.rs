@@ -46,7 +46,7 @@ impl FcuPipeline {
             Reduce::Min => config.re_min_latency,
         };
         let mut stage_latencies = vec![config.alu_latency];
-        stage_latencies.extend(std::iter::repeat(re).take(config.tree_depth() as usize));
+        stage_latencies.extend(std::iter::repeat_n(re, config.tree_depth() as usize));
         let stages = stage_latencies.len();
         FcuPipeline {
             stage_latencies,

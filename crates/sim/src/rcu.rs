@@ -10,6 +10,7 @@
 
 use crate::config::SimConfig;
 use crate::energy::EnergyCounters;
+use crate::fault::FaultInjector;
 
 /// The data-path personality the RCU switch is currently wired for
 /// (Figure 9 b/c/d show D-SymGS, GEMV, and D-PR).
@@ -49,6 +50,7 @@ pub struct Rcu {
     current: Option<DataPathKind>,
     stats: ReconfigStats,
     counters: EnergyCounters,
+    faults: Option<FaultInjector>,
 }
 
 impl Rcu {
@@ -62,7 +64,13 @@ impl Rcu {
             current: None,
             stats: ReconfigStats::default(),
             counters: EnergyCounters::new(),
+            faults: None,
         }
+    }
+
+    /// Attaches (or detaches) a fault injector for buffer-drop modeling.
+    pub fn attach_injector(&mut self, injector: Option<FaultInjector>) {
+        self.faults = injector;
     }
 
     /// Currently configured data path, if any.
@@ -97,6 +105,20 @@ impl Rcu {
     /// Records a buffer (FIFO/stack) event for energy accounting.
     pub fn buffer_event(&mut self) {
         self.counters.buffer_ops += 1;
+    }
+
+    /// Records a link-stack (LIFO) push; returns true when the injector
+    /// drops the entry in flight.
+    pub fn link_push_event(&mut self) -> bool {
+        self.counters.buffer_ops += 1;
+        self.faults.as_ref().is_some_and(FaultInjector::lifo_drop)
+    }
+
+    /// Records an operand-FIFO push; returns true when the injector drops
+    /// the entry in flight.
+    pub fn fifo_push_event(&mut self) -> bool {
+        self.counters.buffer_ops += 1;
+        self.faults.as_ref().is_some_and(FaultInjector::fifo_drop)
     }
 
     /// Reconfiguration statistics so far.

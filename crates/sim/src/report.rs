@@ -2,6 +2,7 @@
 
 use crate::config::SimConfig;
 use crate::energy::{EnergyCounters, EnergyModel};
+use crate::fault::FaultCounters;
 use crate::rcu::ReconfigStats;
 
 /// Cache behaviour summary for a run.
@@ -88,6 +89,9 @@ pub struct ExecutionReport {
     pub datapaths: DataPathCounts,
     /// Cycle attribution by data path.
     pub breakdown: CycleBreakdown,
+    /// Fault injection, detection, and recovery accounting (all zero when no
+    /// fault plan is armed).
+    pub faults: FaultCounters,
 }
 
 impl ExecutionReport {
@@ -130,6 +134,7 @@ impl ExecutionReport {
         self.breakdown.dsymgs_cycles += other.breakdown.dsymgs_cycles;
         self.breakdown.graph_cycles += other.breakdown.graph_cycles;
         self.breakdown.drain_cycles += other.breakdown.drain_cycles;
+        self.faults.merge(&other.faults);
         self.seconds = config.cycles_to_seconds(self.cycles);
         let peak = config.values_per_cycle() * 8.0 * self.cycles as f64;
         self.bandwidth_utilization = if peak > 0.0 {
@@ -162,6 +167,7 @@ mod tests {
             cache: CacheStats::default(),
             datapaths: DataPathCounts::default(),
             breakdown: CycleBreakdown::default(),
+            faults: FaultCounters::default(),
         }
     }
 
@@ -230,7 +236,19 @@ impl std::fmt::Display for ExecutionReport {
             self.cache.hits,
             self.cache.hits + self.cache.misses,
             self.bytes_streamed / 1024
-        )
+        )?;
+        if self.faults.any() {
+            write!(
+                f,
+                "\n  faults: {} injected, {} detected, {} recovered, {} retries, {} degraded run(s)",
+                self.faults.injected,
+                self.faults.detected,
+                self.faults.recovered,
+                self.faults.retries,
+                self.faults.degraded
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -252,10 +270,19 @@ mod display_tests {
             cache: CacheStats::default(),
             datapaths: DataPathCounts::default(),
             breakdown: CycleBreakdown::default(),
+            faults: FaultCounters::default(),
         };
         let text = r.to_string();
         assert!(text.contains("spmv"));
         assert!(text.contains("100 cycles"));
         assert!(text.contains("2 KiB"));
+        assert!(!text.contains("faults:"));
+
+        let mut faulty = r;
+        faulty.faults.injected = 3;
+        faulty.faults.detected = 3;
+        faulty.faults.recovered = 2;
+        let text = faulty.to_string();
+        assert!(text.contains("faults: 3 injected, 3 detected, 2 recovered"));
     }
 }

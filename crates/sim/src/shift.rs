@@ -43,8 +43,8 @@ impl ShiftRegister {
     /// Panics on an empty register.
     pub fn push(&mut self, new_x: f64) -> f64 {
         assert!(!self.lanes.is_empty(), "shift register has no lanes");
-        let evicted = self.lanes.pop().expect("non-empty");
-        self.lanes.insert(0, new_x);
+        self.lanes.rotate_right(1);
+        let evicted = std::mem::replace(&mut self.lanes[0], new_x);
         self.shifts += 1;
         evicted
     }

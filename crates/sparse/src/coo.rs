@@ -86,8 +86,9 @@ impl Coo {
     /// Panics if `(row, col)` is outside the matrix. Use [`Coo::try_push`]
     /// for a fallible variant.
     pub fn push(&mut self, row: usize, col: usize, value: f64) {
-        self.try_push(row, col, value)
-            .expect("coo entry out of bounds");
+        if let Err(e) = self.try_push(row, col, value) {
+            panic!("coo entry out of bounds: {e}");
+        }
     }
 
     /// Appends a triplet, validating its coordinates.
@@ -124,7 +125,7 @@ impl Coo {
     /// structure, it only canonicalizes it.
     #[must_use]
     pub fn compress(mut self) -> Self {
-        self.entries.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.entries.sort_by_key(|&(r, c, _)| (r, c));
         let mut out: Vec<(usize, usize, f64)> = Vec::with_capacity(self.entries.len());
         for (r, c, v) in self.entries.drain(..) {
             match out.last_mut() {

@@ -475,8 +475,9 @@ mod tests {
     fn stencil27_center_row_has_27_entries() {
         let coo = stencil27(4);
         let csr = Csr::from_coo(&coo);
-        // Interior point (1,1,1) -> full 27-point stencil.
-        let row = (1 * 4 + 1) * 4 + 1;
+        // Interior point (z,y,x) = (1,1,1) -> full 27-point stencil, at
+        // linear row (z*4 + y)*4 + x.
+        let row = (4 + 1) * 4 + 1;
         assert_eq!(csr.row_nnz(row), 27);
         assert!(coo.is_symmetric(1e-12));
         assert!(is_diag_dominant(&coo));

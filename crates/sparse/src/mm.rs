@@ -17,8 +17,10 @@ use crate::{Coo, Error, MetaData, Result};
 ///
 /// # Errors
 ///
-/// Returns [`Error::Parse`] for malformed headers or entries and
-/// [`Error::IndexOutOfBounds`] when an entry exceeds the declared shape.
+/// Returns [`Error::Parse`] for malformed headers or entries — including
+/// NaN/infinite values, entry counts that overflow or exceed the declared
+/// shape's capacity — and [`Error::IndexOutOfBounds`] when an entry exceeds
+/// the declared shape.
 pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo> {
     let reader = BufReader::new(reader);
     let mut lines = reader.lines().enumerate();
@@ -78,7 +80,24 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo> {
                 let rows = parse_usize(toks[0], lineno + 1)?;
                 let cols = parse_usize(toks[1], lineno + 1)?;
                 let nnz = parse_usize(toks[2], lineno + 1)?;
-                coo = Coo::with_capacity(rows, cols, if symmetric { 2 * nnz } else { nnz });
+                let capacity = if symmetric {
+                    // Mirror entries are materialized, so up to 2·nnz land
+                    // in the COO — reject counts that overflow that bound.
+                    nnz.checked_mul(2).ok_or_else(|| {
+                        parse_err(lineno + 1, "entry count overflows (2*nnz > usize::MAX)")
+                    })?
+                } else {
+                    nnz
+                };
+                if let Some(cells) = rows.checked_mul(cols) {
+                    if nnz > cells {
+                        return Err(parse_err(
+                            lineno + 1,
+                            &format!("{nnz} entries declared for a {rows}x{cols} matrix"),
+                        ));
+                    }
+                }
+                coo = Coo::with_capacity(rows, cols, capacity);
                 size = Some((rows, cols, nnz));
                 remaining = nnz;
             }
@@ -102,6 +121,12 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo> {
                         .parse::<f64>()
                         .map_err(|e| parse_err(lineno + 1, &e.to_string()))?
                 };
+                if !v.is_finite() {
+                    return Err(parse_err(
+                        lineno + 1,
+                        &format!("non-finite matrix value {v}"),
+                    ));
+                }
                 coo.try_push(r - 1, c - 1, v)?;
                 if symmetric && r != c {
                     coo.try_push(c - 1, r - 1, v)?;
@@ -225,5 +250,39 @@ mod tests {
     fn rejects_out_of_bounds_entry() {
         let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
         assert!(read_matrix_market(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_nan_and_infinite_values() {
+        for bad in ["NaN", "nan", "inf", "-inf", "infinity"] {
+            let src =
+                format!("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 {bad}\n");
+            let err = read_matrix_market(src.as_bytes()).unwrap_err();
+            assert!(
+                matches!(err, Error::Parse { line: 3, .. }),
+                "{bad}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_symmetric_entry_count_overflow() {
+        let nnz = usize::MAX;
+        let src = format!("%%MatrixMarket matrix coordinate real symmetric\n3 3 {nnz}\n");
+        let err = read_matrix_market(src.as_bytes()).unwrap_err();
+        assert!(matches!(err, Error::Parse { line: 2, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_more_entries_than_matrix_cells() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 5\n";
+        let err = read_matrix_market(src.as_bytes()).unwrap_err();
+        assert!(matches!(err, Error::Parse { line: 2, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn malformed_banner_carries_line_number() {
+        let err = read_matrix_market("not a banner\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, Error::Parse { line: 1, .. }), "{err:?}");
     }
 }

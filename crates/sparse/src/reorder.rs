@@ -129,7 +129,7 @@ mod tests {
     fn rcm_is_a_bijection() {
         let a = Csr::from_coo(&gen::circuit(200, 3));
         let perm = rcm_ordering(&a);
-        let mut seen = vec![false; 200];
+        let mut seen = [false; 200];
         for &p in &perm {
             assert!(!seen[p]);
             seen[p] = true;
@@ -184,7 +184,7 @@ mod tests {
         coo.push(4, 5, -1.0);
         coo.push(5, 4, -1.0);
         let perm = rcm_ordering(&Csr::from_coo(&coo));
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         for &p in &perm {
             seen[p] = true;
         }

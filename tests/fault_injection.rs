@@ -1,0 +1,164 @@
+//! End-to-end fault-injection acceptance tests: ABFT checksum coverage of
+//! FCU bit-flips, retry-based recovery, and graceful degradation to the
+//! host kernels — all seeded and fully deterministic.
+
+use alrescha::{Alrescha, FaultPlan, KernelType, RecoveryPolicy};
+use alrescha_kernels::spmv::spmv;
+use alrescha_sparse::{gen, Csr};
+
+/// The GEMV column-sum checksums must catch at least 95% of injected FCU
+/// lane and reduction-tree bit-flips (the escapes are compensating
+/// multi-flip patterns within one block, which a single check value cannot
+/// separate).
+#[test]
+fn checksums_detect_95_percent_of_fcu_flips() {
+    let coo = gen::banded(512, 6, 11);
+    let mut acc = Alrescha::with_paper_config();
+    let prog = acc.program(KernelType::SpMv, &coo).unwrap();
+    // FCU-only plan: every injected fault is a lane or tree flip.
+    acc.set_fault_plan(Some(
+        FaultPlan::inert(0xA15C_E5CA)
+            .with_fcu_lane_rate(0.02)
+            .with_fcu_tree_rate(0.02),
+    ));
+    acc.set_recovery_policy(RecoveryPolicy::Retry {
+        max_retries: 16,
+        backoff_cycles: 8,
+    });
+    let x: Vec<f64> = (0..coo.cols()).map(|i| 1.0 + ((i % 7) as f64) * 0.5).collect();
+    let (_, report) = acc.spmv(&prog, &x).expect("retries absorb transient flips");
+
+    assert!(
+        report.faults.injected >= 20,
+        "plan too quiet to be meaningful: {} injections",
+        report.faults.injected
+    );
+    let coverage = report.faults.detected as f64 / report.faults.injected as f64;
+    assert!(
+        coverage >= 0.95,
+        "checksum coverage {:.3} ({} detected / {} injected)",
+        coverage,
+        report.faults.detected,
+        report.faults.injected
+    );
+    assert_eq!(
+        report.faults.recovered, report.faults.detected,
+        "a surviving run must have recovered everything it caught"
+    );
+}
+
+/// Retry-from-checkpoint recovers the exact SpMV result whenever nothing
+/// slipped past the checksums, and always charges the retry cycles.
+#[test]
+fn retry_policy_recovers_spmv() {
+    let coo = gen::stencil27(4);
+    let x: Vec<f64> = (0..coo.cols()).map(|i| (i as f64 * 0.11).sin()).collect();
+    // Baseline: the fault-free device run (the reference CSR kernel only
+    // agrees up to floating-point reassociation of the blocked order).
+    let mut clean = Alrescha::with_paper_config();
+    let prog = clean.program(KernelType::SpMv, &coo).unwrap();
+    let (expect, _) = clean.spmv(&prog, &x).unwrap();
+
+    let mut acc = Alrescha::with_paper_config();
+    let prog = acc.program(KernelType::SpMv, &coo).unwrap();
+    acc.set_fault_plan(Some(FaultPlan::inert(7).with_fcu_tree_rate(0.05)));
+    acc.set_recovery_policy(RecoveryPolicy::Retry {
+        max_retries: 16,
+        backoff_cycles: 8,
+    });
+    let (y, report) = acc.spmv(&prog, &x).expect("retries succeed");
+    assert!(report.faults.detected > 0, "plan must actually fire");
+    assert!(report.faults.retries > 0, "recovery must have retried");
+    if report.faults.detected == report.faults.injected {
+        assert_eq!(y, expect, "nothing slipped, so recovery must be exact");
+    } else {
+        assert!(alrescha_sparse::approx_eq(&y, &expect, 1e-6));
+    }
+}
+
+/// SymGS under buffer-drop faults: occupancy checks catch the drops, the
+/// push sequence is rolled back and retried, and the sweep result matches
+/// the fault-free device run exactly (drops never corrupt values).
+#[test]
+fn retry_policy_recovers_symgs_buffer_drops() {
+    let coo = gen::stencil27(3);
+    let b = vec![1.0; coo.rows()];
+
+    let mut clean = Alrescha::with_paper_config();
+    let prog = clean.program(KernelType::SymGs, &coo).unwrap();
+    let mut x_clean = vec![0.0; coo.cols()];
+    clean.symgs(&prog, &b, &mut x_clean).unwrap();
+
+    let mut acc = Alrescha::with_paper_config();
+    let prog = acc.program(KernelType::SymGs, &coo).unwrap();
+    acc.set_fault_plan(Some(
+        FaultPlan::inert(3)
+            .with_lifo_drop_rate(0.05)
+            .with_fifo_drop_rate(0.05),
+    ));
+    acc.set_recovery_policy(RecoveryPolicy::Retry {
+        max_retries: 16,
+        backoff_cycles: 4,
+    });
+    let mut x = vec![0.0; coo.cols()];
+    let report = acc.symgs(&prog, &b, &mut x).expect("drops are recoverable");
+    assert!(report.faults.detected > 0, "plan must actually fire");
+    assert_eq!(report.faults.recovered, report.faults.detected);
+    assert_eq!(x, x_clean, "buffer drops never corrupt values");
+    assert!(
+        report.cycles > 0,
+        "recovered run still reports device cycles"
+    );
+}
+
+/// A full PCG solve under permanent stuck-at memory faults: every device
+/// kernel degrades to the host implementation, the solve still converges to
+/// the true solution, and the degradation is visible in the report.
+#[test]
+fn pcg_degrades_to_cpu_and_stays_correct() {
+    let coo = gen::stencil27(3);
+    let csr = Csr::from_coo(&coo);
+    let x_true: Vec<f64> = (0..coo.rows()).map(|i| ((i % 5) as f64) - 2.0).collect();
+    let b = spmv(&csr, &x_true);
+
+    let mut acc = Alrescha::with_paper_config();
+    let solver = alrescha::AcceleratedPcg::program(&mut acc, &coo).unwrap();
+    // Stuck-at faults re-apply on every retry, so the device always gives up.
+    acc.set_fault_plan(Some(FaultPlan::inert(99).with_memory_stuck_rate(1.0)));
+    acc.set_recovery_policy(RecoveryPolicy::DegradeToCpu {
+        max_retries: 1,
+        backoff_cycles: 4,
+    });
+    let out = solver
+        .solve(&mut acc, &b, &alrescha::SolverOptions::default())
+        .expect("degraded solve completes");
+    assert!(out.converged, "residual {}", out.residual);
+    assert!(alrescha_sparse::approx_eq(&out.x, &x_true, 1e-6));
+    assert!(
+        out.report.faults.degraded > 0,
+        "degradation must be visible in the report"
+    );
+    assert!(out.report.faults.detected > 0);
+}
+
+/// Fault hooks disabled: the armed-but-inert engine output is bit-identical
+/// to the plain engine (the stronger regression is the property suite in
+/// `crates/sim/tests/fault_determinism.rs`).
+#[test]
+fn disabled_hooks_are_bit_identical() {
+    let coo = gen::stencil27(3);
+    let x: Vec<f64> = (0..coo.cols()).map(|i| (i as f64 * 0.31).cos()).collect();
+
+    let mut plain = Alrescha::with_paper_config();
+    let prog = plain.program(KernelType::SpMv, &coo).unwrap();
+    let (y_plain, rep_plain) = plain.spmv(&prog, &x).unwrap();
+
+    let mut armed = Alrescha::with_paper_config();
+    let prog = armed.program(KernelType::SpMv, &coo).unwrap();
+    armed.set_fault_plan(Some(FaultPlan::inert(123)));
+    let (y_armed, rep_armed) = armed.spmv(&prog, &x).unwrap();
+
+    assert_eq!(y_plain, y_armed);
+    assert_eq!(rep_plain, rep_armed);
+    assert_eq!(armed.fault_counters().injected, 0);
+}

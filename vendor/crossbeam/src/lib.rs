@@ -1,0 +1,90 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the one API it uses: [`thread::scope`] with nested-capable
+//! [`thread::Scope::spawn`], implemented on top of `std::thread::scope`.
+//! Semantics match crossbeam 0.8: the call returns `Err` with the panic
+//! payload if any spawned worker panicked.
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result alias matching `crossbeam::thread::Result`.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope for spawning borrowing threads; wraps [`std::thread::Scope`].
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker inside the scope. The closure receives the scope
+        /// again (crossbeam convention) so workers can spawn sub-workers.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope whose spawned threads may borrow from the caller.
+    ///
+    /// All workers are joined before `scope` returns. If any worker
+    /// panicked, the first payload is returned as `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` carrying the panic payload of a panicked worker.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn workers_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::thread::scope(|scope| {
+            for (o, v) in out.iter_mut().zip(&data) {
+                scope.spawn(move |_| *o = v * 10);
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_err() {
+        let result = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_compiles_and_runs() {
+        let total = std::sync::atomic::AtomicU32::new(0);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+}
