@@ -17,6 +17,8 @@ pub struct BreakdownRow {
     pub dsymgs_pct: f64,
     /// Share in fills/drains (data-path switching).
     pub drain_pct: f64,
+    /// Share in recovery (retry redo and backoff; 0 on a fault-free run).
+    pub recovery_pct: f64,
 }
 
 /// Measures the SymGS cycle breakdown over the scientific suite.
@@ -37,6 +39,7 @@ pub fn symgs_breakdown(n: usize) -> Vec<BreakdownRow> {
                 gemv_pct: 100.0 * report.breakdown.gemv_cycles as f64 / total,
                 dsymgs_pct: 100.0 * report.breakdown.dsymgs_cycles as f64 / total,
                 drain_pct: 100.0 * report.breakdown.drain_cycles as f64 / total,
+                recovery_pct: 100.0 * report.breakdown.recovery_cycles as f64 / total,
             }
         })
         .collect()
@@ -46,13 +49,13 @@ pub fn symgs_breakdown(n: usize) -> Vec<BreakdownRow> {
 pub fn print_symgs_breakdown(n: usize) {
     println!("Device time breakdown — one SymGS application on the accelerator");
     println!(
-        "{:<12} {:>9} {:>11} {:>10}",
-        "dataset", "gemv(%)", "d-symgs(%)", "drain(%)"
+        "{:<12} {:>9} {:>11} {:>10} {:>12}",
+        "dataset", "gemv(%)", "d-symgs(%)", "drain(%)", "recovery(%)"
     );
     for r in symgs_breakdown(n) {
         println!(
-            "{:<12} {:>9.1} {:>11.1} {:>10.1}",
-            r.dataset, r.gemv_pct, r.dsymgs_pct, r.drain_pct
+            "{:<12} {:>9.1} {:>11.1} {:>10.1} {:>12.1}",
+            r.dataset, r.gemv_pct, r.dsymgs_pct, r.drain_pct, r.recovery_pct
         );
     }
     println!("(the residual sequential part after Algorithm 1: the D-SymGS share)");
@@ -65,8 +68,13 @@ mod tests {
     #[test]
     fn shares_sum_to_one() {
         for r in symgs_breakdown(300) {
-            let total = r.gemv_pct + r.dsymgs_pct + r.drain_pct;
+            let total = r.gemv_pct + r.dsymgs_pct + r.drain_pct + r.recovery_pct;
             assert!((total - 100.0).abs() < 0.5, "{}: {total}", r.dataset);
+            assert_eq!(
+                r.recovery_pct, 0.0,
+                "{}: fault-free runs charge no recovery",
+                r.dataset
+            );
         }
     }
 

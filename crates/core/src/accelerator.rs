@@ -7,11 +7,12 @@
 //! [`alrescha_sim::ExecutionReport`].
 
 use alrescha_sim::{
-    Engine, ExecutionReport, FaultCounters, FaultPlan, PageRankConfig, RecoveryPolicy, SimConfig,
-    SimError,
+    BreakerStats, Engine, ExecBudget, ExecutionReport, FaultCounters, FaultPlan,
+    InjectorSnapshot, PageRankConfig, RecoveryPolicy, SimConfig, SimError,
 };
 use alrescha_sparse::{Coo, Csr, MetaData};
 
+use crate::breaker::{BackendChoice, BreakerConfig, BreakerState, CircuitBreaker};
 use crate::convert::{convert, ConfigTable, KernelType};
 use crate::{CoreError, Result};
 
@@ -62,6 +63,7 @@ impl ProgrammedKernel {
 #[derive(Debug)]
 pub struct Alrescha {
     engine: Engine,
+    breaker: Option<CircuitBreaker>,
 }
 
 impl Alrescha {
@@ -69,6 +71,7 @@ impl Alrescha {
     pub fn new(config: SimConfig) -> Self {
         Alrescha {
             engine: Engine::new(config),
+            breaker: None,
         }
     }
 
@@ -102,6 +105,60 @@ impl Alrescha {
         self.engine.recovery_policy()
     }
 
+    /// Arms (or, with `None`, disarms) a circuit breaker over the
+    /// accelerator backend for [`Alrescha::spmv`], [`Alrescha::symgs`], and
+    /// [`Alrescha::symgs_forward`].
+    ///
+    /// With a breaker armed, an unrecovered device fault is retried with
+    /// exponential backoff (up to [`BreakerConfig::max_attempts`] attempts),
+    /// then served by the host kernel; after
+    /// [`BreakerConfig::failure_threshold`] consecutive failed operations
+    /// the breaker opens and routes work straight to the CPU until a
+    /// half-open probe succeeds. This supersedes the
+    /// [`RecoveryPolicy::degrades_to_cpu`] fallback for the guarded
+    /// operations. Wasted device work and backoff waits are charged to the
+    /// report's recovery bucket; breaker transitions appear in
+    /// [`ExecutionReport::breaker`](alrescha_sim::ExecutionReport).
+    pub fn set_circuit_breaker(&mut self, config: Option<BreakerConfig>) {
+        self.breaker = config.map(CircuitBreaker::new);
+    }
+
+    /// Current breaker state, when one is armed.
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.breaker.as_ref().map(CircuitBreaker::state)
+    }
+
+    /// Cumulative breaker statistics since the breaker was armed.
+    pub fn breaker_stats(&self) -> BreakerStats {
+        self.breaker
+            .as_ref()
+            .map(CircuitBreaker::stats)
+            .unwrap_or_default()
+    }
+
+    /// Arms cycle/wall-clock limits and the progress-watchdog window for
+    /// all subsequent device runs.
+    pub fn set_budget(&mut self, budget: ExecBudget) {
+        self.engine.set_budget(budget);
+    }
+
+    /// The active execution budget.
+    pub fn budget(&self) -> ExecBudget {
+        self.engine.budget()
+    }
+
+    /// Captures the fault injector's cursor for a solver checkpoint
+    /// (`None` when no fault plan is armed).
+    pub fn fault_snapshot(&self) -> Option<InjectorSnapshot> {
+        self.engine.fault_snapshot()
+    }
+
+    /// Restores an injector cursor captured by [`Alrescha::fault_snapshot`];
+    /// a no-op when no fault plan is armed.
+    pub fn restore_fault_snapshot(&mut self, snap: &InjectorSnapshot) {
+        self.engine.restore_fault_snapshot(snap);
+    }
+
     /// Cumulative fault counters since the plan was armed (all zero when no
     /// plan is armed). Per-run deltas appear in each [`ExecutionReport`].
     pub fn fault_counters(&self) -> FaultCounters {
@@ -117,9 +174,15 @@ impl Alrescha {
     }
 
     /// Builds the report for a run completed on the host after the device
-    /// gave up: no device cycles, but the fault accounting of the failed
-    /// attempts (relative to `base`) plus the degradation marker.
-    fn degraded_report(&self, kernel: &'static str, base: &FaultCounters) -> ExecutionReport {
+    /// gave up: the fault accounting of the failed attempts (relative to
+    /// `base`), the degradation marker, and the device cycles wasted on
+    /// those attempts (plus backoff waits) charged to the recovery bucket.
+    fn degraded_report(
+        &self,
+        kernel: &'static str,
+        base: &FaultCounters,
+        wasted_cycles: u64,
+    ) -> ExecutionReport {
         if let Some(inj) = self.engine.fault_injector() {
             inj.note_degraded();
         }
@@ -128,7 +191,7 @@ impl Alrescha {
             .fault_injector()
             .map(|inj| inj.counters().delta(base))
             .unwrap_or_default();
-        ExecutionReport {
+        let mut report = ExecutionReport {
             kernel,
             cycles: 0,
             seconds: 0.0,
@@ -141,7 +204,10 @@ impl Alrescha {
             datapaths: alrescha_sim::report::DataPathCounts::default(),
             breakdown: alrescha_sim::report::CycleBreakdown::default(),
             faults,
-        }
+            breaker: BreakerStats::default(),
+        };
+        report.charge_recovery(wasted_cycles, self.engine.config());
+        report
     }
 
     /// Programs a kernel: runs Algorithm 1 and loads the result (the
@@ -198,9 +264,11 @@ impl Alrescha {
 
     /// Runs SpMV: `y = A·x`.
     ///
-    /// Under a [`RecoveryPolicy`] that degrades to the CPU, an unrecovered
-    /// fault falls back to the host reference kernel; the returned report
-    /// then carries zero device cycles and `faults.degraded == 1`.
+    /// With a circuit breaker armed ([`Alrescha::set_circuit_breaker`]) the
+    /// breaker governs failover. Otherwise, under a [`RecoveryPolicy`] that
+    /// degrades to the CPU, an unrecovered fault falls back to the host
+    /// reference kernel; the returned report then carries the wasted device
+    /// cycles in its recovery bucket and `faults.degraded == 1`.
     ///
     /// # Errors
     ///
@@ -212,15 +280,57 @@ impl Alrescha {
         x: &[f64],
     ) -> Result<(Vec<f64>, ExecutionReport)> {
         expect_kernel(prog, KernelType::SpMv)?;
+        if let Some(mut breaker) = self.breaker.take() {
+            let out = self.spmv_with_breaker(&mut breaker, prog, x);
+            self.breaker = Some(breaker);
+            return out;
+        }
         let base = self.fault_counters();
         match self.engine.run_spmv(&prog.alf, x) {
-            Err(SimError::FaultDetected { .. }) if self.degrades_to_cpu() => {
+            Err(SimError::FaultDetected { cycle, .. }) if self.degrades_to_cpu() => {
                 let csr = Csr::from_coo(&prog.alf.to_coo());
                 let y = alrescha_kernels::spmv::spmv(&csr, x);
-                Ok((y, self.degraded_report("spmv", &base)))
+                Ok((y, self.degraded_report("spmv", &base, cycle)))
             }
             run => Ok(run?),
         }
+    }
+
+    fn spmv_with_breaker(
+        &mut self,
+        breaker: &mut CircuitBreaker,
+        prog: &ProgrammedKernel,
+        x: &[f64],
+    ) -> Result<(Vec<f64>, ExecutionReport)> {
+        let base = self.fault_counters();
+        let stats_base = breaker.stats();
+        let attempts = attempt_budget(breaker.gate());
+        let mut wasted = 0u64;
+        for attempt in 0..attempts {
+            match self.engine.run_spmv(&prog.alf, x) {
+                Ok((y, mut report)) => {
+                    breaker.record_success();
+                    report.charge_recovery(wasted, self.engine.config());
+                    report.breaker = breaker_delta(breaker.stats(), stats_base);
+                    return Ok((y, report));
+                }
+                Err(SimError::FaultDetected { cycle, .. }) => {
+                    wasted = wasted.saturating_add(cycle);
+                    if attempt + 1 < attempts {
+                        wasted = wasted.saturating_add(breaker.backoff_cycles(attempt));
+                    }
+                }
+                Err(other) => return Err(other.into()),
+            }
+        }
+        if attempts > 0 {
+            breaker.record_failure();
+        }
+        let csr = Csr::from_coo(&prog.alf.to_coo());
+        let y = alrescha_kernels::spmv::spmv(&csr, x);
+        let mut report = self.degraded_report("spmv", &base, wasted);
+        report.breaker = breaker_delta(breaker.stats(), stats_base);
+        Ok((y, report))
     }
 
     /// Runs one symmetric Gauss-Seidel application, updating `x` in place.
@@ -240,19 +350,75 @@ impl Alrescha {
         x: &mut [f64],
     ) -> Result<ExecutionReport> {
         expect_kernel(prog, KernelType::SymGs)?;
+        if let Some(mut breaker) = self.breaker.take() {
+            let out = self.symgs_with_breaker(&mut breaker, prog, b, x, false);
+            self.breaker = Some(breaker);
+            return out;
+        }
         let snapshot = self.degrades_to_cpu().then(|| x.to_vec());
         let base = self.fault_counters();
         match self.engine.run_symgs(&prog.alf, b, x) {
-            Err(SimError::FaultDetected { .. }) if snapshot.is_some() => {
+            Err(SimError::FaultDetected { cycle, .. }) if snapshot.is_some() => {
                 if let Some(saved) = snapshot {
                     x.copy_from_slice(&saved);
                 }
                 let csr = Csr::from_coo(&prog.alf.to_coo());
                 alrescha_kernels::symgs::symgs(&csr, b, x)?;
-                Ok(self.degraded_report("symgs", &base))
+                Ok(self.degraded_report("symgs", &base, cycle))
             }
             run => Ok(run?),
         }
+    }
+
+    fn symgs_with_breaker(
+        &mut self,
+        breaker: &mut CircuitBreaker,
+        prog: &ProgrammedKernel,
+        b: &[f64],
+        x: &mut [f64],
+        forward: bool,
+    ) -> Result<ExecutionReport> {
+        let base = self.fault_counters();
+        let stats_base = breaker.stats();
+        let saved = x.to_vec();
+        let attempts = attempt_budget(breaker.gate());
+        let mut wasted = 0u64;
+        for attempt in 0..attempts {
+            let run = if forward {
+                self.engine.run_symgs_forward(&prog.alf, b, x)
+            } else {
+                self.engine.run_symgs(&prog.alf, b, x)
+            };
+            match run {
+                Ok(mut report) => {
+                    breaker.record_success();
+                    report.charge_recovery(wasted, self.engine.config());
+                    report.breaker = breaker_delta(breaker.stats(), stats_base);
+                    return Ok(report);
+                }
+                Err(SimError::FaultDetected { cycle, .. }) => {
+                    x.copy_from_slice(&saved);
+                    wasted = wasted.saturating_add(cycle);
+                    if attempt + 1 < attempts {
+                        wasted = wasted.saturating_add(breaker.backoff_cycles(attempt));
+                    }
+                }
+                Err(other) => return Err(other.into()),
+            }
+        }
+        if attempts > 0 {
+            breaker.record_failure();
+        }
+        x.copy_from_slice(&saved);
+        let csr = Csr::from_coo(&prog.alf.to_coo());
+        if forward {
+            alrescha_kernels::symgs::forward_sweep(&csr, b, x)?;
+        } else {
+            alrescha_kernels::symgs::symgs(&csr, b, x)?;
+        }
+        let mut report = self.degraded_report("symgs", &base, wasted);
+        report.breaker = breaker_delta(breaker.stats(), stats_base);
+        Ok(report)
     }
 
     /// Runs one forward Gauss-Seidel sweep, updating `x` in place.
@@ -267,16 +433,21 @@ impl Alrescha {
         x: &mut [f64],
     ) -> Result<ExecutionReport> {
         expect_kernel(prog, KernelType::SymGs)?;
+        if let Some(mut breaker) = self.breaker.take() {
+            let out = self.symgs_with_breaker(&mut breaker, prog, b, x, true);
+            self.breaker = Some(breaker);
+            return out;
+        }
         let snapshot = self.degrades_to_cpu().then(|| x.to_vec());
         let base = self.fault_counters();
         match self.engine.run_symgs_forward(&prog.alf, b, x) {
-            Err(SimError::FaultDetected { .. }) if snapshot.is_some() => {
+            Err(SimError::FaultDetected { cycle, .. }) if snapshot.is_some() => {
                 if let Some(saved) = snapshot {
                     x.copy_from_slice(&saved);
                 }
                 let csr = Csr::from_coo(&prog.alf.to_coo());
                 alrescha_kernels::symgs::forward_sweep(&csr, b, x)?;
-                Ok(self.degraded_report("symgs", &base))
+                Ok(self.degraded_report("symgs", &base, cycle))
             }
             run => Ok(run?),
         }
@@ -364,6 +535,24 @@ impl Alrescha {
     ) -> Result<(Vec<usize>, ExecutionReport)> {
         expect_kernel(prog, KernelType::ConnectedComponents)?;
         Ok(self.engine.run_connected_components(&prog.alf)?)
+    }
+}
+
+/// Device attempts granted by a routing decision (0 ⇒ serve from the CPU).
+fn attempt_budget(choice: BackendChoice) -> u32 {
+    match choice {
+        BackendChoice::Cpu => 0,
+        BackendChoice::Probe => 1,
+        BackendChoice::Device { attempts } => attempts.max(1),
+    }
+}
+
+/// Breaker-transition counts accrued since `base` (for per-run reports).
+fn breaker_delta(now: BreakerStats, base: BreakerStats) -> BreakerStats {
+    BreakerStats {
+        trips: now.trips - base.trips,
+        half_open_probes: now.half_open_probes - base.half_open_probes,
+        cpu_fallback_runs: now.cpu_fallback_runs - base.cpu_fallback_runs,
     }
 }
 
@@ -467,7 +656,15 @@ mod tests {
         assert!(report.faults.injected > 0);
         assert!(report.faults.detected > 0);
         assert!(report.faults.retries > 0);
-        assert_eq!(report.cycles, 0, "degraded run has no device cycles");
+        assert!(
+            report.cycles > 0,
+            "wasted device attempts are charged to the degraded report"
+        );
+        assert_eq!(
+            report.breakdown.recovery_cycles, report.cycles,
+            "all degraded-run cycles are recovery cycles"
+        );
+        assert_eq!(report.breakdown.total(), report.cycles);
     }
 
     #[test]
@@ -516,6 +713,107 @@ mod tests {
         let mut acc = Alrescha::with_paper_config();
         let prog = acc.program(KernelType::SpMv, &gen::stencil27(2)).unwrap();
         assert_eq!(runtime_meta_bytes_per_nnz(&prog), 0.0);
+    }
+
+    #[test]
+    fn breaker_trips_to_cpu_and_reports_transitions() {
+        use crate::breaker::{BreakerConfig, BreakerState};
+        use alrescha_sim::FaultPlan;
+        let mut acc = Alrescha::with_paper_config();
+        let coo = gen::stencil27(3);
+        let prog = acc.program(KernelType::SpMv, &coo).unwrap();
+        // Stuck-at faults defeat every retry, so each device attempt fails.
+        acc.set_fault_plan(Some(FaultPlan::inert(42).with_memory_stuck_rate(1.0)));
+        acc.set_circuit_breaker(Some(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_ops: 2,
+            max_attempts: 2,
+            ..BreakerConfig::default()
+        }));
+        let x = vec![1.0; coo.cols()];
+        let expect = alrescha_kernels::spmv::spmv(&Csr::from_coo(&coo), &x);
+
+        // Op 1: device attempts fail, served by CPU, breaker still closed.
+        let (y, r1) = acc.spmv(&prog, &x).unwrap();
+        assert!(alrescha_sparse::approx_eq(&y, &expect, 1e-12));
+        assert_eq!(acc.breaker_state(), Some(BreakerState::Closed));
+        assert_eq!(r1.faults.degraded, 1);
+        assert!(
+            r1.breakdown.recovery_cycles > 0,
+            "wasted attempts and backoff must be charged"
+        );
+
+        // Op 2: second consecutive failure trips the breaker.
+        let (_, r2) = acc.spmv(&prog, &x).unwrap();
+        assert_eq!(acc.breaker_state(), Some(BreakerState::Open));
+        assert_eq!(r2.breaker.trips, 1);
+
+        // Ops 3-4: served by the CPU while open — no device cycles at all.
+        for _ in 0..2 {
+            let (y, r) = acc.spmv(&prog, &x).unwrap();
+            assert!(alrescha_sparse::approx_eq(&y, &expect, 1e-12));
+            assert_eq!(r.breaker.cpu_fallback_runs, 1);
+            assert_eq!(r.breakdown.recovery_cycles, 0);
+        }
+
+        // Op 5: cooldown over — a half-open probe runs on the (still
+        // faulty) device, fails, and re-opens the breaker.
+        let (_, r5) = acc.spmv(&prog, &x).unwrap();
+        assert_eq!(acc.breaker_state(), Some(BreakerState::Open));
+        assert_eq!(r5.breaker.half_open_probes, 1);
+        assert_eq!(r5.breaker.trips, 1);
+        assert_eq!(acc.breaker_stats().trips, 2);
+    }
+
+    #[test]
+    fn breaker_probe_heals_after_fault_plan_clears() {
+        use crate::breaker::{BreakerConfig, BreakerState};
+        use alrescha_sim::FaultPlan;
+        let mut acc = Alrescha::with_paper_config();
+        let coo = gen::stencil27(3);
+        let prog = acc.program(KernelType::SpMv, &coo).unwrap();
+        acc.set_fault_plan(Some(FaultPlan::inert(42).with_memory_stuck_rate(1.0)));
+        acc.set_circuit_breaker(Some(BreakerConfig {
+            failure_threshold: 1,
+            cooldown_ops: 1,
+            max_attempts: 1,
+            ..BreakerConfig::default()
+        }));
+        let x = vec![1.0; coo.cols()];
+        acc.spmv(&prog, &x).unwrap(); // trips (threshold 1)
+        assert_eq!(acc.breaker_state(), Some(BreakerState::Open));
+        acc.spmv(&prog, &x).unwrap(); // cooldown tick on the CPU
+
+        // The "transient outage" ends: the probe succeeds and heals.
+        acc.set_fault_plan(None);
+        let (y, r) = acc.spmv(&prog, &x).unwrap();
+        assert_eq!(acc.breaker_state(), Some(BreakerState::Closed));
+        assert_eq!(r.breaker.half_open_probes, 1);
+        assert!(r.cycles > 0, "probe ran on the device");
+        assert_eq!(r.faults.degraded, 0);
+        let expect = alrescha_kernels::spmv::spmv(&Csr::from_coo(&coo), &x);
+        assert!(alrescha_sparse::approx_eq(&y, &expect, 1e-12));
+    }
+
+    #[test]
+    fn breaker_guards_symgs_and_restores_x_before_fallback() {
+        use crate::breaker::BreakerConfig;
+        use alrescha_sim::FaultPlan;
+        let mut acc = Alrescha::with_paper_config();
+        let coo = gen::stencil27(3);
+        let prog = acc.program(KernelType::SymGs, &coo).unwrap();
+        acc.set_fault_plan(Some(FaultPlan::inert(7).with_memory_stuck_rate(1.0)));
+        acc.set_circuit_breaker(Some(BreakerConfig::default()));
+        let b = vec![1.0; coo.rows()];
+        let mut x = vec![0.0; coo.cols()];
+        let report = acc.symgs(&prog, &b, &mut x).unwrap();
+        assert_eq!(report.faults.degraded, 1);
+        let mut x_ref = vec![0.0; coo.cols()];
+        alrescha_kernels::symgs::symgs(&Csr::from_coo(&coo), &b, &mut x_ref).unwrap();
+        assert!(
+            alrescha_sparse::approx_eq(&x, &x_ref, 1e-12),
+            "fallback must run from the pre-call state"
+        );
     }
 }
 

@@ -35,18 +35,27 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod accelerator;
+pub mod breaker;
+pub mod checkpoint;
 pub mod convert;
 pub mod program;
 pub mod solver;
 
 pub use accelerator::{Alrescha, ProgrammedKernel};
+pub use breaker::{BackendChoice, BreakerConfig, BreakerState, CircuitBreaker};
+pub use checkpoint::{CheckpointError, SolverCheckpoint, SolverKind};
 pub use convert::{ConfigEntry, ConfigTable, DataPath, KernelType};
 pub use program::ProgramBinary;
-pub use solver::{AcceleratedMgPcg, AcceleratedPcg, SolveOutcome, SolverOptions};
+pub use solver::{
+    AcceleratedMgPcg, AcceleratedPcg, SolveOutcome, SolverOptions, TerminationReason,
+};
 
-// Fault-injection surface, re-exported so facade users configure resilience
-// without importing the simulator crate directly.
-pub use alrescha_sim::{FaultCounters, FaultPlan, FaultSite, RecoveryPolicy};
+// Fault-injection and runtime surface, re-exported so facade users configure
+// resilience without importing the simulator crate directly.
+pub use alrescha_sim::{
+    BreakerStats, ExecBudget, FaultCounters, FaultPlan, FaultSite, InjectorSnapshot,
+    RecoveryPolicy,
+};
 
 use std::fmt;
 
@@ -100,6 +109,9 @@ pub enum CoreError {
         /// What was missing or inconsistent.
         reason: &'static str,
     },
+    /// A solver checkpoint failed to decode or does not belong to the
+    /// resuming solve.
+    Checkpoint(checkpoint::CheckpointError),
 }
 
 impl fmt::Display for CoreError {
@@ -142,6 +154,7 @@ impl fmt::Display for CoreError {
             CoreError::InvalidProgram { reason } => {
                 write!(f, "invalid program: {reason}")
             }
+            CoreError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
@@ -152,6 +165,7 @@ impl std::error::Error for CoreError {
             CoreError::Sparse(e) => Some(e),
             CoreError::Sim(e) => Some(e),
             CoreError::Kernel(e) => Some(e),
+            CoreError::Checkpoint(e) => Some(e),
             _ => None,
         }
     }
@@ -172,6 +186,12 @@ impl From<alrescha_sim::SimError> for CoreError {
 impl From<alrescha_kernels::KernelError> for CoreError {
     fn from(e: alrescha_kernels::KernelError) -> Self {
         CoreError::Kernel(e)
+    }
+}
+
+impl From<checkpoint::CheckpointError> for CoreError {
+    fn from(e: checkpoint::CheckpointError) -> Self {
+        CoreError::Checkpoint(e)
     }
 }
 

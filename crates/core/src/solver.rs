@@ -7,11 +7,14 @@
 //! supercomputers" (§2). The returned report accumulates the device work of
 //! every iteration.
 
+use std::fmt;
+
 use alrescha_kernels::{dot, norm2, spmv::axpy};
-use alrescha_sim::ExecutionReport;
+use alrescha_sim::{ExecutionReport, SimConfig, SimError};
 use alrescha_sparse::Coo;
 
 use crate::accelerator::{Alrescha, ProgrammedKernel};
+use crate::checkpoint::{CheckpointError, SolverCheckpoint, SolverKind};
 use crate::convert::KernelType;
 use crate::{CoreError, Result};
 
@@ -58,6 +61,57 @@ impl Default for SolverOptions {
     }
 }
 
+/// Why a solve stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TerminationReason {
+    /// The relative residual target was met.
+    Converged,
+    /// The residual went non-finite or blew past the divergence guard
+    /// (reported via [`CoreError::Diverged`]; surfaced here by
+    /// [`TerminationReason::from_error`]).
+    Diverged,
+    /// A budget ran out: the iteration budget in a returned
+    /// [`SolveOutcome`], or a cycle/wall-clock budget via
+    /// [`SimError::DeadlineExceeded`].
+    BudgetExhausted,
+    /// The watchdog saw no forward progress
+    /// ([`SimError::Stalled`]; surfaced by
+    /// [`TerminationReason::from_error`]).
+    Stalled,
+    /// Converged after resuming from a checkpoint.
+    Resumed,
+}
+
+impl TerminationReason {
+    /// Maps a solve error to the reason it encodes, for reporting paths
+    /// that want a uniform label for both `Ok` and `Err` terminations.
+    /// `None` for errors that are not terminations (bad input, wrong
+    /// kernel, …).
+    pub fn from_error(err: &CoreError) -> Option<Self> {
+        match err {
+            CoreError::Diverged { .. } => Some(TerminationReason::Diverged),
+            CoreError::Sim(SimError::Stalled { .. }) => Some(TerminationReason::Stalled),
+            CoreError::Sim(SimError::DeadlineExceeded { .. }) => {
+                Some(TerminationReason::BudgetExhausted)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TerminationReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TerminationReason::Converged => "converged",
+            TerminationReason::Diverged => "diverged",
+            TerminationReason::BudgetExhausted => "budget exhausted",
+            TerminationReason::Stalled => "stalled",
+            TerminationReason::Resumed => "converged (resumed)",
+        })
+    }
+}
+
 /// Result of an accelerated PCG solve.
 #[derive(Debug, Clone)]
 pub struct SolveOutcome {
@@ -69,8 +123,176 @@ pub struct SolveOutcome {
     pub residual: f64,
     /// Whether the relative target was met.
     pub converged: bool,
+    /// Why the solve stopped.
+    pub reason: TerminationReason,
     /// Accumulated device-side execution report.
     pub report: ExecutionReport,
+}
+
+/// Merges a per-kernel report into the solve's accumulator.
+fn absorb_into(rep: ExecutionReport, report: &mut Option<ExecutionReport>, config: &SimConfig) {
+    match report {
+        Some(acc_rep) => acc_rep.merge(&rep, config),
+        None => *report = Some(rep),
+    }
+}
+
+/// One device kernel application inside the PCG loop: `f(acc, v, report)`
+/// returns the result vector and absorbs its execution report.
+type KernelCall<'s> =
+    dyn FnMut(&mut Alrescha, &[f64], &mut Option<ExecutionReport>) -> Result<Vec<f64>> + 's;
+
+/// The Figure 2 PCG loop, shared by [`AcceleratedPcg`] and
+/// [`AcceleratedMgPcg`]: `spmv` computes `A·v`, `precond` applies `M⁻¹`
+/// (one SymGS sweep or a full V-cycle).
+///
+/// The loop state at the end of iteration `k` — `(x, r, p, rz)` plus the
+/// divergence anchor `r0` and the residual history — is exactly a
+/// [`SolverCheckpoint`]; with `checkpoint_every > 0` one is emitted to
+/// `sink` every that-many iterations, and with `resume_from` the loop picks
+/// up from a prior checkpoint instead of from `x = 0`. Because the device
+/// call sequence after the checkpoint boundary is identical to the
+/// uninterrupted run's (including the fault injector's restored RNG
+/// cursor), a resumed solve is bit-identical to one that never stopped.
+#[allow(clippy::too_many_arguments)]
+fn run_pcg(
+    acc: &mut Alrescha,
+    b: &[f64],
+    opts: &SolverOptions,
+    kind: SolverKind,
+    n: usize,
+    spmv: &mut KernelCall<'_>,
+    precond: &mut KernelCall<'_>,
+    checkpoint_every: usize,
+    mut sink: Option<&mut dyn FnMut(SolverCheckpoint)>,
+    resume_from: Option<&SolverCheckpoint>,
+) -> Result<SolveOutcome> {
+    if b.len() != n {
+        return Err(CoreError::DimensionMismatch {
+            expected: n,
+            found: b.len(),
+        });
+    }
+    let b_norm = norm2(b).max(f64::MIN_POSITIVE);
+    let mut report: Option<ExecutionReport> = None;
+    let resumed = resume_from.is_some();
+
+    let (mut x, mut r, mut p, mut rz, r0, mut history, start_k);
+    if let Some(cp) = resume_from {
+        if cp.kind != kind {
+            return Err(CheckpointError::Mismatch {
+                field: "solver kind",
+            }
+            .into());
+        }
+        if cp.n != n || cp.x.len() != n || cp.r.len() != n || cp.p.len() != n {
+            return Err(CheckpointError::Mismatch { field: "n" }.into());
+        }
+        if cp.iteration >= opts.max_iters {
+            return Err(CheckpointError::Mismatch {
+                field: "iteration budget",
+            }
+            .into());
+        }
+        x = cp.x.clone();
+        r = cp.r.clone();
+        p = cp.p.clone();
+        rz = cp.rz;
+        r0 = cp.r0;
+        history = cp.residual_history.clone();
+        start_k = cp.iteration + 1;
+        if let Some(snap) = &cp.fault {
+            acc.restore_fault_snapshot(snap);
+        }
+    } else {
+        x = vec![0.0; n];
+        r = b.to_vec();
+        r0 = norm2(&r);
+        check_residual(r0, r0, b_norm, 0)?;
+        if r0 <= opts.tol * b_norm {
+            spmv(acc, &x, &mut report)?;
+            return Ok(SolveOutcome {
+                x,
+                iterations: 0,
+                residual: r0,
+                converged: true,
+                reason: TerminationReason::Converged,
+                report: finished_report(report)?,
+            });
+        }
+        let z = precond(acc, &r, &mut report)?;
+        rz = dot(&r, &z);
+        p = z;
+        history = Vec::new();
+        start_k = 1;
+    }
+
+    for k in start_k..=opts.max_iters {
+        let ap = spmv(acc, &p, &mut report)?;
+        let pap = dot(&p, &ap);
+        if !pap.is_finite() {
+            return Err(CoreError::Diverged {
+                iteration: k,
+                residual: norm2(&r),
+            });
+        }
+        if pap <= 0.0 {
+            return Err(CoreError::Breakdown { iteration: k });
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        let r_norm = norm2(&r);
+        history.push(r_norm);
+        if r_norm <= opts.tol * b_norm {
+            return Ok(SolveOutcome {
+                x,
+                iterations: k,
+                residual: r_norm,
+                converged: true,
+                reason: if resumed {
+                    TerminationReason::Resumed
+                } else {
+                    TerminationReason::Converged
+                },
+                report: finished_report(report)?,
+            });
+        }
+        check_residual(r_norm, r0, b_norm, k)?;
+        let z = precond(acc, &r, &mut report)?;
+        let rz_next = dot(&r, &z);
+        let beta = rz_next / rz;
+        rz = rz_next;
+        for (pi, zi) in p.iter_mut().zip(&z) {
+            *pi = zi + beta * *pi;
+        }
+        if checkpoint_every > 0 && k % checkpoint_every == 0 {
+            if let Some(sink) = sink.as_deref_mut() {
+                sink(SolverCheckpoint {
+                    kind,
+                    n,
+                    iteration: k,
+                    x: x.clone(),
+                    r: r.clone(),
+                    p: p.clone(),
+                    rz,
+                    r0,
+                    residual_history: history.clone(),
+                    fault: acc.fault_snapshot(),
+                });
+            }
+        }
+    }
+
+    let residual = norm2(&r);
+    Ok(SolveOutcome {
+        x,
+        iterations: opts.max_iters,
+        residual,
+        converged: false,
+        reason: TerminationReason::BudgetExhausted,
+        report: finished_report(report)?,
+    })
 }
 
 /// A PCG solver whose SpMV and SymGS kernels run on the accelerator.
@@ -116,88 +338,79 @@ impl AcceleratedPcg {
         b: &[f64],
         opts: &SolverOptions,
     ) -> Result<SolveOutcome> {
-        if b.len() != self.n {
-            return Err(CoreError::DimensionMismatch {
-                expected: self.n,
-                found: b.len(),
-            });
-        }
-        let n = self.n;
-        let mut x = vec![0.0; n];
-        let mut r = b.to_vec();
-        let b_norm = norm2(b).max(f64::MIN_POSITIVE);
+        self.drive(acc, b, opts, 0, None, None)
+    }
 
-        // Device SymGS application: z = M⁻¹ r.
-        let mut report: Option<ExecutionReport> = None;
+    /// Like [`AcceleratedPcg::solve`], emitting a [`SolverCheckpoint`] to
+    /// `sink` after every `every` iterations (`every = 0` never emits).
+    ///
+    /// # Errors
+    ///
+    /// As [`AcceleratedPcg::solve`].
+    pub fn solve_with_checkpoints(
+        &self,
+        acc: &mut Alrescha,
+        b: &[f64],
+        opts: &SolverOptions,
+        every: usize,
+        sink: &mut dyn FnMut(SolverCheckpoint),
+    ) -> Result<SolveOutcome> {
+        self.drive(acc, b, opts, every, Some(sink), None)
+    }
+
+    /// Continues a solve from `checkpoint` (taken by
+    /// [`AcceleratedPcg::solve_with_checkpoints`] against the same system
+    /// and right-hand side). The resumed run is bit-identical to the
+    /// uninterrupted one; a converged outcome reports
+    /// [`TerminationReason::Resumed`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Checkpoint`] when the checkpoint belongs to a different
+    /// solver kind, problem size, or an already-exhausted iteration budget;
+    /// otherwise as [`AcceleratedPcg::solve`].
+    pub fn resume(
+        &self,
+        acc: &mut Alrescha,
+        b: &[f64],
+        opts: &SolverOptions,
+        checkpoint: &SolverCheckpoint,
+    ) -> Result<SolveOutcome> {
+        self.drive(acc, b, opts, 0, None, Some(checkpoint))
+    }
+
+    fn drive(
+        &self,
+        acc: &mut Alrescha,
+        b: &[f64],
+        opts: &SolverOptions,
+        every: usize,
+        sink: Option<&mut dyn FnMut(SolverCheckpoint)>,
+        resume_from: Option<&SolverCheckpoint>,
+    ) -> Result<SolveOutcome> {
         let config = acc.config().clone();
-        let absorb = |rep: ExecutionReport, report: &mut Option<ExecutionReport>| match report {
-            Some(acc_rep) => acc_rep.merge(&rep, &config),
-            None => *report = Some(rep),
-        };
-
-        let r0 = norm2(&r);
-        check_residual(r0, r0, b_norm, 0)?;
-        if r0 <= opts.tol * b_norm {
-            let (_, rep) = acc.spmv(&self.spmv_prog, &x)?;
-            return Ok(SolveOutcome {
-                x,
-                iterations: 0,
-                residual: r0,
-                converged: true,
-                report: rep,
-            });
-        }
-
-        let mut z = vec![0.0; n];
-        absorb(acc.symgs(&self.symgs_prog, &r, &mut z)?, &mut report);
-        let mut p = z.clone();
-        let mut rz = dot(&r, &z);
-
-        for k in 1..=opts.max_iters {
-            let (ap, rep) = acc.spmv(&self.spmv_prog, &p)?;
-            absorb(rep, &mut report);
-            let pap = dot(&p, &ap);
-            if !pap.is_finite() {
-                return Err(CoreError::Diverged {
-                    iteration: k,
-                    residual: norm2(&r),
-                });
-            }
-            if pap <= 0.0 {
-                return Err(CoreError::Breakdown { iteration: k });
-            }
-            let alpha = rz / pap;
-            axpy(alpha, &p, &mut x);
-            axpy(-alpha, &ap, &mut r);
-            let r_norm = norm2(&r);
-            if r_norm <= opts.tol * b_norm {
-                return Ok(SolveOutcome {
-                    x,
-                    iterations: k,
-                    residual: r_norm,
-                    converged: true,
-                    report: finished_report(report)?,
-                });
-            }
-            check_residual(r_norm, r0, b_norm, k)?;
-            z.fill(0.0);
-            absorb(acc.symgs(&self.symgs_prog, &r, &mut z)?, &mut report);
-            let rz_next = dot(&r, &z);
-            let beta = rz_next / rz;
-            rz = rz_next;
-            for (pi, zi) in p.iter_mut().zip(&z) {
-                *pi = zi + beta * *pi;
-            }
-        }
-
-        let residual = norm2(&r);
-        Ok(SolveOutcome {
-            x,
-            iterations: opts.max_iters,
-            residual,
-            converged: false,
-            report: finished_report(report)?,
-        })
+        let n = self.n;
+        run_pcg(
+            acc,
+            b,
+            opts,
+            SolverKind::Pcg,
+            n,
+            &mut |acc, v, report| {
+                let (y, rep) = acc.spmv(&self.spmv_prog, v)?;
+                absorb_into(rep, report, &config);
+                Ok(y)
+            },
+            &mut |acc, r, report| {
+                // Device SymGS application: z = M⁻¹ r.
+                let mut z = vec![0.0; n];
+                absorb_into(acc.symgs(&self.symgs_prog, r, &mut z)?, report, &config);
+                Ok(z)
+            },
+            every,
+            sink,
+            resume_from,
+        )
     }
 }
 
@@ -315,6 +528,157 @@ mod tests {
             .unwrap();
         assert!(out.converged);
         assert_eq!(out.iterations, 0);
+        assert_eq!(out.reason, TerminationReason::Converged);
+    }
+
+    #[test]
+    fn exhausted_iteration_budget_reports_reason() {
+        let coo = gen::stencil27(3);
+        let mut acc = Alrescha::with_paper_config();
+        let solver = AcceleratedPcg::program(&mut acc, &coo).unwrap();
+        let out = solver
+            .solve(
+                &mut acc,
+                &vec![1.0; coo.rows()],
+                &SolverOptions {
+                    tol: 1e-14,
+                    max_iters: 2,
+                },
+            )
+            .unwrap();
+        assert!(!out.converged);
+        assert_eq!(out.reason, TerminationReason::BudgetExhausted);
+        assert_eq!(out.iterations, 2);
+    }
+
+    #[test]
+    fn resume_from_checkpoint_is_bit_identical() {
+        let coo = gen::stencil27(3);
+        let csr = Csr::from_coo(&coo);
+        let x_true: Vec<f64> = (0..coo.rows()).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let b = spmv(&csr, &x_true);
+        let opts = SolverOptions::default();
+
+        let mut acc = Alrescha::with_paper_config();
+        let solver = AcceleratedPcg::program(&mut acc, &coo).unwrap();
+        let full = solver.solve(&mut acc, &b, &opts).unwrap();
+
+        let mut checkpoints = Vec::new();
+        let out = solver
+            .solve_with_checkpoints(&mut acc, &b, &opts, 3, &mut |cp| checkpoints.push(cp))
+            .unwrap();
+        assert!(out.converged);
+        assert!(!checkpoints.is_empty(), "solve must emit checkpoints");
+        // Checkpointing must not perturb the solve.
+        assert_eq!(out.iterations, full.iterations);
+        for (a, b) in out.x.iter().zip(&full.x) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // "Kill" the run: resume from an intermediate checkpoint only.
+        let cp = &checkpoints[checkpoints.len() / 2];
+        let resumed = solver.resume(&mut acc, &b, &opts, cp).unwrap();
+        assert!(resumed.converged);
+        assert_eq!(resumed.reason, TerminationReason::Resumed);
+        assert_eq!(resumed.iterations, full.iterations);
+        assert_eq!(resumed.residual.to_bits(), full.residual.to_bits());
+        for (a, b) in resumed.x.iter().zip(&full.x) {
+            assert_eq!(a.to_bits(), b.to_bits(), "resume must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_foreign_checkpoints() {
+        use crate::checkpoint::{CheckpointError, SolverCheckpoint, SolverKind};
+        let coo = gen::stencil27(2);
+        let mut acc = Alrescha::with_paper_config();
+        let solver = AcceleratedPcg::program(&mut acc, &coo).unwrap();
+        let b = vec![1.0; coo.rows()];
+        let n = coo.rows();
+        let cp = SolverCheckpoint {
+            kind: SolverKind::MgPcg,
+            n,
+            iteration: 1,
+            x: vec![0.0; n],
+            r: b.clone(),
+            p: b.clone(),
+            rz: 1.0,
+            r0: 1.0,
+            residual_history: vec![],
+            fault: None,
+        };
+        let err = solver
+            .resume(&mut acc, &b, &SolverOptions::default(), &cp)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::Checkpoint(CheckpointError::Mismatch {
+                    field: "solver kind"
+                })
+            ),
+            "{err:?}"
+        );
+
+        let cp_wrong_n = SolverCheckpoint {
+            kind: SolverKind::Pcg,
+            n: n + 1,
+            ..cp.clone()
+        };
+        let err = solver
+            .resume(&mut acc, &b, &SolverOptions::default(), &cp_wrong_n)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::Checkpoint(CheckpointError::Mismatch { field: "n" })
+            ),
+            "{err:?}"
+        );
+
+        let cp_spent = SolverCheckpoint {
+            kind: SolverKind::Pcg,
+            iteration: 600,
+            ..cp
+        };
+        let err = solver
+            .resume(&mut acc, &b, &SolverOptions::default(), &cp_spent)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Checkpoint(_)), "{err:?}");
+    }
+
+    #[test]
+    fn termination_reason_maps_errors() {
+        let diverged = CoreError::Diverged {
+            iteration: 3,
+            residual: f64::NAN,
+        };
+        assert_eq!(
+            TerminationReason::from_error(&diverged),
+            Some(TerminationReason::Diverged)
+        );
+        let stalled = CoreError::Sim(SimError::Stalled {
+            site: "d-symgs block scheduler",
+            cycle: 10,
+            idle_cycles: 5,
+        });
+        assert_eq!(
+            TerminationReason::from_error(&stalled),
+            Some(TerminationReason::Stalled)
+        );
+        let deadline = CoreError::Sim(SimError::DeadlineExceeded {
+            budget: "cycle",
+            cycle: 10,
+        });
+        assert_eq!(
+            TerminationReason::from_error(&deadline),
+            Some(TerminationReason::BudgetExhausted)
+        );
+        assert_eq!(
+            TerminationReason::from_error(&CoreError::Breakdown { iteration: 1 }),
+            None
+        );
+        assert_eq!(TerminationReason::Resumed.to_string(), "converged (resumed)");
     }
 }
 
@@ -398,82 +762,70 @@ impl AcceleratedMgPcg {
         b: &[f64],
         opts: &SolverOptions,
     ) -> Result<SolveOutcome> {
-        if b.len() != self.n {
-            return Err(CoreError::DimensionMismatch {
-                expected: self.n,
-                found: b.len(),
-            });
-        }
-        let n = self.n;
-        let mut x = vec![0.0; n];
-        let mut r = b.to_vec();
-        let b_norm = norm2(b).max(f64::MIN_POSITIVE);
+        self.drive(acc, b, opts, 0, None, None)
+    }
+
+    /// Like [`AcceleratedMgPcg::solve`], emitting a [`SolverCheckpoint`] to
+    /// `sink` after every `every` iterations (`every = 0` never emits).
+    ///
+    /// # Errors
+    ///
+    /// As [`AcceleratedMgPcg::solve`].
+    pub fn solve_with_checkpoints(
+        &self,
+        acc: &mut Alrescha,
+        b: &[f64],
+        opts: &SolverOptions,
+        every: usize,
+        sink: &mut dyn FnMut(SolverCheckpoint),
+    ) -> Result<SolveOutcome> {
+        self.drive(acc, b, opts, every, Some(sink), None)
+    }
+
+    /// Continues a solve from `checkpoint` (see
+    /// [`AcceleratedPcg::resume`]; the checkpoint must carry
+    /// [`SolverKind::MgPcg`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Checkpoint`] on a foreign checkpoint; otherwise as
+    /// [`AcceleratedMgPcg::solve`].
+    pub fn resume(
+        &self,
+        acc: &mut Alrescha,
+        b: &[f64],
+        opts: &SolverOptions,
+        checkpoint: &SolverCheckpoint,
+    ) -> Result<SolveOutcome> {
+        self.drive(acc, b, opts, 0, None, Some(checkpoint))
+    }
+
+    fn drive(
+        &self,
+        acc: &mut Alrescha,
+        b: &[f64],
+        opts: &SolverOptions,
+        every: usize,
+        sink: Option<&mut dyn FnMut(SolverCheckpoint)>,
+        resume_from: Option<&SolverCheckpoint>,
+    ) -> Result<SolveOutcome> {
         let config = acc.config().clone();
-        let mut report: Option<ExecutionReport> = None;
-        let absorb = |rep: ExecutionReport, report: &mut Option<ExecutionReport>| match report {
-            Some(acc_rep) => acc_rep.merge(&rep, &config),
-            None => *report = Some(rep),
-        };
-
-        let r0 = norm2(&r);
-        check_residual(r0, r0, b_norm, 0)?;
-        if r0 <= opts.tol * b_norm {
-            let (_, rep) = acc.spmv(&self.levels[0].0, &x)?;
-            return Ok(SolveOutcome {
-                x,
-                iterations: 0,
-                residual: r0,
-                converged: true,
-                report: rep,
-            });
-        }
-
-        let mut z = self.v_cycle(acc, 0, &r, &mut report)?;
-        let mut p = z.clone();
-        let mut rz = dot(&r, &z);
-        for k in 1..=opts.max_iters {
-            let (ap, rep) = acc.spmv(&self.levels[0].0, &p)?;
-            absorb(rep, &mut report);
-            let pap = dot(&p, &ap);
-            if !pap.is_finite() {
-                return Err(CoreError::Diverged {
-                    iteration: k,
-                    residual: norm2(&r),
-                });
-            }
-            if pap <= 0.0 {
-                return Err(CoreError::Breakdown { iteration: k });
-            }
-            let alpha = rz / pap;
-            axpy(alpha, &p, &mut x);
-            axpy(-alpha, &ap, &mut r);
-            let r_norm = norm2(&r);
-            if r_norm <= opts.tol * b_norm {
-                return Ok(SolveOutcome {
-                    x,
-                    iterations: k,
-                    residual: r_norm,
-                    converged: true,
-                    report: finished_report(report)?,
-                });
-            }
-            check_residual(r_norm, r0, b_norm, k)?;
-            z = self.v_cycle(acc, 0, &r, &mut report)?;
-            let rz_next = dot(&r, &z);
-            let beta = rz_next / rz;
-            rz = rz_next;
-            for (pi, zi) in p.iter_mut().zip(&z) {
-                *pi = zi + beta * *pi;
-            }
-        }
-        let residual = norm2(&r);
-        Ok(SolveOutcome {
-            x,
-            iterations: opts.max_iters,
-            residual,
-            converged: false,
-            report: finished_report(report)?,
-        })
+        run_pcg(
+            acc,
+            b,
+            opts,
+            SolverKind::MgPcg,
+            self.n,
+            &mut |acc, v, report| {
+                let (y, rep) = acc.spmv(&self.levels[0].0, v)?;
+                absorb_into(rep, report, &config);
+                Ok(y)
+            },
+            &mut |acc, r, report| self.v_cycle(acc, 0, r, report),
+            every,
+            sink,
+            resume_from,
+        )
     }
 }
 

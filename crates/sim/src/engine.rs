@@ -30,11 +30,14 @@ use crate::cache::LocalCache;
 use crate::config::SimConfig;
 use crate::energy::EnergyCounters;
 use crate::error::{Result, SimError};
-use crate::fault::{self, FaultCounters, FaultInjector, FaultPlan, FaultSite, RecoveryPolicy};
+use crate::fault::{
+    self, FaultCounters, FaultInjector, FaultPlan, FaultSite, InjectorSnapshot, RecoveryPolicy,
+};
 use crate::fcu::{Fcu, Reduce};
 use crate::memory::MemoryStream;
 use crate::rcu::{DataPathKind, Rcu};
 use crate::report::{CacheStats, DataPathCounts, ExecutionReport};
+use crate::runtime::ExecBudget;
 
 /// Distance value marking an unreached vertex in graph kernels.
 pub const UNREACHED: f64 = f64::INFINITY;
@@ -86,6 +89,7 @@ pub struct Engine {
     trace: crate::trace::Trace,
     faults: Option<FaultInjector>,
     recovery: RecoveryPolicy,
+    budget: ExecBudget,
 }
 
 /// Per-run mutable accounting.
@@ -100,6 +104,7 @@ struct RunState {
     breakdown: crate::report::CycleBreakdown,
     link_stack_peak: usize,
     fault_base: FaultCounters,
+    wall_start: std::time::Instant,
 }
 
 // Word-address regions for the cached vector operands.
@@ -121,6 +126,33 @@ impl Engine {
             trace: crate::trace::Trace::new(),
             faults: None,
             recovery: RecoveryPolicy::default(),
+            budget: ExecBudget::default(),
+        }
+    }
+
+    /// Arms cycle/wall-clock limits and the progress-watchdog window for
+    /// all subsequent runs (default: [`ExecBudget::none`], fully open).
+    pub fn set_budget(&mut self, budget: ExecBudget) {
+        self.budget = budget;
+    }
+
+    /// The active execution budget.
+    pub fn budget(&self) -> ExecBudget {
+        self.budget
+    }
+
+    /// Captures the fault injector's mutable state (RNG cursor, cycle,
+    /// counters) for embedding in a solver checkpoint. `None` when no
+    /// fault plan is armed.
+    pub fn fault_snapshot(&self) -> Option<InjectorSnapshot> {
+        self.faults.as_ref().map(FaultInjector::snapshot)
+    }
+
+    /// Restores injector state captured by [`Engine::fault_snapshot`]; a
+    /// no-op when no fault plan is armed.
+    pub fn restore_fault_snapshot(&mut self, snap: &InjectorSnapshot) {
+        if let Some(inj) = &self.faults {
+            inj.restore(snap);
         }
     }
 
@@ -204,6 +236,56 @@ impl Engine {
                 .as_ref()
                 .map(FaultInjector::counters)
                 .unwrap_or_default(),
+            wall_start: std::time::Instant::now(),
+        }
+    }
+
+    /// Enforces the cycle and wall-clock limits of the active budget.
+    /// Called once per scheduled unit of work (block, block row, round);
+    /// with the default open budget both tests short-circuit.
+    fn check_budget(&self, state: &RunState) -> Result<()> {
+        if let Some(max) = self.budget.max_cycles {
+            if state.cycles > max {
+                return Err(SimError::DeadlineExceeded {
+                    budget: "cycle",
+                    cycle: state.cycles,
+                });
+            }
+        }
+        if let Some(max_wall) = self.budget.max_wall {
+            if state.wall_start.elapsed() > max_wall {
+                return Err(SimError::DeadlineExceeded {
+                    budget: "wall-clock",
+                    cycle: state.cycles,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Handles a wedged D-SymGS block scheduler: the engine would idle
+    /// forever waiting for a block that will never issue, so the outcome is
+    /// computed directly instead of spinning — the cycle budget expires if
+    /// it is tighter than the watchdog window, otherwise the watchdog fires
+    /// after one full window of zero progress.
+    fn scheduler_stall(&self, state: &RunState) -> SimError {
+        if let Some(inj) = &self.faults {
+            inj.note_scheduler_wedge();
+        }
+        let window = self.budget.effective_watchdog();
+        let fires_at = state.cycles.saturating_add(window);
+        if let Some(max) = self.budget.max_cycles {
+            if max < fires_at {
+                return SimError::DeadlineExceeded {
+                    budget: "cycle",
+                    cycle: max,
+                };
+            }
+        }
+        SimError::Stalled {
+            site: "d-symgs block scheduler",
+            cycle: fires_at,
+            idle_cycles: window,
         }
     }
 
@@ -265,6 +347,7 @@ impl Engine {
             datapaths: state.counts,
             breakdown,
             faults,
+            breaker: crate::report::BreakerStats::default(),
         }
     }
 
@@ -401,7 +484,7 @@ impl Engine {
             let re_mem = state.memory.stream_values(omega * omega);
             let redo = re_mem.max(omega as u64) + self.recovery.backoff_cycles();
             state.cycles += redo;
-            state.breakdown.gemv_cycles += redo;
+            state.breakdown.recovery_cycles += redo;
             self.publish_cycle(state);
         };
         outcome
@@ -444,6 +527,7 @@ impl Engine {
         self.trace_reconfigure(DataPathKind::Gemv, exposed);
 
         for block in a.blocks() {
+            self.check_budget(&state)?;
             let row_base = block.block_row() * omega;
             let col_base = block.block_col() * omega;
             self.trace_block(block.block_row(), block.block_col(), DataPathKind::Gemv);
@@ -596,6 +680,7 @@ impl Engine {
         }
 
         for &br in &order {
+            self.check_budget(&state)?;
             let row_base = br * omega;
             // Intermediate GEMV results ride the LIFO link stack to the
             // D-SymGS data path (Figure 11): one (lane, value) per block
@@ -673,7 +758,7 @@ impl Engine {
                         inj.note_retry();
                     }
                     state.cycles += self.recovery.backoff_cycles();
-                    state.breakdown.drain_cycles += self.recovery.backoff_cycles();
+                    state.breakdown.recovery_cycles += self.recovery.backoff_cycles();
                 }
             }
 
@@ -690,6 +775,13 @@ impl Engine {
 
             // D-SymGS on the diagonal block (always present for rows that
             // hold any diagonal entry; absent only for all-zero block rows).
+            // A wedged scheduler never issues it: the run terminates through
+            // the watchdog or the cycle budget instead of idling forever.
+            if let Some(inj) = &self.faults {
+                if inj.scheduler_wedged(state.counts.dsymgs_blocks) {
+                    return Err(self.scheduler_stall(&state));
+                }
+            }
             let drain = self.fcu.drain(Reduce::Sum);
             let switched = self.rcu.current() != Some(DataPathKind::DSymGs);
             let exposed = self.rcu.configure(DataPathKind::DSymGs, drain);
@@ -756,7 +848,7 @@ impl Engine {
                     inj.note_retry();
                 }
                 state.cycles += self.recovery.backoff_cycles();
-                state.breakdown.drain_cycles += self.recovery.backoff_cycles();
+                state.breakdown.recovery_cycles += self.recovery.backoff_cycles();
             }
             if backward {
                 // The r2l access order of the diagonal block consumes the
@@ -944,6 +1036,7 @@ impl Engine {
         loop {
             let mut changed = false;
             rounds += 1;
+            self.check_budget(&state)?;
             for block in at.blocks() {
                 // Block of Aᵀ: rows are destinations, columns sources.
                 let dst_base = block.block_row() * omega;
@@ -1034,6 +1127,7 @@ impl Engine {
         let mut rank = vec![1.0 / n as f64; n];
 
         for it in 1..=opts.max_iters {
+            self.check_budget(&state)?;
             // Phase-1 division: contribution of every vertex (ω-wide PEs).
             let mut contrib = vec![0.0; n];
             let mut dangling = 0.0;
@@ -1402,6 +1496,124 @@ mod link_stack_tests {
 }
 
 #[cfg(test)]
+mod runtime_tests {
+    use super::*;
+    use crate::runtime::ExecBudget;
+    use alrescha_sparse::gen;
+
+    #[test]
+    fn cycle_budget_interrupts_spmv() {
+        let coo = gen::stencil27(4);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::Streaming).unwrap();
+        let x = vec![1.0; a.cols()];
+        let mut engine = Engine::new(SimConfig::paper());
+        engine.set_budget(ExecBudget::cycles(50));
+        match engine.run_spmv(&a, &x) {
+            Err(SimError::DeadlineExceeded { budget, cycle }) => {
+                assert_eq!(budget, "cycle");
+                assert!(cycle > 50, "reported cycle is where the budget tripped");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_budget_is_bit_identical_to_no_budget() {
+        let coo = gen::stencil27(3);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::Streaming).unwrap();
+        let x: Vec<f64> = (0..a.cols()).map(|i| (i as f64 * 0.3).sin()).collect();
+        let (y_plain, r_plain) = Engine::new(SimConfig::paper()).run_spmv(&a, &x).unwrap();
+        let mut budgeted = Engine::new(SimConfig::paper());
+        budgeted.set_budget(ExecBudget::none().with_watchdog(4096));
+        let (y_budget, r_budget) = budgeted.run_spmv(&a, &x).unwrap();
+        assert_eq!(y_plain, y_budget);
+        assert_eq!(r_plain.cycles, r_budget.cycles);
+    }
+
+    #[test]
+    fn wedged_scheduler_stalls_within_watchdog() {
+        let coo = gen::stencil27(3);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::SymGs).unwrap();
+        let b = vec![1.0; coo.rows()];
+        let mut x = vec![0.0; coo.cols()];
+        let mut engine = Engine::new(SimConfig::paper());
+        engine.set_fault_plan(Some(FaultPlan::inert(1).with_dsymgs_stall_after(2)));
+        engine.set_budget(ExecBudget::cycles(1_000_000).with_watchdog(512));
+        match engine.run_symgs_forward(&a, &b, &mut x) {
+            Err(SimError::Stalled {
+                site,
+                cycle,
+                idle_cycles,
+            }) => {
+                assert_eq!(site, "d-symgs block scheduler");
+                assert_eq!(idle_cycles, 512);
+                assert!(cycle <= 1_000_000, "stall detected within the budget");
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+        let counters = engine.fault_injector().unwrap().counters();
+        assert_eq!(counters.injected, 1);
+        assert_eq!(counters.detected, 1);
+    }
+
+    #[test]
+    fn wedge_under_tight_budget_reports_deadline_first() {
+        let coo = gen::stencil27(3);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::SymGs).unwrap();
+        let b = vec![1.0; coo.rows()];
+        let mut x = vec![0.0; coo.cols()];
+        let mut engine = Engine::new(SimConfig::paper());
+        engine.set_fault_plan(Some(FaultPlan::inert(1).with_dsymgs_stall_after(0)));
+        // The watchdog window extends past the cycle budget, so the budget
+        // expires first.
+        engine.set_budget(ExecBudget::cycles(100).with_watchdog(1 << 20));
+        match engine.run_symgs_forward(&a, &b, &mut x) {
+            Err(SimError::DeadlineExceeded { budget, cycle }) => {
+                assert_eq!(budget, "cycle");
+                assert_eq!(cycle, 100);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wall_clock_budget_zero_trips_immediately() {
+        let coo = gen::stencil27(3);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::Streaming).unwrap();
+        let x = vec![1.0; a.cols()];
+        let mut engine = Engine::new(SimConfig::paper());
+        engine.set_budget(ExecBudget::none().with_wall(std::time::Duration::ZERO));
+        assert!(matches!(
+            engine.run_spmv(&a, &x),
+            Err(SimError::DeadlineExceeded {
+                budget: "wall-clock",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn retry_recovery_lands_in_recovery_bucket() {
+        let coo = gen::stencil27(3);
+        let a = Alf::from_coo(&coo, 8, AlfLayout::Streaming).unwrap();
+        let x = vec![1.0; a.cols()];
+        let mut engine = Engine::new(SimConfig::paper());
+        engine.set_fault_plan(Some(FaultPlan::inert(7).with_fcu_lane_rate(0.05)));
+        engine.set_recovery_policy(RecoveryPolicy::Retry {
+            max_retries: 8,
+            backoff_cycles: 16,
+        });
+        let (_, report) = engine.run_spmv(&a, &x).unwrap();
+        assert!(report.faults.retries > 0, "plan must force at least one retry");
+        assert!(
+            report.breakdown.recovery_cycles > 0,
+            "retry redo work must be charged to the recovery bucket"
+        );
+        assert_eq!(report.breakdown.total(), report.cycles);
+    }
+}
+
+#[cfg(test)]
 mod trace_tests {
     use super::*;
     use crate::trace::TraceEvent;
@@ -1533,6 +1745,7 @@ impl Engine {
         // Row pointers stream once (4 bytes each).
         state.memory.record_bytes((a.rows() as u64 + 1) * 4);
         for (r, yr) in y.iter_mut().enumerate() {
+            self.check_budget(&state)?;
             let row: Vec<(usize, f64)> = a.row_entries(r).collect();
             let mut acc = 0.0;
             for chunk in row.chunks(omega) {
@@ -1679,6 +1892,7 @@ impl Engine {
         loop {
             let mut changed = false;
             rounds += 1;
+            self.check_budget(&state)?;
             for block in at.blocks() {
                 let dst_base = block.block_row() * omega;
                 let src_base = block.block_col() * omega;

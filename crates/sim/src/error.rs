@@ -54,6 +54,24 @@ pub enum SimError {
         /// Engine cycle at the point of detection.
         cycle: u64,
     },
+    /// The run exceeded its [`ExecBudget`](crate::runtime::ExecBudget)
+    /// before completing.
+    DeadlineExceeded {
+        /// Which limit tripped: `"cycle"` or `"wall-clock"`.
+        budget: &'static str,
+        /// Engine cycle at which the budget expired.
+        cycle: u64,
+    },
+    /// The progress watchdog observed no forward progress for a full
+    /// watchdog window (e.g. a wedged D-SymGS block scheduler).
+    Stalled {
+        /// Which scheduler or queue stopped advancing.
+        site: &'static str,
+        /// Engine cycle at which the watchdog fired.
+        cycle: u64,
+        /// Consecutive cycles without progress when it fired.
+        idle_cycles: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -84,6 +102,19 @@ impl fmt::Display for SimError {
             }
             SimError::NumericalBreakdown { context, cycle } => {
                 write!(f, "numerical breakdown in {context} (cycle {cycle})")
+            }
+            SimError::DeadlineExceeded { budget, cycle } => {
+                write!(f, "{budget} budget exceeded at cycle {cycle}")
+            }
+            SimError::Stalled {
+                site,
+                cycle,
+                idle_cycles,
+            } => {
+                write!(
+                    f,
+                    "stalled: {site} made no progress for {idle_cycles} cycles (watchdog fired at cycle {cycle})"
+                )
             }
         }
     }
@@ -141,6 +172,24 @@ mod tests {
             cycle: 7,
         };
         assert_eq!(e.to_string(), "numerical breakdown in gemv checksum (cycle 7)");
+    }
+
+    #[test]
+    fn runtime_variants_display_budget_and_site() {
+        let e = SimError::DeadlineExceeded {
+            budget: "cycle",
+            cycle: 1000,
+        };
+        assert_eq!(e.to_string(), "cycle budget exceeded at cycle 1000");
+        let e = SimError::Stalled {
+            site: "d-symgs block scheduler",
+            cycle: 65736,
+            idle_cycles: 65536,
+        };
+        assert_eq!(
+            e.to_string(),
+            "stalled: d-symgs block scheduler made no progress for 65536 cycles (watchdog fired at cycle 65736)"
+        );
     }
 
     #[test]

@@ -44,6 +44,9 @@ pub enum FaultSite {
     Cache,
     /// A DRAM word with a permanent stuck-at bit.
     Memory,
+    /// The D-SymGS block scheduler (a control fault: it stops issuing
+    /// diagonal blocks, so the engine idles until the watchdog fires).
+    Scheduler,
 }
 
 impl fmt::Display for FaultSite {
@@ -55,6 +58,7 @@ impl fmt::Display for FaultSite {
             FaultSite::RcuFifo => "RCU operand FIFO",
             FaultSite::Cache => "cache line",
             FaultSite::Memory => "memory (stuck-at)",
+            FaultSite::Scheduler => "D-SymGS block scheduler",
         };
         f.write_str(name)
     }
@@ -191,6 +195,12 @@ pub struct FaultPlan {
     /// Optional inclusive cycle window outside which transient faults are
     /// suppressed. Stuck-at faults are permanent and ignore the window.
     pub window: Option<(u64, u64)>,
+    /// Permanent control fault: the D-SymGS block scheduler stops issuing
+    /// diagonal blocks after this many have executed. The wedged engine
+    /// makes no further progress, so the run terminates via the progress
+    /// watchdog ([`SimError::Stalled`](crate::SimError::Stalled)) rather
+    /// than a data check.
+    pub dsymgs_stall_after: Option<u64>,
 }
 
 impl FaultPlan {
@@ -207,6 +217,7 @@ impl FaultPlan {
             memory_stuck_rate: 0.0,
             bit_range: (48, 62),
             window: None,
+            dsymgs_stall_after: None,
         }
     }
 
@@ -260,6 +271,12 @@ impl FaultPlan {
         self
     }
 
+    /// Wedges the D-SymGS block scheduler after `blocks` diagonal blocks.
+    pub fn with_dsymgs_stall_after(mut self, blocks: u64) -> Self {
+        self.dsymgs_stall_after = Some(blocks);
+        self
+    }
+
     /// True when no fault can ever fire under this plan.
     pub fn is_inert(&self) -> bool {
         self.fcu_lane_rate == 0.0
@@ -268,6 +285,7 @@ impl FaultPlan {
             && self.fifo_drop_rate == 0.0
             && self.cache_fault_rate == 0.0
             && self.memory_stuck_rate == 0.0
+            && self.dsymgs_stall_after.is_none()
     }
 }
 
@@ -332,6 +350,23 @@ impl InjectorCore {
         let (lo, hi) = self.plan.bit_range;
         lo + (self.next_u64() % u64::from(hi - lo + 1)) as u32
     }
+}
+
+/// The mutable part of an injector's state, captured for checkpointing.
+///
+/// A solver checkpoint that embeds this snapshot can resume a faulted run
+/// bit-identically: restoring `rng_state` replays the transient fault
+/// stream from exactly where the checkpoint was taken, and restoring the
+/// counters keeps the cumulative accounting consistent. The plan itself is
+/// not part of the snapshot — the resuming caller re-arms the same plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectorSnapshot {
+    /// SplitMix64 state of the transient fault stream.
+    pub rng_state: u64,
+    /// Last cycle published to the injector.
+    pub cycle: u64,
+    /// Cumulative fault counters at snapshot time.
+    pub counters: FaultCounters,
 }
 
 /// Cloneable handle distributing one shared fault state across the engine
@@ -533,6 +568,45 @@ impl FaultInjector {
         Some((word, bit))
     }
 
+    /// True when the plan wedges the D-SymGS scheduler at or before
+    /// `blocks_done` diagonal blocks. A pure query — no RNG consumption,
+    /// no counter movement (see [`FaultInjector::note_scheduler_wedge`]).
+    pub fn scheduler_wedged(&self, blocks_done: u64) -> bool {
+        self.lock()
+            .plan
+            .dsymgs_stall_after
+            .is_some_and(|limit| blocks_done >= limit)
+    }
+
+    /// Records the scheduler wedge as one injected fault caught by the
+    /// progress watchdog (control faults have no retry path: the engine
+    /// surfaces [`SimError::Stalled`](crate::SimError::Stalled) directly).
+    pub fn note_scheduler_wedge(&self) {
+        let mut core = self.lock();
+        core.counters.injected += 1;
+        core.counters.detected += 1;
+    }
+
+    /// Captures the injector's mutable state for a checkpoint.
+    pub fn snapshot(&self) -> InjectorSnapshot {
+        let core = self.lock();
+        InjectorSnapshot {
+            rng_state: core.rng_state,
+            cycle: core.cycle,
+            counters: core.counters,
+        }
+    }
+
+    /// Restores state previously captured by [`FaultInjector::snapshot`].
+    pub fn restore(&self, snap: &InjectorSnapshot) {
+        let mut core = self.lock();
+        core.rng_state = snap.rng_state;
+        core.cycle = snap.cycle;
+        core.counters = snap.counters;
+        core.pending = 0;
+        core.fcu_armed = false;
+    }
+
     /// Snapshot of the cumulative counters.
     pub fn counters(&self) -> FaultCounters {
         self.lock().counters
@@ -644,6 +718,40 @@ mod tests {
         assert_eq!(c.detected, 2);
         assert_eq!(c.recovered, 2);
         assert_eq!(c.retries, 1);
+    }
+
+    #[test]
+    fn scheduler_wedge_fires_at_threshold() {
+        let inj = FaultInjector::new(FaultPlan::inert(3).with_dsymgs_stall_after(5));
+        assert!(!inj.scheduler_wedged(4));
+        assert!(inj.scheduler_wedged(5));
+        assert!(inj.scheduler_wedged(100));
+        let clean = FaultInjector::new(FaultPlan::inert(3));
+        assert!(!clean.scheduler_wedged(u64::MAX));
+        assert!(!FaultPlan::inert(3).with_dsymgs_stall_after(0).is_inert());
+    }
+
+    #[test]
+    fn snapshot_restore_replays_identical_fault_stream() {
+        let plan = FaultPlan::inert(21).with_fcu_tree_rate(0.4);
+        let inj = FaultInjector::new(plan);
+        inj.set_fcu_armed(true);
+        for _ in 0..37 {
+            let _ = inj.tree_fault();
+        }
+        let snap = inj.snapshot();
+        let tail: Vec<Option<u32>> = (0..50).map(|_| {
+            inj.set_fcu_armed(true);
+            inj.tree_fault()
+        }).collect();
+        let counters_after = inj.counters();
+        inj.restore(&snap);
+        let replay: Vec<Option<u32>> = (0..50).map(|_| {
+            inj.set_fcu_armed(true);
+            inj.tree_fault()
+        }).collect();
+        assert_eq!(tail, replay);
+        assert_eq!(inj.counters(), counters_after);
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod memory;
 pub mod pipeline;
 pub mod rcu;
 pub mod report;
+pub mod runtime;
 pub mod shift;
 pub mod trace;
 
@@ -61,6 +62,9 @@ pub use config::SimConfig;
 pub use energy::{EnergyCounters, EnergyModel};
 pub use engine::{Engine, PageRankConfig, UNREACHED};
 pub use error::{Result, SimError};
-pub use fault::{FaultCounters, FaultInjector, FaultPlan, FaultSite, RecoveryPolicy};
+pub use fault::{
+    FaultCounters, FaultInjector, FaultPlan, FaultSite, InjectorSnapshot, RecoveryPolicy,
+};
 pub use rcu::DataPathKind;
-pub use report::ExecutionReport;
+pub use report::{BreakerStats, ExecutionReport};
+pub use runtime::ExecBudget;

@@ -37,12 +37,46 @@ pub struct CycleBreakdown {
     pub graph_cycles: u64,
     /// Pipeline fill/drain cycles, including data-path switches.
     pub drain_cycles: u64,
+    /// Cycles spent on fault recovery: block re-executions, retry backoff
+    /// stalls, circuit-breaker backoff, and device work wasted by a run
+    /// that ultimately degraded to the CPU. Zero on a fault-free run.
+    pub recovery_cycles: u64,
 }
 
 impl CycleBreakdown {
     /// Sum of all accounted cycles.
     pub fn total(&self) -> u64 {
-        self.gemv_cycles + self.dsymgs_cycles + self.graph_cycles + self.drain_cycles
+        self.gemv_cycles
+            + self.dsymgs_cycles
+            + self.graph_cycles
+            + self.drain_cycles
+            + self.recovery_cycles
+    }
+}
+
+/// Circuit-breaker activity over the runs this report covers (all zero when
+/// no breaker guards the backend).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerStats {
+    /// Closed→Open transitions (the accelerator was benched).
+    pub trips: u64,
+    /// Half-open probe attempts after a cooldown.
+    pub half_open_probes: u64,
+    /// Operations served by the CPU backend while the breaker was open.
+    pub cpu_fallback_runs: u64,
+}
+
+impl BreakerStats {
+    /// True when any counter is non-zero.
+    pub fn any(&self) -> bool {
+        self.trips != 0 || self.half_open_probes != 0 || self.cpu_fallback_runs != 0
+    }
+
+    /// Accumulates `other` into `self` (used when merging reports).
+    pub fn merge(&mut self, other: &BreakerStats) {
+        self.trips += other.trips;
+        self.half_open_probes += other.half_open_probes;
+        self.cpu_fallback_runs += other.cpu_fallback_runs;
     }
 }
 
@@ -92,6 +126,9 @@ pub struct ExecutionReport {
     /// Fault injection, detection, and recovery accounting (all zero when no
     /// fault plan is armed).
     pub faults: FaultCounters,
+    /// Circuit-breaker transitions and fallback activity (all zero when no
+    /// breaker guards the backend).
+    pub breaker: BreakerStats,
 }
 
 impl ExecutionReport {
@@ -134,7 +171,26 @@ impl ExecutionReport {
         self.breakdown.dsymgs_cycles += other.breakdown.dsymgs_cycles;
         self.breakdown.graph_cycles += other.breakdown.graph_cycles;
         self.breakdown.drain_cycles += other.breakdown.drain_cycles;
+        self.breakdown.recovery_cycles += other.breakdown.recovery_cycles;
         self.faults.merge(&other.faults);
+        self.breaker.merge(&other.breaker);
+        self.recompute_derived(config);
+    }
+
+    /// Adds `cycles` of recovery overhead (retry backoff, breaker backoff,
+    /// device work wasted before a degradation) to the total and the
+    /// recovery bucket, keeping the `breakdown.total() == cycles` invariant
+    /// and the derived ratios consistent.
+    pub fn charge_recovery(&mut self, cycles: u64, config: &SimConfig) {
+        if cycles == 0 {
+            return;
+        }
+        self.cycles += cycles;
+        self.breakdown.recovery_cycles += cycles;
+        self.recompute_derived(config);
+    }
+
+    fn recompute_derived(&mut self, config: &SimConfig) {
         self.seconds = config.cycles_to_seconds(self.cycles);
         let peak = config.values_per_cycle() * 8.0 * self.cycles as f64;
         self.bandwidth_utilization = if peak > 0.0 {
@@ -168,6 +224,7 @@ mod tests {
             datapaths: DataPathCounts::default(),
             breakdown: CycleBreakdown::default(),
             faults: FaultCounters::default(),
+            breaker: BreakerStats::default(),
         }
     }
 
@@ -188,6 +245,89 @@ mod tests {
     fn gflops_handles_zero_time() {
         let r = blank("spmv", 0, 0);
         assert_eq!(r.gflops(100), 0.0);
+    }
+
+    /// A report with every summed, maxed, and recomputed field non-zero, so
+    /// the associativity test below cannot pass by a field being ignored.
+    fn populated(tag: u64) -> ExecutionReport {
+        let mut r = blank("symgs", 100 + tag, 1000 + 7 * tag);
+        r.energy.alu_ops = 11 + tag;
+        r.energy.re_ops = 5 + tag;
+        r.energy.pe_ops = 3 + tag;
+        r.energy.cache_accesses = 17 + tag;
+        r.energy.buffer_ops = 9 + tag;
+        r.energy.dram_bytes = 900 + tag;
+        r.energy.reconfigs = 2 + tag;
+        r.reconfig.switches = 2 + tag;
+        r.reconfig.hidden_cycles = 20 + tag;
+        r.reconfig.exposed_cycles = 1 + tag;
+        r.cache.hits = 40 + tag;
+        r.cache.misses = 8 + tag;
+        r.cache.writes = 12 + tag;
+        r.cache.busy_cycles = 30 + tag;
+        r.datapaths.gemv_blocks = 6 + tag;
+        r.datapaths.dsymgs_blocks = 4 + tag;
+        r.datapaths.graph_blocks = 2 + tag;
+        r.datapaths.iterations = 1 + tag;
+        r.datapaths.link_stack_peak = 8 * (tag + 1);
+        r.breakdown.gemv_cycles = 50 + tag;
+        r.breakdown.dsymgs_cycles = 30 + tag;
+        r.breakdown.graph_cycles = 10 + tag;
+        r.breakdown.drain_cycles = 7 + tag;
+        r.breakdown.recovery_cycles = 3 + tag;
+        r.faults.injected = 5 + tag;
+        r.faults.detected = 4 + tag;
+        r.faults.recovered = 3 + tag;
+        r.faults.retries = 2 + tag;
+        r.faults.degraded = tag;
+        r.breaker.trips = 1 + tag;
+        r.breaker.half_open_probes = 2 + tag;
+        r.breaker.cpu_fallback_runs = tag;
+        r
+    }
+
+    #[test]
+    fn merge_is_associative_across_all_fields() {
+        let cfg = SimConfig::paper();
+        let (a, b, c) = (populated(1), populated(2), populated(3));
+
+        let mut left = a.clone();
+        left.merge(&b, &cfg);
+        left.merge(&c, &cfg);
+
+        let mut bc = b.clone();
+        bc.merge(&c, &cfg);
+        let mut right = a.clone();
+        right.merge(&bc, &cfg);
+
+        assert_eq!(left, right);
+        // The derived ratios are recomputed from the sums, not averaged —
+        // spot-check against a from-scratch computation.
+        assert!((left.seconds - cfg.cycles_to_seconds(left.cycles)).abs() < 1e-18);
+        let expect_ctf = left.cache.busy_cycles as f64 / left.cycles as f64;
+        assert!((left.cache_time_fraction - expect_ctf.min(1.0)).abs() < 1e-12);
+        assert_eq!(
+            left.datapaths.link_stack_peak,
+            32,
+            "peak is a max, not a sum"
+        );
+    }
+
+    #[test]
+    fn charge_recovery_keeps_breakdown_invariant() {
+        let cfg = SimConfig::paper();
+        let mut r = populated(0);
+        let before_total = r.breakdown.total();
+        assert_eq!(before_total, r.cycles, "populated() must start consistent");
+        r.charge_recovery(250, &cfg);
+        assert_eq!(r.cycles, before_total + 250);
+        assert_eq!(r.breakdown.total(), r.cycles);
+        assert_eq!(r.breakdown.recovery_cycles, 3 + 250);
+        assert!((r.seconds - cfg.cycles_to_seconds(r.cycles)).abs() < 1e-18);
+        // Zero is a no-op.
+        let snap = r.clone();
+        r.charge_recovery(0, &cfg);
+        assert_eq!(r, snap);
     }
 
     #[test]
@@ -222,11 +362,12 @@ impl std::fmt::Display for ExecutionReport {
         )?;
         writeln!(
             f,
-            "  cycles: {} gemv / {} d-symgs / {} graph / {} drain",
+            "  cycles: {} gemv / {} d-symgs / {} graph / {} drain / {} recovery",
             self.breakdown.gemv_cycles,
             self.breakdown.dsymgs_cycles,
             self.breakdown.graph_cycles,
-            self.breakdown.drain_cycles
+            self.breakdown.drain_cycles,
+            self.breakdown.recovery_cycles
         )?;
         write!(
             f,
@@ -246,6 +387,15 @@ impl std::fmt::Display for ExecutionReport {
                 self.faults.recovered,
                 self.faults.retries,
                 self.faults.degraded
+            )?;
+        }
+        if self.breaker.any() {
+            write!(
+                f,
+                "\n  breaker: {} trip(s), {} half-open probe(s), {} CPU fallback run(s)",
+                self.breaker.trips,
+                self.breaker.half_open_probes,
+                self.breaker.cpu_fallback_runs
             )?;
         }
         Ok(())
@@ -271,18 +421,23 @@ mod display_tests {
             datapaths: DataPathCounts::default(),
             breakdown: CycleBreakdown::default(),
             faults: FaultCounters::default(),
+            breaker: BreakerStats::default(),
         };
         let text = r.to_string();
         assert!(text.contains("spmv"));
         assert!(text.contains("100 cycles"));
         assert!(text.contains("2 KiB"));
         assert!(!text.contains("faults:"));
+        assert!(!text.contains("breaker:"));
 
         let mut faulty = r;
         faulty.faults.injected = 3;
         faulty.faults.detected = 3;
         faulty.faults.recovered = 2;
+        faulty.breaker.trips = 1;
+        faulty.breaker.cpu_fallback_runs = 2;
         let text = faulty.to_string();
         assert!(text.contains("faults: 3 injected, 3 detected, 2 recovered"));
+        assert!(text.contains("breaker: 1 trip(s), 0 half-open probe(s), 2 CPU fallback run(s)"));
     }
 }

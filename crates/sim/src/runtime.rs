@@ -1,0 +1,125 @@
+//! Execution budgets for deadline-guarded runs.
+//!
+//! Long jobs on the simulated accelerator need three protections that the
+//! bare engine does not provide: a **cycle budget** (the analytic clock may
+//! legitimately run long on a huge matrix, but a caller with an SLA wants a
+//! typed error instead of an open-ended run), a **wall-clock budget** (the
+//! host simulation itself must not spin forever), and a **progress
+//! watchdog** (a wedged block scheduler advances neither clock, so budgets
+//! alone would never fire). [`ExecBudget`] bundles all three;
+//! [`Engine::set_budget`](crate::Engine::set_budget) arms them for every
+//! subsequent run.
+//!
+//! The default budget is fully open: no limits, watchdog at
+//! [`DEFAULT_WATCHDOG_CYCLES`]. Budget checks are pure comparisons on the
+//! run's cycle counter — an unarmed budget costs two `Option` tests per
+//! block.
+
+use std::time::Duration;
+
+/// Cycles of zero forward progress after which the watchdog declares a
+/// stall when no explicit window is configured. Sized at 2¹⁶ cycles —
+/// ~26 µs of device time at the paper's 2.5 GHz clock, three orders of
+/// magnitude above the longest legitimate gap between scheduled blocks
+/// (a full ω×ω D-SymGS recurrence plus a drain is a few hundred cycles).
+pub const DEFAULT_WATCHDOG_CYCLES: u64 = 1 << 16;
+
+/// Cycle / wall-clock limits and watchdog window for one engine run.
+///
+/// # Example
+///
+/// ```
+/// use alrescha_sim::ExecBudget;
+/// use std::time::Duration;
+///
+/// let budget = ExecBudget::cycles(1_000_000)
+///     .with_wall(Duration::from_secs(30))
+///     .with_watchdog(4096);
+/// assert_eq!(budget.max_cycles, Some(1_000_000));
+/// assert_eq!(budget.effective_watchdog(), 4096);
+/// assert!(!budget.is_unlimited());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecBudget {
+    /// Hard ceiling on simulated device cycles; exceeding it returns
+    /// [`SimError::DeadlineExceeded`](crate::SimError::DeadlineExceeded)
+    /// with `budget = "cycle"`.
+    pub max_cycles: Option<u64>,
+    /// Hard ceiling on host wall-clock time for the run; exceeding it
+    /// returns [`SimError::DeadlineExceeded`](crate::SimError::DeadlineExceeded)
+    /// with `budget = "wall-clock"`.
+    pub max_wall: Option<Duration>,
+    /// Cycles of zero forward progress before the watchdog declares a
+    /// stall. `None` uses [`DEFAULT_WATCHDOG_CYCLES`].
+    pub watchdog_cycles: Option<u64>,
+}
+
+impl ExecBudget {
+    /// A fully open budget: no limits, default watchdog window.
+    pub fn none() -> Self {
+        ExecBudget::default()
+    }
+
+    /// A budget limited to `max` device cycles.
+    pub fn cycles(max: u64) -> Self {
+        ExecBudget {
+            max_cycles: Some(max),
+            ..ExecBudget::default()
+        }
+    }
+
+    /// Adds a wall-clock limit.
+    #[must_use]
+    pub fn with_wall(mut self, max: Duration) -> Self {
+        self.max_wall = Some(max);
+        self
+    }
+
+    /// Overrides the watchdog window (cycles of zero progress tolerated
+    /// before [`SimError::Stalled`](crate::SimError::Stalled) fires).
+    #[must_use]
+    pub fn with_watchdog(mut self, cycles: u64) -> Self {
+        self.watchdog_cycles = Some(cycles);
+        self
+    }
+
+    /// The watchdog window in effect (configured or default).
+    pub fn effective_watchdog(&self) -> u64 {
+        self.watchdog_cycles.unwrap_or(DEFAULT_WATCHDOG_CYCLES)
+    }
+
+    /// True when neither a cycle nor a wall-clock limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_cycles.is_none() && self.max_wall.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_open() {
+        let b = ExecBudget::none();
+        assert!(b.is_unlimited());
+        assert_eq!(b.effective_watchdog(), DEFAULT_WATCHDOG_CYCLES);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let b = ExecBudget::cycles(500)
+            .with_wall(Duration::from_millis(10))
+            .with_watchdog(64);
+        assert_eq!(b.max_cycles, Some(500));
+        assert_eq!(b.max_wall, Some(Duration::from_millis(10)));
+        assert_eq!(b.effective_watchdog(), 64);
+        assert!(!b.is_unlimited());
+    }
+
+    #[test]
+    fn wall_only_budget_is_limited() {
+        let b = ExecBudget::none().with_wall(Duration::from_secs(1));
+        assert!(!b.is_unlimited());
+        assert_eq!(b.max_cycles, None);
+    }
+}

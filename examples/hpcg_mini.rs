@@ -63,8 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         solver.solve(&mut acc, &b, &opts)?
     };
     println!(
-        "  solve: {} iterations, residual {:.2e}, converged = {}",
-        out.iterations, out.residual, out.converged
+        "  solve: {} iterations, residual {:.2e}, outcome: {}",
+        out.iterations, out.residual, out.reason
     );
 
     // HPCG-style accounting (see alrescha_kernels::metrics).

@@ -32,8 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!(
-        "converged = {} in {} iterations, residual {:.3e}",
-        out.converged, out.iterations, out.residual
+        "{} in {} iterations, residual {:.3e}",
+        out.reason, out.iterations, out.residual
     );
     let max_err = out
         .x

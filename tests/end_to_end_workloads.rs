@@ -1,7 +1,7 @@
 //! Scenario tests: the workloads a downstream adopter would actually run,
 //! end to end on the device, across every dataset class.
 
-use alrescha::{AcceleratedPcg, Alrescha, KernelType, SolverOptions};
+use alrescha::{AcceleratedPcg, Alrescha, KernelType, SolverOptions, TerminationReason};
 use alrescha_kernels::graph;
 use alrescha_kernels::pcg::{pcg as pcg_host, PcgOptions};
 use alrescha_kernels::spmv::spmv;
@@ -31,6 +31,7 @@ fn pcg_on_every_science_class_end_to_end() {
             )
             .expect("solve");
         assert!(out.converged, "{} did not converge", class.name());
+        assert_eq!(out.reason, TerminationReason::Converged, "{}", class.name());
         assert!(
             approx_eq(&out.x, &x_true, 1e-4),
             "{} wrong solution",
@@ -131,6 +132,45 @@ fn ssor_preconditioned_device_pcg_via_closure() {
     .expect("hybrid pcg");
     assert!(sol.converged);
     assert!(approx_eq(&sol.x, &x_true, 1e-6));
+}
+
+#[test]
+fn starved_iteration_budget_reports_budget_exhausted() {
+    // An adopter that under-budgets a hard system gets a truthful outcome:
+    // not converged, reason BudgetExhausted, and the partial iterate is the
+    // same one a host PCG reaches after the same number of iterations.
+    let coo = gen::stencil27(3);
+    let csr = Csr::from_coo(&coo);
+    let b = spmv(&csr, &vec![1.0; coo.cols()]);
+
+    let mut acc = Alrescha::with_paper_config();
+    let solver = AcceleratedPcg::program(&mut acc, &coo).expect("program");
+    let out = solver
+        .solve(
+            &mut acc,
+            &b,
+            &SolverOptions {
+                tol: 1e-12,
+                max_iters: 3,
+            },
+        )
+        .expect("a starved budget is not an error");
+    assert!(!out.converged);
+    assert_eq!(out.reason, TerminationReason::BudgetExhausted);
+    assert_eq!(out.iterations, 3);
+    assert!(out.residual.is_finite());
+
+    let host = pcg_host(
+        &csr,
+        &b,
+        &PcgOptions {
+            tol: 1e-12,
+            max_iters: 3,
+            ..Default::default()
+        },
+    )
+    .expect("host pcg");
+    assert!(approx_eq(&out.x, &host.x, 1e-9));
 }
 
 #[test]

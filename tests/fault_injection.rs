@@ -1,9 +1,13 @@
 //! End-to-end fault-injection acceptance tests: ABFT checksum coverage of
-//! FCU bit-flips, retry-based recovery, and graceful degradation to the
-//! host kernels — all seeded and fully deterministic.
+//! FCU bit-flips, retry-based recovery, graceful degradation to the host
+//! kernels, watchdog/deadline enforcement, and circuit-breaker failover —
+//! all seeded and fully deterministic.
 
-use alrescha::{Alrescha, FaultPlan, KernelType, RecoveryPolicy};
+use alrescha::{
+    Alrescha, BreakerConfig, ExecBudget, FaultPlan, KernelType, RecoveryPolicy, TerminationReason,
+};
 use alrescha_kernels::spmv::spmv;
+use alrescha_sim::SimError;
 use alrescha_sparse::{gen, Csr};
 
 /// The GEMV column-sum checksums must catch at least 95% of injected FCU
@@ -139,6 +143,110 @@ fn pcg_degrades_to_cpu_and_stays_correct() {
         "degradation must be visible in the report"
     );
     assert!(out.report.faults.detected > 0);
+}
+
+/// A permanently wedged D-SymGS block scheduler must surface as a typed
+/// stall within the watchdog window — the solve cannot hang.
+#[test]
+fn wedged_scheduler_stalls_within_budget() {
+    let coo = gen::stencil27(3);
+    let mut acc = Alrescha::with_paper_config();
+    let prog = acc.program(KernelType::SymGs, &coo).unwrap();
+    // The scheduler stops issuing blocks after the third one, forever.
+    acc.set_fault_plan(Some(FaultPlan::inert(1).with_dsymgs_stall_after(3)));
+    acc.set_budget(ExecBudget::cycles(5_000_000).with_watchdog(1024));
+    let b = vec![1.0; coo.rows()];
+    let mut x = vec![0.0; coo.cols()];
+    let err = acc.symgs(&prog, &b, &mut x).unwrap_err();
+    match err {
+        alrescha::CoreError::Sim(SimError::Stalled {
+            site,
+            cycle,
+            idle_cycles,
+        }) => {
+            assert_eq!(site, "d-symgs block scheduler");
+            assert_eq!(idle_cycles, 1024, "watchdog window is what fired");
+            assert!(
+                cycle < 5_000_000,
+                "stall must be reported inside the cycle budget, got {cycle}"
+            );
+        }
+        other => panic!("expected Stalled, got {other:?}"),
+    }
+    assert_eq!(
+        TerminationReason::from_error(&err),
+        Some(TerminationReason::Stalled)
+    );
+}
+
+/// A cycle budget tighter than the watchdog window wins: the run reports
+/// the deadline, not the stall.
+#[test]
+fn tight_cycle_budget_reports_deadline() {
+    let coo = gen::stencil27(3);
+    let mut acc = Alrescha::with_paper_config();
+    let prog = acc.program(KernelType::SpMv, &coo).unwrap();
+    acc.set_budget(ExecBudget::cycles(10));
+    let err = acc.spmv(&prog, &vec![1.0; coo.cols()]).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            alrescha::CoreError::Sim(SimError::DeadlineExceeded {
+                budget: "cycle",
+                ..
+            })
+        ),
+        "{err:?}"
+    );
+    assert_eq!(
+        TerminationReason::from_error(&err),
+        Some(TerminationReason::BudgetExhausted)
+    );
+}
+
+/// Full PCG under a permanent device outage with a circuit breaker: the
+/// breaker trips to the CPU backend after the configured failure run, the
+/// solve still converges to the true solution, and the trips, fallback
+/// runs, and recovery cycles are all visible in the merged report.
+#[test]
+fn breaker_failover_keeps_pcg_correct_and_visible() {
+    let coo = gen::stencil27(3);
+    let csr = Csr::from_coo(&coo);
+    let x_true: Vec<f64> = (0..coo.rows()).map(|i| ((i % 5) as f64) - 2.0).collect();
+    let b = spmv(&csr, &x_true);
+
+    let mut acc = Alrescha::with_paper_config();
+    let solver = alrescha::AcceleratedPcg::program(&mut acc, &coo).unwrap();
+    // Permanent outage: stuck-at memory faults defeat every device attempt.
+    acc.set_fault_plan(Some(FaultPlan::inert(99).with_memory_stuck_rate(1.0)));
+    acc.set_circuit_breaker(Some(BreakerConfig {
+        failure_threshold: 2,
+        cooldown_ops: 8,
+        max_attempts: 2,
+        ..BreakerConfig::default()
+    }));
+    let out = solver
+        .solve(&mut acc, &b, &alrescha::SolverOptions::default())
+        .expect("breaker failover completes the solve");
+    assert!(out.converged, "residual {}", out.residual);
+    assert_eq!(out.reason, TerminationReason::Converged);
+    assert!(alrescha_sparse::approx_eq(&out.x, &x_true, 1e-6));
+
+    assert!(out.report.breaker.trips >= 1, "breaker must have tripped");
+    assert!(
+        out.report.breaker.cpu_fallback_runs > 0,
+        "open-state operations must be served by the CPU"
+    );
+    assert!(
+        out.report.breakdown.recovery_cycles > 0,
+        "wasted device attempts and backoff must be charged"
+    );
+    assert_eq!(
+        out.report.breakdown.total(),
+        out.report.cycles,
+        "cycle breakdown invariant must survive failover accounting"
+    );
+    assert!(out.report.faults.degraded > 0);
 }
 
 /// Fault hooks disabled: the armed-but-inert engine output is bit-identical

@@ -50,6 +50,69 @@ fn accelerator_runs_on_matrix_from_disk() {
     assert!(report.cycles > 0);
 }
 
+mod fuzz_lite {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The Matrix Market reader is total: arbitrary bytes produce
+        /// `Ok` or a typed error, never a panic.
+        #[test]
+        fn reader_never_panics_on_garbage(
+            bytes in proptest::collection::vec(0u8..=255, 0..512),
+        ) {
+            let _ = read_matrix_market(std::io::Cursor::new(bytes));
+        }
+
+        /// Same with a valid header prepended, so the body parsers (size
+        /// line, entry lines, index validation) get fuzzed too.
+        #[test]
+        fn body_parser_never_panics_on_garbage(
+            rows in 0usize..10,
+            cols in 0usize..10,
+            nnz in 0usize..20,
+            bytes in proptest::collection::vec(0u8..=255, 0..256),
+        ) {
+            let mut input =
+                format!("%%MatrixMarket matrix coordinate real general\n{rows} {cols} {nnz}\n")
+                    .into_bytes();
+            input.extend_from_slice(&bytes);
+            let _ = read_matrix_market(std::io::Cursor::new(input));
+        }
+
+        /// Structured-looking entry lines with out-of-range indices and
+        /// malformed numbers are rejected without panicking, and anything
+        /// accepted is in bounds.
+        #[test]
+        fn hostile_entries_are_rejected_or_in_bounds(
+            rows in 1usize..8,
+            cols in 1usize..8,
+            entries in proptest::collection::vec(
+                (0usize..12, 0usize..12, -3i32..3),
+                0..16
+            ),
+        ) {
+            let mut text = format!(
+                "%%MatrixMarket matrix coordinate real general\n{rows} {cols} {}\n",
+                entries.len()
+            );
+            for (r, c, v) in &entries {
+                text.push_str(&format!("{r} {c} {v}\n"));
+            }
+            // A typed rejection is fine; anything accepted must be in bounds.
+            if let Ok(coo) = read_matrix_market(std::io::Cursor::new(text.into_bytes())) {
+                prop_assert_eq!(coo.rows(), rows);
+                prop_assert_eq!(coo.cols(), cols);
+                for &(r, c, _) in coo.entries() {
+                    prop_assert!(r < rows && c < cols, "accepted out-of-bounds entry");
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn values_survive_the_text_round_trip_exactly_enough() {
     // `{:e}` formatting keeps ~16 significant digits; values must survive
