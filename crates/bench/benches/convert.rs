@@ -14,14 +14,14 @@ fn bench_preprocessing(c: &mut Criterion) {
     let mut group = c.benchmark_group("preprocessing");
     let (_, table) = convert(KernelType::SymGs, &sci, 8).expect("suite matrix");
     group.bench_function("program-binary-encode", |b| {
-        b.iter(|| ProgramBinary::encode(KernelType::SymGs, &table, sci.rows(), 8))
+        b.iter(|| ProgramBinary::encode(KernelType::SymGs, &table, sci.rows(), 8));
     });
     let binary = ProgramBinary::encode(KernelType::SymGs, &table, sci.rows(), 8);
     group.bench_function("program-binary-decode", |b| {
-        b.iter(|| binary.decode().expect("valid binary"))
+        b.iter(|| binary.decode().expect("valid binary"));
     });
     group.bench_function("rcm-reorder", |b| {
-        b.iter(|| apply_rcm(&sci).expect("square"))
+        b.iter(|| apply_rcm(&sci).expect("square"));
     });
     group.finish();
 }
@@ -36,7 +36,7 @@ fn bench_convert(c: &mut Criterion) {
         (KernelType::PageRank, &graph, "pagerank/social"),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
-            b.iter(|| convert(kernel, coo, 8).expect("suite matrix"))
+            b.iter(|| convert(kernel, coo, 8).expect("suite matrix"));
         });
     }
     group.finish();

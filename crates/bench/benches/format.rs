@@ -10,16 +10,16 @@ fn bench_formats(c: &mut Criterion) {
     let coo = gen::stencil27(10);
     let mut group = c.benchmark_group("format-build");
     group.bench_with_input(BenchmarkId::new("csr", "stencil27"), &coo, |b, coo| {
-        b.iter(|| Csr::from_coo(coo))
+        b.iter(|| Csr::from_coo(coo));
     });
     group.bench_with_input(BenchmarkId::new("ell", "stencil27"), &coo, |b, coo| {
-        b.iter(|| Ell::from_coo(coo))
+        b.iter(|| Ell::from_coo(coo));
     });
     group.bench_with_input(BenchmarkId::new("dia", "stencil27"), &coo, |b, coo| {
-        b.iter(|| Dia::from_coo(coo))
+        b.iter(|| Dia::from_coo(coo));
     });
     group.bench_with_input(BenchmarkId::new("bcsr8", "stencil27"), &coo, |b, coo| {
-        b.iter(|| Bcsr::from_coo(coo, 8).expect("constant width"))
+        b.iter(|| Bcsr::from_coo(coo, 8).expect("constant width"));
     });
     group.bench_with_input(
         BenchmarkId::new("alf-symgs", "stencil27"),

@@ -16,12 +16,12 @@ fn bench_graph(c: &mut Criterion) {
         let mut acc = Alrescha::new(SimConfig::paper());
         let bfs_prog = acc.program(KernelType::Bfs, &coo).expect("program");
         group.bench_with_input(BenchmarkId::new("bfs", class.name()), &(), |b, ()| {
-            b.iter(|| acc.bfs(&bfs_prog, 0).expect("run"))
+            b.iter(|| acc.bfs(&bfs_prog, 0).expect("run"));
         });
 
         let sssp_prog = acc.program(KernelType::Sssp, &coo).expect("program");
         group.bench_with_input(BenchmarkId::new("sssp", class.name()), &(), |b, ()| {
-            b.iter(|| acc.sssp(&sssp_prog, 0).expect("run"))
+            b.iter(|| acc.sssp(&sssp_prog, 0).expect("run"));
         });
 
         let pr_prog = acc.program(KernelType::PageRank, &coo).expect("program");
@@ -30,7 +30,7 @@ fn bench_graph(c: &mut Criterion) {
             ..Default::default()
         };
         group.bench_with_input(BenchmarkId::new("pagerank", class.name()), &(), |b, ()| {
-            b.iter(|| acc.pagerank(&pr_prog, &opts).expect("run"))
+            b.iter(|| acc.pagerank(&pr_prog, &opts).expect("run"));
         });
     }
     group.finish();

@@ -26,7 +26,7 @@ fn bench_pcg(c: &mut Criterion) {
                 },
             )
             .expect("host pcg")
-        })
+        });
     });
     group.bench_function("accelerated", |bench| {
         bench.iter(|| {
@@ -42,7 +42,7 @@ fn bench_pcg(c: &mut Criterion) {
                     },
                 )
                 .expect("solve")
-        })
+        });
     });
     group.finish();
 }
@@ -54,10 +54,10 @@ fn bench_multigrid(c: &mut Criterion) {
     let mut group = c.benchmark_group("multigrid");
     group.sample_size(10);
     group.bench_function("v-cycle", |bench| {
-        bench.iter(|| hierarchy.v_cycle(&b).expect("smoothers run"))
+        bench.iter(|| hierarchy.v_cycle(&b).expect("smoothers run"));
     });
     group.bench_function("mg-pcg-solve", |bench| {
-        bench.iter(|| hierarchy.solve(&b, 1e-8, 100).expect("converges"))
+        bench.iter(|| hierarchy.solve(&b, 1e-8, 100).expect("converges"));
     });
     group.finish();
 }
@@ -71,7 +71,7 @@ fn bench_parallel_host(c: &mut Criterion) {
     group.bench_function("sequential", |bench| bench.iter(|| spmv(&a, &x)));
     for threads in [2usize, 4] {
         group.bench_function(format!("parallel-{threads}"), |bench| {
-            bench.iter(|| par_spmv(&a, &x, threads).expect("runs"))
+            bench.iter(|| par_spmv(&a, &x, threads).expect("runs"));
         });
     }
     group.finish();

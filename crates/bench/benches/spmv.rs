@@ -24,7 +24,7 @@ fn bench_spmv(c: &mut Criterion) {
         let mut acc = Alrescha::new(SimConfig::paper());
         let prog = acc.program(KernelType::SpMv, &coo).expect("suite matrix");
         group.bench_with_input(BenchmarkId::new("simulated", class.name()), &x, |b, x| {
-            b.iter(|| acc.spmv(&prog, x).expect("run"))
+            b.iter(|| acc.spmv(&prog, x).expect("run"));
         });
     }
     group.finish();

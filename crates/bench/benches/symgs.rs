@@ -23,7 +23,7 @@ fn bench_symgs(c: &mut Criterion) {
                     let mut x = vec![0.0; csr.cols()];
                     symgs::symgs(csr, rhs, &mut x).expect("sweep");
                     x
-                })
+                });
             },
         );
 
@@ -37,7 +37,7 @@ fn bench_symgs(c: &mut Criterion) {
                     let mut x = vec![0.0; coo.cols()];
                     acc.symgs(&prog, rhs, &mut x).expect("run");
                     x
-                })
+                });
             },
         );
     }
@@ -60,7 +60,7 @@ fn bench_variants(c: &mut Criterion) {
             let mut x = vec![0.0; coo.cols()];
             engine.run_symgs(&alf, &b, &mut x).expect("run");
             x
-        })
+        });
     });
     group.bench_function("device-ssor-1.3", |bench| {
         let mut engine = Engine::new(SimConfig::paper());
@@ -68,12 +68,12 @@ fn bench_variants(c: &mut Criterion) {
             let mut x = vec![0.0; coo.cols()];
             engine.run_ssor(&alf, &b, &mut x, 1.3).expect("run");
             x
-        })
+        });
     });
     group.bench_function("device-spmv-csr-mode", |bench| {
         let mut engine = Engine::new(SimConfig::paper());
         let x = vec![1.0; coo.cols()];
-        bench.iter(|| engine.run_spmv_csr(&csr, &x).expect("run"))
+        bench.iter(|| engine.run_spmv_csr(&csr, &x).expect("run"));
     });
     group.finish();
 }

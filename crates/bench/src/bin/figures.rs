@@ -21,6 +21,7 @@ struct Args {
     ablation: Option<String>,
     all: bool,
     scale: usize,
+    skip_preflight: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +35,7 @@ fn parse_args() -> Result<Args, String> {
         ablation: None,
         all: false,
         scale: 1000,
+        skip_preflight: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -56,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
                 args.ablation = Some(it.next().ok_or("--ablation needs a name")?);
             }
             "--all" => args.all = true,
+            "--skip-preflight" => args.skip_preflight = true,
             "--scale" => {
                 let v = it.next().ok_or("--scale needs a number")?;
                 args.scale = v.parse().map_err(|_| format!("bad scale {v}"))?;
@@ -86,6 +89,7 @@ fn print_help() {
     println!("  --ablation format     locally-dense vs CSR streaming on the same hardware");
     println!("  --ablation bandwidth  memory-bandwidth scaling sweep");
     println!("  --scale <n>           approximate matrix dimension (default 1000)");
+    println!("  --skip-preflight      skip the alverify static-verification sub-step");
 }
 
 fn run_figure(num: u32, n: usize) {
@@ -114,9 +118,27 @@ fn main() {
     let n = args.scale;
     let mut ran = false;
 
+    // Static-verification sub-step: refuse to benchmark artifacts the
+    // alverify rule catalog rejects (opt out with --skip-preflight).
+    let benchmarks_requested = args.all
+        || args.fig.is_some()
+        || args.breakdown
+        || args.ablation.is_some()
+        || args.out.is_some();
+    if benchmarks_requested && !args.skip_preflight {
+        match alrescha_bench::preflight_suites(n) {
+            Ok(checked) => println!("preflight: {checked} dataset/kernel pairs verified clean\n"),
+            Err(msg) => {
+                eprintln!("preflight refused (rerun with --skip-preflight to override):");
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     if args.verify {
         let ok = alrescha_bench::verify::print_verification(n);
-        std::process::exit(if ok { 0 } else { 1 });
+        std::process::exit(i32::from(!ok));
     }
     if let Some(dir) = &args.out {
         match fig::export::export_all(std::path::Path::new(dir), n) {
@@ -192,7 +214,7 @@ fn main() {
             "format" => fig::ablation::print_format_sweep(n / 2),
             "bandwidth" => fig::ablation::print_bandwidth_sweep(n / 2),
             other => {
-                eprintln!("unknown ablation {other}; try block-size, drain, reorder, cache, format, bandwidth")
+                eprintln!("unknown ablation {other}; try block-size, drain, reorder, cache, format, bandwidth");
             }
         }
         ran = true;

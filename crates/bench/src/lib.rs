@@ -40,6 +40,39 @@ pub fn scientific_suite(n: usize) -> Vec<Dataset> {
         .collect()
 }
 
+/// Static-verification sub-step: programs every benchmark dataset and runs
+/// the `alverify` rule catalog over it, refusing to benchmark an artifact
+/// that carries error-severity diagnostics. Returns the number of
+/// (dataset, kernel) pairs checked.
+///
+/// # Errors
+///
+/// The first refused program, rendered with its diagnostics.
+pub fn preflight_suites(n: usize) -> Result<usize, String> {
+    use alrescha_lint::Preflight;
+    let mut acc = Alrescha::with_paper_config();
+    let mut checked = 0usize;
+    for ds in scientific_suite(n) {
+        for kernel in [KernelType::SymGs, KernelType::SpMv] {
+            let prog = acc
+                .program(kernel, &ds.coo)
+                .map_err(|e| format!("{} ({kernel:?}): programming failed: {e}", ds.name))?;
+            acc.preflight(&prog)
+                .map_err(|e| format!("{} ({kernel:?}): {e}", ds.name))?;
+            checked += 1;
+        }
+    }
+    for ds in graph_suite(n) {
+        let prog = acc
+            .program(KernelType::PageRank, &ds.coo)
+            .map_err(|e| format!("{}: programming failed: {e}", ds.name))?;
+        acc.preflight(&prog)
+            .map_err(|e| format!("{}: {e}", ds.name))?;
+        checked += 1;
+    }
+    Ok(checked)
+}
+
 /// The graph suite: two scales per Table 3 structure class (eight datasets,
 /// mirroring the table's eight graphs).
 pub fn graph_suite(n: usize) -> Vec<Dataset> {

@@ -33,7 +33,7 @@ pub fn verify_headline_claims(n: usize) -> Vec<Claim> {
     let g_mem = geomean(&mem);
     claims.push(Claim {
         claim: "PCG: ALRESCHA speedup over GPU exceeds 1x on every scientific dataset",
-        measured: format!("min {:.2}x", alr.iter().cloned().fold(f64::MAX, f64::min)),
+        measured: format!("min {:.2}x", alr.iter().copied().fold(f64::MAX, f64::min)),
         holds: alr.iter().all(|&s| s > 1.0),
     });
     claims.push(Claim {

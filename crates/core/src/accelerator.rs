@@ -164,7 +164,7 @@ impl Alrescha {
     pub fn fault_counters(&self) -> FaultCounters {
         self.engine
             .fault_injector()
-            .map(|inj| inj.counters())
+            .map(alrescha_sim::FaultInjector::counters)
             .unwrap_or_default()
     }
 

@@ -451,7 +451,7 @@ mod tests {
         let crc = crc32(&bytes[..crc_pos]);
         bytes[crc_pos..].copy_from_slice(&crc.to_le_bytes());
         match SolverCheckpoint::from_bytes(&bytes) {
-            Err(CheckpointError::Malformed(_)) | Err(CheckpointError::Truncated { .. }) => {}
+            Err(CheckpointError::Malformed(_) | CheckpointError::Truncated { .. }) => {}
             other => panic!("expected typed rejection, got {other:?}"),
         }
     }

@@ -158,9 +158,10 @@ pub struct ConfigTable {
 }
 
 impl ConfigTable {
-    /// Rebuilds a table from decoded entries (used by the program-binary
-    /// codec in [`crate::program`]).
-    pub(crate) fn from_entries(entries: Vec<ConfigEntry>, entry_bits: usize) -> Self {
+    /// Rebuilds a table from entries, without validation (used by the
+    /// program-binary codec in [`crate::program`] and by verification
+    /// tooling that needs to construct deliberately illegal tables).
+    pub fn from_entries(entries: Vec<ConfigEntry>, entry_bits: usize) -> Self {
         ConfigTable {
             entries,
             entry_bits,

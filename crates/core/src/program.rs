@@ -81,19 +81,19 @@ impl ProgramBinary {
                 &mut bits,
                 base,
                 1,
-                matches!(entry.data_path, DataPath::DSymGs) as usize,
+                usize::from(matches!(entry.data_path, DataPath::DSymGs)),
             );
             write_bits(
                 &mut bits,
                 base + 1,
                 1,
-                matches!(entry.order, AccessOrder::R2L) as usize,
+                usize::from(matches!(entry.order, AccessOrder::R2L)),
             );
             write_bits(
                 &mut bits,
                 base + 2,
                 1,
-                matches!(entry.op, OperandPort::Port2) as usize,
+                usize::from(matches!(entry.op, OperandPort::Port2)),
             );
             write_bits(&mut bits, base + 3, idx_bits, entry.inx_in / omega.max(1));
             // Inx_out is derivable (see module docs); the field carries the
@@ -174,6 +174,41 @@ impl ProgramBinary {
     /// The kernel this binary programs.
     pub fn kernel(&self) -> KernelType {
         self.kernel
+    }
+
+    /// The matrix dimension declared in the header.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The block width ω declared in the header.
+    pub fn omega(&self) -> usize {
+        self.omega
+    }
+
+    /// The number of table entries declared in the header.
+    pub fn entry_count(&self) -> usize {
+        self.entries
+    }
+
+    /// Assembles a binary from raw header fields and packed bytes without
+    /// any validation — for verifier/mutation tests that need corrupt
+    /// binaries (truncated payload, header/matrix disagreement).
+    #[doc(hidden)]
+    pub fn from_raw_parts(
+        kernel: KernelType,
+        n: usize,
+        omega: usize,
+        entries: usize,
+        bits: Vec<u8>,
+    ) -> Self {
+        ProgramBinary {
+            kernel,
+            n,
+            omega,
+            entries,
+            bits,
+        }
     }
 
     /// Size of the packed table in bytes — what crosses the program

@@ -444,7 +444,7 @@ mod tests {
         // the convergence trajectory must agree.
         let coo = gen::banded(200, 4, 7);
         let csr = Csr::from_coo(&coo);
-        let b: Vec<f64> = (0..200).map(|i| (i as f64 * 0.1).sin()).collect();
+        let b: Vec<f64> = (0..200).map(|i| (f64::from(i) * 0.1).sin()).collect();
 
         let host =
             alrescha_kernels::pcg::pcg(&csr, &b, &alrescha_kernels::pcg::PcgOptions::default())

@@ -268,7 +268,7 @@ mod colored_tests {
         let coo = gen::banded(60, 2, 5);
         let a = Csr::from_coo(&coo);
         let coloring = greedy_coloring(&a);
-        let b: Vec<f64> = (0..60).map(|i| (i as f64).cos()).collect();
+        let b: Vec<f64> = (0..60).map(|i| f64::from(i).cos()).collect();
 
         let mut x_fwd = vec![0.0; 60];
         colored_forward_sweep(&a, &coloring, &b, &mut x_fwd).unwrap();

@@ -230,7 +230,7 @@ mod tests {
         let total: f64 = ranks.iter().sum();
         assert!((total - 1.0).abs() < 1e-9, "sum {total}");
         // C receives from both A and B; it must outrank everything.
-        let max = ranks.iter().cloned().fold(f64::MIN, f64::max);
+        let max = ranks.iter().copied().fold(f64::MIN, f64::max);
         assert_eq!(ranks[2], max);
     }
 

@@ -43,9 +43,7 @@ pub fn par_spmv(a: &Csr, x: &[f64], threads: usize) -> Result<Vec<f64>> {
             });
         }
     });
-    if scope.is_err() {
-        panic!("spmv worker panicked");
-    }
+    assert!(scope.is_ok(), "spmv worker panicked");
     Ok(y)
 }
 
@@ -73,9 +71,7 @@ pub fn par_dot(a: &[f64], b: &[f64], threads: usize) -> f64 {
             });
         }
     });
-    if scope.is_err() {
-        panic!("dot worker panicked");
-    }
+    assert!(scope.is_ok(), "dot worker panicked");
     partials.iter().sum()
 }
 
@@ -108,8 +104,8 @@ mod tests {
 
     #[test]
     fn par_dot_is_deterministic_per_thread_count() {
-        let a: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
-        let b: Vec<f64> = (0..1000).map(|i| (i as f64).cos()).collect();
+        let a: Vec<f64> = (0..1000).map(|i| f64::from(i).sin()).collect();
+        let b: Vec<f64> = (0..1000).map(|i| f64::from(i).cos()).collect();
         let d1 = par_dot(&a, &b, 4);
         let d2 = par_dot(&a, &b, 4);
         assert_eq!(d1, d2);

@@ -258,7 +258,7 @@ pub fn chebyshev(
             found: 0,
         });
     }
-    let theta = (lambda_max + lambda_min) / 2.0;
+    let theta = f64::midpoint(lambda_max, lambda_min);
     let delta = (lambda_max - lambda_min) / 2.0;
     let sigma = theta / delta;
     let mut r = crate::symgs::residual(a, b, x);

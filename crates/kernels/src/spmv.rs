@@ -83,7 +83,7 @@ mod tests {
         let coo = gen::scattered(60, 5, 3);
         let a = Csr::from_coo(&coo);
         let dense = DenseMatrix::from_coo(&coo);
-        let x: Vec<f64> = (0..60).map(|i| (i as f64 * 0.37).sin()).collect();
+        let x: Vec<f64> = (0..60).map(|i| (f64::from(i) * 0.37).sin()).collect();
         let sparse_y = spmv(&a, &x);
         let dense_y = dense.matvec(&x);
         assert!(alrescha_sparse::approx_eq(&sparse_y, &dense_y, 1e-12));
@@ -100,7 +100,7 @@ mod tests {
         let coo = gen::scattered(40, 4, 9);
         let a = Csr::from_coo(&coo);
         let at = a.transpose();
-        let x: Vec<f64> = (0..40).map(|i| 1.0 / (i + 1) as f64).collect();
+        let x: Vec<f64> = (0..40).map(|i| 1.0 / f64::from(i + 1)).collect();
         let fast = try_spmv_transpose(&a, &x).unwrap();
         let slow = spmv(&at, &x);
         assert!(alrescha_sparse::approx_eq(&fast, &slow, 1e-12));

@@ -127,12 +127,12 @@ impl SimConfig {
     /// stage plus the full reduction tree. This is also the drain time that
     /// hides RCU reconfiguration (§4.4).
     pub fn fcu_sum_latency(&self) -> u64 {
-        self.alu_latency + self.tree_depth() as u64 * self.re_sum_latency
+        self.alu_latency + u64::from(self.tree_depth()) * self.re_sum_latency
     }
 
     /// Pipeline latency of one FCU pass with a `min` reduction.
     pub fn fcu_min_latency(&self) -> u64 {
-        self.alu_latency + self.tree_depth() as u64 * self.re_min_latency
+        self.alu_latency + u64::from(self.tree_depth()) * self.re_min_latency
     }
 
     /// Latency of one D-SymGS recurrence step: the newly produced `xⱼ` must
@@ -155,6 +155,31 @@ impl SimConfig {
     /// Values (doubles) per cache line.
     pub fn values_per_line(&self) -> usize {
         (self.cache_line_bytes / 8).max(1)
+    }
+
+    /// Capacity of the RCU link stack (LIFO) in `(lane, value)` entries.
+    ///
+    /// The LIFO buffers every GEMV partial result of one block row until the
+    /// successive D-SymGS pops them (Figure 11), so it is provisioned with
+    /// the same SRAM budget as the local cache: one 8-byte value per cache
+    /// byte of tag+data overhead, i.e. `cache_bytes / 8` entries. A static
+    /// schedule whose densest block row needs more than this spills the
+    /// stack and stalls the pipeline — the `alverify` AL202 rule flags it.
+    pub fn link_stack_capacity(&self) -> usize {
+        (self.cache_bytes / 8).max(self.omega)
+    }
+
+    /// Capacity of each RCU operand FIFO (`b` and the extracted diagonal)
+    /// in values: one ω-chunk, refilled per block row (§4.3's deterministic
+    /// access order makes deeper buffering pointless).
+    pub fn operand_fifo_capacity(&self) -> usize {
+        self.omega
+    }
+
+    /// Cache capacity in values (doubles) — the per-block-row working-set
+    /// budget the AL301 resource rule checks against.
+    pub fn cache_values(&self) -> usize {
+        self.cache_lines() * self.values_per_line()
     }
 }
 
@@ -207,6 +232,20 @@ mod tests {
         let c = SimConfig::paper().with_omega(32);
         assert_eq!(c.omega, 32);
         assert_eq!(c.tree_depth(), 5);
+    }
+
+    #[test]
+    fn rcu_buffer_bounds_derive_from_table5() {
+        let c = SimConfig::paper();
+        // 1 KB SRAM budget at 8 bytes/entry.
+        assert_eq!(c.link_stack_capacity(), 128);
+        // One ω-chunk per operand FIFO.
+        assert_eq!(c.operand_fifo_capacity(), 8);
+        assert_eq!(c.cache_values(), 128);
+        // A degenerate tiny cache still holds one chunk of link entries.
+        let mut tiny = SimConfig::paper();
+        tiny.cache_bytes = 8;
+        assert_eq!(tiny.link_stack_capacity(), tiny.omega);
     }
 
     #[test]

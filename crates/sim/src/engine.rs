@@ -356,27 +356,40 @@ impl Engine {
     /// chunk read occupies ⌈ω/line⌉ cycles) and, on a miss, the bandwidth
     /// of fetching the chunk (prefetched via the configuration table, so no
     /// exposed latency).
-    fn read_chunk(&mut self, state: &mut RunState, region: usize, chunk_start: usize) {
-        let omega = self.config.omega;
+    ///
+    /// `len` is the logical length of the vector living in `region`: when
+    /// the matrix dimension is not a multiple of ω the final chunk is
+    /// partially padded, and only the `len - chunk_start` real lanes cost
+    /// cache occupancy and bandwidth.
+    fn read_chunk(&mut self, state: &mut RunState, region: usize, chunk_start: usize, len: usize) {
+        let valid = self.config.omega.min(len.saturating_sub(chunk_start));
+        if valid == 0 {
+            return;
+        }
         let mut missed = false;
-        for k in 0..omega {
+        for k in 0..valid {
             let access = self.cache.read(region + chunk_start + k);
             if !access.hit {
                 missed = true;
             }
         }
-        state.cache_busy += omega.div_ceil(self.config.values_per_line()) as u64;
+        state.cache_busy += valid.div_ceil(self.config.values_per_line()) as u64;
         if missed {
-            state.memory.stream_values(omega);
+            state.memory.stream_values(valid);
         }
     }
 
-    /// Writes one ω-chunk of a cached vector operand.
-    fn write_chunk(&mut self, state: &mut RunState, region: usize, chunk_start: usize) {
-        for k in 0..self.config.omega {
+    /// Writes one ω-chunk of a cached vector operand; `len` clamps the
+    /// padded tail exactly as in [`Engine::read_chunk`].
+    fn write_chunk(&mut self, state: &mut RunState, region: usize, chunk_start: usize, len: usize) {
+        let valid = self.config.omega.min(len.saturating_sub(chunk_start));
+        if valid == 0 {
+            return;
+        }
+        for k in 0..valid {
             self.cache.write(region + chunk_start + k);
         }
-        state.cache_busy += self.config.omega.div_ceil(self.config.values_per_line()) as u64;
+        state.cache_busy += valid.div_ceil(self.config.values_per_line()) as u64;
     }
 
     fn operand_slice(x: &[f64], start: usize, omega: usize) -> Vec<f64> {
@@ -536,7 +549,7 @@ impl Engine {
                     state
                         .memory
                         .stream_block(block.block_row(), block.block_col(), omega * omega);
-                self.read_chunk(&mut state, REGION_X, col_base);
+                self.read_chunk(&mut state, REGION_X, col_base, a.cols());
                 (payload, stuck)
             };
             let compute = omega as u64;
@@ -557,7 +570,7 @@ impl Engine {
 
         // Result write-back: one pass over y through the cache and out.
         for chunk in (0..a.rows()).step_by(omega) {
-            self.write_chunk(&mut state, REGION_X, chunk);
+            self.write_chunk(&mut state, REGION_X, chunk, a.rows());
         }
         state.memory.record_bytes(a.rows() as u64 * 8);
 
@@ -707,7 +720,7 @@ impl Engine {
                     state
                         .memory
                         .stream_block(block.block_row(), block.block_col(), omega * omega);
-                self.read_chunk(&mut state, REGION_X, col_base);
+                self.read_chunk(&mut state, REGION_X, col_base, a.cols());
                 let block_cycles = payload_cycles.max(omega as u64);
                 state.cycles += block_cycles;
                 state.breakdown.gemv_cycles += block_cycles;
@@ -796,8 +809,8 @@ impl Engine {
                 state.breakdown.drain_cycles += drain;
             }
 
-            self.read_chunk(&mut state, REGION_B, row_base);
-            self.read_chunk(&mut state, REGION_DIAG, row_base);
+            self.read_chunk(&mut state, REGION_B, row_base, a.rows());
+            self.read_chunk(&mut state, REGION_DIAG, row_base, a.diagonal().len());
             // The right-hand side and the extracted diagonal arrive through
             // FIFOs (deterministic access order, §4.3).
             let mut b_fifo: Fifo<f64> = Fifo::new();
@@ -900,22 +913,19 @@ impl Engine {
                     // Payload of the diagonal block streams in parallel with
                     // the recurrence; its diagonal slots are zero so the
                     // full ω-wide dot product is safe.
-                    match &shift_reg {
-                        Some(reg) => {
-                            // Lane k multiplies streamed slot (k + ω − i)
-                            // mod ω ("rotating the inputs of the
-                            // multipliers", §4.2).
-                            let streamed = block.row(i);
-                            let rotated: Vec<f64> = (0..omega)
-                                .map(|k| streamed[(k + omega - (i % omega)) % omega])
-                                .collect();
-                            sum -= self.fcu.mac_row(&rotated, reg.lanes());
-                        }
-                        None => {
-                            let logical: Vec<f64> = (0..omega).map(|j| block.get(i, j)).collect();
-                            let operand = Self::operand_slice(x, row_base, omega);
-                            sum -= self.fcu.mac_row(&logical, &operand);
-                        }
+                    if let Some(reg) = &shift_reg {
+                        // Lane k multiplies streamed slot (k + ω − i)
+                        // mod ω ("rotating the inputs of the
+                        // multipliers", §4.2).
+                        let streamed = block.row(i);
+                        let rotated: Vec<f64> = (0..omega)
+                            .map(|k| streamed[(k + omega - (i % omega)) % omega])
+                            .collect();
+                        sum -= self.fcu.mac_row(&rotated, reg.lanes());
+                    } else {
+                        let logical: Vec<f64> = (0..omega).map(|j| block.get(i, j)).collect();
+                        let operand = Self::operand_slice(x, row_base, omega);
+                        sum -= self.fcu.mac_row(&logical, &operand);
                     }
                     // Link-stack pop feeding the recurrence.
                     self.rcu.buffer_event();
@@ -948,7 +958,7 @@ impl Engine {
                 state.breakdown.dsymgs_cycles += block_cycles;
             }
             self.publish_cycle(&state);
-            self.write_chunk(&mut state, REGION_X, row_base);
+            self.write_chunk(&mut state, REGION_X, row_base, a.rows());
         }
 
         state.memory.record_bytes(a.rows() as u64 * 8); // x write-back
@@ -1042,7 +1052,7 @@ impl Engine {
                 let dst_base = block.block_row() * omega;
                 let src_base = block.block_col() * omega;
                 let payload = state.memory.stream_values(omega * omega);
-                self.read_chunk(&mut state, REGION_X, src_base);
+                self.read_chunk(&mut state, REGION_X, src_base, n);
                 let block_cycles = payload.max(omega as u64);
                 state.cycles += block_cycles;
                 state.breakdown.graph_cycles += block_cycles;
@@ -1149,7 +1159,7 @@ impl Engine {
                 let dst_base = block.block_row() * omega;
                 let src_base = block.block_col() * omega;
                 let payload = state.memory.stream_values(omega * omega);
-                self.read_chunk(&mut state, REGION_X, src_base);
+                self.read_chunk(&mut state, REGION_X, src_base, n);
                 let block_cycles = payload.max(omega as u64);
                 state.cycles += block_cycles;
                 state.breakdown.graph_cycles += block_cycles;
@@ -1164,13 +1174,13 @@ impl Engine {
                     // Structure-only gather: an edge contributes its
                     // source's (already damped and divided) share.
                     let indicator: Vec<f64> = (0..omega)
-                        .map(|j| if block.get(i, j) != 0.0 { 1.0 } else { 0.0 })
+                        .map(|j| if block.get(i, j) == 0.0 { 0.0 } else { 1.0 })
                         .collect();
                     next[d] += self.fcu.mac_row(&indicator, &operand);
                 }
             }
             for chunk in (0..n).step_by(omega) {
-                self.write_chunk(&mut state, REGION_X, chunk);
+                self.write_chunk(&mut state, REGION_X, chunk, n);
             }
 
             let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
@@ -1481,7 +1491,7 @@ mod link_stack_tests {
         // reduction must still match the reference sweep exactly.
         let coo = gen::electromagnetic(200, 3);
         let csr = alrescha_sparse::Csr::from_coo(&coo);
-        let b: Vec<f64> = (0..200).map(|i| (i as f64 * 0.7).sin()).collect();
+        let b: Vec<f64> = (0..200).map(|i| (f64::from(i) * 0.7).sin()).collect();
 
         let a = Alf::from_coo(&coo, 8, AlfLayout::SymGs).unwrap();
         let mut x_dev = vec![0.0; 200];
@@ -1826,6 +1836,7 @@ mod csr_mode_tests {
 
     #[test]
     fn csr_mode_streams_metadata() {
+        use alrescha_sparse::MetaData;
         let coo = gen::banded(200, 3, 1);
         let csr = Csr::from_coo(&coo);
         let x = vec![1.0; 200];
@@ -1833,7 +1844,6 @@ mod csr_mode_tests {
             .run_spmv_csr(&csr, &x)
             .unwrap();
         // At least 12 bytes per nnz must have moved (values + indices).
-        use alrescha_sparse::MetaData;
         assert!(report.bytes_streamed >= 12 * csr.nnz() as u64);
     }
 
@@ -1898,7 +1908,7 @@ impl Engine {
                 let src_base = block.block_col() * omega;
                 self.trace_block(block.block_row(), block.block_col(), DataPathKind::DBfs);
                 let payload = state.memory.stream_values(omega * omega);
-                self.read_chunk(&mut state, REGION_X, src_base);
+                self.read_chunk(&mut state, REGION_X, src_base, n);
                 let block_cycles = payload.max(omega as u64);
                 state.cycles += block_cycles;
                 state.breakdown.graph_cycles += block_cycles;
@@ -2014,7 +2024,7 @@ mod edge_case_tests {
         let coo = gen::banded(50, 2, 3);
         let config = SimConfig::paper().with_omega(6);
         let a = Alf::from_coo(&coo, 6, AlfLayout::Streaming).unwrap();
-        let x: Vec<f64> = (0..50).map(|i| (i as f64 * 0.4).sin()).collect();
+        let x: Vec<f64> = (0..50).map(|i| (f64::from(i) * 0.4).sin()).collect();
         let (y, report) = Engine::new(config).run_spmv(&a, &x).unwrap();
         let expect = alrescha_kernels::spmv::spmv(&alrescha_sparse::Csr::from_coo(&coo), &x);
         assert!(alrescha_sparse::approx_eq(&y, &expect, 1e-12));

@@ -64,7 +64,7 @@ impl Fcu {
             Reduce::Sum => self.re_sum_latency,
             Reduce::Min => self.re_min_latency,
         };
-        self.alu_latency + self.tree_depth as u64 * re
+        self.alu_latency + u64::from(self.tree_depth) * re
     }
 
     /// One pipelined pass: multiplies `row` by `operand` element-wise and

@@ -161,7 +161,7 @@ mod tests {
         let mut pipe = FcuPipeline::new(&config, Reduce::Sum);
         let mut accepted = 0u64;
         for k in 0..60 {
-            if pipe.step(Some(k as f64)) {
+            if pipe.step(Some(f64::from(k))) {
                 accepted += 1;
             }
         }
@@ -180,7 +180,7 @@ mod tests {
         let config = SimConfig::paper();
         let mut pipe = FcuPipeline::new(&config, Reduce::Sum);
         for k in 0..30 {
-            pipe.step(Some(k as f64));
+            pipe.step(Some(f64::from(k)));
         }
         pipe.drain();
         let ids: Vec<u64> = pipe.completed().iter().map(|&(id, _, _)| id).collect();

@@ -77,7 +77,7 @@ mod tests {
     fn after_width_steps_only_current_iteration_values_remain() {
         let mut reg = ShiftRegister::load(&[1.0; 4]);
         for k in 0..4 {
-            reg.push(100.0 + k as f64);
+            reg.push(100.0 + f64::from(k));
         }
         assert_eq!(reg.lanes(), &[103.0, 102.0, 101.0, 100.0]);
     }

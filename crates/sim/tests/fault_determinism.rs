@@ -18,7 +18,7 @@ fn arb_dd_matrix() -> impl Strategy<Value = Coo> {
             let mut row_sum = vec![0.0; n];
             for (r, c, v) in entries {
                 if r != c {
-                    let v = -(v as f64) / 60.0;
+                    let v = -f64::from(v) / 60.0;
                     coo.push(r, c, v);
                     row_sum[r] += v.abs();
                 }

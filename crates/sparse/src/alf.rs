@@ -96,6 +96,34 @@ impl AlfBlock {
         self.reversed
     }
 
+    /// The reversal flag this block *should* carry under `layout`: SymGS
+    /// streams strict-upper-triangle blocks and diagonal blocks
+    /// right-to-left (the Figure 10 operand rotation); everything else is
+    /// natural order. Verification tooling compares this against
+    /// [`AlfBlock::reversed`].
+    pub fn expected_reversed(&self, layout: AlfLayout) -> bool {
+        layout == AlfLayout::SymGs
+            && (self.block_col > self.block_row || self.kind == BlockKind::Diagonal)
+    }
+
+    /// Number of non-zero payload slots (padding zeros excluded).
+    pub fn fill_count(&self) -> usize {
+        self.payload.iter().filter(|v| **v != 0.0).count()
+    }
+
+    /// Mutable payload access for verifier/mutation tests. Breaks the
+    /// format invariants by design; never used by the simulator.
+    #[doc(hidden)]
+    pub fn payload_mut_unchecked(&mut self) -> &mut [f64] {
+        &mut self.payload
+    }
+
+    /// Overrides the reversal flag for verifier/mutation tests.
+    #[doc(hidden)]
+    pub fn set_reversed_unchecked(&mut self, reversed: bool) {
+        self.reversed = reversed;
+    }
+
     /// One streamed row of the payload (already in access order).
     ///
     /// # Panics
@@ -279,6 +307,60 @@ impl Alf {
         self.blocks.len() * self.omega * self.omega * std::mem::size_of::<f64>()
     }
 
+    /// The padded dimension the streamed layout covers: `⌈rows/ω⌉·ω`.
+    /// When this exceeds [`Alf::rows`] the final chunk of every vector
+    /// operand is partially padding.
+    pub fn padded_dim(&self) -> usize {
+        self.block_rows() * self.omega
+    }
+
+    /// True when the matrix dimension is not a multiple of ω, i.e. the
+    /// final block row carries padding lanes.
+    pub fn has_padded_tail(&self) -> bool {
+        !self.rows.is_multiple_of(self.omega) || !self.cols.is_multiple_of(self.omega)
+    }
+
+    /// Off-diagonal block count of the densest block row — the static peak
+    /// occupancy of the RCU link stack is ω times this (one GEMV partial
+    /// result per lane per block rides the LIFO until the row's D-SymGS
+    /// pops them).
+    pub fn max_off_diagonal_blocks_per_row(&self) -> usize {
+        let mut per_row = vec![0usize; self.block_rows().max(1)];
+        for b in &self.blocks {
+            if b.kind == BlockKind::OffDiagonal && b.block_row < per_row.len() {
+                per_row[b.block_row] += 1;
+            }
+        }
+        per_row.into_iter().max().unwrap_or(0)
+    }
+
+    /// Distinct operand block columns of the densest block row — with the
+    /// `b` and diagonal chunks, the per-block-row cache working set in
+    /// chunks.
+    pub fn max_operand_blocks_per_row(&self) -> usize {
+        let rows = self.block_rows().max(1);
+        let mut cols: Vec<Vec<usize>> = vec![Vec::new(); rows];
+        for b in &self.blocks {
+            if b.block_row < rows && !cols[b.block_row].contains(&b.block_col) {
+                cols[b.block_row].push(b.block_col);
+            }
+        }
+        cols.into_iter().map(|c| c.len()).max().unwrap_or(0)
+    }
+
+    /// Mutable block access for verifier/mutation tests (swap stream order,
+    /// corrupt payloads). Breaks the format invariants by design.
+    #[doc(hidden)]
+    pub fn blocks_mut_unchecked(&mut self) -> &mut Vec<AlfBlock> {
+        &mut self.blocks
+    }
+
+    /// Mutable diagonal access for verifier/mutation tests.
+    #[doc(hidden)]
+    pub fn diagonal_mut_unchecked(&mut self) -> &mut Vec<f64> {
+        &mut self.diagonal
+    }
+
     /// Mean fraction of non-zero slots across stored blocks.
     pub fn mean_block_fill(&self) -> f64 {
         if self.blocks.is_empty() {
@@ -399,7 +481,7 @@ mod tests {
     #[test]
     fn diagonal_is_extracted_for_symgs() {
         let alf = Alf::from_coo(&paper_like(), 3, AlfLayout::SymGs).unwrap();
-        let expect: Vec<f64> = (0..9).map(|i| 10.0 + i as f64).collect();
+        let expect: Vec<f64> = (0..9).map(|i| 10.0 + f64::from(i)).collect();
         assert_eq!(alf.diagonal(), expect.as_slice());
         // Diagonal block payloads must not contain the diagonal values.
         for b in alf
@@ -505,6 +587,29 @@ mod tests {
     #[test]
     fn rejects_zero_omega() {
         assert!(Alf::from_coo(&paper_like(), 0, AlfLayout::SymGs).is_err());
+    }
+
+    #[test]
+    fn invariant_views_expose_padding_and_row_densities() {
+        let alf = Alf::from_coo(&paper_like(), 3, AlfLayout::SymGs).unwrap();
+        assert_eq!(alf.padded_dim(), 9);
+        assert!(!alf.has_padded_tail());
+        // Each block row holds at most one off-diagonal block here.
+        assert_eq!(alf.max_off_diagonal_blocks_per_row(), 1);
+        // Densest row touches two distinct block columns (own + remote).
+        assert_eq!(alf.max_operand_blocks_per_row(), 2);
+        for b in alf.blocks() {
+            assert_eq!(b.reversed(), b.expected_reversed(AlfLayout::SymGs));
+            assert!(b.fill_count() <= 9);
+        }
+        // A 4x4 at ω=3 pads its tail.
+        let mut coo = Coo::new(4, 4);
+        for i in 0..4 {
+            coo.push(i, i, 1.0);
+        }
+        let padded = Alf::from_coo(&coo, 3, AlfLayout::SymGs).unwrap();
+        assert!(padded.has_padded_tail());
+        assert_eq!(padded.padded_dim(), 6);
     }
 }
 

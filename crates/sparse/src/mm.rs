@@ -72,67 +72,64 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo> {
             continue;
         }
         let toks: Vec<&str> = trimmed.split_whitespace().collect();
-        match size {
-            None => {
-                if toks.len() != 3 {
-                    return Err(parse_err(lineno + 1, "size line must have 3 fields"));
-                }
-                let rows = parse_usize(toks[0], lineno + 1)?;
-                let cols = parse_usize(toks[1], lineno + 1)?;
-                let nnz = parse_usize(toks[2], lineno + 1)?;
-                let capacity = if symmetric {
-                    // Mirror entries are materialized, so up to 2·nnz land
-                    // in the COO — reject counts that overflow that bound.
-                    nnz.checked_mul(2).ok_or_else(|| {
-                        parse_err(lineno + 1, "entry count overflows (2*nnz > usize::MAX)")
-                    })?
-                } else {
-                    nnz
-                };
-                if let Some(cells) = rows.checked_mul(cols) {
-                    if nnz > cells {
-                        return Err(parse_err(
-                            lineno + 1,
-                            &format!("{nnz} entries declared for a {rows}x{cols} matrix"),
-                        ));
-                    }
-                }
-                coo = Coo::with_capacity(rows, cols, capacity);
-                size = Some((rows, cols, nnz));
-                remaining = nnz;
+        if size.is_none() {
+            if toks.len() != 3 {
+                return Err(parse_err(lineno + 1, "size line must have 3 fields"));
             }
-            Some(_) => {
-                if remaining == 0 {
-                    return Err(parse_err(lineno + 1, "more entries than declared"));
-                }
-                let expect = if pattern { 2 } else { 3 };
-                if toks.len() < expect {
-                    return Err(parse_err(lineno + 1, "entry line is too short"));
-                }
-                let r = parse_usize(toks[0], lineno + 1)?;
-                let c = parse_usize(toks[1], lineno + 1)?;
-                if r == 0 || c == 0 {
-                    return Err(parse_err(lineno + 1, "matrix market indices are 1-based"));
-                }
-                let v = if pattern {
-                    1.0
-                } else {
-                    toks[2]
-                        .parse::<f64>()
-                        .map_err(|e| parse_err(lineno + 1, &e.to_string()))?
-                };
-                if !v.is_finite() {
+            let rows = parse_usize(toks[0], lineno + 1)?;
+            let cols = parse_usize(toks[1], lineno + 1)?;
+            let nnz = parse_usize(toks[2], lineno + 1)?;
+            let capacity = if symmetric {
+                // Mirror entries are materialized, so up to 2·nnz land
+                // in the COO — reject counts that overflow that bound.
+                nnz.checked_mul(2).ok_or_else(|| {
+                    parse_err(lineno + 1, "entry count overflows (2*nnz > usize::MAX)")
+                })?
+            } else {
+                nnz
+            };
+            if let Some(cells) = rows.checked_mul(cols) {
+                if nnz > cells {
                     return Err(parse_err(
                         lineno + 1,
-                        &format!("non-finite matrix value {v}"),
+                        &format!("{nnz} entries declared for a {rows}x{cols} matrix"),
                     ));
                 }
-                coo.try_push(r - 1, c - 1, v)?;
-                if symmetric && r != c {
-                    coo.try_push(c - 1, r - 1, v)?;
-                }
-                remaining -= 1;
             }
+            coo = Coo::with_capacity(rows, cols, capacity);
+            size = Some((rows, cols, nnz));
+            remaining = nnz;
+        } else {
+            if remaining == 0 {
+                return Err(parse_err(lineno + 1, "more entries than declared"));
+            }
+            let expect = if pattern { 2 } else { 3 };
+            if toks.len() < expect {
+                return Err(parse_err(lineno + 1, "entry line is too short"));
+            }
+            let r = parse_usize(toks[0], lineno + 1)?;
+            let c = parse_usize(toks[1], lineno + 1)?;
+            if r == 0 || c == 0 {
+                return Err(parse_err(lineno + 1, "matrix market indices are 1-based"));
+            }
+            let v = if pattern {
+                1.0
+            } else {
+                toks[2]
+                    .parse::<f64>()
+                    .map_err(|e| parse_err(lineno + 1, &e.to_string()))?
+            };
+            if !v.is_finite() {
+                return Err(parse_err(
+                    lineno + 1,
+                    &format!("non-finite matrix value {v}"),
+                ));
+            }
+            coo.try_push(r - 1, c - 1, v)?;
+            if symmetric && r != c {
+                coo.try_push(c - 1, r - 1, v)?;
+            }
+            remaining -= 1;
         }
     }
     if size.is_none() {

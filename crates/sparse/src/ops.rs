@@ -205,7 +205,7 @@ mod tests {
         let csr = Csr::from_coo(&coo);
         let perm: Vec<usize> = (0..30).map(|i| (i * 7) % 30).collect();
         let permuted = Csr::from_coo(&permute_symmetric(&coo, &perm).unwrap());
-        let x: Vec<f64> = (0..30).map(|i| (i as f64).sin()).collect();
+        let x: Vec<f64> = (0..30).map(|i| f64::from(i).sin()).collect();
         let ax = alrescha_sp_matvec(&csr, &x);
         let px = permute_vector(&x, &perm);
         let p_ax = permute_vector(&ax, &perm);

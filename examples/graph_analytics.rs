@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let max_d = dist
         .iter()
         .filter(|d| d.is_finite())
-        .cloned()
+        .copied()
         .fold(0.0, f64::max);
     println!(
         "sssp: farthest reachable vertex at distance {:.3}, {:.2} us",
@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // PageRank.
     let prog = acc.program(KernelType::PageRank, &g)?;
     let (ranks, rep) = acc.pagerank(&prog, &PageRankConfig::default())?;
-    let mut top: Vec<(usize, f64)> = ranks.iter().cloned().enumerate().collect();
+    let mut top: Vec<(usize, f64)> = ranks.iter().copied().enumerate().collect();
     top.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite ranks"));
     println!(
         "pagerank: {} iterations, {:.2} us; top vertices: {:?}",

@@ -11,7 +11,8 @@
 //! V-cycle (every level's SymGS and SpMV on the device) instead of a
 //! single SymGS application.
 
-use alrescha::{AcceleratedMgPcg, AcceleratedPcg, Alrescha, SolverOptions};
+use alrescha::{AcceleratedMgPcg, AcceleratedPcg, Alrescha, KernelType, SolverOptions};
+use alrescha_lint::Preflight;
 use alrescha_kernels::multigrid::GridHierarchy;
 use alrescha_kernels::spmv::spmv;
 use alrescha_sparse::{gen, Csr, MetaData};
@@ -39,6 +40,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b = spmv(&csr, &ones);
 
     let mut acc = Alrescha::with_paper_config();
+
+    // Pre-flight: run the alverify static rule catalog over the SymGS
+    // program before spending any device time (same gate as `alverify
+    // --kernel symgs --gen stencil27:<side>`).
+    let checked = acc.program(KernelType::SymGs, &a)?;
+    let diags = acc.preflight(&checked)?;
+    println!(
+        "  preflight: launchable ({} non-blocking diagnostics)",
+        diags.len()
+    );
+
     let setup_start = std::time::Instant::now();
     let opts = SolverOptions {
         tol: 1e-9,

@@ -40,14 +40,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match event {
             TraceEvent::KernelBegin { kernel } => println!("▶ kernel {kernel}"),
             TraceEvent::Reconfigure { to, exposed } => {
-                println!("  ⟳ reconfigure RCU → {to:?} (exposed stall: {exposed} cycles)")
+                println!("  ⟳ reconfigure RCU → {to:?} (exposed stall: {exposed} cycles)");
             }
             TraceEvent::BlockBegin {
                 block_row,
                 block_col,
                 kind,
             } => {
-                println!("    block ({block_row}, {block_col}) on {kind:?}")
+                println!("    block ({block_row}, {block_col}) on {kind:?}");
             }
             TraceEvent::KernelEnd { cycles } => println!("■ done in {cycles} cycles"),
         }

@@ -1,0 +1,176 @@
+//! Mutation corpus for the static verifier: each deliberately broken
+//! artifact must map to its documented diagnostic code, and pristine
+//! conversions must verify clean across block widths.
+
+use alrescha::convert::{convert, ConfigTable, KernelType};
+use alrescha::program::ProgramBinary;
+use alrescha_lint::{verify, verify_alf, verify_table, Severity};
+use alrescha_sim::SimConfig;
+use alrescha_sparse::gen;
+use alrescha_sparse::{Alf, BlockKind};
+
+use proptest::prelude::*;
+
+fn symgs_alf(omega: usize) -> (Alf, ConfigTable) {
+    let coo = gen::stencil27(4); // n = 64, a multiple of every tested ω
+    convert(KernelType::SymGs, &coo, omega).expect("convert")
+}
+
+fn codes(diags: &[alrescha_lint::Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+/// Swapping an off-diagonal block behind its row's diagonal breaks the
+/// "GEMVs before D-SymGS" stream contract.
+#[test]
+fn swapped_block_order_yields_al001() {
+    let (mut alf, _) = symgs_alf(8);
+    let blocks = alf.blocks_mut_unchecked();
+    let off = blocks
+        .iter()
+        .position(|b| b.kind() == BlockKind::OffDiagonal)
+        .expect("stencil has off-diagonal blocks");
+    let row = blocks[off].block_row();
+    let diag = blocks
+        .iter()
+        .position(|b| b.kind() == BlockKind::Diagonal && b.block_row() == row)
+        .expect("row has a diagonal block");
+    blocks.swap(off, diag);
+    let diags = verify_alf(&alf, &SimConfig::paper());
+    assert!(
+        codes(&diags).contains(&"AL001"),
+        "expected AL001, got {:?}",
+        codes(&diags)
+    );
+}
+
+/// Clearing the reversal flag on an upper-triangle block breaks the
+/// right-to-left streaming the backward sweep depends on.
+#[test]
+fn un_reversed_upper_triangle_yields_al002() {
+    let (mut alf, _) = symgs_alf(8);
+    let blocks = alf.blocks_mut_unchecked();
+    let upper = blocks
+        .iter_mut()
+        .find(|b| b.block_col() > b.block_row())
+        .expect("stencil has upper-triangle blocks");
+    upper.set_reversed_unchecked(false);
+    let diags = verify_alf(&alf, &SimConfig::paper());
+    assert!(
+        codes(&diags).contains(&"AL002"),
+        "expected AL002, got {:?}",
+        codes(&diags)
+    );
+}
+
+/// An Inx_in beyond the padded dimension would address memory outside the
+/// streamed vectors.
+#[test]
+fn out_of_range_config_index_yields_al102() {
+    let (alf, table) = symgs_alf(8);
+    let mut entries = table.entries().to_vec();
+    entries[0].inx_in = alf.padded_dim() + alf.omega();
+    let doctored = ConfigTable::from_entries(entries, table.entry_bits());
+    let diags = verify_table(KernelType::SymGs, &doctored, &alf, &SimConfig::paper());
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == "AL102" && d.severity == Severity::Error),
+        "expected AL102 error, got {:?}",
+        codes(&diags)
+    );
+}
+
+/// A truncated packed payload cannot hold the declared entry count.
+#[test]
+fn truncated_binary_yields_al101() {
+    let (alf, table) = symgs_alf(8);
+    let n = alf.rows().max(alf.cols());
+    let binary = ProgramBinary::encode(KernelType::SymGs, &table, n, 8);
+    let truncated = ProgramBinary::from_raw_parts(
+        KernelType::SymGs,
+        n,
+        8,
+        binary.entry_count(),
+        binary.as_bytes()[..binary.len_bytes() / 2].to_vec(),
+    );
+    let diags = verify(&truncated, &alf, &SimConfig::paper());
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == "AL101" && d.severity == Severity::Error),
+        "expected AL101 error, got {:?}",
+        codes(&diags)
+    );
+}
+
+/// A header whose dimensions disagree with the matrix it claims to program.
+#[test]
+fn header_mismatch_yields_al104() {
+    let (alf, table) = symgs_alf(8);
+    let n = alf.rows().max(alf.cols());
+    let binary = ProgramBinary::encode(KernelType::SymGs, &table, n, 8);
+    let forged = ProgramBinary::from_raw_parts(
+        KernelType::SymGs,
+        n * 2, // wrong dimension
+        8,
+        binary.entry_count(),
+        binary.as_bytes().to_vec(),
+    );
+    let diags = verify(&forged, &alf, &SimConfig::paper());
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == "AL104" && d.severity == Severity::Error),
+        "expected AL104 error, got {:?}",
+        codes(&diags)
+    );
+}
+
+/// Flipping a GEMV entry to D-SymGS mid-row is both a kernel/data-path
+/// disagreement and an illegal reconfiguration point.
+#[test]
+fn mid_row_path_flip_yields_al103_and_al203() {
+    let (alf, table) = symgs_alf(8);
+    let mut entries = table.entries().to_vec();
+    let gemv = entries
+        .iter()
+        .position(|e| e.data_path == alrescha::convert::DataPath::Gemv)
+        .expect("table has GEMV entries");
+    entries[gemv].data_path = alrescha::convert::DataPath::DSymGs;
+    let doctored = ConfigTable::from_entries(entries, table.entry_bits());
+    let diags = verify_table(KernelType::SymGs, &doctored, &alf, &SimConfig::paper());
+    let found = codes(&diags);
+    assert!(found.contains(&"AL103"), "expected AL103, got {found:?}");
+    assert!(found.contains(&"AL203"), "expected AL203, got {found:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Pristine conversions verify with zero error diagnostics at every
+    /// supported block width, for both layouts.
+    #[test]
+    fn pristine_conversions_verify_clean(
+        side in 2usize..5,
+        omega_idx in 0usize..3,
+        kernel_idx in 0usize..2,
+    ) {
+        let omega = [2usize, 4, 8][omega_idx];
+        let kernel = [KernelType::SymGs, KernelType::SpMv][kernel_idx];
+        let coo = gen::stencil27(side);
+        let (alf, table) = convert(kernel, &coo, omega).expect("convert");
+        let n = coo.rows().max(coo.cols());
+        let program = ProgramBinary::encode(kernel, &table, n, omega);
+        let config = SimConfig::paper().with_omega(omega);
+        let diags = verify(&program, &alf, &config);
+        let errors: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        prop_assert!(
+            errors.is_empty(),
+            "clean conversion produced errors: {errors:?}"
+        );
+    }
+}

@@ -3,6 +3,7 @@
 
 use alrescha::{AcceleratedPcg, Alrescha, KernelType, SolverOptions, TerminationReason};
 use alrescha_kernels::graph;
+use alrescha_lint::Preflight;
 use alrescha_kernels::pcg::{pcg as pcg_host, PcgOptions};
 use alrescha_kernels::spmv::spmv;
 use alrescha_sim::PageRankConfig;
@@ -19,6 +20,15 @@ fn pcg_on_every_science_class_end_to_end() {
         let b = spmv(&csr, &x_true);
 
         let mut acc = Alrescha::with_paper_config();
+        // Static verification first: the solve must start from a program
+        // with zero error-severity diagnostics.
+        let checked = acc.program(KernelType::SymGs, &coo).expect("program");
+        let diags = acc.preflight(&checked).expect("preflight refused a shipped class");
+        assert!(
+            diags.iter().all(|d| d.severity != alrescha_lint::Severity::Error),
+            "{}: {diags:?}",
+            class.name()
+        );
         let solver = AcceleratedPcg::program(&mut acc, &coo).expect("program");
         let out = solver
             .solve(
@@ -71,10 +81,12 @@ fn graph_suite_runs_all_kernels_on_table3_analogs() {
         let mut acc = Alrescha::with_paper_config();
 
         let prog = acc.program(KernelType::Bfs, &coo).expect("program");
+        acc.preflight(&prog).expect("bfs preflight");
         let (levels, _) = acc.bfs(&prog, 0).expect("bfs");
         assert_eq!(levels, graph::bfs(&csr, 0).expect("ref"), "{name}");
 
         let prog = acc.program(KernelType::Sssp, &coo).expect("program");
+        acc.preflight(&prog).expect("sssp preflight");
         let (dist, _) = acc.sssp(&prog, 0).expect("sssp");
         let expect = graph::sssp(&csr, 0).expect("ref");
         assert!(
@@ -85,6 +97,7 @@ fn graph_suite_runs_all_kernels_on_table3_analogs() {
         );
 
         let prog = acc.program(KernelType::PageRank, &coo).expect("program");
+        acc.preflight(&prog).expect("pagerank preflight");
         let (ranks, _) = acc
             .pagerank(
                 &prog,
@@ -99,6 +112,7 @@ fn graph_suite_runs_all_kernels_on_table3_analogs() {
         let prog = acc
             .program(KernelType::ConnectedComponents, &coo)
             .expect("program");
+        acc.preflight(&prog).expect("cc preflight");
         let (labels, _) = acc.connected_components(&prog).expect("cc");
         assert_eq!(
             labels,
@@ -119,6 +133,7 @@ fn ssor_preconditioned_device_pcg_via_closure() {
 
     let mut acc = Alrescha::with_paper_config();
     let prog = acc.program(KernelType::SymGs, &coo).expect("program");
+    acc.preflight(&prog).expect("ssor preflight");
     let sol = alrescha_kernels::pcg::pcg_with(&csr, &b, 1e-9, 200, |_, r| {
         let mut z = vec![0.0; r.len()];
         acc.ssor(&prog, r, &mut z, 1.0).map_err(|_| {
@@ -144,6 +159,8 @@ fn starved_iteration_budget_reports_budget_exhausted() {
     let b = spmv(&csr, &vec![1.0; coo.cols()]);
 
     let mut acc = Alrescha::with_paper_config();
+    let checked = acc.program(KernelType::SymGs, &coo).expect("program");
+    acc.preflight(&checked).expect("preflight");
     let solver = AcceleratedPcg::program(&mut acc, &coo).expect("program");
     let out = solver
         .solve(
@@ -181,6 +198,7 @@ fn dataset_scaling_is_monotone_in_device_time() {
         let coo = gen::stencil27(side);
         let mut acc = Alrescha::with_paper_config();
         let prog = acc.program(KernelType::SpMv, &coo).expect("program");
+        acc.preflight(&prog).expect("spmv preflight");
         let x = vec![1.0; coo.cols()];
         let (_, report) = acc.spmv(&prog, &x).expect("run");
         assert!(

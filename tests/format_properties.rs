@@ -17,7 +17,7 @@ fn arb_coo() -> impl Strategy<Value = Coo> {
                 // Strictly positive values: duplicate coordinates then sum
                 // to a non-zero, so compression and the formats (which drop
                 // exact zeros by design) stay in agreement.
-                coo.push(r, c, v.abs() as f64 + 0.5);
+                coo.push(r, c, f64::from(v.abs()) + 0.5);
             }
             coo.compress()
         })
@@ -35,7 +35,7 @@ fn arb_square_coo() -> impl Strategy<Value = Coo> {
             }
             for (r, c, v) in entries {
                 if r != c {
-                    coo.push(r, c, v.abs() as f64 + 0.5);
+                    coo.push(r, c, f64::from(v.abs()) + 0.5);
                 }
             }
             coo.compress()
@@ -113,10 +113,10 @@ proptest! {
         // Within each block row, the diagonal block (if present) is last.
         let mut last_row = None;
         for block in alf.blocks() {
-            if Some(block.block_row()) != last_row {
-                last_row = Some(block.block_row());
-            } else {
+            if Some(block.block_row()) == last_row {
                 // Same block row: previous block must not have been diagonal.
+            } else {
+                last_row = Some(block.block_row());
             }
         }
         for w in alf.blocks().windows(2) {

@@ -17,7 +17,7 @@ fn arb_dd_matrix() -> impl Strategy<Value = Coo> {
             let mut row_sum = vec![0.0; n];
             for (r, c, v) in entries {
                 if r != c {
-                    let v = -(v as f64) / 50.0;
+                    let v = -f64::from(v) / 50.0;
                     coo.push(r, c, v);
                     coo.push(c, r, v);
                     row_sum[r] += v.abs();
@@ -40,7 +40,7 @@ fn arb_graph() -> impl Strategy<Value = Coo> {
             let mut coo = Coo::new(n, n);
             for (u, v, w) in edges {
                 if u != v {
-                    coo.push(u, v, w as f64 / 10.0);
+                    coo.push(u, v, f64::from(w) / 10.0);
                 }
             }
             coo.compress()
@@ -164,7 +164,7 @@ proptest! {
         coo in arb_dd_matrix(),
         relax_pct in 40u32..160,
     ) {
-        let omega_relax = relax_pct as f64 / 100.0;
+        let omega_relax = f64::from(relax_pct) / 100.0;
         let csr = Csr::from_coo(&coo);
         let b: Vec<f64> = (0..coo.rows()).map(|i| (i as f64 * 0.23).cos()).collect();
 

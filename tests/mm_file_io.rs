@@ -1,6 +1,7 @@
 //! File-level Matrix Market round trips through real temporary files,
 //! including running the accelerator on a matrix loaded from disk.
 
+use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
@@ -99,7 +100,7 @@ mod fuzz_lite {
                 entries.len()
             );
             for (r, c, v) in &entries {
-                text.push_str(&format!("{r} {c} {v}\n"));
+                let _ = writeln!(text, "{r} {c} {v}");
             }
             // A typed rejection is fine; anything accepted must be in bounds.
             if let Ok(coo) = read_matrix_market(std::io::Cursor::new(text.into_bytes())) {

@@ -16,7 +16,7 @@ fn arb_symmetric() -> impl Strategy<Value = Coo> {
             let mut row_sum = vec![0.0; n];
             for (r, c, v) in entries {
                 if r != c {
-                    let v = -(v as f64) / 40.0;
+                    let v = -f64::from(v) / 40.0;
                     coo.push(r, c, v);
                     coo.push(c, r, v);
                     row_sum[r] += v.abs();
