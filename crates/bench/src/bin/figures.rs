@@ -19,6 +19,7 @@ struct Args {
     datasets: bool,
     breakdown: bool,
     ablation: Option<String>,
+    fleet: bool,
     all: bool,
     scale: usize,
     skip_preflight: bool,
@@ -33,6 +34,7 @@ fn parse_args() -> Result<Args, String> {
         datasets: false,
         breakdown: false,
         ablation: None,
+        fleet: false,
         all: false,
         scale: 1000,
         skip_preflight: false,
@@ -57,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
             "--ablation" => {
                 args.ablation = Some(it.next().ok_or("--ablation needs a name")?);
             }
+            "--fleet" => args.fleet = true,
             "--all" => args.all = true,
             "--skip-preflight" => args.skip_preflight = true,
             "--scale" => {
@@ -88,6 +91,7 @@ fn print_help() {
     println!("  --ablation cache      local-cache geometry sweep");
     println!("  --ablation format     locally-dense vs CSR streaming on the same hardware");
     println!("  --ablation bandwidth  memory-bandwidth scaling sweep");
+    println!("  --fleet               batched-execution throughput (fleet vs sequential)");
     println!("  --scale <n>           approximate matrix dimension (default 1000)");
     println!("  --skip-preflight      skip the alverify static-verification sub-step");
 }
@@ -217,6 +221,10 @@ fn main() {
                 eprintln!("unknown ablation {other}; try block-size, drain, reorder, cache, format, bandwidth");
             }
         }
+        ran = true;
+    }
+    if args.fleet {
+        alrescha_bench::fleet::print_fleet_throughput(n);
         ran = true;
     }
     if !ran {

@@ -7,6 +7,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod fig;
+pub mod fleet;
 pub mod verify;
 
 use alrescha::{AcceleratedPcg, Alrescha, KernelType, SolverOptions};

@@ -18,16 +18,34 @@ use crate::{CoreError, Result};
 
 /// A kernel programmed onto the accelerator: the reformatted matrix plus
 /// its configuration table.
+///
+/// The payloads live behind [`std::sync::Arc`], so cloning a program —
+/// e.g. handing a cached conversion to many concurrent jobs in the batch
+/// runtime — is a reference-count bump, not a copy of the matrix.
 #[derive(Debug, Clone)]
 pub struct ProgrammedKernel {
     kernel: KernelType,
-    alf: alrescha_sparse::Alf,
-    table: ConfigTable,
+    alf: std::sync::Arc<alrescha_sparse::Alf>,
+    table: std::sync::Arc<ConfigTable>,
     /// Out-degrees of the original adjacency (graph kernels only).
-    out_degrees: Option<Vec<usize>>,
+    out_degrees: Option<std::sync::Arc<Vec<usize>>>,
 }
 
 impl ProgrammedKernel {
+    fn build(
+        kernel: KernelType,
+        alf: alrescha_sparse::Alf,
+        table: ConfigTable,
+        out_degrees: Option<Vec<usize>>,
+    ) -> Self {
+        ProgrammedKernel {
+            kernel,
+            alf: std::sync::Arc::new(alf),
+            table: std::sync::Arc::new(table),
+            out_degrees: out_degrees.map(std::sync::Arc::new),
+        }
+    }
+
     /// The kernel type this program encodes.
     pub fn kernel(&self) -> KernelType {
         self.kernel
@@ -83,6 +101,20 @@ impl Alrescha {
     /// The simulator configuration.
     pub fn config(&self) -> &SimConfig {
         self.engine.config()
+    }
+
+    /// Returns the accelerator to its just-built state for the same
+    /// configuration: the engine's lifetime state (configured data path,
+    /// energy counters, cache contents, trace, fault plan, recovery policy,
+    /// budget) is cleared and any circuit breaker is disarmed.
+    ///
+    /// After `reset()`, runs are bit-identical to those of a freshly
+    /// constructed [`Alrescha`] with the same [`SimConfig`] — the batch
+    /// runtime relies on this to reuse one accelerator per worker across
+    /// jobs without cross-job contamination.
+    pub fn reset(&mut self) {
+        self.engine.reset();
+        self.breaker = None;
     }
 
     /// Arms (or, with `None`, disarms) a deterministic fault-injection plan.
@@ -232,32 +264,17 @@ impl Alrescha {
                 }
                 let (alf, table) =
                     convert(kernel, &sym.transpose().compress(), self.config().omega)?;
-                Ok(ProgrammedKernel {
-                    kernel,
-                    alf,
-                    table,
-                    out_degrees: None,
-                })
+                Ok(ProgrammedKernel::build(kernel, alf, table, None))
             }
             KernelType::Bfs | KernelType::Sssp | KernelType::PageRank => {
                 let csr = Csr::from_coo(a);
                 let out_degrees = (0..csr.rows()).map(|u| csr.row_nnz(u)).collect();
                 let (alf, table) = convert(kernel, &a.transpose(), self.config().omega)?;
-                Ok(ProgrammedKernel {
-                    kernel,
-                    alf,
-                    table,
-                    out_degrees: Some(out_degrees),
-                })
+                Ok(ProgrammedKernel::build(kernel, alf, table, Some(out_degrees)))
             }
             _ => {
                 let (alf, table) = convert(kernel, a, self.config().omega)?;
-                Ok(ProgrammedKernel {
-                    kernel,
-                    alf,
-                    table,
-                    out_degrees: None,
-                })
+                Ok(ProgrammedKernel::build(kernel, alf, table, None))
             }
         }
     }

@@ -1,0 +1,1191 @@
+//! `alrescha-fleet`: a work-stealing, batched execution runtime.
+//!
+//! The paper's host/device split (§4) makes Algorithm-1 conversion the
+//! dominant one-time cost of a run: the host reformats the sparse operand
+//! into locally-dense blocks and writes the configuration table before the
+//! device streams a single byte. Parameter sweeps and solver campaigns,
+//! however, run *many* kernels over *few* distinct matrices — HPCG runs the
+//! same stencil hundreds of times; a fault-injection study replays one
+//! system under dozens of plans. The fleet amortizes the host work across
+//! such batches:
+//!
+//! * a **sharded conversion cache** keyed by a matrix fingerprint lets
+//!   repeated matrices skip Algorithm 1 (and any preflight verification)
+//!   entirely — a cache hit hands the worker a reference-counted
+//!   [`ProgrammedKernel`] clone;
+//! * **per-worker accelerator reuse**: each worker owns one [`Alrescha`]
+//!   and recycles it between jobs via [`Alrescha::reset`] instead of
+//!   rebuilding the simulator;
+//! * **work stealing**: jobs are dealt round-robin onto per-worker FIFO
+//!   deques; an idle worker steals from the back of a sibling's deque, so
+//!   a skewed batch (one huge solve among many small SpMVs) still keeps
+//!   every worker busy;
+//! * **bounded admission with deadline propagation**: a batch larger than
+//!   the queue capacity rejects the excess jobs in-band
+//!   ([`CoreError::QueueFull`]), and a fleet deadline is translated into
+//!   each job's [`ExecBudget::max_wall`] so the existing runtime guard and
+//!   circuit-breaker machinery enforce it.
+//!
+//! # Determinism
+//!
+//! Batch execution is **bit-identical** to sequential execution, per job:
+//! [`Fleet::run`] and [`Fleet::run_sequential`] produce the same numeric
+//! results and the same [`ExecutionReport`]s regardless of worker count,
+//! scheduling order, or cache hits. This holds because
+//!
+//! * every job arms its **own** fault plan — the injector's RNG cursor is
+//!   never shared across jobs;
+//! * [`Alrescha::reset`] restores a recycled accelerator to its
+//!   just-built state (verified down to the RCU's configured data path,
+//!   whose persistence would otherwise perturb reconfiguration counts);
+//! * Algorithm-1 conversion is a pure function of `(kernel, matrix, ω)`,
+//!   so a cached program is indistinguishable from a fresh one.
+//!
+//! Only *scheduling metadata* (which worker ran a job, queue-wait times,
+//! hit/miss attribution when two workers race to convert the same key) may
+//! vary between runs; `tests/fleet_determinism.rs` pins the invariant.
+//!
+//! ```
+//! use alrescha::fleet::{Fleet, FleetConfig, JobKernel, JobSpec};
+//! use alrescha_sparse::gen;
+//!
+//! let a = gen::stencil27(3);
+//! let x = vec![1.0; a.cols()];
+//! let jobs: Vec<JobSpec> = (0..8)
+//!     .map(|_| JobSpec::new(a.clone(), JobKernel::SpMv { x: x.clone() }))
+//!     .collect();
+//!
+//! let fleet = Fleet::new(FleetConfig::default().with_workers(2));
+//! let report = fleet.run(jobs);
+//! assert_eq!(report.stats.completed, 8);
+//! // One conversion, seven cache hits: the matrix repeats.
+//! assert_eq!(report.stats.cache_misses, 1);
+//! assert_eq!(report.stats.cache_hits, 7);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use alrescha_sim::{ExecBudget, ExecutionReport, FaultPlan, RecoveryPolicy, SimConfig, SimError};
+use alrescha_sparse::Coo;
+use crossbeam::deque::{Steal, Stealer, Worker};
+
+use crate::accelerator::{Alrescha, ProgrammedKernel};
+use crate::breaker::BreakerConfig;
+use crate::convert::KernelType;
+use crate::solver::{AcceleratedPcg, SolveOutcome, SolverOptions};
+use crate::{CoreError, Result};
+
+/// A verification hook run on every freshly converted program before it is
+/// cached and executed (cache hits skip it — the program was already
+/// verified when it entered the cache).
+///
+/// The fleet lives below the `alrescha-lint` crate in the dependency graph,
+/// so static verification is injected rather than imported; see
+/// [`Fleet::with_preflight`] for wiring `alverify` in.
+pub type PreflightHook =
+    Arc<dyn Fn(&ProgrammedKernel, &SimConfig) -> std::result::Result<(), String> + Send + Sync>;
+
+/// Locks a mutex, recovering the guard if a previous holder panicked — the
+/// protected state (cache maps, job deques) is valid at every await point
+/// of its critical sections.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Job specification
+// ---------------------------------------------------------------------------
+
+/// The kernel a job runs, with its operands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobKernel {
+    /// `y = A·x`.
+    SpMv {
+        /// Dense operand vector.
+        x: Vec<f64>,
+    },
+    /// One symmetric Gauss–Seidel sweep, `x0` seeding the iterate.
+    SymGs {
+        /// Right-hand side.
+        b: Vec<f64>,
+        /// Initial iterate.
+        x0: Vec<f64>,
+    },
+    /// A full SymGS-preconditioned CG solve (Figure 2).
+    Pcg {
+        /// Right-hand side.
+        b: Vec<f64>,
+        /// Solver options.
+        opts: SolverOptions,
+    },
+}
+
+impl JobKernel {
+    /// Stable lowercase label for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobKernel::SpMv { .. } => "spmv",
+            JobKernel::SymGs { .. } => "symgs",
+            JobKernel::Pcg { .. } => "pcg",
+        }
+    }
+}
+
+/// One unit of fleet work: a matrix, a kernel, and the runtime knobs the
+/// sequential API would set on the accelerator by hand.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The sparse operand.
+    pub matrix: Coo,
+    /// Kernel and operands.
+    pub kernel: JobKernel,
+    /// Simulator configuration (determines ω and hence the conversion).
+    pub config: SimConfig,
+    /// Per-job fault plan; the injector cursor is private to this job.
+    pub fault_plan: Option<FaultPlan>,
+    /// Recovery policy applied when a detected fault survives recovery.
+    pub recovery: RecoveryPolicy,
+    /// Per-job budget; [`FleetConfig::default_budget`] applies when `None`.
+    pub budget: Option<ExecBudget>,
+}
+
+impl JobSpec {
+    /// A job with the paper's Table 5 configuration and default runtime
+    /// policies.
+    pub fn new(matrix: Coo, kernel: JobKernel) -> Self {
+        JobSpec {
+            matrix,
+            kernel,
+            config: SimConfig::paper(),
+            fault_plan: None,
+            recovery: RecoveryPolicy::default(),
+            budget: None,
+        }
+    }
+
+    /// Replaces the simulator configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Arms a deterministic fault plan for this job only.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the recovery policy.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Sets a per-job execution budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: ExecBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet configuration
+// ---------------------------------------------------------------------------
+
+/// Knobs for a [`Fleet`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker threads; `0` resolves to the machine's available parallelism.
+    pub workers: usize,
+    /// Jobs admitted per batch; the excess is rejected with
+    /// [`CoreError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Shards in the conversion cache (clamped to at least 1).
+    pub cache_shards: usize,
+    /// Wall-clock deadline for the whole batch, propagated into each job's
+    /// [`ExecBudget::max_wall`] as the remaining time at dequeue.
+    pub deadline: Option<Duration>,
+    /// Budget applied to jobs that do not carry their own.
+    pub default_budget: ExecBudget,
+    /// When set, every job runs behind a freshly armed circuit breaker
+    /// (per-job, so breaker state never leaks between jobs).
+    pub breaker: Option<BreakerConfig>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: 0,
+            queue_capacity: 1024,
+            cache_shards: 8,
+            deadline: None,
+            default_budget: ExecBudget::default(),
+            breaker: None,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Sets the worker count (`0` = available parallelism).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the admission capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the batch deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the per-job circuit breaker.
+    #[must_use]
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conversion cache
+// ---------------------------------------------------------------------------
+
+/// FNV-1a offset basis / prime (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Content fingerprint of a COO matrix: dimensions plus every entry's
+/// coordinates and exact value bits, FNV-1a folded. Two matrices with the
+/// same fingerprint, shape, and nnz are treated as identical by the cache
+/// (the full key also carries shape and nnz, so a 64-bit collision would
+/// additionally have to match those).
+pub fn matrix_fingerprint(a: &Coo) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv1a(&mut h, &(a.rows() as u64).to_le_bytes());
+    fnv1a(&mut h, &(a.cols() as u64).to_le_bytes());
+    for &(r, c, v) in a.entries() {
+        fnv1a(&mut h, &(r as u64).to_le_bytes());
+        fnv1a(&mut h, &(c as u64).to_le_bytes());
+        fnv1a(&mut h, &v.to_bits().to_le_bytes());
+    }
+    h
+}
+
+/// Cache key: the conversion inputs that determine a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    kernel: KernelType,
+    omega: usize,
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    fingerprint: u64,
+}
+
+impl CacheKey {
+    fn new(kernel: KernelType, omega: usize, a: &Coo) -> Self {
+        CacheKey {
+            kernel,
+            omega,
+            rows: a.rows(),
+            cols: a.cols(),
+            nnz: a.entries().len(),
+            fingerprint: matrix_fingerprint(a),
+        }
+    }
+
+    fn shard(&self, shards: usize) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        (h.finish() as usize) % shards
+    }
+}
+
+/// Sharded map from conversion inputs to programs. The shard lock is held
+/// across a miss's conversion, so concurrent requests for the *same* key
+/// block and then hit instead of duplicating Algorithm 1; requests for
+/// different keys usually land on different shards and proceed in parallel.
+struct ConversionCache {
+    shards: Vec<Mutex<HashMap<CacheKey, Arc<ProgrammedKernel>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ConversionCache {
+    fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ConversionCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached program for `(kernel, ω, matrix)` or converts,
+    /// preflights, and caches it. The boolean is `true` on a hit.
+    fn get_or_convert(
+        &self,
+        acc: &mut Alrescha,
+        kernel: KernelType,
+        a: &Coo,
+        preflight: Option<&PreflightHook>,
+    ) -> Result<(Arc<ProgrammedKernel>, bool)> {
+        let key = CacheKey::new(kernel, acc.config().omega, a);
+        let shard = &self.shards[key.shard(self.shards.len())];
+        let mut map = lock(shard);
+        if let Some(prog) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(prog), true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let prog = acc.program(kernel, a)?;
+        if let Some(hook) = preflight {
+            hook(&prog, acc.config()).map_err(|message| CoreError::Preflight { message })?;
+        }
+        let prog = Arc::new(prog);
+        map.insert(key, Arc::clone(&prog));
+        Ok((prog, false))
+    }
+
+    fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).len()).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+/// What a completed job produced.
+#[derive(Debug, Clone)]
+pub enum JobOutput {
+    /// SpMV result vector and its report.
+    SpMv {
+        /// `A·x`.
+        y: Vec<f64>,
+        /// Device execution report.
+        report: ExecutionReport,
+    },
+    /// SymGS iterate after the sweep and its report.
+    SymGs {
+        /// Updated iterate.
+        x: Vec<f64>,
+        /// Device execution report.
+        report: ExecutionReport,
+    },
+    /// Full solve outcome.
+    Pcg {
+        /// The solve outcome (iterate, residual, accumulated report).
+        outcome: SolveOutcome,
+    },
+}
+
+impl JobOutput {
+    /// The device execution report (accumulated across iterations for PCG).
+    pub fn report(&self) -> &ExecutionReport {
+        match self {
+            JobOutput::SpMv { report, .. } | JobOutput::SymGs { report, .. } => report,
+            JobOutput::Pcg { outcome } => &outcome.report,
+        }
+    }
+
+    /// The numeric result vector.
+    pub fn values(&self) -> &[f64] {
+        match self {
+            JobOutput::SpMv { y, .. } => y,
+            JobOutput::SymGs { x, .. } => x,
+            JobOutput::Pcg { outcome } => &outcome.x,
+        }
+    }
+
+    /// Content fingerprint over every deterministic field: the exact bits
+    /// of the result vector, the full execution report, and (for solves)
+    /// the iteration count, residual bits, convergence flag, and
+    /// termination reason. Two outputs with equal fingerprints are
+    /// bit-identical for determinism purposes.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        let tag: u8 = match self {
+            JobOutput::SpMv { .. } => 1,
+            JobOutput::SymGs { .. } => 2,
+            JobOutput::Pcg { .. } => 3,
+        };
+        fnv1a(&mut h, &[tag]);
+        let values = self.values();
+        fnv1a(&mut h, &(values.len() as u64).to_le_bytes());
+        for v in values {
+            fnv1a(&mut h, &v.to_bits().to_le_bytes());
+        }
+        if let JobOutput::Pcg { outcome } = self {
+            fnv1a(&mut h, &(outcome.iterations as u64).to_le_bytes());
+            fnv1a(&mut h, &outcome.residual.to_bits().to_le_bytes());
+            fnv1a(&mut h, &[u8::from(outcome.converged)]);
+            fnv1a(&mut h, format!("{:?}", outcome.reason).as_bytes());
+        }
+        fnv1a(&mut h, self.report().to_json().as_bytes());
+        h
+    }
+}
+
+/// Per-job record in a [`FleetReport`].
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Index of the job in the submitted batch.
+    pub job: usize,
+    /// Kernel label (`"spmv"`, `"symgs"`, `"pcg"`).
+    pub kernel: &'static str,
+    /// Worker that executed the job (`usize::MAX` for admission rejects).
+    pub worker: usize,
+    /// Whether every program the job needed came from the conversion cache.
+    pub cache_hit: bool,
+    /// Time between batch submission and this job's dequeue.
+    pub queue_wait: Duration,
+    /// Time spent executing (programming + device run).
+    pub run_time: Duration,
+    /// The job's result.
+    pub result: Result<JobOutput>,
+}
+
+impl JobRecord {
+    fn rejected(job: usize, kernel: &'static str, err: CoreError) -> Self {
+        JobRecord {
+            job,
+            kernel,
+            worker: usize::MAX,
+            cache_hit: false,
+            queue_wait: Duration::ZERO,
+            run_time: Duration::ZERO,
+            result: Err(err),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let (ok, fingerprint, error) = match &self.result {
+            Ok(out) => (
+                true,
+                format!("\"{:#018x}\"", out.fingerprint()),
+                "null".to_owned(),
+            ),
+            Err(e) => (false, "null".to_owned(), format!("{:?}", e.to_string())),
+        };
+        format!(
+            concat!(
+                "{{\"job\":{},\"kernel\":{:?},\"worker\":{},\"cache_hit\":{},",
+                "\"queue_wait_us\":{},\"run_time_us\":{},\"ok\":{},",
+                "\"fingerprint\":{},\"error\":{}}}"
+            ),
+            self.job,
+            self.kernel,
+            if self.worker == usize::MAX {
+                -1_i64
+            } else {
+                self.worker as i64
+            },
+            self.cache_hit,
+            self.queue_wait.as_micros(),
+            self.run_time.as_micros(),
+            ok,
+            fingerprint,
+            error,
+        )
+    }
+}
+
+/// Aggregate statistics for one batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetStats {
+    /// Jobs offered to the batch.
+    pub jobs: usize,
+    /// Jobs that finished with `Ok`.
+    pub completed: usize,
+    /// Jobs that ran but failed.
+    pub failed: usize,
+    /// Jobs rejected at admission ([`CoreError::QueueFull`]).
+    pub rejected: usize,
+    /// Conversion-cache hits during the batch.
+    pub cache_hits: u64,
+    /// Conversion-cache misses (conversions performed) during the batch.
+    pub cache_misses: u64,
+    /// Workers that rebuilt their accelerator for a config change.
+    pub engine_rebuilds: u64,
+    /// Jobs served by a recycled ([`Alrescha::reset`]) accelerator.
+    pub engine_reuses: u64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall time of the whole batch.
+    pub wall_time: Duration,
+    /// Device cycles summed over completed jobs.
+    pub total_device_cycles: u64,
+    /// Longest queue wait observed.
+    pub queue_wait_max: Duration,
+    /// Mean queue wait over executed jobs.
+    pub queue_wait_mean: Duration,
+}
+
+impl FleetStats {
+    /// Completed jobs per wall-clock second (0 for an empty batch).
+    pub fn jobs_per_second(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs > 0.0 {
+            self.completed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"jobs\":{},\"completed\":{},\"failed\":{},\"rejected\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{},",
+                "\"engine_rebuilds\":{},\"engine_reuses\":{},\"workers\":{},",
+                "\"wall_time_us\":{},\"total_device_cycles\":{},",
+                "\"queue_wait_max_us\":{},\"queue_wait_mean_us\":{}}}"
+            ),
+            self.jobs,
+            self.completed,
+            self.failed,
+            self.rejected,
+            self.cache_hits,
+            self.cache_misses,
+            self.engine_rebuilds,
+            self.engine_reuses,
+            self.workers,
+            self.wall_time.as_micros(),
+            self.total_device_cycles,
+            self.queue_wait_max.as_micros(),
+            self.queue_wait_mean.as_micros(),
+        )
+    }
+}
+
+/// Everything a batch produced: one record per submitted job (in submission
+/// order) plus aggregate statistics.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-job records, indexed by submission order.
+    pub jobs: Vec<JobRecord>,
+    /// Aggregate statistics.
+    pub stats: FleetStats,
+}
+
+impl FleetReport {
+    /// Single-line JSON with a stable schema (`stats` object first, then
+    /// the `jobs` array in submission order). Job results appear as
+    /// determinism fingerprints, not payloads.
+    pub fn to_json(&self) -> String {
+        let jobs: Vec<String> = self.jobs.iter().map(JobRecord::to_json).collect();
+        format!(
+            "{{\"stats\":{},\"jobs\":[{}]}}",
+            self.stats.to_json(),
+            jobs.join(",")
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The fleet
+// ---------------------------------------------------------------------------
+
+/// The batched execution runtime. See the [module docs](self) for the
+/// architecture and determinism contract.
+pub struct Fleet {
+    config: FleetConfig,
+    cache: ConversionCache,
+    preflight: Option<PreflightHook>,
+}
+
+impl fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fleet")
+            .field("config", &self.config)
+            .field("cached_programs", &self.cache.len())
+            .field("preflight", &self.preflight.is_some())
+            .finish()
+    }
+}
+
+impl Fleet {
+    /// Builds a fleet; the conversion cache persists across batches.
+    pub fn new(config: FleetConfig) -> Self {
+        let cache = ConversionCache::new(config.cache_shards);
+        Fleet {
+            config,
+            cache,
+            preflight: None,
+        }
+    }
+
+    /// Installs a preflight hook run on every fresh conversion (cache hits
+    /// skip it). Rejections fail the job with [`CoreError::Preflight`].
+    #[must_use]
+    pub fn with_preflight(mut self, hook: PreflightHook) -> Self {
+        self.preflight = Some(hook);
+        self
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Programs currently held by the conversion cache.
+    pub fn cached_programs(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Runs a batch across the worker pool and returns one record per job,
+    /// in submission order.
+    ///
+    /// Jobs beyond [`FleetConfig::queue_capacity`] are not run; their
+    /// records carry [`CoreError::QueueFull`]. Everything else about a
+    /// job's result is bit-identical to [`Fleet::run_sequential`].
+    pub fn run(&self, jobs: Vec<JobSpec>) -> FleetReport {
+        let offered = jobs.len();
+        let capacity = self.config.queue_capacity;
+        let workers = self.config.resolved_workers();
+        let Ok(pool) = rayon::ThreadPoolBuilder::new().num_threads(workers).build() else {
+            // Thread spawning failed: serve the batch on this thread.
+            let mut report = self.run_sequential(jobs);
+            report.stats.workers = 0;
+            return report;
+        };
+        let (hits0, misses0) = self.cache.counters();
+        let submitted = Instant::now();
+        let deadline = self.config.deadline.map(|d| submitted + d);
+
+        // Admission: everything past the capacity is rejected in-band.
+        let mut rejects: Vec<JobRecord> = Vec::new();
+        for (i, spec) in jobs.iter().enumerate().skip(capacity) {
+            rejects.push(JobRecord::rejected(
+                i,
+                spec.kernel.name(),
+                CoreError::QueueFull { capacity, offered },
+            ));
+        }
+        let admitted = &jobs[..offered.min(capacity)];
+
+        // Deal admitted jobs round-robin onto per-worker FIFO deques.
+        let deques: Vec<Worker<usize>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<usize>> = deques.iter().map(Worker::stealer).collect();
+        for (i, _) in admitted.iter().enumerate() {
+            deques[i % workers].push(i);
+        }
+        let slots: Vec<Mutex<Option<Worker<usize>>>> =
+            deques.into_iter().map(|d| Mutex::new(Some(d))).collect();
+
+        let rebuilds = AtomicU64::new(0);
+        let reuses = AtomicU64::new(0);
+        let per_worker: Vec<Vec<JobRecord>> = pool.broadcast(|ctx| {
+            let me = ctx.index();
+            let Some(local) = lock(&slots[me]).take() else {
+                return Vec::new();
+            };
+            let mut station = WorkerStation::new(me);
+            let mut out = Vec::new();
+            loop {
+                let next = local.pop().or_else(|| {
+                    // Steal from siblings, scanning from our right neighbor
+                    // so contention spreads instead of piling on worker 0.
+                    (1..workers).find_map(|d| loop {
+                        match stealers[(me + d) % workers].steal() {
+                            Steal::Success(i) => break Some(i),
+                            Steal::Empty => break None,
+                            Steal::Retry => {}
+                        }
+                    })
+                });
+                let Some(i) = next else { break };
+                let queue_wait = submitted.elapsed();
+                out.push(self.execute(&mut station, i, &admitted[i], queue_wait, deadline));
+            }
+            rebuilds.fetch_add(station.rebuilds, Ordering::Relaxed);
+            reuses.fetch_add(station.reuses, Ordering::Relaxed);
+            out
+        });
+
+        let mut records: Vec<JobRecord> = per_worker.into_iter().flatten().collect();
+        records.extend(rejects);
+        records.sort_by_key(|r| r.job);
+
+        let (hits1, misses1) = self.cache.counters();
+        let stats = finish_stats(
+            &records,
+            offered,
+            workers,
+            submitted.elapsed(),
+            hits1 - hits0,
+            misses1 - misses0,
+            rebuilds.into_inner(),
+            reuses.into_inner(),
+        );
+        FleetReport {
+            jobs: records,
+            stats,
+        }
+    }
+
+    /// Reference path: runs every job on this thread with a **fresh**
+    /// accelerator per job and no conversion cache. Produces the results
+    /// [`Fleet::run`] must match bit-for-bit.
+    ///
+    /// Admission and deadline rules are applied identically to
+    /// [`Fleet::run`].
+    pub fn run_sequential(&self, jobs: Vec<JobSpec>) -> FleetReport {
+        let offered = jobs.len();
+        let capacity = self.config.queue_capacity;
+        let submitted = Instant::now();
+        let deadline = self.config.deadline.map(|d| submitted + d);
+        let mut records = Vec::with_capacity(offered);
+        for (i, spec) in jobs.iter().enumerate() {
+            if i >= capacity {
+                records.push(JobRecord::rejected(
+                    i,
+                    spec.kernel.name(),
+                    CoreError::QueueFull { capacity, offered },
+                ));
+                continue;
+            }
+            let mut station = WorkerStation::new(0);
+            station.caching = false;
+            let queue_wait = submitted.elapsed();
+            records.push(self.execute(&mut station, i, spec, queue_wait, deadline));
+        }
+        let stats = finish_stats(&records, offered, 1, submitted.elapsed(), 0, 0, 0, 0);
+        FleetReport {
+            jobs: records,
+            stats,
+        }
+    }
+
+    /// Runs one job on a worker's accelerator, converting (or fetching)
+    /// programs as needed.
+    fn execute(
+        &self,
+        station: &mut WorkerStation,
+        index: usize,
+        spec: &JobSpec,
+        queue_wait: Duration,
+        deadline: Option<Instant>,
+    ) -> JobRecord {
+        let started = Instant::now();
+        let kernel = spec.kernel.name();
+        let caching = station.caching;
+        let mut cache_hit = true;
+        let result = (|| -> Result<JobOutput> {
+            let budget = effective_budget(spec, &self.config, deadline)?;
+            let acc = station.accelerator(&spec.config);
+            let mut convert = |acc: &mut Alrescha, kind: KernelType| {
+                if caching {
+                    let (prog, hit) =
+                        self.cache
+                            .get_or_convert(acc, kind, &spec.matrix, self.preflight.as_ref())?;
+                    cache_hit &= hit;
+                    Ok::<ProgrammedKernel, CoreError>((*prog).clone())
+                } else {
+                    cache_hit = false;
+                    let prog = acc.program(kind, &spec.matrix)?;
+                    if let Some(hook) = &self.preflight {
+                        hook(&prog, acc.config())
+                            .map_err(|message| CoreError::Preflight { message })?;
+                    }
+                    Ok(prog)
+                }
+            };
+            match &spec.kernel {
+                JobKernel::SpMv { x } => {
+                    let prog = convert(acc, KernelType::SpMv)?;
+                    arm(acc, spec, budget, self.config.breaker);
+                    let (y, report) = acc.spmv(&prog, x)?;
+                    Ok(JobOutput::SpMv { y, report })
+                }
+                JobKernel::SymGs { b, x0 } => {
+                    let prog = convert(acc, KernelType::SymGs)?;
+                    arm(acc, spec, budget, self.config.breaker);
+                    let mut x = x0.clone();
+                    let report = acc.symgs(&prog, b, &mut x)?;
+                    Ok(JobOutput::SymGs { x, report })
+                }
+                JobKernel::Pcg { b, opts } => {
+                    let spmv_prog = convert(acc, KernelType::SpMv)?;
+                    let symgs_prog = convert(acc, KernelType::SymGs)?;
+                    let solver = AcceleratedPcg::from_programs(spmv_prog, symgs_prog)?;
+                    arm(acc, spec, budget, self.config.breaker);
+                    let outcome = solver.solve(acc, b, opts)?;
+                    Ok(JobOutput::Pcg { outcome })
+                }
+            }
+        })();
+        JobRecord {
+            job: index,
+            kernel,
+            worker: station.worker,
+            cache_hit: cache_hit && result.is_ok(),
+            queue_wait,
+            run_time: started.elapsed(),
+            result,
+        }
+    }
+}
+
+/// One worker's long-lived state: its accelerator, recycled between jobs
+/// and rebuilt only when a job carries a different [`SimConfig`].
+struct WorkerStation {
+    worker: usize,
+    acc: Option<Alrescha>,
+    caching: bool,
+    rebuilds: u64,
+    reuses: u64,
+}
+
+impl WorkerStation {
+    fn new(worker: usize) -> Self {
+        WorkerStation {
+            worker,
+            acc: None,
+            caching: true,
+            rebuilds: 0,
+            reuses: 0,
+        }
+    }
+
+    /// The worker's accelerator, reset for a new job; rebuilt when the
+    /// job's configuration differs from the current one.
+    fn accelerator(&mut self, config: &SimConfig) -> &mut Alrescha {
+        let rebuild = match &self.acc {
+            Some(acc) => acc.config() != config,
+            None => true,
+        };
+        if rebuild {
+            self.rebuilds += 1;
+            self.acc = Some(Alrescha::new(config.clone()));
+        } else {
+            self.reuses += 1;
+            if let Some(acc) = self.acc.as_mut() {
+                acc.reset();
+            }
+        }
+        // The line above guarantees presence; avoid unwrap under the
+        // crate-wide unwrap ban by inserting on the (unreachable) None arm.
+        self.acc
+            .get_or_insert_with(|| Alrescha::new(config.clone()))
+    }
+}
+
+/// Resolves the budget a job runs under: its own (or the fleet default),
+/// tightened by the remaining batch deadline. A deadline already in the
+/// past fails the job with [`SimError::DeadlineExceeded`] before any
+/// device work.
+fn effective_budget(
+    spec: &JobSpec,
+    config: &FleetConfig,
+    deadline: Option<Instant>,
+) -> Result<ExecBudget> {
+    let mut budget = spec.budget.unwrap_or(config.default_budget);
+    if let Some(deadline) = deadline {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(CoreError::Sim(SimError::DeadlineExceeded {
+                budget: "fleet deadline",
+                cycle: 0,
+            }));
+        }
+        let remaining = deadline - now;
+        budget.max_wall = Some(match budget.max_wall {
+            Some(own) => own.min(remaining),
+            None => remaining,
+        });
+    }
+    Ok(budget)
+}
+
+/// Arms per-job runtime state on a (fresh or reset) accelerator.
+fn arm(acc: &mut Alrescha, spec: &JobSpec, budget: ExecBudget, breaker: Option<BreakerConfig>) {
+    acc.set_fault_plan(spec.fault_plan.clone());
+    acc.set_recovery_policy(spec.recovery);
+    acc.set_budget(budget);
+    acc.set_circuit_breaker(breaker);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_stats(
+    records: &[JobRecord],
+    offered: usize,
+    workers: usize,
+    wall_time: Duration,
+    cache_hits: u64,
+    cache_misses: u64,
+    engine_rebuilds: u64,
+    engine_reuses: u64,
+) -> FleetStats {
+    let mut stats = FleetStats {
+        jobs: offered,
+        workers,
+        wall_time,
+        cache_hits,
+        cache_misses,
+        engine_rebuilds,
+        engine_reuses,
+        ..FleetStats::default()
+    };
+    let mut wait_total = Duration::ZERO;
+    let mut executed = 0u32;
+    for r in records {
+        match &r.result {
+            Ok(out) => {
+                stats.completed += 1;
+                stats.total_device_cycles += out.report().cycles;
+            }
+            Err(CoreError::QueueFull { .. }) => {
+                stats.rejected += 1;
+                continue;
+            }
+            Err(_) => stats.failed += 1,
+        }
+        executed += 1;
+        wait_total += r.queue_wait;
+        stats.queue_wait_max = stats.queue_wait_max.max(r.queue_wait);
+    }
+    if executed > 0 {
+        stats.queue_wait_mean = wait_total / executed;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alrescha_sparse::gen;
+
+    fn spmv_jobs(n_jobs: usize, grid: usize) -> Vec<JobSpec> {
+        let a = gen::stencil27(grid);
+        let x: Vec<f64> = (0..a.cols()).map(|i| 1.0 + (i % 7) as f64).collect();
+        (0..n_jobs)
+            .map(|_| JobSpec::new(a.clone(), JobKernel::SpMv { x: x.clone() }))
+            .collect()
+    }
+
+    #[test]
+    fn repeated_matrix_hits_the_cache() {
+        let fleet = Fleet::new(FleetConfig::default().with_workers(2));
+        let report = fleet.run(spmv_jobs(6, 3));
+        assert_eq!(report.stats.completed, 6);
+        assert_eq!(report.stats.cache_misses, 1);
+        assert_eq!(report.stats.cache_hits, 5);
+        assert_eq!(report.jobs.iter().filter(|r| r.cache_hit).count(), 5);
+        assert_eq!(fleet.cached_programs(), 1);
+    }
+
+    #[test]
+    fn batch_matches_sequential_bitwise() {
+        let a = gen::stencil27(3);
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
+        let mut jobs = spmv_jobs(3, 3);
+        jobs.push(JobSpec::new(
+            a.clone(),
+            JobKernel::SymGs {
+                b: b.clone(),
+                x0: vec![0.0; n],
+            },
+        ));
+        jobs.push(JobSpec::new(
+            a,
+            JobKernel::Pcg {
+                b,
+                opts: SolverOptions {
+                    tol: 1e-8,
+                    max_iters: 50,
+                },
+            },
+        ));
+
+        let fleet = Fleet::new(FleetConfig::default().with_workers(3));
+        let batch = fleet.run(jobs.clone());
+        let sequential = Fleet::new(FleetConfig::default()).run_sequential(jobs);
+        assert_eq!(batch.jobs.len(), sequential.jobs.len());
+        for (b_rec, s_rec) in batch.jobs.iter().zip(&sequential.jobs) {
+            assert_eq!(b_rec.job, s_rec.job);
+            let (b_out, s_out) = match (&b_rec.result, &s_rec.result) {
+                (Ok(b), Ok(s)) => (b, s),
+                other => panic!("job {} diverged: {other:?}", b_rec.job),
+            };
+            assert_eq!(
+                b_out.fingerprint(),
+                s_out.fingerprint(),
+                "job {} not bit-identical",
+                b_rec.job
+            );
+        }
+    }
+
+    #[test]
+    fn per_job_fault_plans_stay_isolated() {
+        // Same matrix, different fault plans: each job's injector cursor is
+        // private, so a faulty job does not perturb a clean one.
+        let a = gen::stencil27(3);
+        let x = vec![1.0; a.cols()];
+        let clean = JobSpec::new(a.clone(), JobKernel::SpMv { x: x.clone() });
+        let faulty = JobSpec::new(a, JobKernel::SpMv { x })
+            .with_fault_plan(FaultPlan::inert(11).with_fcu_tree_rate(1.0))
+            .with_recovery(RecoveryPolicy::default());
+        let jobs = vec![clean.clone(), faulty, clean];
+
+        let fleet = Fleet::new(FleetConfig::default().with_workers(2));
+        let batch = fleet.run(jobs.clone());
+        let sequential = Fleet::new(FleetConfig::default()).run_sequential(jobs);
+        for (b_rec, s_rec) in batch.jobs.iter().zip(&sequential.jobs) {
+            match (&b_rec.result, &s_rec.result) {
+                (Ok(b), Ok(s)) => assert_eq!(b.fingerprint(), s.fingerprint()),
+                (Err(b), Err(s)) => assert_eq!(b, s),
+                other => panic!("job {} diverged: {other:?}", b_rec.job),
+            }
+        }
+        // Jobs 0 and 2 are identical clean runs: bit-identical outputs.
+        let f0 = batch.jobs[0].result.as_ref().map(JobOutput::fingerprint);
+        let f2 = batch.jobs[2].result.as_ref().map(JobOutput::fingerprint);
+        assert_eq!(f0.ok(), f2.ok());
+    }
+
+    #[test]
+    fn admission_rejects_past_capacity() {
+        let fleet = Fleet::new(FleetConfig::default().with_workers(1).with_queue_capacity(2));
+        let report = fleet.run(spmv_jobs(4, 2));
+        assert_eq!(report.stats.completed, 2);
+        assert_eq!(report.stats.rejected, 2);
+        assert!(matches!(
+            report.jobs[3].result,
+            Err(CoreError::QueueFull {
+                capacity: 2,
+                offered: 4
+            })
+        ));
+        assert_eq!(report.jobs[3].worker, usize::MAX);
+    }
+
+    #[test]
+    fn expired_deadline_fails_jobs_in_band() {
+        let fleet = Fleet::new(
+            FleetConfig::default()
+                .with_workers(1)
+                .with_deadline(Duration::ZERO),
+        );
+        let report = fleet.run(spmv_jobs(2, 2));
+        assert_eq!(report.stats.failed, 2);
+        for rec in &report.jobs {
+            assert!(matches!(
+                rec.result,
+                Err(CoreError::Sim(SimError::DeadlineExceeded { .. }))
+            ));
+        }
+    }
+
+    #[test]
+    fn preflight_rejection_fails_the_job_once() {
+        let hook: PreflightHook = Arc::new(|prog, _config| {
+            Err(format!("synthetic rejection of {:?}", prog.kernel()))
+        });
+        let fleet = Fleet::new(FleetConfig::default().with_workers(2)).with_preflight(hook);
+        let report = fleet.run(spmv_jobs(3, 2));
+        assert_eq!(report.stats.failed, 3);
+        for rec in &report.jobs {
+            assert!(matches!(rec.result, Err(CoreError::Preflight { .. })));
+        }
+        // Rejected programs are never cached.
+        assert_eq!(fleet.cached_programs(), 0);
+    }
+
+    #[test]
+    fn config_change_rebuilds_the_worker_engine() {
+        let a = gen::stencil27(2);
+        let x = vec![1.0; a.cols()];
+        let jobs = vec![
+            JobSpec::new(a.clone(), JobKernel::SpMv { x: x.clone() }),
+            JobSpec::new(a.clone(), JobKernel::SpMv { x: x.clone() })
+                .with_config(SimConfig::paper().with_omega(4)),
+            JobSpec::new(a, JobKernel::SpMv { x }),
+        ];
+        let fleet = Fleet::new(FleetConfig::default().with_workers(1));
+        let report = fleet.run(jobs);
+        assert_eq!(report.stats.completed, 3);
+        // ω=8, then ω=4, then ω=8 again: three rebuilds on one worker.
+        assert_eq!(report.stats.engine_rebuilds, 3);
+        assert_eq!(report.stats.engine_reuses, 0);
+        // Distinct ω values convert separately.
+        assert_eq!(report.stats.cache_misses, 2);
+        assert_eq!(report.stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn fleet_report_json_is_balanced_and_stable() {
+        let fleet = Fleet::new(FleetConfig::default().with_workers(1));
+        let report = fleet.run(spmv_jobs(2, 2));
+        let json = report.to_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        for key in [
+            "\"stats\":",
+            "\"jobs\":",
+            "\"cache_hits\":",
+            "\"fingerprint\":",
+            "\"queue_wait_us\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(!json.contains(",}"));
+    }
+
+    #[test]
+    fn matrix_fingerprint_separates_value_bits() {
+        let mut a = Coo::new(2, 2);
+        a.push(0, 0, 1.0);
+        let mut b = Coo::new(2, 2);
+        b.push(0, 0, -1.0);
+        assert_ne!(matrix_fingerprint(&a), matrix_fingerprint(&b));
+        assert_eq!(matrix_fingerprint(&a), matrix_fingerprint(&a.clone()));
+    }
+}

@@ -38,6 +38,7 @@ pub mod accelerator;
 pub mod breaker;
 pub mod checkpoint;
 pub mod convert;
+pub mod fleet;
 pub mod program;
 pub mod solver;
 
@@ -45,6 +46,10 @@ pub use accelerator::{Alrescha, ProgrammedKernel};
 pub use breaker::{BackendChoice, BreakerConfig, BreakerState, CircuitBreaker};
 pub use checkpoint::{CheckpointError, SolverCheckpoint, SolverKind};
 pub use convert::{ConfigEntry, ConfigTable, DataPath, KernelType};
+pub use fleet::{
+    Fleet, FleetConfig, FleetReport, FleetStats, JobKernel, JobOutput, JobRecord, JobSpec,
+    PreflightHook,
+};
 pub use program::ProgramBinary;
 pub use solver::{
     AcceleratedMgPcg, AcceleratedPcg, SolveOutcome, SolverOptions, TerminationReason,
@@ -112,6 +117,18 @@ pub enum CoreError {
     /// A solver checkpoint failed to decode or does not belong to the
     /// resuming solve.
     Checkpoint(checkpoint::CheckpointError),
+    /// The batch runtime's bounded queue rejected a job at admission.
+    QueueFull {
+        /// Jobs the queue accepts per batch.
+        capacity: usize,
+        /// Jobs offered in the batch.
+        offered: usize,
+    },
+    /// A preflight hook rejected a converted program before execution.
+    Preflight {
+        /// The verifier's explanation.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -155,6 +172,15 @@ impl fmt::Display for CoreError {
                 write!(f, "invalid program: {reason}")
             }
             CoreError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            CoreError::QueueFull { capacity, offered } => {
+                write!(
+                    f,
+                    "fleet queue full: capacity {capacity}, offered {offered}"
+                )
+            }
+            CoreError::Preflight { message } => {
+                write!(f, "preflight rejected program: {message}")
+            }
         }
     }
 }

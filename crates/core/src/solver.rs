@@ -326,6 +326,42 @@ impl AcceleratedPcg {
         })
     }
 
+    /// Assembles a solver from two already-programmed kernels — the batch
+    /// runtime uses this to reuse cached conversions instead of re-running
+    /// Algorithm 1. Cloning a [`ProgrammedKernel`] is cheap (its payloads
+    /// are reference-counted).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::WrongKernel`] if either program encodes the wrong
+    /// kernel; [`CoreError::InvalidProgram`] if the two programs disagree
+    /// on the system size.
+    pub fn from_programs(spmv_prog: ProgrammedKernel, symgs_prog: ProgrammedKernel) -> Result<Self> {
+        if spmv_prog.kernel() != KernelType::SpMv {
+            return Err(CoreError::WrongKernel {
+                programmed: spmv_prog.kernel(),
+                requested: KernelType::SpMv,
+            });
+        }
+        if symgs_prog.kernel() != KernelType::SymGs {
+            return Err(CoreError::WrongKernel {
+                programmed: symgs_prog.kernel(),
+                requested: KernelType::SymGs,
+            });
+        }
+        let n = spmv_prog.matrix().rows();
+        if n != symgs_prog.matrix().rows() {
+            return Err(CoreError::InvalidProgram {
+                reason: "spmv and symgs programs encode different system sizes",
+            });
+        }
+        Ok(AcceleratedPcg {
+            spmv_prog,
+            symgs_prog,
+            n,
+        })
+    }
+
     /// Solves `A x = b` with the SymGS-preconditioned CG of Figure 2.
     ///
     /// # Errors

@@ -325,6 +325,23 @@ impl Preflight for alrescha::Alrescha {
     }
 }
 
+/// Builds the `alverify` preflight hook for the batch runtime
+/// ([`alrescha::Fleet::with_preflight`]): every freshly converted program is
+/// run through the full rule catalog under [`PreflightGate::Enforce`]
+/// semantics before it enters the conversion cache. Cache hits were
+/// verified when they entered, so repeated matrices pay the verification
+/// cost once per distinct `(kernel, matrix, ω)`.
+pub fn fleet_preflight_hook() -> alrescha::PreflightHook {
+    std::sync::Arc::new(|prog, config| {
+        let diagnostics = verify_programmed(prog, config);
+        if is_launchable(&diagnostics) {
+            Ok(())
+        } else {
+            Err(render_text(&diagnostics))
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

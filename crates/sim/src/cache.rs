@@ -128,6 +128,17 @@ impl LocalCache {
         self.tags.fill(usize::MAX);
     }
 
+    /// Returns the cache to its just-built state: contents flushed, hit and
+    /// miss counters zeroed, injector detached. Keeps the tag storage
+    /// allocation (geometry is config-derived and unchanged).
+    pub fn reset(&mut self) {
+        self.flush();
+        self.hits = 0;
+        self.misses = 0;
+        self.writes = 0;
+        self.faults = None;
+    }
+
     /// Read hits so far.
     pub fn hits(&self) -> u64 {
         self.hits

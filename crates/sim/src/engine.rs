@@ -130,6 +130,26 @@ impl Engine {
         }
     }
 
+    /// Recycles the engine for a new, unrelated workload: every piece of
+    /// engine-lifetime state — RCU data-path wiring and reconfiguration
+    /// statistics, energy counters, cache contents and counters, the trace
+    /// log, the fault plan, the recovery policy, and the budget — returns
+    /// to its just-built value, while config-derived allocations are kept.
+    ///
+    /// The contract (relied on by per-worker engine reuse in the batch
+    /// runtime, and asserted by `recycled_engine_is_bit_identical` below)
+    /// is that a recycled engine produces bit-identical results *and*
+    /// reports to a freshly constructed `Engine::new(config)`.
+    pub fn reset(&mut self) {
+        self.fcu.reset();
+        self.rcu.reset();
+        self.cache.reset();
+        self.trace = crate::trace::Trace::new();
+        self.faults = None;
+        self.recovery = RecoveryPolicy::default();
+        self.budget = ExecBudget::default();
+    }
+
     /// Arms cycle/wall-clock limits and the progress-watchdog window for
     /// all subsequent runs (default: [`ExecBudget::none`], fully open).
     pub fn set_budget(&mut self, budget: ExecBudget) {
@@ -1223,6 +1243,43 @@ mod tests {
         assert!(report.cycles > 0);
         assert!(report.bandwidth_utilization > 0.0);
         assert_eq!(report.datapaths.gemv_blocks as usize, a.blocks().len());
+    }
+
+    #[test]
+    fn recycled_engine_is_bit_identical() {
+        // The contract behind per-worker engine reuse: a run on a recycled
+        // engine must match a run on a fresh engine down to every report
+        // field — including the RCU switch count, which would differ if the
+        // previous run's data-path wiring leaked through the reset.
+        let coo = gen::stencil27(3);
+        let a = spmv_alf(&coo);
+        let sg = Alf::from_coo(&coo, 8, AlfLayout::SymGs).unwrap();
+        let x: Vec<f64> = (0..coo.cols()).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b = vec![1.0; coo.rows()];
+
+        let (y_fresh, r_fresh) = engine().run_spmv(&a, &x).unwrap();
+
+        let mut eng = engine();
+        // Dirty every piece of engine-lifetime state: a different kernel
+        // (leaves the RCU wired for D-SymGS), a fault plan, a budget, and
+        // an enabled trace.
+        eng.set_fault_plan(Some(FaultPlan::inert(3)));
+        eng.set_budget(ExecBudget {
+            max_cycles: Some(u64::MAX),
+            ..ExecBudget::default()
+        });
+        eng.enable_tracing();
+        let mut xs = vec![0.0; coo.cols()];
+        eng.run_symgs(&sg, &b, &mut xs).unwrap();
+
+        eng.reset();
+        let (y_reused, r_reused) = eng.run_spmv(&a, &x).unwrap();
+        assert_eq!(r_fresh, r_reused, "reports must match field-for-field");
+        for (p, q) in y_fresh.iter().zip(&y_reused) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        assert!(eng.fault_injector().is_none(), "reset disarms the plan");
+        assert!(eng.take_trace().is_empty(), "reset clears the trace");
     }
 
     #[test]

@@ -53,6 +53,14 @@ impl Fcu {
         self.faults = injector;
     }
 
+    /// Returns the unit to its just-built state: energy counters zeroed and
+    /// injector detached (the interconnect itself is fixed by design, so
+    /// there is no wiring to reset).
+    pub fn reset(&mut self) {
+        self.counters = EnergyCounters::new();
+        self.faults = None;
+    }
+
     /// Number of parallel lanes (ω).
     pub fn omega(&self) -> usize {
         self.omega

@@ -73,6 +73,17 @@ impl Rcu {
         self.faults = injector;
     }
 
+    /// Returns the unit to its just-built state: switch unwired, lifetime
+    /// statistics and energy counters zeroed, injector detached. A recycled
+    /// RCU is indistinguishable from [`Rcu::new`] — the first `configure`
+    /// after a reset counts a switch again, exactly like a fresh unit.
+    pub fn reset(&mut self) {
+        self.current = None;
+        self.stats = ReconfigStats::default();
+        self.counters = EnergyCounters::new();
+        self.faults = None;
+    }
+
     /// Currently configured data path, if any.
     pub fn current(&self) -> Option<DataPathKind> {
         self.current

@@ -131,7 +131,87 @@ pub struct ExecutionReport {
     pub breaker: BreakerStats,
 }
 
+/// Formats an `f64` as a JSON number: shortest round-trip form, with
+/// non-finite values (never produced by a well-formed report, but the
+/// encoder must not emit invalid JSON) mapped to `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
 impl ExecutionReport {
+    /// Serializes the report as a single-line JSON object with a stable
+    /// field order (struct declaration order). This is the wire schema the
+    /// golden-report snapshot tests pin down: adding, removing, renaming,
+    /// or reordering report fields changes this output and must be an
+    /// intentional, fixture-updating change — downstream consumers (the
+    /// `figures` tooling, batch-report aggregation) parse it.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"kernel\":{kernel:?},\"cycles\":{cycles},\"seconds\":{seconds},",
+                "\"bytes_streamed\":{bytes},\"bandwidth_utilization\":{bw},",
+                "\"cache_time_fraction\":{ctf},",
+                "\"energy\":{{\"alu_ops\":{alu},\"re_ops\":{re},\"pe_ops\":{pe},",
+                "\"cache_accesses\":{ca},\"buffer_ops\":{bo},\"dram_bytes\":{db},",
+                "\"reconfigs\":{rcfg}}},",
+                "\"reconfig\":{{\"switches\":{sw},\"hidden_cycles\":{hid},",
+                "\"exposed_cycles\":{exp}}},",
+                "\"cache\":{{\"hits\":{hits},\"misses\":{misses},\"writes\":{writes},",
+                "\"busy_cycles\":{busy}}},",
+                "\"datapaths\":{{\"gemv_blocks\":{gb},\"dsymgs_blocks\":{db2},",
+                "\"graph_blocks\":{grb},\"iterations\":{it},\"link_stack_peak\":{lsp}}},",
+                "\"breakdown\":{{\"gemv_cycles\":{gc},\"dsymgs_cycles\":{dc},",
+                "\"graph_cycles\":{grc},\"drain_cycles\":{drc},\"recovery_cycles\":{rc}}},",
+                "\"faults\":{{\"injected\":{fi},\"detected\":{fd},\"recovered\":{fr},",
+                "\"retries\":{frt},\"degraded\":{fdg}}},",
+                "\"breaker\":{{\"trips\":{bt},\"half_open_probes\":{bp},",
+                "\"cpu_fallback_runs\":{bf}}}}}"
+            ),
+            kernel = self.kernel,
+            cycles = self.cycles,
+            seconds = json_f64(self.seconds),
+            bytes = self.bytes_streamed,
+            bw = json_f64(self.bandwidth_utilization),
+            ctf = json_f64(self.cache_time_fraction),
+            alu = self.energy.alu_ops,
+            re = self.energy.re_ops,
+            pe = self.energy.pe_ops,
+            ca = self.energy.cache_accesses,
+            bo = self.energy.buffer_ops,
+            db = self.energy.dram_bytes,
+            rcfg = self.energy.reconfigs,
+            sw = self.reconfig.switches,
+            hid = self.reconfig.hidden_cycles,
+            exp = self.reconfig.exposed_cycles,
+            hits = self.cache.hits,
+            misses = self.cache.misses,
+            writes = self.cache.writes,
+            busy = self.cache.busy_cycles,
+            gb = self.datapaths.gemv_blocks,
+            db2 = self.datapaths.dsymgs_blocks,
+            grb = self.datapaths.graph_blocks,
+            it = self.datapaths.iterations,
+            lsp = self.datapaths.link_stack_peak,
+            gc = self.breakdown.gemv_cycles,
+            dc = self.breakdown.dsymgs_cycles,
+            grc = self.breakdown.graph_cycles,
+            drc = self.breakdown.drain_cycles,
+            rc = self.breakdown.recovery_cycles,
+            fi = self.faults.injected,
+            fd = self.faults.detected,
+            fr = self.faults.recovered,
+            frt = self.faults.retries,
+            fdg = self.faults.degraded,
+            bt = self.breaker.trips,
+            bp = self.breaker.half_open_probes,
+            bf = self.breaker.cpu_fallback_runs,
+        )
+    }
+
     /// Total energy in joules under `model`.
     pub fn energy_joules(&self, model: &EnergyModel) -> f64 {
         self.energy.total_joules(model)
@@ -328,6 +408,44 @@ mod tests {
         let snap = r.clone();
         r.charge_recovery(0, &cfg);
         assert_eq!(r, snap);
+    }
+
+    #[test]
+    fn to_json_is_valid_and_covers_every_field() {
+        let r = populated(1);
+        let json = r.to_json();
+        // Structural sanity without a JSON parser in the tree: balanced
+        // braces, no trailing commas, every top-level key present.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert!(!json.contains(",}"), "{json}");
+        for key in [
+            "\"kernel\"",
+            "\"cycles\"",
+            "\"seconds\"",
+            "\"bytes_streamed\"",
+            "\"bandwidth_utilization\"",
+            "\"cache_time_fraction\"",
+            "\"energy\"",
+            "\"reconfig\"",
+            "\"cache\"",
+            "\"datapaths\"",
+            "\"breakdown\"",
+            "\"faults\"",
+            "\"breaker\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("\"kernel\":\"symgs\""));
+        // Non-finite floats must not leak invalid JSON tokens.
+        let mut broken = r;
+        broken.seconds = f64::NAN;
+        let json = broken.to_json();
+        assert!(json.contains("\"seconds\":null"), "{json}");
+        assert!(!json.contains("NaN"));
     }
 
     #[test]

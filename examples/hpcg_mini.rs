@@ -5,12 +5,19 @@
 //!
 //! ```text
 //! cargo run --release --example hpcg_mini [grid-side] [--mg]
+//! cargo run --release --example hpcg_mini [grid-side] --workers 4
 //! ```
 //!
 //! With `--mg`, the preconditioner is the full HPCG-style multigrid
 //! V-cycle (every level's SymGS and SpMV on the device) instead of a
 //! single SymGS application.
+//!
+//! With `--workers N`, a batch of PCG solves (one per right-hand side of
+//! an HPCG-style campaign) runs through the `alrescha-fleet` runtime on N
+//! workers: Algorithm-1 conversion and the alverify preflight are paid
+//! once and shared through the conversion cache.
 
+use alrescha::fleet::{Fleet, FleetConfig, JobKernel, JobSpec};
 use alrescha::{AcceleratedMgPcg, AcceleratedPcg, Alrescha, KernelType, SolverOptions};
 use alrescha_lint::Preflight;
 use alrescha_kernels::multigrid::GridHierarchy;
@@ -20,10 +27,19 @@ use alrescha_sparse::{gen, Csr, MetaData};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let use_mg = args.iter().any(|a| a == "--mg");
+    let workers: Option<usize> = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse())
+        .transpose()?;
     let side: usize = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(|s| s.parse())
+        .enumerate()
+        .find(|&(i, a)| {
+            !a.starts_with("--") && (i == 0 || args[i - 1] != "--workers")
+        })
+        .map(|(_, s)| s.parse())
         .transpose()?
         .unwrap_or(10);
     println!(
@@ -56,6 +72,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tol: 1e-9,
         max_iters: 200,
     };
+
+    // Batched path: a campaign of PCG solves over the same stencil, one
+    // per right-hand side, through the fleet runtime.
+    if let Some(n_workers) = workers {
+        if use_mg {
+            println!("  note: --workers batches single-level PCG; --mg is ignored");
+        }
+        let n_rhs = 8;
+        let jobs: Vec<JobSpec> = (0..n_rhs)
+            .map(|j| {
+                // Each RHS is A * (ones scaled by a per-job factor), so
+                // every solve has a known answer but distinct data.
+                let scale = 1.0 + f64::from(j) * 0.25;
+                let rhs: Vec<f64> = b.iter().map(|v| v * scale).collect();
+                JobSpec::new(
+                    a.clone(),
+                    JobKernel::Pcg {
+                        b: rhs,
+                        opts: opts.clone(),
+                    },
+                )
+            })
+            .collect();
+        let fleet = Fleet::new(FleetConfig::default().with_workers(n_workers))
+            .with_preflight(alrescha_lint::fleet_preflight_hook());
+        let batch = fleet.run(jobs);
+        let s = &batch.stats;
+        println!(
+            "  fleet: {} solves on {} workers in {:.1} ms ({:.1} jobs/s)",
+            s.completed,
+            s.workers,
+            s.wall_time.as_secs_f64() * 1e3,
+            s.jobs_per_second()
+        );
+        println!(
+            "  conversion cache: {} hits / {} misses; engines: {} built, {} reused",
+            s.cache_hits, s.cache_misses, s.engine_rebuilds, s.engine_reuses
+        );
+        for rec in &batch.jobs {
+            match &rec.result {
+                Ok(alrescha::fleet::JobOutput::Pcg { outcome }) => println!(
+                    "    job {}: {} in {} iterations, residual {:.2e} (worker {}, cache {})",
+                    rec.job,
+                    outcome.reason,
+                    outcome.iterations,
+                    outcome.residual,
+                    rec.worker,
+                    if rec.cache_hit { "hit" } else { "miss" },
+                ),
+                Ok(_) => unreachable!("batch only submits PCG jobs"),
+                Err(e) => println!("    job {}: FAILED: {e}", rec.job),
+            }
+        }
+        return Ok(());
+    }
     let out = if use_mg {
         let depth = (side.trailing_zeros() as usize + 1).clamp(1, 3);
         let hierarchy = GridHierarchy::build(side, depth)?;

@@ -4,13 +4,27 @@
 //!
 //! ```text
 //! cargo run --example pcg_solver
+//! cargo run --example pcg_solver -- --workers 4   # batched fleet path
 //! ```
+//!
+//! With `--workers N`, several solves of the same system (distinct
+//! right-hand sides) run through the `alrescha-fleet` runtime: conversion
+//! and verification happen once, cached, and every engine is reused.
 
+use alrescha::fleet::{Fleet, FleetConfig, JobKernel, JobOutput, JobSpec};
 use alrescha::{AcceleratedPcg, Alrescha, SolverOptions};
 use alrescha_kernels::spmv::spmv;
 use alrescha_sparse::{gen, Csr, MetaData};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workers: Option<usize> = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse())
+        .transpose()?;
+
     // Heat-equation style system: fluid-dynamics banded structure.
     let a = gen::ScienceClass::Fluid.generate(2000, 7);
     let csr = Csr::from_coo(&a);
@@ -20,16 +34,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let x_true: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.01).sin()).collect();
     let b = spmv(&csr, &x_true);
 
+    let opts = SolverOptions {
+        tol: 1e-10,
+        max_iters: 300,
+    };
+
+    if let Some(n_workers) = workers {
+        // Batched path: 6 solves of the same system, scaled right-hand
+        // sides, through the fleet. One conversion, one preflight; five
+        // cache hits.
+        let jobs: Vec<JobSpec> = (0..6)
+            .map(|j| {
+                let scale = 1.0 + f64::from(j) * 0.5;
+                let rhs: Vec<f64> = b.iter().map(|v| v * scale).collect();
+                JobSpec::new(
+                    a.clone(),
+                    JobKernel::Pcg {
+                        b: rhs,
+                        opts: opts.clone(),
+                    },
+                )
+            })
+            .collect();
+        let fleet = Fleet::new(FleetConfig::default().with_workers(n_workers))
+            .with_preflight(alrescha_lint::fleet_preflight_hook());
+        let batch = fleet.run(jobs);
+        let s = &batch.stats;
+        println!(
+            "fleet: {} solves on {} workers in {:.1} ms ({:.1} jobs/s); cache {} hits / {} misses",
+            s.completed,
+            s.workers,
+            s.wall_time.as_secs_f64() * 1e3,
+            s.jobs_per_second(),
+            s.cache_hits,
+            s.cache_misses
+        );
+        for rec in &batch.jobs {
+            match &rec.result {
+                Ok(JobOutput::Pcg { outcome }) => println!(
+                    "  job {}: {} in {} iterations, residual {:.3e}",
+                    rec.job, outcome.reason, outcome.iterations, outcome.residual
+                ),
+                Ok(_) => unreachable!("batch only submits PCG jobs"),
+                Err(e) => println!("  job {}: FAILED: {e}", rec.job),
+            }
+        }
+        return Ok(());
+    }
+
     let mut acc = Alrescha::with_paper_config();
     let solver = AcceleratedPcg::program(&mut acc, &a)?;
-    let out = solver.solve(
-        &mut acc,
-        &b,
-        &SolverOptions {
-            tol: 1e-10,
-            max_iters: 300,
-        },
-    )?;
+    let out = solver.solve(&mut acc, &b, &opts)?;
 
     println!(
         "{} in {} iterations, residual {:.3e}",

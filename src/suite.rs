@@ -16,6 +16,32 @@
 //! assert_eq!(y.len(), a.rows());
 //! # Ok::<(), alrescha_suite::alrescha::CoreError>(())
 //! ```
+//!
+//! # Batched execution
+//!
+//! For campaigns of many kernel launches over few distinct matrices, the
+//! fleet runtime amortizes Algorithm-1 conversion (and any preflight hook)
+//! across the batch through a sharded conversion cache, and reuses one
+//! engine per worker. Results are bit-identical to running each job alone:
+//!
+//! ```
+//! use alrescha_suite::alrescha::fleet::{Fleet, FleetConfig, JobKernel, JobSpec};
+//! use alrescha_suite::alrescha_sparse::gen;
+//!
+//! let a = gen::stencil27(2);
+//! let jobs: Vec<JobSpec> = (0..4)
+//!     .map(|j| {
+//!         let x = vec![1.0 + j as f64; a.cols()];
+//!         JobSpec::new(a.clone(), JobKernel::SpMv { x })
+//!     })
+//!     .collect();
+//!
+//! let fleet = Fleet::new(FleetConfig::default().with_workers(2));
+//! let batch = fleet.run(jobs);
+//! assert_eq!(batch.stats.completed, 4);
+//! assert_eq!(batch.stats.cache_misses, 1); // one conversion for the batch
+//! assert_eq!(batch.stats.cache_hits, 3);
+//! ```
 
 pub use alrescha;
 pub use alrescha_baselines;

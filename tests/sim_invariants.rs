@@ -28,6 +28,69 @@ fn arb_dd_matrix() -> impl Strategy<Value = Coo> {
     })
 }
 
+/// Regression pin for the shrunk case committed in
+/// `sim_invariants.proptest-regressions`: a 9×9 diagonally dominant system
+/// whose off-diagonals couple both ω=8 block rows in both directions, with
+/// three pure-diagonal rows (2, 4, 5) interleaved.
+///
+/// **Root cause:** this shape maximizes data-path alternation in SymGS.
+/// Each of the two block rows switches GEMV→D-SymGS→… within *each* sweep,
+/// and symmetric Gauss–Seidel runs **two** sweeps (forward + backward), so
+/// the simulator performs 8 switches where the configuration table's
+/// straight-line count predicts only 3. A switch bound that counts one
+/// sweep — `2·block_rows + 1 = 5` — is violated (8 > 5); the property's
+/// bound must carry the outer factor two for the backward sweep:
+/// `2·(2·block_rows + 1) = 10`. The committed seed keeps this
+/// maximal-alternation shape exercised deterministically.
+#[test]
+fn committed_seed_needs_the_two_sweep_switch_bound() {
+    let mut coo = Coo::new(9, 9);
+    for (r, c, v) in [
+        (0usize, 0usize, 1.5333333333333332f64),
+        (0, 4, -0.5),
+        (0, 5, -0.03333333333333333),
+        (1, 1, 1.4666666666666668),
+        (1, 2, -0.05),
+        (1, 6, -0.4166666666666667),
+        (2, 2, 1.0),
+        (3, 1, -0.016666666666666666),
+        (3, 2, -0.6333333333333333),
+        (3, 3, 1.9333333333333333),
+        (3, 8, -0.2833333333333333),
+        (4, 4, 1.0),
+        (5, 5, 1.0),
+        (6, 0, -0.08333333333333333),
+        (6, 6, 1.0833333333333333),
+        (7, 3, -1.2333333333333334),
+        (7, 5, -0.75),
+        (7, 7, 3.7),
+        (7, 8, -0.7166666666666668),
+        (8, 1, -0.8166666666666668),
+        (8, 8, 1.8166666666666669),
+    ] {
+        coo.push(r, c, v);
+    }
+    let coo = coo.compress();
+
+    let mut acc = Alrescha::with_paper_config();
+    let prog = acc.program(KernelType::SymGs, &coo).expect("programs");
+    let b = vec![1.0; 9];
+    let mut x = vec![0.0; 9];
+    let report = acc.symgs(&prog, &b, &mut x).expect("runs");
+
+    let block_rows = prog.matrix().block_rows() as u64;
+    let table_switches = prog.table().switch_count() as u64;
+    assert_eq!(block_rows, 2, "seed spans two ω=8 block rows");
+    assert_eq!(table_switches, 3, "straight-line table undercounts sweeps");
+    assert_eq!(report.reconfig.switches, 8, "deterministic switch count");
+    // The single-sweep bound this seed originally broke…
+    assert!(report.reconfig.switches > 2 * block_rows + 1);
+    // …and the two-sweep bound the property asserts today.
+    assert!(report.reconfig.switches <= 2 * (2 * block_rows + 1));
+    // Alternation is still fully hidden under reduction-tree drains.
+    assert_eq!(report.reconfig.exposed_cycles, 0);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

@@ -1,10 +1,15 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! The build environment has no registry access, so the workspace vendors
-//! the one API it uses: [`thread::scope`] with nested-capable
-//! [`thread::Scope::spawn`], implemented on top of `std::thread::scope`.
-//! Semantics match crossbeam 0.8: the call returns `Err` with the panic
-//! payload if any spawned worker panicked.
+//! the APIs it uses: [`thread::scope`] with nested-capable
+//! [`thread::Scope::spawn`], implemented on top of `std::thread::scope`
+//! (semantics match crossbeam 0.8: the call returns `Err` with the panic
+//! payload if any spawned worker panicked), and [`deque`], the
+//! work-stealing `Injector`/`Worker`/`Stealer` trio of `crossbeam-deque`,
+//! implemented with mutex-guarded deques — the jobs scheduled over them in
+//! this workspace are coarse-grained simulator runs, so lock overhead is
+//! noise while the stealing *semantics* (owner pops its own queue, idle
+//! peers steal from the opposite end) are preserved exactly.
 
 /// Scoped threads, mirroring `crossbeam::thread`.
 pub mod thread {
@@ -48,6 +53,211 @@ pub mod thread {
         catch_unwind(AssertUnwindSafe(|| {
             std::thread::scope(|s| f(&Scope { inner: s }))
         }))
+    }
+}
+
+/// Work-stealing deques, mirroring `crossbeam::deque` (crossbeam-deque).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt, matching `crossbeam_deque::Steal`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// True when the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        // A poisoned queue only happens when a worker panicked mid-push/pop;
+        // the deque itself is still structurally sound, so keep going (the
+        // panic is re-raised by the pool that owns the workers).
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// A global FIFO injector queue all workers may push to and steal from.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a task at the back.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Steals the oldest task.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            lock(&self.queue).len()
+        }
+    }
+
+    /// A worker-owned FIFO deque: the owner pushes and pops at the front
+    /// end, peers steal from the back through a [`Stealer`] handle.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO worker deque.
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Enqueues a task at the back of the local deque.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Pops the next local task (FIFO order).
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.queue).pop_front()
+        }
+
+        /// True when the local deque is empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Number of locally queued tasks.
+        pub fn len(&self) -> usize {
+            lock(&self.queue).len()
+        }
+
+        /// Creates a stealing handle onto this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A cloneable handle that steals from the back of a [`Worker`] deque.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals from the end opposite the owner's pops, minimizing
+        /// contention on the hot front end.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when the observed deque is empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod deque_tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal(), Steal::Success(1));
+        assert_eq!(inj.steal(), Steal::Success(2));
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn owner_pops_front_stealer_takes_back() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(s.steal().success(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert!(w.is_empty() && s.is_empty());
+    }
+
+    #[test]
+    fn concurrent_stealing_loses_no_task() {
+        let w = Worker::new_fifo();
+        for i in 0..1000u32 {
+            w.push(i);
+        }
+        let total = std::sync::atomic::AtomicU32::new(0);
+        super::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = w.stealer();
+                let total = &total;
+                scope.spawn(move |_| {
+                    while let Some(v) = s.steal().success() {
+                        total.fetch_add(v + 1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                });
+            }
+            while let Some(v) = w.pop() {
+                total.fetch_add(v + 1, std::sync::atomic::Ordering::SeqCst);
+            }
+        })
+        .unwrap();
+        // Sum of 1..=1000: every task claimed exactly once.
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 500_500);
     }
 }
 

@@ -1,0 +1,176 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! exactly the API surface it uses: [`ThreadPoolBuilder`] →
+//! [`ThreadPool::broadcast`], which runs one closure instance per pool
+//! thread and collects the results in thread-index order. Semantics match
+//! rayon's `broadcast`: every worker observes a distinct
+//! [`BroadcastContext`] carrying its stable index and the pool width.
+//!
+//! The stand-in spawns scoped OS threads per `broadcast` call instead of
+//! parking a persistent pool; callers hold the pool for the duration of a
+//! batch, so the once-per-batch spawn cost is noise next to the work the
+//! batch carries. Panics in a worker propagate to the caller after all
+//! workers have been joined, as with rayon.
+
+use std::fmt;
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default width (one thread per available
+    /// core, falling back to 1 when parallelism cannot be queried).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads. `0` (the default) means "one per
+    /// available core".
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the stand-in; the `Result` mirrors rayon's signature
+    /// so call sites stay source-compatible with the registry crate.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { width })
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by the stand-in).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A fixed-width worker pool.
+#[derive(Debug)]
+pub struct ThreadPool {
+    width: usize,
+}
+
+/// Per-worker context passed to a [`ThreadPool::broadcast`] closure.
+#[derive(Debug, Clone, Copy)]
+pub struct BroadcastContext {
+    index: usize,
+    num_threads: usize,
+}
+
+impl BroadcastContext {
+    /// This worker's stable index in `0..num_threads`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total number of workers participating in the broadcast.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+impl ThreadPool {
+    /// The pool width.
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+
+    /// Runs `op` once on every worker thread and returns the results in
+    /// thread-index order. Blocks until all workers finish.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a worker panic after all workers have been joined.
+    pub fn broadcast<OP, R>(&self, op: OP) -> Vec<R>
+    where
+        OP: Fn(BroadcastContext) -> R + Sync,
+        R: Send,
+    {
+        let op = &op;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.width)
+                .map(|index| {
+                    let ctx = BroadcastContext {
+                        index,
+                        num_threads: self.width,
+                    };
+                    scope.spawn(move || op(ctx))
+                })
+                .collect();
+            let mut results = Vec::with_capacity(self.width);
+            let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+            for handle in handles {
+                match handle.join() {
+                    Ok(r) => results.push(r),
+                    Err(p) => panic = Some(p),
+                }
+            }
+            if let Some(p) = panic {
+                std::panic::resume_unwind(p);
+            }
+            results
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn broadcast_runs_once_per_worker_in_index_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        let hits = AtomicUsize::new(0);
+        let indices = pool.broadcast(|ctx| {
+            hits.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(ctx.num_threads(), 4);
+            ctx.index()
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+        assert_eq!(indices, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_threads_defaults_to_available_parallelism() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_join() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let finished = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast(|ctx| {
+                if ctx.index() == 0 {
+                    panic!("boom");
+                }
+                finished.fetch_add(1, Ordering::SeqCst);
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(finished.load(Ordering::SeqCst), 1, "healthy worker joined");
+    }
+}
