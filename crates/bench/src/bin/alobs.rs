@@ -1,0 +1,168 @@
+//! `alobs` — summarizer for the telemetry artifacts the stack emits.
+//!
+//! ```text
+//! alobs validate trace.json          # Chrome trace-event schema check + track inventory
+//! alobs spans trace.json --top 15    # hottest span names by self-time
+//! alobs metrics metrics.json         # counter/gauge values and histogram dumps
+//! ```
+//!
+//! `trace.json` comes from `--trace-out` on `figures`, `hpcg_mini`, or
+//! `pcg_solver`; `metrics.json` from `--metrics-out` on the same binaries.
+
+use std::process::ExitCode;
+
+use alrescha_obs::json::Value;
+use alrescha_obs::{span_self_times, validate_chrome_trace};
+
+fn print_help() {
+    println!("alobs — summarize ALRESCHA telemetry artifacts");
+    println!("  alobs validate <trace.json>        validate the Chrome trace schema");
+    println!("  alobs spans <trace.json> [--top N] hottest spans by self-time (default 10)");
+    println!("  alobs metrics <metrics.json>       metric values and histogram dumps");
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Value::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))
+}
+
+fn cmd_validate(path: &str) -> Result<(), String> {
+    let doc = load(path)?;
+    let summary = validate_chrome_trace(&doc).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: valid Chrome trace — {} events on {} tracks",
+        summary.events,
+        summary.tracks.len()
+    );
+    for track in &summary.tracks {
+        println!(
+            "  tid {:>4}  {:<20} {:>6} spans",
+            track.tid,
+            track.name.as_deref().unwrap_or("(unnamed)"),
+            track.spans
+        );
+    }
+    Ok(())
+}
+
+fn cmd_spans(path: &str, top: usize) -> Result<(), String> {
+    let doc = load(path)?;
+    validate_chrome_trace(&doc).map_err(|e| format!("{path}: {e}"))?;
+    let stats = span_self_times(&doc);
+    if stats.is_empty() {
+        println!("{path}: no spans");
+        return Ok(());
+    }
+    println!(
+        "{:<40} {:>7} {:>12} {:>12}",
+        "span", "count", "self µs", "total µs"
+    );
+    for stat in stats.iter().take(top) {
+        println!(
+            "{:<40} {:>7} {:>12.3} {:>12.3}",
+            stat.name, stat.count, stat.self_us, stat.total_us
+        );
+    }
+    if stats.len() > top {
+        println!("({} more — raise --top to see them)", stats.len() - top);
+    }
+    Ok(())
+}
+
+fn cmd_metrics(path: &str) -> Result<(), String> {
+    let doc = load(path)?;
+    let metrics = doc
+        .get("metrics")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{path}: missing 'metrics' array"))?;
+    for metric in metrics {
+        let name = metric
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{path}: metric without a name"))?;
+        let kind = metric.get("type").and_then(Value::as_str).unwrap_or("?");
+        match kind {
+            "counter" | "gauge" => {
+                let v = metric.get("value").and_then(Value::as_f64).unwrap_or(0.0);
+                println!("{name:<48} {kind:<9} {v}");
+            }
+            "histogram" => {
+                let count = metric.get("count").and_then(Value::as_f64).unwrap_or(0.0);
+                let sum = metric.get("sum").and_then(Value::as_f64).unwrap_or(0.0);
+                let mean = if count > 0.0 { sum / count } else { 0.0 };
+                println!("{name:<48} histogram count={count} sum={sum} mean={mean:.1}");
+                let mut prev = 0.0;
+                for bucket in metric
+                    .get("buckets")
+                    .and_then(Value::as_arr)
+                    .unwrap_or(&[])
+                {
+                    let cumulative = bucket
+                        .get("count")
+                        .and_then(Value::as_f64)
+                        .unwrap_or(0.0);
+                    let in_bucket = (cumulative - prev).max(0.0);
+                    prev = cumulative;
+                    let le = bucket.get("le").map_or_else(
+                        || "?".to_owned(),
+                        |v| {
+                            v.as_f64()
+                                .map_or_else(|| "+Inf".to_owned(), |f| format!("{f}"))
+                        },
+                    );
+                    if in_bucket > 0.0 {
+                        println!("    le {le:>12}: {in_bucket}");
+                    }
+                }
+            }
+            other => println!("{name:<48} {other}"),
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("validate") => {
+            let path = argv.get(1).ok_or("validate needs a trace file")?;
+            cmd_validate(path)
+        }
+        Some("spans") => {
+            let path = argv.get(1).ok_or("spans needs a trace file")?;
+            let mut top = 10usize;
+            let mut i = 2;
+            while i < argv.len() {
+                if argv[i] == "--top" {
+                    let v = argv.get(i + 1).ok_or("--top needs a number")?;
+                    top = v.parse().map_err(|_| format!("bad --top value {v}"))?;
+                    i += 2;
+                } else {
+                    return Err(format!("unknown argument {}", argv[i]));
+                }
+            }
+            cmd_spans(path, top)
+        }
+        Some("metrics") => {
+            let path = argv.get(1).ok_or("metrics needs a snapshot file")?;
+            cmd_metrics(path)
+        }
+        Some("--help" | "-h") | None => {
+            print_help();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_help();
+            ExitCode::FAILURE
+        }
+    }
+}

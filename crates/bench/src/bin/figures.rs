@@ -23,6 +23,8 @@ struct Args {
     all: bool,
     scale: usize,
     skip_preflight: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +40,8 @@ fn parse_args() -> Result<Args, String> {
         all: false,
         scale: 1000,
         skip_preflight: false,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -60,6 +64,12 @@ fn parse_args() -> Result<Args, String> {
                 args.ablation = Some(it.next().ok_or("--ablation needs a name")?);
             }
             "--fleet" => args.fleet = true,
+            "--trace-out" => {
+                args.trace_out = Some(it.next().ok_or("--trace-out needs a path")?);
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?);
+            }
             "--all" => args.all = true,
             "--skip-preflight" => args.skip_preflight = true,
             "--scale" => {
@@ -92,6 +102,8 @@ fn print_help() {
     println!("  --ablation format     locally-dense vs CSR streaming on the same hardware");
     println!("  --ablation bandwidth  memory-bandwidth scaling sweep");
     println!("  --fleet               batched-execution throughput (fleet vs sequential)");
+    println!("  --trace-out <path>    run an instrumented fleet batch; write a Chrome/Perfetto trace");
+    println!("  --metrics-out <path>  same batch; write the metrics-registry JSON snapshot");
     println!("  --scale <n>           approximate matrix dimension (default 1000)");
     println!("  --skip-preflight      skip the alverify static-verification sub-step");
 }
@@ -225,6 +237,29 @@ fn main() {
     }
     if args.fleet {
         alrescha_bench::fleet::print_fleet_throughput(n);
+        ran = true;
+    }
+    if args.trace_out.is_some() || args.metrics_out.is_some() {
+        let tele = alrescha_obs::Telemetry::new();
+        let report = alrescha_bench::fleet::instrumented_batch(n, &tele);
+        println!(
+            "telemetry batch: {} jobs completed at 4 workers",
+            report.stats.completed
+        );
+        if let Some(path) = &args.trace_out {
+            if let Err(e) = std::fs::write(path, alrescha_obs::export_chrome_trace(&tele)) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote Chrome trace to {path} — open it at https://ui.perfetto.dev");
+        }
+        if let Some(path) = &args.metrics_out {
+            if let Err(e) = std::fs::write(path, tele.metrics().snapshot_json()) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote metrics snapshot to {path} (inspect with `alobs metrics {path}`)");
+        }
         ran = true;
     }
     if !ran {

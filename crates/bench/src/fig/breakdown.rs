@@ -19,6 +19,9 @@ pub struct BreakdownRow {
     pub drain_pct: f64,
     /// Share in recovery (retry redo and backoff; 0 on a fault-free run).
     pub recovery_pct: f64,
+    /// Local-cache read hit rate, `hits / (hits + misses)`. Writes are
+    /// write-allocate traffic and must not inflate the denominator.
+    pub cache_hit_pct: f64,
 }
 
 /// Measures the SymGS cycle breakdown over the scientific suite.
@@ -34,12 +37,18 @@ pub fn symgs_breakdown(n: usize) -> Vec<BreakdownRow> {
             let mut x = vec![0.0; ds.coo.cols()];
             let report = acc.symgs(&prog, &b, &mut x).expect("run");
             let total = report.cycles.max(1) as f64;
+            let reads = report.cache.hits + report.cache.misses;
             BreakdownRow {
                 dataset: ds.name.clone(),
                 gemv_pct: 100.0 * report.breakdown.gemv_cycles as f64 / total,
                 dsymgs_pct: 100.0 * report.breakdown.dsymgs_cycles as f64 / total,
                 drain_pct: 100.0 * report.breakdown.drain_cycles as f64 / total,
                 recovery_pct: 100.0 * report.breakdown.recovery_cycles as f64 / total,
+                cache_hit_pct: if reads == 0 {
+                    100.0
+                } else {
+                    100.0 * report.cache.hits as f64 / reads as f64
+                },
             }
         })
         .collect()
@@ -49,13 +58,13 @@ pub fn symgs_breakdown(n: usize) -> Vec<BreakdownRow> {
 pub fn print_symgs_breakdown(n: usize) {
     println!("Device time breakdown — one SymGS application on the accelerator");
     println!(
-        "{:<12} {:>9} {:>11} {:>10} {:>12}",
-        "dataset", "gemv(%)", "d-symgs(%)", "drain(%)", "recovery(%)"
+        "{:<12} {:>9} {:>11} {:>10} {:>12} {:>12}",
+        "dataset", "gemv(%)", "d-symgs(%)", "drain(%)", "recovery(%)", "cache hit(%)"
     );
     for r in symgs_breakdown(n) {
         println!(
-            "{:<12} {:>9.1} {:>11.1} {:>10.1} {:>12.1}",
-            r.dataset, r.gemv_pct, r.dsymgs_pct, r.drain_pct, r.recovery_pct
+            "{:<12} {:>9.1} {:>11.1} {:>10.1} {:>12.1} {:>12.1}",
+            r.dataset, r.gemv_pct, r.dsymgs_pct, r.drain_pct, r.recovery_pct, r.cache_hit_pct
         );
     }
     println!("(the residual sequential part after Algorithm 1: the D-SymGS share)");
@@ -74,6 +83,12 @@ mod tests {
                 r.recovery_pct, 0.0,
                 "{}: fault-free runs charge no recovery",
                 r.dataset
+            );
+            assert!(
+                (0.0..=100.0).contains(&r.cache_hit_pct),
+                "{}: hit rate {} outside [0, 100] — writes in the denominator?",
+                r.dataset,
+                r.cache_hit_pct
             );
         }
     }

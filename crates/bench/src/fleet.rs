@@ -9,9 +9,11 @@
 //! dominates each job, and the fleet amortizes it to once per distinct
 //! matrix.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use alrescha::fleet::{Fleet, FleetConfig, JobKernel, JobSpec};
+use alrescha::fleet::{Fleet, FleetConfig, FleetReport, JobKernel, JobSpec};
+use alrescha_obs::Telemetry;
 use alrescha_sim::SimConfig;
 use alrescha_sparse::Coo;
 
@@ -105,6 +107,20 @@ pub fn measure_fleet_throughput(
         });
     }
     rows
+}
+
+/// Runs one telemetry-instrumented fleet batch (the `figures --trace-out`
+/// / `--metrics-out` entry point): 64 SpMV jobs over one repeated
+/// `stencil27` system at 4 workers, with the alverify preflight and every
+/// engine run reporting into `tele`.
+pub fn instrumented_batch(n: usize, tele: &Arc<Telemetry>) -> FleetReport {
+    let jobs = repeated_matrix_jobs(n, 64);
+    let fleet = Fleet::new(FleetConfig::default().with_workers(4))
+        .with_preflight(alrescha_lint::fleet_preflight_hook_with_telemetry(
+            Arc::clone(tele),
+        ))
+        .with_telemetry(Arc::clone(tele));
+    fleet.run(jobs)
 }
 
 /// Prints the fleet-throughput table (the `figures --fleet` entry point).

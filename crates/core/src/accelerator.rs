@@ -179,6 +179,53 @@ impl Alrescha {
         self.engine.budget()
     }
 
+    /// Attaches (or, with `None`, detaches) an alobs telemetry sink: host
+    /// spans around conversion, device timelines and metric deltas for
+    /// every kernel run, and degraded/breaker accounting. With telemetry
+    /// attached and enabled, results stay bit-identical — only observation
+    /// is added.
+    pub fn set_telemetry(&mut self, tele: Option<std::sync::Arc<alrescha_obs::Telemetry>>) {
+        self.engine.set_telemetry(tele);
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&std::sync::Arc<alrescha_obs::Telemetry>> {
+        self.engine.telemetry()
+    }
+
+    /// Records a solver checkpoint serialization (trace event + counters).
+    /// Called by the PCG driver after encoding a checkpoint.
+    pub fn note_checkpoint_write(&mut self, bytes: u64) {
+        self.engine.note_checkpoint_write(bytes);
+    }
+
+    /// Publishes a guarded operation's breaker delta to the metrics
+    /// registry (no-op without telemetry).
+    fn note_breaker(&self, delta: &BreakerStats) {
+        let Some(tele) = self.engine.telemetry() else {
+            return;
+        };
+        let m = tele.metrics();
+        m.counter(
+            "alrescha_breaker_trips_total",
+            true,
+            "closed-to-open breaker transitions",
+        )
+        .add(delta.trips);
+        m.counter(
+            "alrescha_breaker_half_open_probes_total",
+            true,
+            "half-open probe attempts after cooldown",
+        )
+        .add(delta.half_open_probes);
+        m.counter(
+            "alrescha_breaker_cpu_fallback_runs_total",
+            true,
+            "operations served by the CPU backend",
+        )
+        .add(delta.cpu_fallback_runs);
+    }
+
     /// Captures the fault injector's cursor for a solver checkpoint
     /// (`None` when no fault plan is armed).
     pub fn fault_snapshot(&self) -> Option<InjectorSnapshot> {
@@ -239,6 +286,16 @@ impl Alrescha {
             breaker: BreakerStats::default(),
         };
         report.charge_recovery(wasted_cycles, self.engine.config());
+        if let Some(tele) = self.engine.telemetry() {
+            tele.instant(format!("degraded:{kernel}"));
+            tele.metrics()
+                .counter(
+                    "alrescha_degraded_runs_total",
+                    true,
+                    "kernel runs completed on the host after the device gave up",
+                )
+                .inc();
+        }
         report
     }
 
@@ -254,6 +311,34 @@ impl Alrescha {
     ///
     /// Propagates conversion failures ([`CoreError::Sparse`]).
     pub fn program(&mut self, kernel: KernelType, a: &Coo) -> Result<ProgrammedKernel> {
+        let tele = self.engine.telemetry().cloned();
+        let _convert_span = alrescha_obs::span!(tele, format!("convert:{kernel:?}"));
+        let prog = self.program_inner(kernel, a)?;
+        if let Some(t) = &tele {
+            let m = t.metrics();
+            m.counter(
+                "alrescha_convert_total",
+                true,
+                "format conversions (Algorithm 1)",
+            )
+            .inc();
+            m.counter(
+                "alrescha_convert_blocks_total",
+                true,
+                "locally-dense blocks produced by conversion",
+            )
+            .add(prog.matrix().blocks().len() as u64);
+            m.counter(
+                "alrescha_convert_rows_total",
+                true,
+                "matrix rows converted",
+            )
+            .add(prog.matrix().rows() as u64);
+        }
+        Ok(prog)
+    }
+
+    fn program_inner(&mut self, kernel: KernelType, a: &Coo) -> Result<ProgrammedKernel> {
         match kernel {
             KernelType::ConnectedComponents => {
                 // Label propagation needs both edge directions: symmetrize,
@@ -329,6 +414,7 @@ impl Alrescha {
                     breaker.record_success();
                     report.charge_recovery(wasted, self.engine.config());
                     report.breaker = breaker_delta(breaker.stats(), stats_base);
+                    self.note_breaker(&report.breaker);
                     return Ok((y, report));
                 }
                 Err(SimError::FaultDetected { cycle, .. }) => {
@@ -347,6 +433,7 @@ impl Alrescha {
         let y = alrescha_kernels::spmv::spmv(&csr, x);
         let mut report = self.degraded_report("spmv", &base, wasted);
         report.breaker = breaker_delta(breaker.stats(), stats_base);
+        self.note_breaker(&report.breaker);
         Ok((y, report))
     }
 
@@ -411,6 +498,7 @@ impl Alrescha {
                     breaker.record_success();
                     report.charge_recovery(wasted, self.engine.config());
                     report.breaker = breaker_delta(breaker.stats(), stats_base);
+                    self.note_breaker(&report.breaker);
                     return Ok(report);
                 }
                 Err(SimError::FaultDetected { cycle, .. }) => {
@@ -435,6 +523,7 @@ impl Alrescha {
         }
         let mut report = self.degraded_report("symgs", &base, wasted);
         report.breaker = breaker_delta(breaker.stats(), stats_base);
+        self.note_breaker(&report.breaker);
         Ok(report)
     }
 

@@ -634,6 +634,7 @@ pub struct Fleet {
     config: FleetConfig,
     cache: ConversionCache,
     preflight: Option<PreflightHook>,
+    telemetry: Option<Arc<alrescha_obs::Telemetry>>,
 }
 
 impl fmt::Debug for Fleet {
@@ -642,6 +643,7 @@ impl fmt::Debug for Fleet {
             .field("config", &self.config)
             .field("cached_programs", &self.cache.len())
             .field("preflight", &self.preflight.is_some())
+            .field("telemetry", &self.telemetry.is_some())
             .finish()
     }
 }
@@ -654,6 +656,7 @@ impl Fleet {
             config,
             cache,
             preflight: None,
+            telemetry: None,
         }
     }
 
@@ -663,6 +666,21 @@ impl Fleet {
     pub fn with_preflight(mut self, hook: PreflightHook) -> Self {
         self.preflight = Some(hook);
         self
+    }
+
+    /// Attaches an alobs telemetry sink: batch/job spans (one timeline
+    /// track per worker thread), device timelines nested inside job spans,
+    /// and fleet metrics (steals, queue waits, cache attribution). Job
+    /// results stay bit-identical — telemetry only observes.
+    #[must_use]
+    pub fn with_telemetry(mut self, tele: Arc<alrescha_obs::Telemetry>) -> Self {
+        self.telemetry = Some(tele);
+        self
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&Arc<alrescha_obs::Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// The fleet configuration.
@@ -692,6 +710,14 @@ impl Fleet {
             return report;
         };
         let (hits0, misses0) = self.cache.counters();
+        let _batch_span = alrescha_obs::span!(self.telemetry, format!("fleet:batch:{offered}"));
+        let steal_counter = self.telemetry.as_ref().map(|t| {
+            t.metrics().counter(
+                "alrescha_fleet_steals_total",
+                false,
+                "jobs stolen from a sibling worker's deque",
+            )
+        });
         let submitted = Instant::now();
         let deadline = self.config.deadline.map(|d| submitted + d);
 
@@ -722,6 +748,9 @@ impl Fleet {
             let Some(local) = lock(&slots[me]).take() else {
                 return Vec::new();
             };
+            if let Some(tele) = &self.telemetry {
+                tele.name_thread(format!("worker-{me}"));
+            }
             let mut station = WorkerStation::new(me);
             let mut out = Vec::new();
             loop {
@@ -730,7 +759,12 @@ impl Fleet {
                     // so contention spreads instead of piling on worker 0.
                     (1..workers).find_map(|d| loop {
                         match stealers[(me + d) % workers].steal() {
-                            Steal::Success(i) => break Some(i),
+                            Steal::Success(i) => {
+                                if let Some(c) = &steal_counter {
+                                    c.inc();
+                                }
+                                break Some(i);
+                            }
                             Steal::Empty => break None,
                             Steal::Retry => {}
                         }
@@ -760,10 +794,63 @@ impl Fleet {
             rebuilds.into_inner(),
             reuses.into_inner(),
         );
+        self.publish_batch(&stats);
         FleetReport {
             jobs: records,
             stats,
         }
+    }
+
+    /// Publishes one batch's aggregate statistics to the metrics registry.
+    fn publish_batch(&self, stats: &FleetStats) {
+        let Some(tele) = &self.telemetry else { return };
+        let m = tele.metrics();
+        m.counter("alrescha_fleet_batches_total", true, "batches executed")
+            .inc();
+        m.counter(
+            "alrescha_fleet_jobs_completed_total",
+            true,
+            "jobs that finished with Ok",
+        )
+        .add(stats.completed as u64);
+        m.counter(
+            "alrescha_fleet_jobs_failed_total",
+            true,
+            "jobs that ran but failed",
+        )
+        .add(stats.failed as u64);
+        m.counter(
+            "alrescha_fleet_jobs_rejected_total",
+            true,
+            "jobs rejected at admission (queue full)",
+        )
+        .add(stats.rejected as u64);
+        // Two workers racing on the same key can both convert, so hit/miss
+        // totals (not just attribution) can vary run-to-run.
+        m.counter(
+            "alrescha_fleet_cache_hits_total",
+            false,
+            "conversion-cache hits",
+        )
+        .add(stats.cache_hits);
+        m.counter(
+            "alrescha_fleet_cache_misses_total",
+            false,
+            "conversion-cache misses (conversions performed)",
+        )
+        .add(stats.cache_misses);
+        m.counter(
+            "alrescha_fleet_engine_rebuilds_total",
+            false,
+            "workers that rebuilt their accelerator for a config change",
+        )
+        .add(stats.engine_rebuilds);
+        m.counter(
+            "alrescha_fleet_engine_reuses_total",
+            false,
+            "jobs served by a recycled accelerator",
+        )
+        .add(stats.engine_reuses);
     }
 
     /// Reference path: runs every job on this thread with a **fresh**
@@ -775,6 +862,8 @@ impl Fleet {
     pub fn run_sequential(&self, jobs: Vec<JobSpec>) -> FleetReport {
         let offered = jobs.len();
         let capacity = self.config.queue_capacity;
+        let _batch_span =
+            alrescha_obs::span!(self.telemetry, format!("fleet:sequential:{offered}"));
         let submitted = Instant::now();
         let deadline = self.config.deadline.map(|d| submitted + d);
         let mut records = Vec::with_capacity(offered);
@@ -793,6 +882,7 @@ impl Fleet {
             records.push(self.execute(&mut station, i, spec, queue_wait, deadline));
         }
         let stats = finish_stats(&records, offered, 1, submitted.elapsed(), 0, 0, 0, 0);
+        self.publish_batch(&stats);
         FleetReport {
             jobs: records,
             stats,
@@ -813,9 +903,11 @@ impl Fleet {
         let kernel = spec.kernel.name();
         let caching = station.caching;
         let mut cache_hit = true;
+        let _job_span = alrescha_obs::span!(self.telemetry, format!("job:{index}:{kernel}"));
         let result = (|| -> Result<JobOutput> {
             let budget = effective_budget(spec, &self.config, deadline)?;
             let acc = station.accelerator(&spec.config);
+            acc.set_telemetry(self.telemetry.clone());
             let mut convert = |acc: &mut Alrescha, kind: KernelType| {
                 if caching {
                     let (prog, hit) =
@@ -857,13 +949,31 @@ impl Fleet {
                 }
             }
         })();
+        let run_time = started.elapsed();
+        if let Some(tele) = &self.telemetry {
+            let m = tele.metrics();
+            m.histogram(
+                "alrescha_fleet_queue_wait_us",
+                alrescha_obs::MICROS_BUCKETS,
+                false,
+                "time between batch submission and job dequeue",
+            )
+            .observe(queue_wait.as_micros().min(u128::from(u64::MAX)) as u64);
+            m.histogram(
+                "alrescha_fleet_run_time_us",
+                alrescha_obs::MICROS_BUCKETS,
+                false,
+                "time spent executing a job (programming + device run)",
+            )
+            .observe(run_time.as_micros().min(u128::from(u64::MAX)) as u64);
+        }
         JobRecord {
             job: index,
             kernel,
             worker: station.worker,
             cache_hit: cache_hit && result.is_ok(),
             queue_wait,
-            run_time: started.elapsed(),
+            run_time,
             result,
         }
     }

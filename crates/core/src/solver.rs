@@ -176,6 +176,15 @@ fn run_pcg(
     let b_norm = norm2(b).max(f64::MIN_POSITIVE);
     let mut report: Option<ExecutionReport> = None;
     let resumed = resume_from.is_some();
+    let tele = acc.telemetry().cloned();
+    let _solve_span = alrescha_obs::span!(tele, format!("pcg:{kind:?}"));
+    let iter_counter = tele.as_ref().map(|t| {
+        t.metrics().counter(
+            "alrescha_pcg_iterations_total",
+            true,
+            "PCG iterations executed (across all solves)",
+        )
+    });
 
     let (mut x, mut r, mut p, mut rz, r0, mut history, start_k);
     if let Some(cp) = resume_from {
@@ -228,6 +237,9 @@ fn run_pcg(
     }
 
     for k in start_k..=opts.max_iters {
+        if let Some(c) = &iter_counter {
+            c.inc();
+        }
         let ap = spmv(acc, &p, &mut report)?;
         let pap = dot(&p, &ap);
         if !pap.is_finite() {
@@ -268,7 +280,7 @@ fn run_pcg(
         }
         if checkpoint_every > 0 && k % checkpoint_every == 0 {
             if let Some(sink) = sink.as_deref_mut() {
-                sink(SolverCheckpoint {
+                let cp = SolverCheckpoint {
                     kind,
                     n,
                     iteration: k,
@@ -279,7 +291,13 @@ fn run_pcg(
                     r0,
                     residual_history: history.clone(),
                     fault: acc.fault_snapshot(),
-                });
+                };
+                // Size the encoded image only when someone is watching —
+                // serialization is pure cost otherwise.
+                if acc.telemetry().is_some_and(|t| t.is_enabled()) {
+                    acc.note_checkpoint_write(cp.to_bytes().len() as u64);
+                }
+                sink(cp);
             }
         }
     }

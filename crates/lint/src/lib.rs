@@ -342,6 +342,38 @@ pub fn fleet_preflight_hook() -> alrescha::PreflightHook {
     })
 }
 
+/// Like [`fleet_preflight_hook`], but wraps every verification in an alobs
+/// `preflight` span and counts passes/rejections in the metrics registry —
+/// so preflight cost shows up on the worker timeline next to conversion
+/// and device runs.
+pub fn fleet_preflight_hook_with_telemetry(
+    tele: std::sync::Arc<alrescha_obs::Telemetry>,
+) -> alrescha::PreflightHook {
+    std::sync::Arc::new(move |prog, config| {
+        let some_tele = Some(&tele);
+        let _span = alrescha_obs::span!(some_tele, "preflight");
+        let diagnostics = verify_programmed(prog, config);
+        let m = tele.metrics();
+        if is_launchable(&diagnostics) {
+            m.counter(
+                "alrescha_preflight_passes_total",
+                true,
+                "programs that cleared alverify preflight",
+            )
+            .inc();
+            Ok(())
+        } else {
+            m.counter(
+                "alrescha_preflight_rejections_total",
+                true,
+                "programs rejected by alverify preflight",
+            )
+            .inc();
+            Err(render_text(&diagnostics))
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,413 @@
+//! The telemetry handle: span recording, per-thread event buffers, and the
+//! device-timeline bridge.
+//!
+//! # Clock and buffers
+//!
+//! Each [`Telemetry`] instance owns a monotonic epoch (`Instant` taken at
+//! construction); every event carries nanoseconds since that epoch. Events
+//! land in a **per-thread** [`ThreadLog`] resolved through a thread-local
+//! map, so fleet workers never contend on a shared buffer: the hot path is
+//! one relaxed atomic gate check plus a push onto a buffer only the owning
+//! thread writes (its mutex is contended only when an exporter drains).
+//!
+//! # Determinism contract
+//!
+//! Timestamps are wall-clock and vary run to run. Everything else — span
+//! names, nesting, device-event content (cycle counts, block coordinates,
+//! ordering) and every metric flagged deterministic — is a pure function
+//! of the simulated workload, so golden tests pin the content views and
+//! leave timestamps out.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use crate::metrics::Registry;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+static NEXT_TELEMETRY_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Telemetry-instance id → this thread's log for that instance.
+    static THREAD_LOGS: RefCell<HashMap<u64, Arc<ThreadLog>>> = RefCell::new(HashMap::new());
+}
+
+/// An argument value attached to a device event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// An integer payload (cycle counts, byte counts).
+    Int(u64),
+    /// A text payload (data-path names, fault sites).
+    Text(String),
+}
+
+/// One engine-level event re-based from cycle space onto the span clock.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceEvent {
+    /// A duration in cycle space (a block, a recovery redo).
+    Span {
+        /// Display name.
+        name: String,
+        /// First cycle of the event, relative to the run.
+        start_cycle: u64,
+        /// One past the last cycle.
+        end_cycle: u64,
+        /// Extra key/value payload for the trace viewer.
+        args: Vec<(String, ArgValue)>,
+    },
+    /// An instantaneous marker (a reconfiguration, a fault, a checkpoint).
+    Point {
+        /// Display name.
+        name: String,
+        /// Cycle position relative to the run.
+        cycle: u64,
+        /// Extra key/value payload for the trace viewer.
+        args: Vec<(String, ArgValue)>,
+    },
+}
+
+/// One engine run's worth of device events, pinned to the host wall-clock
+/// window that the run occupied. The exporter scales cycle positions
+/// proportionally into `[t0_ns, t1_ns]` so device activity nests visually
+/// inside the host span that launched it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceTimeline {
+    /// Kernel name ("spmv", "symgs-forward", ...).
+    pub kernel: String,
+    /// Host time when the run began (ns since the telemetry epoch).
+    pub t0_ns: u64,
+    /// Host time when the run finished.
+    pub t1_ns: u64,
+    /// Total simulated cycles in the run (the cycle-space extent).
+    pub cycles: u64,
+    /// Events in emission order.
+    pub events: Vec<DeviceEvent>,
+}
+
+/// One recorded host-side event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpanEvent {
+    /// A span opened.
+    Begin {
+        /// Span name.
+        name: String,
+        /// Nanoseconds since the telemetry epoch.
+        ts_ns: u64,
+    },
+    /// A span closed (always the most recently opened span on the thread:
+    /// guards enforce LIFO nesting).
+    End {
+        /// Span name (repeated for validation).
+        name: String,
+        /// Nanoseconds since the telemetry epoch.
+        ts_ns: u64,
+    },
+    /// An instantaneous marker.
+    Instant {
+        /// Marker name.
+        name: String,
+        /// Nanoseconds since the telemetry epoch.
+        ts_ns: u64,
+    },
+    /// A device timeline captured during an engine run on this thread.
+    Device(DeviceTimeline),
+}
+
+/// Per-thread event buffer. Only the owning thread appends; exporters take
+/// the mutex to read, so the append path never blocks on another worker.
+#[derive(Debug)]
+pub struct ThreadLog {
+    tid: u64,
+    name: Mutex<Option<String>>,
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+impl ThreadLog {
+    fn new(tid: u64) -> Self {
+        ThreadLog {
+            tid,
+            name: Mutex::new(None),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn push(&self, event: SpanEvent) {
+        lock(&self.events).push(event);
+    }
+}
+
+/// A read-only copy of one thread's buffer, taken by exporters.
+#[derive(Debug, Clone)]
+pub struct ThreadSnapshot {
+    /// Track id (dense, assigned in first-touch order).
+    pub tid: u64,
+    /// Thread name, if [`Telemetry::name_thread`] was called.
+    pub name: Option<String>,
+    /// Events in recording order.
+    pub events: Vec<SpanEvent>,
+}
+
+/// The telemetry handle threaded through the stack. Cheap to clone via
+/// `Arc`; every recording call is gated on one shared [`AtomicBool`], so a
+/// disabled instance costs a relaxed load per call site.
+#[derive(Debug)]
+pub struct Telemetry {
+    id: u64,
+    enabled: Arc<AtomicBool>,
+    epoch: Instant,
+    threads: Mutex<Vec<Arc<ThreadLog>>>,
+    next_tid: AtomicU64,
+    metrics: Registry,
+}
+
+impl Telemetry {
+    /// Creates an enabled instance.
+    pub fn new() -> Arc<Telemetry> {
+        Self::with_enabled(true)
+    }
+
+    /// Creates an instance with the gate preset — `false` builds the
+    /// "attached but disabled" configuration the overhead bench measures.
+    pub fn with_enabled(enabled: bool) -> Arc<Telemetry> {
+        let gate = Arc::new(AtomicBool::new(enabled));
+        Arc::new(Telemetry {
+            id: NEXT_TELEMETRY_ID.fetch_add(1, Ordering::Relaxed),
+            enabled: Arc::clone(&gate),
+            epoch: Instant::now(),
+            threads: Mutex::new(Vec::new()),
+            next_tid: AtomicU64::new(1),
+            metrics: Registry::new(gate),
+        })
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Flips the gate; affects every handle sharing this instance.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds since this instance's epoch.
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// This thread's log, created and registered on first touch.
+    pub fn thread_log(&self) -> Arc<ThreadLog> {
+        THREAD_LOGS.with(|map| {
+            let mut map = map.borrow_mut();
+            if let Some(log) = map.get(&self.id) {
+                return Arc::clone(log);
+            }
+            let tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
+            let log = Arc::new(ThreadLog::new(tid));
+            lock(&self.threads).push(Arc::clone(&log));
+            map.insert(self.id, Arc::clone(&log));
+            log
+        })
+    }
+
+    /// Names the calling thread's track ("worker-0"); shown as the track
+    /// title in Perfetto.
+    pub fn name_thread(&self, name: impl Into<String>) {
+        if !self.is_enabled() {
+            return;
+        }
+        let log = self.thread_log();
+        *lock(&log.name) = Some(name.into());
+    }
+
+    /// Opens a span; the returned guard closes it on drop. Spans on one
+    /// thread nest LIFO, which is what makes Begin/End pairing in the
+    /// export well-formed by construction.
+    pub fn span(self: &Arc<Self>, name: impl Into<String>) -> SpanGuard {
+        if !self.is_enabled() {
+            return SpanGuard { active: None };
+        }
+        let name = name.into();
+        let log = self.thread_log();
+        log.push(SpanEvent::Begin {
+            name: name.clone(),
+            ts_ns: self.now_ns(),
+        });
+        SpanGuard {
+            active: Some((Arc::clone(self), log, name)),
+        }
+    }
+
+    /// Records an instantaneous marker on the calling thread's track.
+    pub fn instant(&self, name: impl Into<String>) {
+        if !self.is_enabled() {
+            return;
+        }
+        let log = self.thread_log();
+        log.push(SpanEvent::Instant {
+            name: name.into(),
+            ts_ns: self.now_ns(),
+        });
+    }
+
+    /// Records a captured device timeline on the calling thread's track.
+    pub fn record_device(&self, timeline: DeviceTimeline) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.thread_log().push(SpanEvent::Device(timeline));
+    }
+
+    /// Copies out every thread's buffer, ordered by track id.
+    pub fn snapshot_threads(&self) -> Vec<ThreadSnapshot> {
+        let mut snaps: Vec<ThreadSnapshot> = lock(&self.threads)
+            .iter()
+            .map(|log| ThreadSnapshot {
+                tid: log.tid,
+                name: lock(&log.name).clone(),
+                events: lock(&log.events).clone(),
+            })
+            .collect();
+        snaps.sort_by_key(|s| s.tid);
+        snaps
+    }
+}
+
+/// Guard returned by [`Telemetry::span`]; records the span's end when
+/// dropped. Inert (field-free in effect) when telemetry was disabled at
+/// open, so an in-flight disable cannot produce an unbalanced End.
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<(Arc<Telemetry>, Arc<ThreadLog>, String)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((tele, log, name)) = self.active.take() {
+            // Push unconditionally: this guard opened a Begin, so the End
+            // must land even if the gate flipped off mid-span.
+            log.push(SpanEvent::End {
+                name,
+                ts_ns: tele.now_ns(),
+            });
+        }
+    }
+}
+
+/// Opens a span on an `Option<Arc<Telemetry>>`-shaped handle — the common
+/// shape at instrumentation call-sites.
+///
+/// ```
+/// let tele = Some(alrescha_obs::Telemetry::new());
+/// let _guard = alrescha_obs::span!(tele, "convert");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($tele:expr, $name:expr) => {
+        $tele.as_ref().map(|t| $crate::Telemetry::span(t, $name))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_lifo_on_one_thread() {
+        let tele = Telemetry::new();
+        {
+            let _outer = tele.span("outer");
+            {
+                let _inner = tele.span("inner");
+            }
+            tele.instant("mark");
+        }
+        let snaps = tele.snapshot_threads();
+        assert_eq!(snaps.len(), 1);
+        let names: Vec<String> = snaps[0]
+            .events
+            .iter()
+            .map(|e| match e {
+                SpanEvent::Begin { name, .. } => format!("B:{name}"),
+                SpanEvent::End { name, .. } => format!("E:{name}"),
+                SpanEvent::Instant { name, .. } => format!("i:{name}"),
+                SpanEvent::Device(_) => "device".to_owned(),
+            })
+            .collect();
+        assert_eq!(
+            names,
+            ["B:outer", "B:inner", "E:inner", "i:mark", "E:outer"]
+        );
+    }
+
+    #[test]
+    fn disabled_instance_records_nothing() {
+        let tele = Telemetry::with_enabled(false);
+        let _g = tele.span("ghost");
+        tele.instant("ghost");
+        tele.name_thread("ghost");
+        assert!(tele.snapshot_threads().iter().all(|s| s.events.is_empty()));
+    }
+
+    #[test]
+    fn disable_mid_span_keeps_pairing_balanced() {
+        let tele = Telemetry::new();
+        let g = tele.span("work");
+        tele.set_enabled(false);
+        drop(g);
+        let events = tele.snapshot_threads().remove(0).events;
+        assert!(matches!(events[0], SpanEvent::Begin { .. }));
+        assert!(matches!(events[1], SpanEvent::End { .. }));
+    }
+
+    #[test]
+    fn threads_get_distinct_tracks() {
+        let tele = Telemetry::new();
+        tele.name_thread("main");
+        let t2 = Arc::clone(&tele);
+        std::thread::spawn(move || {
+            t2.name_thread("worker-0");
+            let _g = t2.span("job");
+        })
+        .join()
+        .expect("worker thread");
+        let snaps = tele.snapshot_threads();
+        assert_eq!(snaps.len(), 2);
+        assert_ne!(snaps[0].tid, snaps[1].tid);
+        let names: Vec<Option<String>> = snaps.iter().map(|s| s.name.clone()).collect();
+        assert!(names.contains(&Some("main".to_owned())));
+        assert!(names.contains(&Some("worker-0".to_owned())));
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let tele = Telemetry::new();
+        let a = tele.now_ns();
+        let b = tele.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn span_macro_handles_option_shape() {
+        let tele: Option<Arc<Telemetry>> = Some(Telemetry::new());
+        {
+            let _g = span!(tele, "macro-span");
+        }
+        let none: Option<Arc<Telemetry>> = None;
+        let g = span!(none, "nothing");
+        assert!(g.is_none());
+        let Some(tele) = tele else { unreachable!() };
+        let events = tele.snapshot_threads().remove(0).events;
+        assert_eq!(events.len(), 2);
+    }
+}

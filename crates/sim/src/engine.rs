@@ -90,6 +90,108 @@ pub struct Engine {
     faults: Option<FaultInjector>,
     recovery: RecoveryPolicy,
     budget: ExecBudget,
+    telemetry: Option<EngineTelemetry>,
+}
+
+/// Cached alobs handles: registered once at [`Engine::set_telemetry`] so
+/// the per-block hot path is a gated atomic op, never a registry lookup.
+#[derive(Debug)]
+struct EngineTelemetry {
+    tele: std::sync::Arc<alrescha_obs::Telemetry>,
+    runs: alrescha_obs::Counter,
+    cycles: alrescha_obs::Counter,
+    blocks: alrescha_obs::Counter,
+    cycles_per_block: alrescha_obs::Histogram,
+    cache_read_hits: alrescha_obs::Counter,
+    cache_read_misses: alrescha_obs::Counter,
+    cache_writes: alrescha_obs::Counter,
+    cache_hit_rate: alrescha_obs::Gauge,
+    reconfig_switches: alrescha_obs::Counter,
+    reconfig_exposed: alrescha_obs::Counter,
+    reconfig_hidden: alrescha_obs::Counter,
+    faults_detected: alrescha_obs::Counter,
+    faults_recovered: alrescha_obs::Counter,
+    fault_retries: alrescha_obs::Counter,
+    recovery_cycles: alrescha_obs::Counter,
+    checkpoint_writes: alrescha_obs::Counter,
+    checkpoint_bytes: alrescha_obs::Counter,
+}
+
+impl EngineTelemetry {
+    fn new(tele: &std::sync::Arc<alrescha_obs::Telemetry>) -> Self {
+        let m = tele.metrics();
+        EngineTelemetry {
+            tele: std::sync::Arc::clone(tele),
+            runs: m.counter("alrescha_engine_runs_total", true, "kernel runs executed"),
+            cycles: m.counter("alrescha_engine_cycles_total", true, "simulated cycles"),
+            blocks: m.counter(
+                "alrescha_engine_blocks_total",
+                true,
+                "locally-dense blocks executed (all data paths)",
+            ),
+            cycles_per_block: m.histogram(
+                "alrescha_engine_cycles_per_block",
+                alrescha_obs::CYCLE_BUCKETS,
+                true,
+                "cycles charged per locally-dense block",
+            ),
+            cache_read_hits: m.counter("alrescha_cache_read_hits_total", true, "cache read hits"),
+            cache_read_misses: m.counter(
+                "alrescha_cache_read_misses_total",
+                true,
+                "cache read misses",
+            ),
+            cache_writes: m.counter("alrescha_cache_writes_total", true, "cache writes"),
+            // Reads only: hits / (hits + misses). Writes are write-allocate
+            // traffic and must not inflate the denominator.
+            cache_hit_rate: m.gauge(
+                "alrescha_cache_hit_rate",
+                true,
+                "read hit rate of the last run: hits / (hits + misses)",
+            ),
+            reconfig_switches: m.counter(
+                "alrescha_reconfig_switches_total",
+                true,
+                "RCU data-path switches",
+            ),
+            reconfig_exposed: m.counter(
+                "alrescha_reconfig_exposed_stall_cycles_total",
+                true,
+                "reconfiguration stall cycles not hidden by the drain",
+            ),
+            reconfig_hidden: m.counter(
+                "alrescha_reconfig_hidden_cycles_total",
+                true,
+                "reconfiguration cycles hidden under the drain",
+            ),
+            faults_detected: m.counter(
+                "alrescha_faults_detected_total",
+                true,
+                "injected faults caught by ABFT/structural checks",
+            ),
+            faults_recovered: m.counter(
+                "alrescha_faults_recovered_total",
+                true,
+                "detected faults cleared by retry",
+            ),
+            fault_retries: m.counter("alrescha_fault_retries_total", true, "recovery retries"),
+            recovery_cycles: m.counter(
+                "alrescha_recovery_cycles_total",
+                true,
+                "cycles spent on recovery redo and backoff",
+            ),
+            checkpoint_writes: m.counter(
+                "alrescha_checkpoint_writes_total",
+                true,
+                "solver checkpoints serialized",
+            ),
+            checkpoint_bytes: m.counter(
+                "alrescha_checkpoint_bytes_total",
+                true,
+                "encoded checkpoint bytes",
+            ),
+        }
+    }
 }
 
 /// Per-run mutable accounting.
@@ -105,6 +207,11 @@ struct RunState {
     link_stack_peak: usize,
     fault_base: FaultCounters,
     wall_start: std::time::Instant,
+    /// Telemetry was attached and enabled when the run began; the trace
+    /// events from `trace_base` on belong to this run's device timeline.
+    telemetry_armed: bool,
+    trace_base: usize,
+    t0_ns: u64,
 }
 
 // Word-address regions for the cached vector operands.
@@ -127,6 +234,7 @@ impl Engine {
             faults: None,
             recovery: RecoveryPolicy::default(),
             budget: ExecBudget::default(),
+            telemetry: None,
         }
     }
 
@@ -148,6 +256,10 @@ impl Engine {
         self.faults = None;
         self.recovery = RecoveryPolicy::default();
         self.budget = ExecBudget::default();
+        // Telemetry is an observer, not engine state: it never feeds results
+        // or reports, so keeping it attached preserves the bit-identical
+        // recycled-engine contract while letting long-lived workers keep
+        // streaming spans across jobs.
     }
 
     /// Arms cycle/wall-clock limits and the progress-watchdog window for
@@ -216,6 +328,45 @@ impl Engine {
         self.trace.take()
     }
 
+    /// Attaches (or, with `None`, detaches) an alobs telemetry sink. Metric
+    /// handles are registered once here; per-run publication afterwards is
+    /// a handful of gated atomic adds.
+    ///
+    /// While telemetry is attached *and enabled*, each run auto-enables
+    /// event tracing and consumes its own events at [`Engine::finish`] to
+    /// build a device timeline, so [`Engine::take_trace`] only returns
+    /// events recorded outside runs (e.g. checkpoint writes). Detaching
+    /// does not disable tracing that was enabled explicitly.
+    pub fn set_telemetry(&mut self, tele: Option<std::sync::Arc<alrescha_obs::Telemetry>>) {
+        self.telemetry = tele.map(|t| EngineTelemetry::new(&t));
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&std::sync::Arc<alrescha_obs::Telemetry>> {
+        self.telemetry.as_ref().map(|et| &et.tele)
+    }
+
+    /// Records a solver checkpoint serialization against this engine's
+    /// trace and metrics. Called by the host solver loop between runs.
+    pub fn note_checkpoint_write(&mut self, bytes: u64) {
+        self.trace
+            .record(crate::trace::TraceEvent::CheckpointWrite { bytes });
+        if let Some(et) = &self.telemetry {
+            et.checkpoint_writes.inc();
+            et.checkpoint_bytes.add(bytes);
+        }
+    }
+
+    /// Records a block completion: pairs the closest preceding `BlockBegin`
+    /// and feeds the cycles-per-block histogram.
+    fn note_block_end(&mut self, cycles: u64) {
+        self.trace
+            .record(crate::trace::TraceEvent::BlockEnd { cycles });
+        if let Some(et) = &self.telemetry {
+            et.cycles_per_block.observe(cycles);
+        }
+    }
+
     fn trace_reconfigure(&mut self, to: DataPathKind, exposed: u64) {
         self.trace
             .record(crate::trace::TraceEvent::Reconfigure { to, exposed });
@@ -236,6 +387,18 @@ impl Engine {
 
     fn begin(&mut self, reduce: Reduce) -> RunState {
         self.cache.flush();
+        let telemetry_armed = self
+            .telemetry
+            .as_ref()
+            .is_some_and(|et| et.tele.is_enabled());
+        let mut t0_ns = 0;
+        if telemetry_armed {
+            self.trace.enable();
+            if let Some(et) = &self.telemetry {
+                t0_ns = et.tele.now_ns();
+            }
+        }
+        let trace_base = self.trace.events().len();
         let fill = self.fcu.fill_latency(reduce);
         let mut memory = MemoryStream::new(&self.config);
         memory.attach_injector(self.faults.clone());
@@ -257,6 +420,9 @@ impl Engine {
                 .map(FaultInjector::counters)
                 .unwrap_or_default(),
             wall_start: std::time::Instant::now(),
+            telemetry_armed,
+            trace_base,
+            t0_ns,
         }
     }
 
@@ -350,7 +516,7 @@ impl Engine {
             .as_ref()
             .map(|inj| inj.counters().delta(&state.fault_base))
             .unwrap_or_default();
-        ExecutionReport {
+        let report = ExecutionReport {
             kernel,
             cycles,
             seconds,
@@ -368,7 +534,53 @@ impl Engine {
             breakdown,
             faults,
             breaker: crate::report::BreakerStats::default(),
+        };
+        self.publish_metrics(&report);
+        if state.telemetry_armed {
+            self.capture_device_timeline(state.trace_base, state.t0_ns, &report);
         }
+        report
+    }
+
+    /// Publishes one run's report deltas into the attached metrics registry.
+    fn publish_metrics(&self, report: &ExecutionReport) {
+        let Some(et) = &self.telemetry else { return };
+        et.runs.inc();
+        et.cycles.add(report.cycles);
+        let d = &report.datapaths;
+        et.blocks
+            .add(d.gemv_blocks + d.dsymgs_blocks + d.graph_blocks);
+        let c = &report.cache;
+        et.cache_read_hits.add(c.hits);
+        et.cache_read_misses.add(c.misses);
+        et.cache_writes.add(c.writes);
+        let reads = c.hits + c.misses;
+        if reads > 0 {
+            et.cache_hit_rate.set(c.hits as f64 / reads as f64);
+        }
+        et.reconfig_switches.add(report.reconfig.switches);
+        et.reconfig_exposed.add(report.reconfig.exposed_cycles);
+        et.reconfig_hidden.add(report.reconfig.hidden_cycles);
+        et.faults_detected.add(report.faults.detected);
+        et.faults_recovered.add(report.faults.recovered);
+        et.fault_retries.add(report.faults.retries);
+        et.recovery_cycles.add(report.breakdown.recovery_cycles);
+    }
+
+    /// Converts the trace events this run appended (from `trace_base` on)
+    /// into a device timeline pinned to host time `[t0_ns, now]`, records
+    /// it on the telemetry sink, and removes the consumed events.
+    fn capture_device_timeline(&mut self, trace_base: usize, t0_ns: u64, report: &ExecutionReport) {
+        let Some(et) = &self.telemetry else { return };
+        let events = crate::trace::to_device_events(&self.trace.events()[trace_base..]);
+        et.tele.record_device(alrescha_obs::DeviceTimeline {
+            kernel: report.kernel.to_owned(),
+            t0_ns,
+            t1_ns: et.tele.now_ns().max(t0_ns),
+            cycles: report.cycles,
+            events,
+        });
+        self.trace.truncate(trace_base);
     }
 
     /// Reads one ω-chunk of a cached vector operand; charges cache-port
@@ -470,8 +682,15 @@ impl Engine {
         let tol = 1e-9 * scale;
 
         let max_retries = self.recovery.max_retries();
+        let site = if stuck.is_some() {
+            FaultSite::Memory
+        } else {
+            FaultSite::FcuLane
+        };
         let mut attempt = 0u32;
         let mut caught = 0u64;
+        let mut recovering = false;
+        let mut redo_total = 0u64;
         let outcome = loop {
             inj.begin_scope();
             if stuck.is_some() {
@@ -494,21 +713,38 @@ impl Engine {
                 if caught > 0 {
                     inj.note_recovered(caught);
                 }
+                if recovering {
+                    self.trace.record(crate::trace::TraceEvent::RecoveryEnd {
+                        recovered: true,
+                        cycles: redo_total,
+                    });
+                }
                 // Faults that slipped past the checksum stay injected-only.
                 inj.begin_scope();
                 break Ok(dots);
             }
-            caught += inj.confirm_detected();
+            let newly = inj.confirm_detected();
+            caught += newly;
+            if newly > 0 {
+                self.trace
+                    .record(crate::trace::TraceEvent::FaultInjected { site });
+            }
             if attempt >= max_retries {
-                let site = if stuck.is_some() {
-                    FaultSite::Memory
-                } else {
-                    FaultSite::FcuLane
-                };
+                if recovering {
+                    self.trace.record(crate::trace::TraceEvent::RecoveryEnd {
+                        recovered: false,
+                        cycles: redo_total,
+                    });
+                }
                 break Err(SimError::FaultDetected {
                     site,
                     cycle: state.cycles,
                 });
+            }
+            if !recovering {
+                recovering = true;
+                self.trace
+                    .record(crate::trace::TraceEvent::RecoveryBegin { site });
             }
             attempt += 1;
             inj.note_retry();
@@ -518,6 +754,7 @@ impl Engine {
             let redo = re_mem.max(omega as u64) + self.recovery.backoff_cycles();
             state.cycles += redo;
             state.breakdown.recovery_cycles += redo;
+            redo_total += redo;
             self.publish_cycle(state);
         };
         outcome
@@ -581,6 +818,7 @@ impl Engine {
 
             let operand = Self::operand_slice(x, col_base, omega);
             let dots = self.gemv_block_checked(&mut state, block, &operand, stuck)?;
+            self.note_block_end(block_cycles);
             for (i, dot) in dots.into_iter().enumerate() {
                 if row_base + i < y.len() {
                     y[row_base + i] += dot;
@@ -754,6 +992,8 @@ impl Engine {
                 // catches (the stack grew by fewer than ω entries).
                 let mut push_attempt = 0u32;
                 let mut drops_caught = 0u64;
+                let mut push_recovering = false;
+                let mut push_redo = 0u64;
                 loop {
                     if let Some(inj) = &self.faults {
                         inj.begin_scope();
@@ -770,20 +1010,44 @@ impl Engine {
                                 inj.note_recovered(drops_caught);
                             }
                         }
+                        if push_recovering {
+                            self.trace.record(crate::trace::TraceEvent::RecoveryEnd {
+                                recovered: true,
+                                cycles: push_redo,
+                            });
+                        }
                         break;
                     }
-                    drops_caught += self
+                    let newly = self
                         .faults
                         .as_ref()
                         .map_or(0, FaultInjector::confirm_detected);
+                    drops_caught += newly;
+                    if newly > 0 {
+                        self.trace.record(crate::trace::TraceEvent::FaultInjected {
+                            site: FaultSite::RcuLifo,
+                        });
+                    }
                     // Roll back this attempt's (LIFO-ordered) pushes.
                     while link_stack.len() > before {
                         let _ = link_stack.pop();
                     }
                     if push_attempt >= self.recovery.max_retries() {
+                        if push_recovering {
+                            self.trace.record(crate::trace::TraceEvent::RecoveryEnd {
+                                recovered: false,
+                                cycles: push_redo,
+                            });
+                        }
                         return Err(SimError::FaultDetected {
                             site: FaultSite::RcuLifo,
                             cycle: state.cycles,
+                        });
+                    }
+                    if !push_recovering {
+                        push_recovering = true;
+                        self.trace.record(crate::trace::TraceEvent::RecoveryBegin {
+                            site: FaultSite::RcuLifo,
                         });
                     }
                     push_attempt += 1;
@@ -792,7 +1056,9 @@ impl Engine {
                     }
                     state.cycles += self.recovery.backoff_cycles();
                     state.breakdown.recovery_cycles += self.recovery.backoff_cycles();
+                    push_redo += self.recovery.backoff_cycles();
                 }
+                self.note_block_end(block_cycles);
             }
 
             // The successive D-SymGS pops the GEMV results off the stack
@@ -837,6 +1103,8 @@ impl Engine {
             let mut diag_fifo: Fifo<f64> = Fifo::new();
             let mut fifo_attempt = 0u32;
             let mut fifo_caught = 0u64;
+            let mut fifo_recovering = false;
+            let mut fifo_redo = 0u64;
             loop {
                 if let Some(inj) = &self.faults {
                     inj.begin_scope();
@@ -862,18 +1130,42 @@ impl Engine {
                             inj.note_recovered(fifo_caught);
                         }
                     }
+                    if fifo_recovering {
+                        self.trace.record(crate::trace::TraceEvent::RecoveryEnd {
+                            recovered: true,
+                            cycles: fifo_redo,
+                        });
+                    }
                     break;
                 }
-                fifo_caught += self
+                let newly = self
                     .faults
                     .as_ref()
                     .map_or(0, FaultInjector::confirm_detected);
+                fifo_caught += newly;
+                if newly > 0 {
+                    self.trace.record(crate::trace::TraceEvent::FaultInjected {
+                        site: FaultSite::RcuFifo,
+                    });
+                }
                 while b_fifo.pop().is_some() {}
                 while diag_fifo.pop().is_some() {}
                 if fifo_attempt >= self.recovery.max_retries() {
+                    if fifo_recovering {
+                        self.trace.record(crate::trace::TraceEvent::RecoveryEnd {
+                            recovered: false,
+                            cycles: fifo_redo,
+                        });
+                    }
                     return Err(SimError::FaultDetected {
                         site: FaultSite::RcuFifo,
                         cycle: state.cycles,
+                    });
+                }
+                if !fifo_recovering {
+                    fifo_recovering = true;
+                    self.trace.record(crate::trace::TraceEvent::RecoveryBegin {
+                        site: FaultSite::RcuFifo,
                     });
                 }
                 fifo_attempt += 1;
@@ -882,6 +1174,7 @@ impl Engine {
                 }
                 state.cycles += self.recovery.backoff_cycles();
                 state.breakdown.recovery_cycles += self.recovery.backoff_cycles();
+                fifo_redo += self.recovery.backoff_cycles();
             }
             if backward {
                 // The r2l access order of the diagonal block consumes the
@@ -964,19 +1257,24 @@ impl Engine {
                 }
                 steps += 1;
             }
-            if diag_block.is_some() {
+            let dsymgs_cycles = if diag_block.is_some() {
                 let payload_cycles = state.memory.stream_values(omega * omega);
                 let compute = steps * self.config.dsymgs_step_latency();
                 let block_cycles = payload_cycles.max(compute);
                 state.cycles += block_cycles;
                 state.breakdown.dsymgs_cycles += block_cycles;
                 state.counts.dsymgs_blocks += 1;
+                block_cycles
             } else if steps > 0 {
                 // Rows with only an extracted diagonal: pure PE updates.
                 let block_cycles = steps * self.config.dsymgs_step_latency();
                 state.cycles += block_cycles;
                 state.breakdown.dsymgs_cycles += block_cycles;
-            }
+                block_cycles
+            } else {
+                0
+            };
+            self.note_block_end(dsymgs_cycles);
             self.publish_cycle(&state);
             self.write_chunk(&mut state, REGION_X, row_base, a.rows());
         }
@@ -1060,7 +1358,10 @@ impl Engine {
         dist[source] = 0.0;
 
         let mut state = self.begin(Reduce::Min);
-        self.rcu.configure(kind, self.fcu.drain(Reduce::Min));
+        self.trace
+            .record(crate::trace::TraceEvent::KernelBegin { kernel });
+        let exposed = self.rcu.configure(kind, self.fcu.drain(Reduce::Min));
+        self.trace_reconfigure(kind, exposed);
         let mut rounds = 0u64;
 
         loop {
@@ -1071,12 +1372,14 @@ impl Engine {
                 // Block of Aᵀ: rows are destinations, columns sources.
                 let dst_base = block.block_row() * omega;
                 let src_base = block.block_col() * omega;
+                self.trace_block(block.block_row(), block.block_col(), kind);
                 let payload = state.memory.stream_values(omega * omega);
                 self.read_chunk(&mut state, REGION_X, src_base, n);
                 let block_cycles = payload.max(omega as u64);
                 state.cycles += block_cycles;
                 state.breakdown.graph_cycles += block_cycles;
                 state.counts.graph_blocks += 1;
+                self.note_block_end(block_cycles);
 
                 let operand = Self::operand_slice(&dist, src_base, omega);
                 for i in 0..omega {
@@ -1152,8 +1455,13 @@ impl Engine {
 
         let n = at.rows();
         let mut state = self.begin(Reduce::Sum);
-        self.rcu
+        self.trace.record(crate::trace::TraceEvent::KernelBegin {
+            kernel: "pagerank",
+        });
+        let exposed = self
+            .rcu
             .configure(DataPathKind::DPr, self.fcu.drain(Reduce::Sum));
+        self.trace_reconfigure(DataPathKind::DPr, exposed);
         let mut rank = vec![1.0 / n as f64; n];
 
         for it in 1..=opts.max_iters {
@@ -1178,12 +1486,14 @@ impl Engine {
             for block in at.blocks() {
                 let dst_base = block.block_row() * omega;
                 let src_base = block.block_col() * omega;
+                self.trace_block(block.block_row(), block.block_col(), DataPathKind::DPr);
                 let payload = state.memory.stream_values(omega * omega);
                 self.read_chunk(&mut state, REGION_X, src_base, n);
                 let block_cycles = payload.max(omega as u64);
                 state.cycles += block_cycles;
                 state.breakdown.graph_cycles += block_cycles;
                 state.counts.graph_blocks += 1;
+                self.note_block_end(block_cycles);
 
                 let operand = Self::operand_slice(&contrib, src_base, omega);
                 for i in 0..omega {
@@ -1952,8 +2262,10 @@ impl Engine {
         let mut state = self.begin(Reduce::Min);
         self.trace
             .record(crate::trace::TraceEvent::KernelBegin { kernel: "cc" });
-        self.rcu
+        let exposed = self
+            .rcu
             .configure(DataPathKind::DBfs, self.fcu.drain(Reduce::Min));
+        self.trace_reconfigure(DataPathKind::DBfs, exposed);
         let mut rounds = 0u64;
 
         loop {
@@ -1970,6 +2282,7 @@ impl Engine {
                 state.cycles += block_cycles;
                 state.breakdown.graph_cycles += block_cycles;
                 state.counts.graph_blocks += 1;
+                self.note_block_end(block_cycles);
 
                 let operand = Self::operand_slice(&label, src_base, omega);
                 for i in 0..omega {

@@ -16,6 +16,11 @@
 //! an HPCG-style campaign) runs through the `alrescha-fleet` runtime on N
 //! workers: Algorithm-1 conversion and the alverify preflight are paid
 //! once and shared through the conversion cache.
+//!
+//! With `--trace-out trace.json`, the whole run — host spans plus the
+//! engine's cycle-level timeline — is written as a Chrome/Perfetto trace
+//! (open it at <https://ui.perfetto.dev>). `--metrics-out metrics.json`
+//! writes the metrics-registry snapshot (inspect with `alobs metrics`).
 
 use alrescha::fleet::{Fleet, FleetConfig, JobKernel, JobSpec};
 use alrescha::{AcceleratedMgPcg, AcceleratedPcg, Alrescha, KernelType, SolverOptions};
@@ -33,15 +38,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|i| args.get(i + 1))
         .map(|s| s.parse())
         .transpose()?;
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let trace_out = flag_value("--trace-out");
+    let metrics_out = flag_value("--metrics-out");
     let side: usize = args
         .iter()
         .enumerate()
         .find(|&(i, a)| {
-            !a.starts_with("--") && (i == 0 || args[i - 1] != "--workers")
+            !a.starts_with("--")
+                && (i == 0
+                    || !matches!(
+                        args[i - 1].as_str(),
+                        "--workers" | "--trace-out" | "--metrics-out"
+                    ))
         })
         .map(|(_, s)| s.parse())
         .transpose()?
         .unwrap_or(10);
+    let tele = (trace_out.is_some() || metrics_out.is_some())
+        .then(alrescha_obs::Telemetry::new);
+    let write_telemetry = |tele: &std::sync::Arc<alrescha_obs::Telemetry>| {
+        if let Some(path) = &trace_out {
+            std::fs::write(path, alrescha_obs::export_chrome_trace(tele))?;
+            eprintln!("wrote Chrome trace to {path} — open it at https://ui.perfetto.dev");
+        }
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, tele.metrics().snapshot_json())?;
+            eprintln!("wrote metrics snapshot to {path}");
+        }
+        Ok::<(), std::io::Error>(())
+    };
     println!(
         "HPCG-mini: 27-point stencil on a {side}^3 grid ({} preconditioner)",
         if use_mg { "multigrid V-cycle" } else { "SymGS" }
@@ -56,6 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b = spmv(&csr, &ones);
 
     let mut acc = Alrescha::with_paper_config();
+    acc.set_telemetry(tele.clone());
 
     // Pre-flight: run the alverify static rule catalog over the SymGS
     // program before spending any device time (same gate as `alverify
@@ -95,8 +127,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 )
             })
             .collect();
-        let fleet = Fleet::new(FleetConfig::default().with_workers(n_workers))
-            .with_preflight(alrescha_lint::fleet_preflight_hook());
+        let mut fleet = Fleet::new(FleetConfig::default().with_workers(n_workers));
+        fleet = match &tele {
+            Some(t) => fleet
+                .with_preflight(alrescha_lint::fleet_preflight_hook_with_telemetry(
+                    std::sync::Arc::clone(t),
+                ))
+                .with_telemetry(std::sync::Arc::clone(t)),
+            None => fleet.with_preflight(alrescha_lint::fleet_preflight_hook()),
+        };
         let batch = fleet.run(jobs);
         let s = &batch.stats;
         println!(
@@ -124,6 +163,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Ok(_) => unreachable!("batch only submits PCG jobs"),
                 Err(e) => println!("    job {}: FAILED: {e}", rec.job),
             }
+        }
+        if let Some(t) = &tele {
+            write_telemetry(t)?;
         }
         return Ok(());
     }
@@ -175,5 +217,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  reconfigurations: {} (exposed stall cycles: {})",
         r.reconfig.switches, r.reconfig.exposed_cycles
     );
+    if let Some(t) = &tele {
+        write_telemetry(t)?;
+    }
     Ok(())
 }

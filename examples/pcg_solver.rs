@@ -10,6 +10,11 @@
 //! With `--workers N`, several solves of the same system (distinct
 //! right-hand sides) run through the `alrescha-fleet` runtime: conversion
 //! and verification happen once, cached, and every engine is reused.
+//!
+//! `--trace-out trace.json` writes a Chrome/Perfetto trace of the run
+//! (host spans plus the engine's cycle-level timeline; open it at
+//! <https://ui.perfetto.dev>); `--metrics-out metrics.json` writes the
+//! metrics-registry snapshot.
 
 use alrescha::fleet::{Fleet, FleetConfig, JobKernel, JobOutput, JobSpec};
 use alrescha::{AcceleratedPcg, Alrescha, SolverOptions};
@@ -24,6 +29,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|i| args.get(i + 1))
         .map(|s| s.parse())
         .transpose()?;
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let trace_out = flag_value("--trace-out");
+    let metrics_out = flag_value("--metrics-out");
+    let tele = (trace_out.is_some() || metrics_out.is_some())
+        .then(alrescha_obs::Telemetry::new);
+    let write_telemetry = |tele: &std::sync::Arc<alrescha_obs::Telemetry>| {
+        if let Some(path) = &trace_out {
+            std::fs::write(path, alrescha_obs::export_chrome_trace(tele))?;
+            eprintln!("wrote Chrome trace to {path} — open it at https://ui.perfetto.dev");
+        }
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, tele.metrics().snapshot_json())?;
+            eprintln!("wrote metrics snapshot to {path}");
+        }
+        Ok::<(), std::io::Error>(())
+    };
 
     // Heat-equation style system: fluid-dynamics banded structure.
     let a = gen::ScienceClass::Fluid.generate(2000, 7);
@@ -56,8 +82,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 )
             })
             .collect();
-        let fleet = Fleet::new(FleetConfig::default().with_workers(n_workers))
-            .with_preflight(alrescha_lint::fleet_preflight_hook());
+        let mut fleet = Fleet::new(FleetConfig::default().with_workers(n_workers));
+        fleet = match &tele {
+            Some(t) => fleet
+                .with_preflight(alrescha_lint::fleet_preflight_hook_with_telemetry(
+                    std::sync::Arc::clone(t),
+                ))
+                .with_telemetry(std::sync::Arc::clone(t)),
+            None => fleet.with_preflight(alrescha_lint::fleet_preflight_hook()),
+        };
         let batch = fleet.run(jobs);
         let s = &batch.stats;
         println!(
@@ -79,10 +112,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Err(e) => println!("  job {}: FAILED: {e}", rec.job),
             }
         }
+        if let Some(t) = &tele {
+            write_telemetry(t)?;
+        }
         return Ok(());
     }
 
     let mut acc = Alrescha::with_paper_config();
+    acc.set_telemetry(tele.clone());
     let solver = AcceleratedPcg::program(&mut acc, &a)?;
     let out = solver.solve(&mut acc, &b, &opts)?;
 
@@ -116,5 +153,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * r.bandwidth_utilization,
         100.0 * r.cache.hits as f64 / (r.cache.hits + r.cache.misses).max(1) as f64
     );
+    if let Some(t) = &tele {
+        write_telemetry(t)?;
+    }
     Ok(())
 }

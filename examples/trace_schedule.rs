@@ -49,6 +49,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             } => {
                 println!("    block ({block_row}, {block_col}) on {kind:?}");
             }
+            TraceEvent::BlockEnd { cycles } => {
+                println!("      └ {cycles} cycles");
+            }
+            TraceEvent::FaultInjected { site } => println!("    ⚡ fault at {site}"),
+            TraceEvent::RecoveryBegin { site } => println!("    ↺ recovery at {site}"),
+            TraceEvent::RecoveryEnd { recovered, cycles } => {
+                println!(
+                    "    ↺ recovery: {} ({cycles} redo cycles)",
+                    if recovered { "recovered" } else { "gave up" }
+                );
+            }
+            TraceEvent::CheckpointWrite { bytes } => {
+                println!("    ⤓ checkpoint ({bytes} bytes)");
+            }
             TraceEvent::KernelEnd { cycles } => println!("■ done in {cycles} cycles"),
         }
     }

@@ -193,7 +193,11 @@ fn fleet_report_json_matches_golden() {
 
 #[test]
 fn golden_fixtures_are_valid_single_line_json() {
-    for name in ["execution_report.json", "fleet_report.json"] {
+    for name in [
+        "execution_report.json",
+        "fleet_report.json",
+        "metrics_snapshot.json",
+    ] {
         let text = std::fs::read_to_string(golden_path(name)).expect("fixture exists");
         let line = text.trim_end();
         assert!(!line.contains('\n'), "{name} must be a single line");
@@ -219,4 +223,44 @@ fn fleet_json_fingerprints_are_reproducible() {
     let a = populated_fleet_report().to_json();
     let b = populated_fleet_report().to_json();
     assert_eq!(a, b);
+}
+
+/// The deterministic slice of the telemetry metrics registry is an external
+/// contract too: metric names, types, histogram bucket bounds, and number
+/// formatting feed dashboards and the `alobs` summarizer. A fixed sequential
+/// workload (SpMV + PCG over one stencil) must reproduce the fixture bit for
+/// bit; regenerate with `UPDATE_GOLDEN=1` after an intentional change.
+#[test]
+fn metrics_snapshot_matches_fixture() {
+    use std::sync::Arc;
+
+    use alrescha::fleet::{Fleet, FleetConfig, JobKernel, JobSpec};
+    use alrescha::SolverOptions;
+
+    let tele = alrescha_obs::Telemetry::new();
+    let a = alrescha_sparse::gen::stencil27(3);
+    let x: Vec<f64> = (0..a.cols()).map(|i| 1.0 + (i % 5) as f64 / 3.0).collect();
+    let b = vec![1.0; a.rows()];
+    let jobs = vec![
+        JobSpec::new(a.clone(), JobKernel::SpMv { x: x.clone() }),
+        JobSpec::new(a.clone(), JobKernel::SpMv { x }),
+        JobSpec::new(
+            a,
+            JobKernel::Pcg {
+                b,
+                opts: SolverOptions {
+                    tol: 1e-8,
+                    max_iters: 50,
+                },
+            },
+        ),
+    ];
+    let fleet = Fleet::new(FleetConfig::default())
+        .with_preflight(alrescha_lint::fleet_preflight_hook_with_telemetry(
+            Arc::clone(&tele),
+        ))
+        .with_telemetry(Arc::clone(&tele));
+    let batch = fleet.run_sequential(jobs);
+    assert_eq!(batch.stats.failed, 0);
+    assert_golden("metrics_snapshot.json", &tele.metrics().deterministic_json());
 }
