@@ -82,6 +82,7 @@ impl ProgrammedKernel {
 pub struct Alrescha {
     engine: Engine,
     breaker: Option<CircuitBreaker>,
+    cpu_only: bool,
 }
 
 impl Alrescha {
@@ -90,6 +91,7 @@ impl Alrescha {
         Alrescha {
             engine: Engine::new(config),
             breaker: None,
+            cpu_only: false,
         }
     }
 
@@ -115,6 +117,22 @@ impl Alrescha {
     pub fn reset(&mut self) {
         self.engine.reset();
         self.breaker = None;
+        self.cpu_only = false;
+    }
+
+    /// Pins (or, with `false`, unpins) every guarded operation
+    /// ([`Alrescha::spmv`], [`Alrescha::symgs`], [`Alrescha::symgs_forward`])
+    /// to the host reference backend: no device cycles are simulated, no
+    /// faults are injected, and the run is *not* counted as degraded — this
+    /// is the planned CPU mode a persistent service enters while the device
+    /// breaker is open, not a failure path. Cleared by [`Alrescha::reset`].
+    pub fn set_cpu_only(&mut self, cpu_only: bool) {
+        self.cpu_only = cpu_only;
+    }
+
+    /// Whether guarded operations are pinned to the host backend.
+    pub fn cpu_only(&self) -> bool {
+        self.cpu_only
     }
 
     /// Arms (or, with `None`, disarms) a deterministic fault-injection plan.
@@ -299,6 +317,37 @@ impl Alrescha {
         report
     }
 
+    /// Report for an operation served by the host because the accelerator
+    /// is pinned to CPU-only mode: zero device cycles and no fault,
+    /// recovery, or breaker activity — a planned mode, not a degradation.
+    fn cpu_only_report(&self, kernel: &'static str) -> ExecutionReport {
+        if let Some(tele) = self.engine.telemetry() {
+            tele.instant(format!("cpu-only:{kernel}"));
+            tele.metrics()
+                .counter(
+                    "alrescha_cpu_only_runs_total",
+                    true,
+                    "kernel runs served by the host under a cpu-only pin",
+                )
+                .inc();
+        }
+        ExecutionReport {
+            kernel,
+            cycles: 0,
+            seconds: 0.0,
+            bytes_streamed: 0,
+            bandwidth_utilization: 0.0,
+            cache_time_fraction: 0.0,
+            energy: alrescha_sim::EnergyCounters::new(),
+            reconfig: alrescha_sim::rcu::ReconfigStats::default(),
+            cache: alrescha_sim::report::CacheStats::default(),
+            datapaths: alrescha_sim::report::DataPathCounts::default(),
+            breakdown: alrescha_sim::report::CycleBreakdown::default(),
+            faults: FaultCounters::default(),
+            breaker: BreakerStats::default(),
+        }
+    }
+
     /// Programs a kernel: runs Algorithm 1 and loads the result (the
     /// one-time host-side preprocessing of §4).
     ///
@@ -382,6 +431,11 @@ impl Alrescha {
         x: &[f64],
     ) -> Result<(Vec<f64>, ExecutionReport)> {
         expect_kernel(prog, KernelType::SpMv)?;
+        if self.cpu_only {
+            let csr = Csr::from_coo(&prog.alf.to_coo());
+            let y = alrescha_kernels::spmv::spmv(&csr, x);
+            return Ok((y, self.cpu_only_report("spmv")));
+        }
         if let Some(mut breaker) = self.breaker.take() {
             let out = self.spmv_with_breaker(&mut breaker, prog, x);
             self.breaker = Some(breaker);
@@ -454,6 +508,11 @@ impl Alrescha {
         x: &mut [f64],
     ) -> Result<ExecutionReport> {
         expect_kernel(prog, KernelType::SymGs)?;
+        if self.cpu_only {
+            let csr = Csr::from_coo(&prog.alf.to_coo());
+            alrescha_kernels::symgs::symgs(&csr, b, x)?;
+            return Ok(self.cpu_only_report("symgs"));
+        }
         if let Some(mut breaker) = self.breaker.take() {
             let out = self.symgs_with_breaker(&mut breaker, prog, b, x, false);
             self.breaker = Some(breaker);
@@ -539,6 +598,11 @@ impl Alrescha {
         x: &mut [f64],
     ) -> Result<ExecutionReport> {
         expect_kernel(prog, KernelType::SymGs)?;
+        if self.cpu_only {
+            let csr = Csr::from_coo(&prog.alf.to_coo());
+            alrescha_kernels::symgs::forward_sweep(&csr, b, x)?;
+            return Ok(self.cpu_only_report("symgs"));
+        }
         if let Some(mut breaker) = self.breaker.take() {
             let out = self.symgs_with_breaker(&mut breaker, prog, b, x, true);
             self.breaker = Some(breaker);
@@ -819,6 +883,24 @@ mod tests {
         let mut acc = Alrescha::with_paper_config();
         let prog = acc.program(KernelType::SpMv, &gen::stencil27(2)).unwrap();
         assert_eq!(runtime_meta_bytes_per_nnz(&prog), 0.0);
+    }
+
+    #[test]
+    fn cpu_only_pin_serves_from_host_with_clean_report() {
+        let mut acc = Alrescha::with_paper_config();
+        let coo = gen::stencil27(3);
+        let prog = acc.program(KernelType::SpMv, &coo).unwrap();
+        acc.set_cpu_only(true);
+        let x = vec![1.0; coo.cols()];
+        let (y, report) = acc.spmv(&prog, &x).unwrap();
+        // Same host kernel as the reference: identical bits.
+        let expect = alrescha_kernels::spmv::spmv(&Csr::from_coo(&coo), &x);
+        assert_eq!(y, expect);
+        assert_eq!(report.cycles, 0);
+        assert_eq!(report.faults.degraded, 0);
+        assert_eq!(report.breaker, alrescha_sim::BreakerStats::default());
+        acc.reset();
+        assert!(!acc.cpu_only(), "reset clears the pin");
     }
 
     #[test]

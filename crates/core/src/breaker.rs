@@ -22,6 +22,7 @@
 //! identical failover decisions and charges identical recovery cycles.
 
 use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use alrescha_sim::BreakerStats;
 
@@ -218,6 +219,112 @@ impl CircuitBreaker {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Shared breaker
+// ---------------------------------------------------------------------------
+
+/// State behind a [`SharedBreaker`]'s lock.
+#[derive(Debug)]
+struct SharedState {
+    breaker: CircuitBreaker,
+    /// A half-open probe has been issued and its verdict has not arrived.
+    probe_inflight: bool,
+}
+
+fn lock(m: &Mutex<SharedState>) -> MutexGuard<'_, SharedState> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A thread-safe [`CircuitBreaker`] shared by every worker of a persistent
+/// service, with one extra guarantee the per-job breaker cannot give:
+/// **at most one half-open probe is outstanding at a time**. Concurrent
+/// operations gated while a probe is in flight are served from the CPU —
+/// without this, every worker that called [`CircuitBreaker::gate`] during
+/// the half-open window would hammer the possibly-still-broken device at
+/// once, defeating the point of probing.
+///
+/// Probe verdicts are reported through [`SharedBreaker::record_probe`],
+/// which clears the in-flight flag; [`SharedBreaker::record_success`] /
+/// [`SharedBreaker::record_failure`] report ordinary (non-probe) verdicts
+/// and deliberately leave the flag alone, so a stale device verdict from an
+/// operation gated before the trip can never unlock a second probe.
+#[derive(Debug, Clone)]
+pub struct SharedBreaker {
+    inner: Arc<Mutex<SharedState>>,
+}
+
+impl SharedBreaker {
+    /// A closed shared breaker.
+    pub fn new(config: BreakerConfig) -> Self {
+        SharedBreaker {
+            inner: Arc::new(Mutex::new(SharedState {
+                breaker: CircuitBreaker::new(config),
+                probe_inflight: false,
+            })),
+        }
+    }
+
+    /// Routes the next operation (see [`CircuitBreaker::gate`]); while a
+    /// probe is in flight every other caller is routed to the CPU.
+    pub fn gate(&self) -> BackendChoice {
+        let mut s = lock(&self.inner);
+        // While a probe is outstanding, everyone else goes to the CPU —
+        // regardless of state, because a stale (non-probe) verdict may
+        // have moved the breaker under the in-flight probe, and only
+        // `record_probe` may free the single probe slot.
+        if s.probe_inflight {
+            s.breaker.stats.cpu_fallback_runs += 1;
+            return BackendChoice::Cpu;
+        }
+        let choice = s.breaker.gate();
+        if choice == BackendChoice::Probe {
+            s.probe_inflight = true;
+        }
+        choice
+    }
+
+    /// Reports the verdict of a probe issued by [`SharedBreaker::gate`]:
+    /// clears the in-flight flag, then heals (success) or re-opens
+    /// (failure) the breaker.
+    pub fn record_probe(&self, success: bool) {
+        let mut s = lock(&self.inner);
+        s.probe_inflight = false;
+        if success {
+            s.breaker.record_success();
+        } else {
+            s.breaker.record_failure();
+        }
+    }
+
+    /// Records an ordinary (non-probe) successful device operation.
+    pub fn record_success(&self) {
+        lock(&self.inner).breaker.record_success();
+    }
+
+    /// Records an ordinary (non-probe) failed device operation. Returns
+    /// `true` when this failure trips the breaker open.
+    pub fn record_failure(&self) -> bool {
+        lock(&self.inner).breaker.record_failure()
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        lock(&self.inner).breaker.state()
+    }
+
+    /// Cumulative transition statistics since construction.
+    pub fn stats(&self) -> BreakerStats {
+        lock(&self.inner).breaker.stats()
+    }
+
+    /// Deterministic equal-jitter backoff (see
+    /// [`CircuitBreaker::backoff_cycles`]); the jitter stream is shared, so
+    /// concurrent callers draw distinct waits.
+    pub fn backoff_cycles(&self, attempt: u32) -> u64 {
+        lock(&self.inner).breaker.backoff_cycles(attempt)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,5 +415,107 @@ mod tests {
         assert_eq!(BreakerState::Closed.to_string(), "closed");
         assert_eq!(BreakerState::Open.to_string(), "open");
         assert_eq!(BreakerState::HalfOpen.to_string(), "half-open");
+    }
+}
+
+#[cfg(test)]
+mod shared_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+    /// A shared breaker already tripped open with a zero cooldown, so the
+    /// very next gate is the half-open probe.
+    fn tripped_shared() -> SharedBreaker {
+        let sb = SharedBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown_ops: 0,
+            max_attempts: 1,
+            ..BreakerConfig::default()
+        });
+        sb.record_failure();
+        sb
+    }
+
+    #[test]
+    fn only_one_probe_while_half_open() {
+        let sb = tripped_shared();
+        assert_eq!(sb.state(), BreakerState::Open);
+        assert_eq!(sb.gate(), BackendChoice::Probe);
+        assert_eq!(sb.state(), BreakerState::HalfOpen);
+        // While the probe is in flight everyone else is served by the CPU.
+        assert_eq!(sb.gate(), BackendChoice::Cpu);
+        assert_eq!(sb.gate(), BackendChoice::Cpu);
+        // A failed probe re-opens; a healing probe then re-closes.
+        sb.record_probe(false);
+        assert_eq!(sb.state(), BreakerState::Open);
+        assert_eq!(sb.gate(), BackendChoice::Probe);
+        sb.record_probe(true);
+        assert_eq!(sb.state(), BreakerState::Closed);
+        assert!(matches!(sb.gate(), BackendChoice::Device { .. }));
+    }
+
+    #[test]
+    fn stale_non_probe_verdicts_do_not_unlock_a_second_probe() {
+        let sb = tripped_shared();
+        assert_eq!(sb.gate(), BackendChoice::Probe);
+        // A worker gated before the trip reports its late failure: the
+        // probe slot must stay occupied.
+        sb.record_failure();
+        assert_eq!(sb.gate(), BackendChoice::Cpu, "probe still in flight");
+        sb.record_probe(true);
+        assert_eq!(sb.state(), BreakerState::Closed);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Under concurrent jobs, the half-open window admits exactly one
+        /// probe to the device at a time: every other gate taken while a
+        /// probe is outstanding is served from the CPU. Workers report
+        /// failures on ordinary device ops so the breaker keeps cycling
+        /// Closed → Open → HalfOpen and the window is exercised repeatedly.
+        #[test]
+        fn exactly_one_probe_on_device_while_half_open(
+            workers in 2usize..6,
+            ops_per_worker in 1usize..24,
+            heal_raw in 0u32..2,
+        ) {
+            let heal = heal_raw == 1;
+            let sb = tripped_shared();
+            let probes_on_device = Arc::new(AtomicU32::new(0));
+            let violated = Arc::new(AtomicBool::new(false));
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let sb = sb.clone();
+                    let probes_on_device = Arc::clone(&probes_on_device);
+                    let violated = Arc::clone(&violated);
+                    scope.spawn(move || {
+                        for op in 0..ops_per_worker {
+                            match sb.gate() {
+                                BackendChoice::Probe => {
+                                    if probes_on_device.fetch_add(1, Ordering::SeqCst) != 0 {
+                                        violated.store(true, Ordering::SeqCst);
+                                    }
+                                    std::thread::yield_now();
+                                    probes_on_device.fetch_sub(1, Ordering::SeqCst);
+                                    sb.record_probe(heal && op % 2 == 0);
+                                }
+                                BackendChoice::Device { .. } => {
+                                    // Ordinary op while closed; fail it so
+                                    // the breaker trips again (threshold 1).
+                                    sb.record_failure();
+                                }
+                                BackendChoice::Cpu => {}
+                            }
+                        }
+                    });
+                }
+            });
+            prop_assert!(
+                !violated.load(Ordering::SeqCst),
+                "two half-open probes were on the device at once"
+            );
+        }
     }
 }

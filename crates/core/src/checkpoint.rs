@@ -17,6 +17,9 @@
 //! allocation.
 
 use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
 
 use alrescha_sim::InjectorSnapshot;
 
@@ -342,6 +345,70 @@ impl SolverCheckpoint {
             fault,
         })
     }
+
+    /// Writes the checkpoint to `path` **atomically and durably**: the
+    /// encoded bytes go to a temporary sibling file first, that file is
+    /// fsynced, and only then is it renamed over `path` (rename within one
+    /// directory is atomic on POSIX filesystems). A crash at any instant
+    /// therefore leaves either the previous checkpoint or the new one —
+    /// never a torn mixture — and [`SolverCheckpoint::read_from_path`]
+    /// additionally rejects any torn image via the CRC trailer.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors (the temporary file is cleaned up best-effort on
+    /// failure).
+    pub fn write_to_path(&self, path: &Path) -> io::Result<()> {
+        write_atomic(path, &self.to_bytes())
+    }
+
+    /// Reads and decodes a checkpoint written by
+    /// [`SolverCheckpoint::write_to_path`].
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors, or [`io::ErrorKind::InvalidData`] wrapping the
+    /// [`CheckpointError`] when the bytes fail validation (torn write,
+    /// corruption, foreign file).
+    pub fn read_from_path(path: &Path) -> io::Result<Self> {
+        let bytes = fs::read(path)?;
+        SolverCheckpoint::from_bytes(&bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// The temporary sibling used by [`write_atomic`] for `path`.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Atomically and durably replaces the contents of `path` with `bytes`:
+/// write to a `.tmp` sibling, fsync it, rename it over `path`, fsync the
+/// parent directory so the rename itself survives a power cut. Readers
+/// never observe a partially written file.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    let result = (|| {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, path)?;
+        // Persist the directory entry; platforms that cannot fsync a
+        // directory handle still performed the atomic rename above.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(handle) = fs::File::open(dir) {
+                let _ = handle.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
 }
 
 #[cfg(test)]
@@ -454,6 +521,66 @@ mod tests {
             Err(CheckpointError::Malformed(_) | CheckpointError::Truncated { .. }) => {}
             other => panic!("expected typed rejection, got {other:?}"),
         }
+    }
+
+    /// A unique scratch directory under the target-local temp dir.
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "alrescha-ckpt-{tag}-{}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn file_round_trip_is_bit_exact() {
+        let dir = scratch("roundtrip");
+        let path = dir.join("job-1.ckpt");
+        let cp = sample(true);
+        cp.write_to_path(&path).unwrap();
+        let decoded = SolverCheckpoint::read_from_path(&path).unwrap();
+        assert_eq!(cp, decoded);
+        // No temporary file is left behind after a successful write.
+        assert!(!tmp_sibling(&path).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_replaces_existing_checkpoint() {
+        let dir = scratch("replace");
+        let path = dir.join("job-2.ckpt");
+        let old = sample(false);
+        let mut new = sample(false);
+        new.iteration = 99;
+        old.write_to_path(&path).unwrap();
+        new.write_to_path(&path).unwrap();
+        assert_eq!(
+            SolverCheckpoint::read_from_path(&path).unwrap().iteration,
+            99
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_write_to_final_path_is_rejected_old_tmp_is_harmless() {
+        // Simulate the failure write_to_path is designed to prevent: a
+        // crash mid-write leaving a truncated image at the final path.
+        let dir = scratch("torn");
+        let path = dir.join("job-3.ckpt");
+        let bytes = sample(true).to_bytes();
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            fs::write(&path, &bytes[..cut]).unwrap();
+            let err = SolverCheckpoint::read_from_path(&path).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "cut {cut}");
+        }
+        // A leftover temporary from a crashed writer never shadows the
+        // real checkpoint: the next atomic write simply overwrites it.
+        fs::write(tmp_sibling(&path), &bytes[..7]).unwrap();
+        let cp = sample(true);
+        cp.write_to_path(&path).unwrap();
+        assert_eq!(SolverCheckpoint::read_from_path(&path).unwrap(), cp);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

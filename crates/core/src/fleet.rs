@@ -76,6 +76,7 @@ use crossbeam::deque::{Steal, Stealer, Worker};
 
 use crate::accelerator::{Alrescha, ProgrammedKernel};
 use crate::breaker::BreakerConfig;
+use crate::checkpoint::SolverCheckpoint;
 use crate::convert::KernelType;
 use crate::solver::{AcceleratedPcg, SolveOutcome, SolverOptions};
 use crate::{CoreError, Result};
@@ -89,6 +90,16 @@ use crate::{CoreError, Result};
 /// [`Fleet::with_preflight`] for wiring `alverify` in.
 pub type PreflightHook =
     Arc<dyn Fn(&ProgrammedKernel, &SimConfig) -> std::result::Result<(), String> + Send + Sync>;
+
+/// A durability hook invoked with every [`SolverCheckpoint`] a journaled
+/// PCG job emits, keyed by the job's stable identifier
+/// ([`JobSpec::with_id`], falling back to the batch index).
+///
+/// A persistent service points this at atomic checkpoint files (see
+/// `SolverCheckpoint::write_to_path`) so a crash resumes from the newest
+/// iteration boundary instead of the beginning. The hook runs on the
+/// worker thread between solver iterations; it must not panic.
+pub type CheckpointHook = Arc<dyn Fn(u64, &SolverCheckpoint) + Send + Sync>;
 
 /// Locks a mutex, recovering the guard if a previous holder panicked — the
 /// protected state (cache maps, job deques) is valid at every await point
@@ -152,6 +163,21 @@ pub struct JobSpec {
     pub recovery: RecoveryPolicy,
     /// Per-job budget; [`FleetConfig::default_budget`] applies when `None`.
     pub budget: Option<ExecBudget>,
+    /// Stable identifier passed to the [`CheckpointHook`]; the batch index
+    /// is used when `None`. A persistent service assigns journal job IDs
+    /// here so checkpoints land in the right per-job file.
+    pub id: Option<u64>,
+    /// For PCG jobs: emit a checkpoint to the fleet's [`CheckpointHook`]
+    /// every this many iterations (`0` = never).
+    pub checkpoint_every: usize,
+    /// For PCG jobs: resume from this checkpoint instead of starting from
+    /// the zero iterate. Resume is bit-identical in the solution fields
+    /// (see [`JobOutput::solution_fingerprint`]).
+    pub resume_from: Option<SolverCheckpoint>,
+    /// Pin every kernel of this job to the host reference backend — the
+    /// planned CPU mode a service enters while the device breaker is open
+    /// (agrees with the device to rounding; no device cycles simulated).
+    pub cpu_only: bool,
 }
 
 impl JobSpec {
@@ -165,6 +191,10 @@ impl JobSpec {
             fault_plan: None,
             recovery: RecoveryPolicy::default(),
             budget: None,
+            id: None,
+            checkpoint_every: 0,
+            resume_from: None,
+            cpu_only: false,
         }
     }
 
@@ -195,6 +225,34 @@ impl JobSpec {
         self.budget = Some(budget);
         self
     }
+
+    /// Sets the stable job identifier handed to the [`CheckpointHook`].
+    #[must_use]
+    pub fn with_id(mut self, id: u64) -> Self {
+        self.id = Some(id);
+        self
+    }
+
+    /// Emits a checkpoint every `every` iterations (PCG jobs only).
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Resumes a PCG job from a prior checkpoint.
+    #[must_use]
+    pub fn with_resume_from(mut self, checkpoint: SolverCheckpoint) -> Self {
+        self.resume_from = Some(checkpoint);
+        self
+    }
+
+    /// Pins the job to the host reference backend (no device).
+    #[must_use]
+    pub fn with_cpu_only(mut self, cpu_only: bool) -> Self {
+        self.cpu_only = cpu_only;
+        self
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -219,6 +277,13 @@ pub struct FleetConfig {
     /// When set, every job runs behind a freshly armed circuit breaker
     /// (per-job, so breaker state never leaks between jobs).
     pub breaker: Option<BreakerConfig>,
+    /// Base unit of the [`CoreError::QueueFull`] backpressure hint. The
+    /// `i`-th job past capacity is told to retry after
+    /// `retry_after_hint × (i + 1)` — a deterministic linear ramp that
+    /// spreads resubmissions instead of stampeding, and depends only on
+    /// the job's position in the batch (never on worker count or timing,
+    /// preserving batch ≡ sequential bit-identity).
+    pub retry_after_hint: Duration,
 }
 
 impl Default for FleetConfig {
@@ -230,6 +295,7 @@ impl Default for FleetConfig {
             deadline: None,
             default_budget: ExecBudget::default(),
             breaker: None,
+            retry_after_hint: Duration::from_millis(25),
         }
     }
 }
@@ -261,6 +327,22 @@ impl FleetConfig {
     pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
         self.breaker = Some(breaker);
         self
+    }
+
+    /// Sets the base unit of the queue-full backpressure hint.
+    #[must_use]
+    pub fn with_retry_after_hint(mut self, hint: Duration) -> Self {
+        self.retry_after_hint = hint;
+        self
+    }
+
+    /// The backpressure hint for the job at batch position `index` when
+    /// the queue holds `capacity`: a deterministic linear ramp over how
+    /// far past capacity the job landed.
+    pub fn retry_after(&self, index: usize, capacity: usize) -> Duration {
+        let excess = index.saturating_sub(capacity).saturating_add(1);
+        self.retry_after_hint
+            .saturating_mul(u32::try_from(excess).unwrap_or(u32::MAX))
     }
 
     fn resolved_workers(&self) -> usize {
@@ -466,6 +548,34 @@ impl JobOutput {
         fnv1a(&mut h, self.report().to_json().as_bytes());
         h
     }
+
+    /// Resume-invariant fingerprint: covers only the fields a
+    /// checkpoint/resume boundary preserves — the exact result bits and
+    /// (for solves) the iteration count, residual bits, and convergence
+    /// flag. Unlike [`JobOutput::fingerprint`] it excludes the execution
+    /// report (a resume restarts report accumulation mid-solve) and the
+    /// termination reason, so an interrupted-and-resumed solve and an
+    /// uninterrupted one compare equal exactly when their numerics agree.
+    pub fn solution_fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        let tag: u8 = match self {
+            JobOutput::SpMv { .. } => 1,
+            JobOutput::SymGs { .. } => 2,
+            JobOutput::Pcg { .. } => 3,
+        };
+        fnv1a(&mut h, &[tag]);
+        let values = self.values();
+        fnv1a(&mut h, &(values.len() as u64).to_le_bytes());
+        for v in values {
+            fnv1a(&mut h, &v.to_bits().to_le_bytes());
+        }
+        if let JobOutput::Pcg { outcome } = self {
+            fnv1a(&mut h, &(outcome.iterations as u64).to_le_bytes());
+            fnv1a(&mut h, &outcome.residual.to_bits().to_le_bytes());
+            fnv1a(&mut h, &[u8::from(outcome.converged)]);
+        }
+        h
+    }
 }
 
 /// Per-job record in a [`FleetReport`].
@@ -634,6 +744,7 @@ pub struct Fleet {
     config: FleetConfig,
     cache: ConversionCache,
     preflight: Option<PreflightHook>,
+    checkpoint_hook: Option<CheckpointHook>,
     telemetry: Option<Arc<alrescha_obs::Telemetry>>,
 }
 
@@ -643,6 +754,7 @@ impl fmt::Debug for Fleet {
             .field("config", &self.config)
             .field("cached_programs", &self.cache.len())
             .field("preflight", &self.preflight.is_some())
+            .field("checkpoint_hook", &self.checkpoint_hook.is_some())
             .field("telemetry", &self.telemetry.is_some())
             .finish()
     }
@@ -656,6 +768,7 @@ impl Fleet {
             config,
             cache,
             preflight: None,
+            checkpoint_hook: None,
             telemetry: None,
         }
     }
@@ -665,6 +778,14 @@ impl Fleet {
     #[must_use]
     pub fn with_preflight(mut self, hook: PreflightHook) -> Self {
         self.preflight = Some(hook);
+        self
+    }
+
+    /// Installs the durability hook that receives every checkpoint a
+    /// journaled PCG job emits (see [`JobSpec::with_checkpoint_every`]).
+    #[must_use]
+    pub fn with_checkpoint_hook(mut self, hook: CheckpointHook) -> Self {
+        self.checkpoint_hook = Some(hook);
         self
     }
 
@@ -727,7 +848,11 @@ impl Fleet {
             rejects.push(JobRecord::rejected(
                 i,
                 spec.kernel.name(),
-                CoreError::QueueFull { capacity, offered },
+                CoreError::QueueFull {
+                    capacity,
+                    offered,
+                    retry_after: self.config.retry_after(i, capacity),
+                },
             ));
         }
         let admitted = &jobs[..offered.min(capacity)];
@@ -872,7 +997,11 @@ impl Fleet {
                 records.push(JobRecord::rejected(
                     i,
                     spec.kernel.name(),
-                    CoreError::QueueFull { capacity, offered },
+                    CoreError::QueueFull {
+                        capacity,
+                        offered,
+                        retry_after: self.config.retry_after(i, capacity),
+                    },
                 ));
                 continue;
             }
@@ -944,7 +1073,26 @@ impl Fleet {
                     let symgs_prog = convert(acc, KernelType::SymGs)?;
                     let solver = AcceleratedPcg::from_programs(spmv_prog, symgs_prog)?;
                     arm(acc, spec, budget, self.config.breaker);
-                    let outcome = solver.solve(acc, b, opts)?;
+                    let journaled = spec.checkpoint_every > 0 || spec.resume_from.is_some();
+                    let outcome = if journaled {
+                        let job_id = spec.id.unwrap_or(index as u64);
+                        let hook = self.checkpoint_hook.as_ref();
+                        let mut sink = |cp: SolverCheckpoint| {
+                            if let Some(hook) = hook {
+                                hook(job_id, &cp);
+                            }
+                        };
+                        solver.solve_journaled(
+                            acc,
+                            b,
+                            opts,
+                            spec.checkpoint_every,
+                            &mut sink,
+                            spec.resume_from.as_ref(),
+                        )?
+                    } else {
+                        solver.solve(acc, b, opts)?
+                    };
                     Ok(JobOutput::Pcg { outcome })
                 }
             }
@@ -976,6 +1124,39 @@ impl Fleet {
             run_time,
             result,
         }
+    }
+    /// A long-lived execution seat for one service worker thread: wraps a
+    /// worker station so a daemon can run jobs one at a time while still
+    /// sharing the fleet's conversion cache, preflight hook, checkpoint
+    /// hook, and telemetry. `worker` labels the seat in job records.
+    pub fn station(&self, worker: usize) -> Station {
+        Station(WorkerStation::new(worker))
+    }
+
+    /// Runs one job on a [`Station`], bypassing batch admission (the
+    /// caller — typically a persistent service — has already admitted it).
+    /// Results are bit-identical to the same spec run via [`Fleet::run`].
+    pub fn execute_on(
+        &self,
+        station: &mut Station,
+        index: usize,
+        spec: &JobSpec,
+        queue_wait: Duration,
+    ) -> JobRecord {
+        self.execute(&mut station.0, index, spec, queue_wait, None)
+    }
+}
+
+/// A persistent per-thread execution seat handed out by [`Fleet::station`].
+pub struct Station(WorkerStation);
+
+impl fmt::Debug for Station {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Station")
+            .field("worker", &self.0.worker)
+            .field("rebuilds", &self.0.rebuilds)
+            .field("reuses", &self.0.reuses)
+            .finish()
     }
 }
 
@@ -1056,6 +1237,7 @@ fn arm(acc: &mut Alrescha, spec: &JobSpec, budget: ExecBudget, breaker: Option<B
     acc.set_recovery_policy(spec.recovery);
     acc.set_budget(budget);
     acc.set_circuit_breaker(breaker);
+    acc.set_cpu_only(spec.cpu_only);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1201,17 +1383,112 @@ mod tests {
     #[test]
     fn admission_rejects_past_capacity() {
         let fleet = Fleet::new(FleetConfig::default().with_workers(1).with_queue_capacity(2));
+        let hint = fleet.config().retry_after_hint;
         let report = fleet.run(spmv_jobs(4, 2));
         assert_eq!(report.stats.completed, 2);
         assert_eq!(report.stats.rejected, 2);
-        assert!(matches!(
-            report.jobs[3].result,
-            Err(CoreError::QueueFull {
-                capacity: 2,
-                offered: 4
-            })
-        ));
+        // The backpressure hint ramps linearly with distance past capacity,
+        // independent of worker count or timing.
+        match (&report.jobs[2].result, &report.jobs[3].result) {
+            (
+                Err(CoreError::QueueFull {
+                    capacity: 2,
+                    offered: 4,
+                    retry_after: first,
+                }),
+                Err(CoreError::QueueFull {
+                    capacity: 2,
+                    offered: 4,
+                    retry_after: second,
+                }),
+            ) => {
+                assert_eq!(*first, hint);
+                assert_eq!(*second, hint * 2);
+            }
+            other => panic!("expected two QueueFull rejections, got {other:?}"),
+        }
         assert_eq!(report.jobs[3].worker, usize::MAX);
+    }
+
+    #[test]
+    fn journaled_pcg_emits_checkpoints_and_resumes_bit_identically() {
+        let a = gen::stencil27(3);
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
+        let opts = SolverOptions {
+            tol: 1e-10,
+            max_iters: 60,
+        };
+        let base = JobSpec::new(a, JobKernel::Pcg { b, opts });
+
+        // Uninterrupted journaled run: collect every checkpoint.
+        let taken: Arc<Mutex<Vec<(u64, SolverCheckpoint)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&taken);
+        let hook: CheckpointHook = Arc::new(move |id, cp| {
+            lock(&sink).push((id, cp.clone()));
+        });
+        let fleet = Fleet::new(FleetConfig::default().with_workers(1)).with_checkpoint_hook(hook);
+        let full = fleet.run(vec![base.clone().with_id(42).with_checkpoint_every(3)]);
+        let full_out = full.jobs[0]
+            .result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("journaled solve failed: {e}"));
+        let checkpoints = lock(&taken).clone();
+        assert!(
+            !checkpoints.is_empty(),
+            "expected checkpoints every 3 iterations"
+        );
+        assert!(checkpoints.iter().all(|(id, _)| *id == 42));
+
+        // Resume from a mid-solve checkpoint: the solution fingerprint
+        // (resume-invariant fields) must match the uninterrupted run.
+        let (_, mid) = checkpoints[checkpoints.len() / 2].clone();
+        let resumed = fleet.run(vec![base.with_resume_from(mid)]);
+        let resumed_out = resumed.jobs[0]
+            .result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("resumed solve failed: {e}"));
+        assert_eq!(
+            full_out.solution_fingerprint(),
+            resumed_out.solution_fingerprint()
+        );
+        // The full fingerprint differs: the resumed report only covers the
+        // tail iterations — exactly why solution_fingerprint exists.
+        assert_ne!(full_out.fingerprint(), resumed_out.fingerprint());
+    }
+
+    #[test]
+    fn station_execution_matches_batch_bitwise() {
+        let jobs = spmv_jobs(3, 3);
+        let fleet = Fleet::new(FleetConfig::default().with_workers(1));
+        let batch = fleet.run(jobs.clone());
+        let service = Fleet::new(FleetConfig::default());
+        let mut station = service.station(0);
+        for (i, spec) in jobs.iter().enumerate() {
+            let rec = service.execute_on(&mut station, i, spec, Duration::ZERO);
+            let (b_out, s_out) = match (&batch.jobs[i].result, &rec.result) {
+                (Ok(b), Ok(s)) => (b, s),
+                other => panic!("job {i} diverged: {other:?}"),
+            };
+            assert_eq!(b_out.fingerprint(), s_out.fingerprint());
+        }
+    }
+
+    #[test]
+    fn cpu_only_job_matches_device_solution() {
+        // Host and device agree to rounding (the accumulation order
+        // differs), and the cpu-only report shows no device activity.
+        let jobs = spmv_jobs(1, 3);
+        let device = Fleet::new(FleetConfig::default().with_workers(1)).run(jobs.clone());
+        let cpu_jobs: Vec<JobSpec> = jobs.into_iter().map(|j| j.with_cpu_only(true)).collect();
+        let cpu = Fleet::new(FleetConfig::default().with_workers(1)).run(cpu_jobs);
+        let (d, c) = match (&device.jobs[0].result, &cpu.jobs[0].result) {
+            (Ok(d), Ok(c)) => (d, c),
+            other => panic!("diverged: {other:?}"),
+        };
+        assert!(alrescha_sparse::approx_eq(d.values(), c.values(), 1e-12));
+        assert_eq!(c.report().cycles, 0);
+        assert_eq!(c.report().faults.degraded, 0);
     }
 
     #[test]

@@ -43,12 +43,12 @@ pub mod program;
 pub mod solver;
 
 pub use accelerator::{Alrescha, ProgrammedKernel};
-pub use breaker::{BackendChoice, BreakerConfig, BreakerState, CircuitBreaker};
-pub use checkpoint::{CheckpointError, SolverCheckpoint, SolverKind};
+pub use breaker::{BackendChoice, BreakerConfig, BreakerState, CircuitBreaker, SharedBreaker};
+pub use checkpoint::{write_atomic, CheckpointError, SolverCheckpoint, SolverKind};
 pub use convert::{ConfigEntry, ConfigTable, DataPath, KernelType};
 pub use fleet::{
-    Fleet, FleetConfig, FleetReport, FleetStats, JobKernel, JobOutput, JobRecord, JobSpec,
-    PreflightHook,
+    CheckpointHook, Fleet, FleetConfig, FleetReport, FleetStats, JobKernel, JobOutput, JobRecord,
+    JobSpec, PreflightHook, Station,
 };
 pub use program::ProgramBinary;
 pub use solver::{
@@ -123,6 +123,10 @@ pub enum CoreError {
         capacity: usize,
         /// Jobs offered in the batch.
         offered: usize,
+        /// Structured backpressure hint: how long the submitter should wait
+        /// before re-offering this job (scales with how far past capacity
+        /// the job landed; see `FleetConfig::retry_after_hint`).
+        retry_after: std::time::Duration,
     },
     /// A preflight hook rejected a converted program before execution.
     Preflight {
@@ -172,10 +176,15 @@ impl fmt::Display for CoreError {
                 write!(f, "invalid program: {reason}")
             }
             CoreError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
-            CoreError::QueueFull { capacity, offered } => {
+            CoreError::QueueFull {
+                capacity,
+                offered,
+                retry_after,
+            } => {
                 write!(
                     f,
-                    "fleet queue full: capacity {capacity}, offered {offered}"
+                    "fleet queue full: capacity {capacity}, offered {offered}; retry after {}ms",
+                    retry_after.as_millis()
                 )
             }
             CoreError::Preflight { message } => {

@@ -433,6 +433,28 @@ impl AcceleratedPcg {
         self.drive(acc, b, opts, 0, None, Some(checkpoint))
     }
 
+    /// The crash-recovery path: emits a [`SolverCheckpoint`] to `sink`
+    /// every `every` iterations **and** (when `resume_from` is set) picks
+    /// up from a prior checkpoint — the combination a persistent solver
+    /// service needs, since a resumed job must keep checkpointing so a
+    /// *second* crash resumes from the newest boundary instead of the one
+    /// that survived the first.
+    ///
+    /// # Errors
+    ///
+    /// As [`AcceleratedPcg::resume`].
+    pub fn solve_journaled(
+        &self,
+        acc: &mut Alrescha,
+        b: &[f64],
+        opts: &SolverOptions,
+        every: usize,
+        sink: &mut dyn FnMut(SolverCheckpoint),
+        resume_from: Option<&SolverCheckpoint>,
+    ) -> Result<SolveOutcome> {
+        self.drive(acc, b, opts, every, Some(sink), resume_from)
+    }
+
     fn drive(
         &self,
         acc: &mut Alrescha,

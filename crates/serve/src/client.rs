@@ -1,0 +1,619 @@
+//! Reconnecting `alserve` client with deadline, bounded retries, and
+//! deterministic equal-jitter backoff.
+//!
+//! Transient conditions — a dropped connection (the server was killed and
+//! is restarting), a `Rejected { retry_after }` backpressure frame — are
+//! retried inside the operation's deadline. The backoff is *equal-jitter*
+//! over a capped exponential: attempt `k` sleeps `cap(base·2ᵏ)/2 +
+//! U(0, cap(base·2ᵏ)/2)`, with the uniform draw taken from a seeded
+//! splitmix64 stream so a test run is reproducible. When the server hints
+//! `retry_after`, the client honors the larger of hint and backoff — the
+//! hint spreads the retry ramp across rejected clients, the jitter breaks
+//! ties within it.
+
+use std::fmt;
+use std::io;
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use crate::protocol::{Frame, JobPayload, SolveResult, WireError};
+use crate::server::Stream;
+
+/// Retry/backoff policy for one client.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total wall-clock budget per operation (connect + retries + waits).
+    pub deadline: Duration,
+    /// Maximum attempts per operation (≥ 1).
+    pub max_attempts: u32,
+    /// Base backoff unit.
+    pub base: Duration,
+    /// Backoff cap.
+    pub cap: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            deadline: Duration::from_secs(30),
+            max_attempts: 100,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Equal-jitter backoff for attempt `k` (0-based), advancing the
+    /// jitter stream.
+    fn backoff(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX))
+            .min(self.cap);
+        let half = exp / 2;
+        let span = half.as_millis().min(u128::from(u64::MAX)) as u64;
+        let jitter = if span == 0 {
+            0
+        } else {
+            splitmix64(rng) % (span + 1)
+        };
+        half + Duration::from_millis(jitter)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Client-side errors.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// The operation's deadline or attempt budget ran out.
+    Deadline {
+        /// Wall-clock spent before giving up.
+        waited: Duration,
+        /// Attempts made.
+        attempts: u32,
+    },
+    /// The server rejected the submission permanently (no retry hint).
+    Rejected {
+        /// The server's reason.
+        reason: String,
+    },
+    /// The job reached a terminal failure on the server.
+    JobFailed {
+        /// Job identifier.
+        job_id: u64,
+        /// The server's error string.
+        error: String,
+    },
+    /// The job id is unknown to the server (e.g. its journal was lost).
+    NotFound {
+        /// Job identifier.
+        job_id: u64,
+    },
+    /// The server answered with a frame the protocol does not allow here.
+    Protocol(&'static str),
+    /// Transport or codec failure that retries could not absorb.
+    Wire(WireError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Deadline { waited, attempts } => write!(
+                f,
+                "deadline exhausted after {attempts} attempts ({}ms)",
+                waited.as_millis()
+            ),
+            ClientError::Rejected { reason } => write!(f, "rejected: {reason}"),
+            ClientError::JobFailed { job_id, error } => {
+                write!(f, "job {job_id} failed on the server: {error}")
+            }
+            ClientError::NotFound { job_id } => write!(f, "job {job_id} not found"),
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            ClientError::Wire(e) => write!(f, "wire: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// One-shot job status as reported by [`Client::status`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum JobStatus {
+    /// Queued or running; iteration 0 with NaN residual means queued.
+    InProgress {
+        /// Completed iterations at the last checkpoint boundary.
+        iteration: u64,
+        /// Residual at that boundary (NaN while queued).
+        residual: f64,
+    },
+    /// Finished.
+    Done(SolveResult),
+    /// Failed on the server.
+    Failed(String),
+    /// Parked by a drain; will resume on the server's next start.
+    Parked,
+    /// Unknown job id.
+    NotFound,
+}
+
+#[derive(Debug, Clone)]
+enum Target {
+    Tcp(String),
+    Unix(PathBuf),
+}
+
+/// A reconnecting `alserve` client.
+pub struct Client {
+    target: Target,
+    policy: RetryPolicy,
+    rng: u64,
+    conn: Option<Stream>,
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client")
+            .field("target", &self.target)
+            .field("connected", &self.conn.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// A client for a TCP server at `addr` (`host:port`).
+    pub fn tcp(addr: impl Into<String>, policy: RetryPolicy) -> Self {
+        let rng = policy.seed;
+        Client {
+            target: Target::Tcp(addr.into()),
+            policy,
+            rng,
+            conn: None,
+        }
+    }
+
+    /// A client for a unix-socket server at `path`.
+    pub fn unix(path: impl Into<PathBuf>, policy: RetryPolicy) -> Self {
+        let rng = policy.seed;
+        Client {
+            target: Target::Unix(path.into()),
+            policy,
+            rng,
+            conn: None,
+        }
+    }
+
+    fn connect(&mut self) -> io::Result<&mut Stream> {
+        if self.conn.is_none() {
+            let stream = match &self.target {
+                Target::Tcp(addr) => {
+                    let s = TcpStream::connect(addr)?;
+                    s.set_nodelay(true).ok();
+                    Stream::Tcp(s)
+                }
+                Target::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+            };
+            stream.set_read_timeout(Some(Duration::from_millis(250)))?;
+            self.conn = Some(stream);
+        }
+        match self.conn.as_mut() {
+            Some(s) => Ok(s),
+            None => Err(io::Error::new(io::ErrorKind::NotConnected, "no connection")),
+        }
+    }
+
+    fn drop_conn(&mut self) {
+        self.conn = None;
+    }
+
+    /// One request/response exchange, absorbing read timeouts (the reply
+    /// may lag the request while the server is busy).
+    fn exchange(&mut self, request: &Frame, started: Instant) -> Result<Frame, WireError> {
+        let deadline = self.policy.deadline;
+        let stream = self.connect().map_err(WireError::Io)?;
+        request.write_to(stream)?;
+        loop {
+            match Frame::read_from(stream) {
+                Ok(frame) => return Ok(frame),
+                Err(WireError::Io(e))
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if started.elapsed() >= deadline {
+                        return Err(WireError::Io(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "reply deadline exhausted",
+                        )));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Submits a job, retrying through disconnects and backpressure until
+    /// the server durably accepts it. Returns the assigned job id.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] on a permanent rejection,
+    /// [`ClientError::Deadline`] when the budget runs out, or a wire
+    /// error no retry could absorb.
+    pub fn submit(&mut self, tenant: &str, job: &JobPayload) -> Result<u64, ClientError> {
+        let request = Frame::Submit {
+            tenant: tenant.to_owned(),
+            job: job.clone(),
+        };
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            if attempt >= self.policy.max_attempts || started.elapsed() >= self.policy.deadline {
+                return Err(ClientError::Deadline {
+                    waited: started.elapsed(),
+                    attempts: attempt,
+                });
+            }
+            match self.exchange(&request, started) {
+                Ok(Frame::Accepted { job_id }) => return Ok(job_id),
+                Ok(Frame::Rejected {
+                    reason,
+                    retry_after,
+                }) => match retry_after {
+                    // Transient: honor the hint, jitter on top.
+                    Some(hint) => {
+                        let backoff = self.policy.backoff(attempt, &mut self.rng);
+                        std::thread::sleep(hint.max(backoff));
+                    }
+                    None => return Err(ClientError::Rejected { reason }),
+                },
+                Ok(Frame::Draining) => {
+                    // Admission is closed here; back off and retry (the
+                    // operator may restart the server within our budget).
+                    let backoff = self.policy.backoff(attempt, &mut self.rng);
+                    std::thread::sleep(backoff);
+                    self.drop_conn();
+                }
+                Ok(_) => return Err(ClientError::Protocol("unexpected reply to Submit")),
+                Err(_) => {
+                    // Disconnect or garbage: reconnect after a backoff.
+                    self.drop_conn();
+                    let backoff = self.policy.backoff(attempt, &mut self.rng);
+                    std::thread::sleep(backoff);
+                }
+            }
+            attempt += 1;
+        }
+    }
+
+    /// One-shot status query.
+    ///
+    /// # Errors
+    ///
+    /// Deadline exhaustion or unabsorbed wire errors.
+    pub fn status(&mut self, job_id: u64) -> Result<JobStatus, ClientError> {
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            if attempt >= self.policy.max_attempts || started.elapsed() >= self.policy.deadline {
+                return Err(ClientError::Deadline {
+                    waited: started.elapsed(),
+                    attempts: attempt,
+                });
+            }
+            match self.exchange(&Frame::Status { job_id }, started) {
+                Ok(Frame::Progress {
+                    iteration,
+                    residual,
+                    ..
+                }) => {
+                    return Ok(JobStatus::InProgress {
+                        iteration,
+                        residual,
+                    })
+                }
+                Ok(Frame::Done { result, .. }) => return Ok(JobStatus::Done(result)),
+                Ok(Frame::Failed { error, .. }) => return Ok(JobStatus::Failed(error)),
+                Ok(Frame::Parked { .. }) => return Ok(JobStatus::Parked),
+                Ok(Frame::NotFound { .. }) => return Ok(JobStatus::NotFound),
+                Ok(_) => return Err(ClientError::Protocol("unexpected reply to Status")),
+                Err(_) => {
+                    self.drop_conn();
+                    let backoff = self.policy.backoff(attempt, &mut self.rng);
+                    std::thread::sleep(backoff);
+                }
+            }
+            attempt += 1;
+        }
+    }
+
+    /// Blocks until `job_id` is terminal, reconnecting through server
+    /// restarts (a parked or recovering job is simply waited out).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::JobFailed`] when the job failed server-side,
+    /// [`ClientError::NotFound`] for an unknown id, or
+    /// [`ClientError::Deadline`].
+    pub fn wait(&mut self, job_id: u64) -> Result<SolveResult, ClientError> {
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        'reconnect: loop {
+            if attempt >= self.policy.max_attempts || started.elapsed() >= self.policy.deadline {
+                return Err(ClientError::Deadline {
+                    waited: started.elapsed(),
+                    attempts: attempt,
+                });
+            }
+            let Ok(stream) = self.connect() else {
+                let backoff = self.policy.backoff(attempt, &mut self.rng);
+                std::thread::sleep(backoff);
+                attempt += 1;
+                continue 'reconnect;
+            };
+            if (Frame::Wait { job_id }).write_to(stream).is_err() {
+                self.drop_conn();
+                let backoff = self.policy.backoff(attempt, &mut self.rng);
+                std::thread::sleep(backoff);
+                attempt += 1;
+                continue 'reconnect;
+            }
+            // Stream Progress frames until a terminal one.
+            loop {
+                if started.elapsed() >= self.policy.deadline {
+                    return Err(ClientError::Deadline {
+                        waited: started.elapsed(),
+                        attempts: attempt,
+                    });
+                }
+                let Some(stream) = self.conn.as_mut() else {
+                    continue 'reconnect;
+                };
+                match Frame::read_from(stream) {
+                    Ok(Frame::Progress { .. }) => {}
+                    Ok(Frame::Done { result, .. }) => return Ok(result),
+                    Ok(Frame::Failed { error, .. }) => {
+                        return Err(ClientError::JobFailed { job_id, error })
+                    }
+                    // Parked: the server drained. Keep waiting — a restart
+                    // inside our deadline will resume and finish the job.
+                    Ok(Frame::Parked { .. }) => {
+                        self.drop_conn();
+                        let backoff = self.policy.backoff(attempt, &mut self.rng);
+                        std::thread::sleep(backoff);
+                        attempt += 1;
+                        continue 'reconnect;
+                    }
+                    Ok(Frame::NotFound { .. }) => return Err(ClientError::NotFound { job_id }),
+                    Ok(_) => return Err(ClientError::Protocol("unexpected frame during Wait")),
+                    Err(WireError::Io(e))
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut => {}
+                    Err(_) => {
+                        // Server died mid-wait: reconnect and re-wait. The
+                        // journal guarantees the job is still owed.
+                        self.drop_conn();
+                        let backoff = self.policy.backoff(attempt, &mut self.rng);
+                        std::thread::sleep(backoff);
+                        attempt += 1;
+                        continue 'reconnect;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// Wire errors (no retries — ping is the probe primitive).
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.exchange(&Frame::Ping, Instant::now()) {
+            Ok(Frame::Pong) => Ok(()),
+            Ok(_) => Err(ClientError::Protocol("unexpected reply to Ping")),
+            Err(e) => {
+                self.drop_conn();
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Asks the server to drain (stop admitting, park queued jobs).
+    ///
+    /// # Errors
+    ///
+    /// Wire errors.
+    pub fn drain(&mut self) -> Result<(), ClientError> {
+        match self.exchange(&Frame::Drain, Instant::now()) {
+            Ok(Frame::Draining) => Ok(()),
+            Ok(_) => Err(ClientError::Protocol("unexpected reply to Drain")),
+            Err(e) => {
+                self.drop_conn();
+                Err(e.into())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+    use std::net::TcpListener;
+
+    fn policy_fast() -> RetryPolicy {
+        RetryPolicy {
+            deadline: Duration::from_secs(5),
+            max_attempts: 50,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(8),
+            seed: 42,
+        }
+    }
+
+    fn sample_job() -> JobPayload {
+        let matrix = alrescha_sparse::gen::stencil27(2);
+        let b = vec![1.0; matrix.rows()];
+        JobPayload {
+            matrix,
+            b,
+            tol: 1e-8,
+            max_iters: 50,
+        }
+    }
+
+    /// A scripted one-connection-at-a-time server: for each accepted
+    /// connection, reads one frame and answers from the script.
+    fn scripted_server(replies: Vec<Frame>) -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let h = std::thread::spawn(move || {
+            for reply in replies {
+                let (mut s, _) = listener.accept().unwrap();
+                let _ = Frame::read_from(&mut s);
+                reply.write_to(&mut s).unwrap();
+                // Drop the connection after each reply so the client's
+                // next attempt reconnects.
+            }
+        });
+        (addr, h)
+    }
+
+    #[test]
+    fn submit_retries_through_backpressure_until_accepted() {
+        let (addr, h) = scripted_server(vec![
+            Frame::Rejected {
+                reason: "queue full".to_owned(),
+                retry_after: Some(Duration::from_millis(2)),
+            },
+            Frame::Rejected {
+                reason: "queue full".to_owned(),
+                retry_after: Some(Duration::from_millis(2)),
+            },
+            Frame::Accepted { job_id: 77 },
+        ]);
+        let mut client = Client::tcp(addr, policy_fast());
+        // Each scripted connection closes after its reply, so the client
+        // must also absorb the reconnects.
+        let job_id = client.submit("t", &sample_job()).unwrap();
+        assert_eq!(job_id, 77);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn permanent_rejection_is_not_retried() {
+        let (addr, h) = scripted_server(vec![Frame::Rejected {
+            reason: "malformed job".to_owned(),
+            retry_after: None,
+        }]);
+        let mut client = Client::tcp(addr, policy_fast());
+        match client.submit("t", &sample_job()) {
+            Err(ClientError::Rejected { reason }) => assert!(reason.contains("malformed")),
+            other => panic!("expected permanent rejection, got {other:?}"),
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn submit_reconnects_after_connection_drop() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let h = std::thread::spawn(move || {
+            // First connection: read the frame, hang up without replying.
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 64];
+            let _ = s.read(&mut buf);
+            drop(s);
+            // Second connection: accept properly.
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = Frame::read_from(&mut s);
+            Frame::Accepted { job_id: 5 }.write_to(&mut s).unwrap();
+        });
+        let mut client = Client::tcp(addr, policy_fast());
+        assert_eq!(client.submit("t", &sample_job()).unwrap(), 5);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_bounds_submit_against_a_dead_server() {
+        // Nothing listens on this address (bind then drop to reserve-free).
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let mut client = Client::tcp(
+            addr,
+            RetryPolicy {
+                deadline: Duration::from_millis(100),
+                max_attempts: 1000,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(4),
+                seed: 7,
+            },
+        );
+        let started = Instant::now();
+        match client.submit("t", &sample_job()) {
+            Err(ClientError::Deadline { attempts, .. }) => assert!(attempts > 0),
+            other => panic!("expected deadline, got {other:?}"),
+        }
+        assert!(started.elapsed() < Duration::from_secs(3));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_bounded() {
+        let policy = RetryPolicy {
+            base: Duration::from_millis(4),
+            cap: Duration::from_millis(32),
+            ..RetryPolicy::default()
+        };
+        let mut rng_a = 123u64;
+        let mut rng_b = 123u64;
+        for attempt in 0..12 {
+            let a = policy.backoff(attempt, &mut rng_a);
+            let b = policy.backoff(attempt, &mut rng_b);
+            assert_eq!(a, b, "same seed must draw the same jitter");
+            let exp = policy
+                .base
+                .saturating_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX))
+                .min(policy.cap);
+            assert!(a >= exp / 2 && a <= exp, "equal-jitter bounds violated");
+        }
+        // Different seeds diverge somewhere.
+        let mut rng_c = 124u64;
+        let diverged = (0..12).any(|attempt| {
+            let mut rng_a2 = 123u64;
+            for _ in 0..attempt {
+                let _ = splitmix64(&mut rng_a2);
+            }
+            policy.backoff(attempt, &mut rng_a2) != policy.backoff(attempt, &mut rng_c)
+        });
+        assert!(diverged);
+    }
+}

@@ -1,0 +1,952 @@
+//! The `alserve` daemon: durable admission, checkpointed execution,
+//! crash recovery, breaker-backed degradation, and graceful drain.
+//!
+//! # Life of a job
+//!
+//! ```text
+//!  Submit ──► quota? ──► queue room? ──► journal.accept (fsync) ──► Accepted
+//!                                                 │
+//!   worker dequeues ◄── queue ◄───────────────────┘
+//!        │
+//!        ├── breaker gate: Device → on-device │ Probe → one probe job
+//!        │                 Cpu → pinned to the host backend
+//!        ├── checkpoint every N iterations → data_dir/job-<id>.ckpt
+//!        │   (atomic: temp + fsync + rename) + Progress to waiters
+//!        └── terminal → journal.terminal (fsync) → Done/Failed to waiters
+//! ```
+//!
+//! # Recovery state machine (per job, evaluated at startup)
+//!
+//! ```text
+//!  [no journal record]      → not owed: the client never saw Accepted
+//!  [Accepted only]          → owed: re-enqueue; resume from the newest
+//!                             intact checkpoint file, else iteration 0
+//!  [Accepted + terminal]    → settled: nothing to do
+//! ```
+//!
+//! Resume is bit-identical in the solution fields
+//! ([`alrescha::fleet::JobOutput::solution_fingerprint`]), so a client
+//! that reconnects after a server crash observes the same answer it would
+//! have gotten from an uninterrupted run.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use alrescha::breaker::{BackendChoice, BreakerConfig, SharedBreaker};
+use alrescha::checkpoint::SolverCheckpoint;
+use alrescha::fleet::{Fleet, FleetConfig, JobKernel, JobOutput, JobSpec, Station};
+use alrescha::SolverOptions;
+use alrescha_obs::Telemetry;
+
+use crate::journal::{Journal, JournalError, JournalRecord};
+use crate::protocol::{Frame, JobPayload, SolveResult, WireError};
+use crate::quota::{QuotaDecision, QuotaTable};
+
+/// Where the server listens.
+#[derive(Debug, Clone)]
+pub enum Bind {
+    /// TCP, e.g. `127.0.0.1:0` (port 0 = ephemeral; the handle reports
+    /// the actual address).
+    Tcp(String),
+    /// A unix domain socket path (removed and re-created on start).
+    Unix(PathBuf),
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address.
+    pub bind: Bind,
+    /// Directory for the journal and per-job checkpoint files.
+    pub data_dir: PathBuf,
+    /// Worker threads executing solves.
+    pub workers: usize,
+    /// Bound on queued (admitted, not yet running) jobs.
+    pub queue_capacity: usize,
+    /// Per-tenant in-flight cap.
+    pub per_tenant_quota: usize,
+    /// Checkpoint cadence in solver iterations. `0` disables mid-solve
+    /// durability — recovery then restarts owed jobs from iteration 0,
+    /// which is still fingerprint-identical, just slower.
+    pub checkpoint_every: usize,
+    /// Base unit for `retry_after` backpressure hints.
+    pub retry_after_hint: Duration,
+    /// Device circuit-breaker configuration (service-wide, shared).
+    pub breaker: BreakerConfig,
+    /// Optional telemetry sink for spans/metrics.
+    pub telemetry: Option<Arc<Telemetry>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            bind: Bind::Tcp("127.0.0.1:0".to_owned()),
+            data_dir: PathBuf::from("alserve-data"),
+            workers: 2,
+            queue_capacity: 64,
+            per_tenant_quota: 8,
+            checkpoint_every: 8,
+            retry_after_hint: Duration::from_millis(25),
+            breaker: BreakerConfig::default(),
+            telemetry: None,
+        }
+    }
+}
+
+/// Errors raised while starting the server.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServerError {
+    /// Socket or filesystem failure.
+    Io(io::Error),
+    /// Journal open/replay failure.
+    Journal(JournalError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "server io: {e}"),
+            ServerError::Journal(e) => write!(f, "server journal: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Io(e) => Some(e),
+            ServerError::Journal(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<JournalError> for ServerError {
+    fn from(e: JournalError) -> Self {
+        ServerError::Journal(e)
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Where a job currently stands, as reported to clients.
+#[derive(Debug, Clone)]
+enum JobState {
+    Queued,
+    Running { iteration: u64, residual: f64 },
+    Done { result: SolveResult },
+    Failed { error: String },
+    Parked,
+}
+
+impl JobState {
+    fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done { .. } | JobState::Failed { .. } | JobState::Parked
+        )
+    }
+
+    fn to_frame(&self, job_id: u64) -> Frame {
+        match self {
+            JobState::Queued => Frame::Progress {
+                job_id,
+                iteration: 0,
+                residual: f64::NAN,
+            },
+            JobState::Running {
+                iteration,
+                residual,
+            } => Frame::Progress {
+                job_id,
+                iteration: *iteration,
+                residual: *residual,
+            },
+            JobState::Done { result } => Frame::Done {
+                job_id,
+                result: result.clone(),
+            },
+            JobState::Failed { error } => Frame::Failed {
+                job_id,
+                error: error.clone(),
+            },
+            JobState::Parked => Frame::Parked { job_id },
+        }
+    }
+}
+
+/// The job status map plus its wakeup primitive — shared between workers,
+/// connection threads, and the fleet's checkpoint hook, so there is
+/// exactly one source of truth for `Status`/`Wait` clients.
+struct StatusBoard {
+    map: Mutex<HashMap<u64, JobState>>,
+    cv: Condvar,
+}
+
+impl StatusBoard {
+    fn set(&self, job_id: u64, state: JobState) {
+        let mut map = lock(&self.map);
+        // Never let a late progress update overwrite a terminal state.
+        let settled = map.get(&job_id).is_some_and(JobState::is_terminal) && !state.is_terminal();
+        if !settled {
+            map.insert(job_id, state);
+        }
+        drop(map);
+        self.cv.notify_all();
+    }
+
+    fn get(&self, job_id: u64) -> Option<JobState> {
+        lock(&self.map).get(&job_id).cloned()
+    }
+}
+
+struct QueuedJob {
+    job_id: u64,
+    tenant: String,
+    job: JobPayload,
+    resume: Option<SolverCheckpoint>,
+    enqueued: Instant,
+}
+
+/// State shared between the accept loop, connection threads, and workers.
+struct Inner {
+    config: ServerConfig,
+    journal: Mutex<Journal>,
+    quota: Mutex<QuotaTable>,
+    fleet: Fleet,
+    breaker: SharedBreaker,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    queue_cv: Condvar,
+    status: Arc<StatusBoard>,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    draining: AtomicBool,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Inner {
+    fn tele(&self) -> Option<&Arc<Telemetry>> {
+        self.config.telemetry.as_ref()
+    }
+
+    fn count(&self, name: &str, help: &'static str) {
+        if let Some(tele) = self.tele() {
+            tele.metrics().counter(name, true, help).inc();
+        }
+    }
+
+    fn ckpt_path(&self, job_id: u64) -> PathBuf {
+        self.config.data_dir.join(format!("job-{job_id}.ckpt"))
+    }
+
+    /// Queued + running jobs (anything non-terminal in the status map).
+    fn active_jobs(&self) -> usize {
+        lock(&self.status.map)
+            .values()
+            .filter(|s| !s.is_terminal())
+            .count()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------------
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true).ok();
+                Ok(Stream::Tcp(s))
+            }
+            Listener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Stream::Unix(s))
+            }
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            Listener::Unix(l) => l.set_nonblocking(nb),
+        }
+    }
+}
+
+pub(crate) enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    pub(crate) fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(t),
+            Stream::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// The daemon entry point: holds a [`ServerConfig`] and starts the
+/// listener, workers, and recovery replay.
+#[derive(Debug)]
+pub struct Server {
+    config: ServerConfig,
+}
+
+impl Server {
+    /// A server with the given configuration.
+    pub fn new(config: ServerConfig) -> Self {
+        Server { config }
+    }
+
+    /// Opens the journal (replaying and truncating as needed), re-enqueues
+    /// every owed job, binds the listener, and spawns workers plus the
+    /// accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, a data directory that cannot be created, or journal
+    /// corruption beyond torn-tail truncation.
+    pub fn start(self) -> Result<ServerHandle, ServerError> {
+        let config = self.config;
+        std::fs::create_dir_all(&config.data_dir)?;
+        let mut journal = Journal::open(config.data_dir.join("jobs.wal"))?;
+        let recovered = journal.recover();
+        let settled = journal.settled();
+        let next_id = journal.next_job_id();
+        // Startup compaction: drop the bulky Accepted records of settled
+        // jobs (terminal records and pending jobs are kept), bounding log
+        // growth across kill/restart cycles.
+        journal.compact()?;
+
+        let status = Arc::new(StatusBoard {
+            map: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        });
+
+        // The fleet's checkpoint hook runs on worker threads between solver
+        // iterations: persist atomically, then publish progress to waiters.
+        // A failed checkpoint write degrades durability, not correctness —
+        // recovery falls back to the previous intact checkpoint (or a
+        // restart from iteration zero).
+        let hook_dir = config.data_dir.clone();
+        let hook_status = Arc::clone(&status);
+        let fleet = Fleet::new(
+            FleetConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(config.queue_capacity.max(1))
+                .with_retry_after_hint(config.retry_after_hint),
+        )
+        .with_checkpoint_hook(Arc::new(move |job_id, ckpt| {
+            let _ = ckpt.write_to_path(&hook_dir.join(format!("job-{job_id}.ckpt")));
+            hook_status.set(
+                job_id,
+                JobState::Running {
+                    iteration: ckpt.iteration as u64,
+                    residual: ckpt.residual_history.last().copied().unwrap_or(f64::NAN),
+                },
+            );
+        }));
+        let fleet = match &config.telemetry {
+            Some(tele) => fleet.with_telemetry(Arc::clone(tele)),
+            None => fleet,
+        };
+
+        let (listener, local_addr) = match &config.bind {
+            Bind::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                let actual = l.local_addr()?.to_string();
+                (Listener::Tcp(l), actual)
+            }
+            Bind::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                (
+                    Listener::Unix(UnixListener::bind(path)?),
+                    path.display().to_string(),
+                )
+            }
+        };
+
+        let quota = QuotaTable::new(config.per_tenant_quota, config.retry_after_hint);
+        let breaker = SharedBreaker::new(config.breaker);
+        let workers = config.workers.max(1);
+        let inner = Arc::new(Inner {
+            config,
+            journal: Mutex::new(journal),
+            quota: Mutex::new(quota),
+            fleet,
+            breaker,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            status,
+            next_id: AtomicU64::new(next_id),
+            shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+
+        // Settled replay: jobs that reached a terminal state in a previous
+        // run stay queryable, so a client reconnecting across a crash can
+        // still fetch its outcome. The journal does not retain the solution
+        // vector — only the scalars and the resume-invariant fingerprint.
+        for record in settled {
+            match record {
+                JournalRecord::Completed {
+                    job_id,
+                    fingerprint,
+                    iterations,
+                    residual,
+                    converged,
+                } => inner.status.set(
+                    job_id,
+                    JobState::Done {
+                        result: SolveResult {
+                            x: Vec::new(),
+                            iterations,
+                            residual,
+                            converged,
+                            solution_fingerprint: fingerprint,
+                        },
+                    },
+                ),
+                JournalRecord::Failed { job_id, error } => {
+                    inner.status.set(job_id, JobState::Failed { error });
+                }
+                JournalRecord::Accepted { .. } => {}
+            }
+        }
+
+        // Recovery replay: every owed job goes back on the queue, resuming
+        // from its newest intact checkpoint when one exists.
+        {
+            let mut queue = lock(&inner.queue);
+            let mut quota = lock(&inner.quota);
+            for (job_id, tenant, job) in recovered {
+                let resume = SolverCheckpoint::read_from_path(&inner.ckpt_path(job_id)).ok();
+                quota.charge(&tenant);
+                inner.status.set(job_id, JobState::Queued);
+                queue.push_back(QueuedJob {
+                    job_id,
+                    tenant,
+                    job,
+                    resume,
+                    enqueued: Instant::now(),
+                });
+                inner.count(
+                    "alserve_jobs_recovered_total",
+                    "jobs re-enqueued by journal recovery at startup",
+                );
+            }
+        }
+        inner.queue_cv.notify_all();
+
+        let mut worker_threads = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let inner = Arc::clone(&inner);
+            worker_threads.push(std::thread::spawn(move || worker_loop(&inner, w)));
+        }
+
+        listener.set_nonblocking(true)?;
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || accept_loop(&inner, &listener))
+        };
+
+        Ok(ServerHandle {
+            addr: local_addr,
+            inner,
+            workers: worker_threads,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// A running server: address, drain/stop controls, and introspection.
+pub struct ServerHandle {
+    addr: String,
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("active_jobs", &self.inner.active_jobs())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The bound address: `ip:port` for TCP (resolved when port 0 was
+    /// requested), the socket path for unix.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Queued + running jobs.
+    pub fn active_jobs(&self) -> usize {
+        self.inner.active_jobs()
+    }
+
+    /// Stops admitting new jobs and parks everything still queued (owed
+    /// jobs stay in the journal and are recovered on the next start).
+    /// Running jobs finish normally.
+    pub fn drain(&self) {
+        drain_server(&self.inner);
+    }
+
+    /// True once a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until no job is queued or running, polling at `tick`.
+    pub fn wait_idle(&self, tick: Duration) {
+        while self.inner.active_jobs() > 0 {
+            std::thread::sleep(tick);
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, wake every thread, join them.
+    /// The solve in flight on each worker runs to completion first.
+    pub fn stop(mut self) {
+        self.shutdown_and_join();
+    }
+
+    fn shutdown_and_join(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue_cv.notify_all();
+        self.inner.status.cv.notify_all();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        let conns: Vec<JoinHandle<()>> = lock(&self.inner.conns).drain(..).collect();
+        for h in conns {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if !self.inner.shutdown.load(Ordering::SeqCst) {
+            self.shutdown_and_join();
+        }
+    }
+}
+
+fn drain_server(inner: &Arc<Inner>) {
+    inner.draining.store(true, Ordering::SeqCst);
+    let parked: Vec<QueuedJob> = lock(&inner.queue).drain(..).collect();
+    {
+        let mut quota = lock(&inner.quota);
+        for job in &parked {
+            inner.status.set(job.job_id, JobState::Parked);
+            quota.release(&job.tenant);
+        }
+    }
+    if !parked.is_empty() {
+        inner.count(
+            "alserve_jobs_parked_total",
+            "queued jobs parked by a drain (recovered on next start)",
+        );
+    }
+    inner.queue_cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Accept + connection handling
+// ---------------------------------------------------------------------------
+
+fn accept_loop(inner: &Arc<Inner>, listener: &Listener) {
+    if let Some(tele) = inner.tele() {
+        tele.name_thread("alserve-accept");
+    }
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok(stream) => {
+                let conn_inner = Arc::clone(inner);
+                let h = std::thread::spawn(move || connection_loop(&conn_inner, stream));
+                lock(&inner.conns).push(h);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn connection_loop(inner: &Arc<Inner>, stream: Stream) {
+    if let Some(tele) = inner.tele() {
+        tele.name_thread("alserve-conn");
+    }
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut stream = stream;
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let frame = match Frame::read_from(&mut stream) {
+            Ok(f) => f,
+            Err(WireError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(WireError::Io(_)) => break, // EOF or transport failure.
+            Err(e) => {
+                // Decodable-transport, undecodable-frame: tell the client
+                // why (permanently — no retry hint) before hanging up.
+                let _ = Frame::Rejected {
+                    reason: e.to_string(),
+                    retry_after: None,
+                }
+                .write_to(&mut stream);
+                break;
+            }
+        };
+        if !handle_frame(inner, &mut stream, frame) {
+            break;
+        }
+    }
+}
+
+/// Handles one request frame; returns `false` when the connection should
+/// close (write failure or protocol misuse).
+fn handle_frame(inner: &Arc<Inner>, stream: &mut Stream, frame: Frame) -> bool {
+    match frame {
+        Frame::Ping => Frame::Pong.write_to(stream).is_ok(),
+        Frame::Drain => {
+            drain_server(inner);
+            Frame::Draining.write_to(stream).is_ok()
+        }
+        Frame::Submit { tenant, job } => admit(inner, &tenant, job).write_to(stream).is_ok(),
+        Frame::Status { job_id } => {
+            let frame = inner
+                .status
+                .get(job_id)
+                .map_or(Frame::NotFound { job_id }, |s| s.to_frame(job_id));
+            frame.write_to(stream).is_ok()
+        }
+        Frame::Wait { job_id } => wait_loop(inner, stream, job_id),
+        // Server-to-client frames arriving at the server are misuse.
+        _ => false,
+    }
+}
+
+/// Admission: drain gate → job sanity → per-tenant quota → queue room →
+/// durable journal append → `Accepted`.
+fn admit(inner: &Arc<Inner>, tenant: &str, job: JobPayload) -> Frame {
+    if inner.draining.load(Ordering::SeqCst) {
+        return Frame::Draining;
+    }
+    if job.matrix.rows() != job.matrix.cols() || job.b.len() != job.matrix.rows() {
+        return Frame::Rejected {
+            reason: "malformed job: matrix must be square and match |b|".to_owned(),
+            retry_after: None,
+        };
+    }
+    match lock(&inner.quota).try_admit(tenant) {
+        QuotaDecision::Reject { retry_after } => {
+            inner.count(
+                "alserve_quota_rejections_total",
+                "submissions rejected by per-tenant quota",
+            );
+            return Frame::Rejected {
+                reason: format!(
+                    "tenant {tenant:?} is at its in-flight quota ({})",
+                    inner.config.per_tenant_quota
+                ),
+                retry_after: Some(retry_after),
+            };
+        }
+        QuotaDecision::Admit => {}
+    }
+    // Queue room, with the fleet's linear backpressure ramp
+    // (worker-count-independent, like `FleetConfig::retry_after`).
+    {
+        let queue = lock(&inner.queue);
+        let capacity = inner.config.queue_capacity;
+        if queue.len() >= capacity {
+            lock(&inner.quota).release(tenant);
+            let excess = queue.len() - capacity + 1;
+            let retry_after = inner
+                .config
+                .retry_after_hint
+                .saturating_mul(u32::try_from(excess).unwrap_or(u32::MAX));
+            inner.count(
+                "alserve_queue_rejections_total",
+                "submissions rejected by the bounded queue",
+            );
+            return Frame::Rejected {
+                reason: format!("queue full: capacity {capacity}"),
+                retry_after: Some(retry_after),
+            };
+        }
+    }
+    let job_id = inner.next_id.fetch_add(1, Ordering::SeqCst);
+    // Durability point: fsync the Accepted record BEFORE acknowledging.
+    if let Err(e) = lock(&inner.journal).accept(job_id, tenant, &job) {
+        lock(&inner.quota).release(tenant);
+        return Frame::Rejected {
+            reason: format!("journal append failed: {e}"),
+            retry_after: None,
+        };
+    }
+    inner.status.set(job_id, JobState::Queued);
+    lock(&inner.queue).push_back(QueuedJob {
+        job_id,
+        tenant: tenant.to_owned(),
+        job,
+        resume: None,
+        enqueued: Instant::now(),
+    });
+    inner.queue_cv.notify_one();
+    inner.count(
+        "alserve_jobs_accepted_total",
+        "jobs durably journaled and acknowledged",
+    );
+    Frame::Accepted { job_id }
+}
+
+/// Streams progress to a waiting client until the job is terminal.
+fn wait_loop(inner: &Arc<Inner>, stream: &mut Stream, job_id: u64) -> bool {
+    let mut last_sent: Option<String> = None;
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        let Some(state) = inner.status.get(job_id) else {
+            return Frame::NotFound { job_id }.write_to(stream).is_ok();
+        };
+        let frame = state.to_frame(job_id);
+        let key = format!("{frame:?}");
+        if last_sent.as_deref() != Some(&key) {
+            if frame.write_to(stream).is_err() {
+                return false;
+            }
+            last_sent = Some(key);
+        }
+        if state.is_terminal() {
+            return true;
+        }
+        let map = lock(&inner.status.map);
+        drop(
+            inner
+                .status
+                .cv
+                .wait_timeout(map, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(inner: &Arc<Inner>, worker: usize) {
+    if let Some(tele) = inner.tele() {
+        tele.name_thread(format!("alserve-worker-{worker}"));
+    }
+    let mut station = inner.fleet.station(worker);
+    loop {
+        let job = {
+            let mut queue = lock(&inner.queue);
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                let (q, _) = inner
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = q;
+            }
+        };
+        run_job(inner, &mut station, job);
+    }
+}
+
+fn run_job(inner: &Arc<Inner>, station: &mut Station, job: QueuedJob) {
+    let QueuedJob {
+        job_id,
+        tenant,
+        job: payload,
+        resume,
+        enqueued,
+    } = job;
+    // Service-level breaker: while the device is suspect, new jobs are
+    // pinned to the host backend; exactly one half-open probe runs
+    // on-device at a time (SharedBreaker's single-probe invariant).
+    let choice = inner.breaker.gate();
+    let cpu_only = matches!(choice, BackendChoice::Cpu);
+    let probe = matches!(choice, BackendChoice::Probe);
+    if cpu_only {
+        inner.count(
+            "alserve_cpu_degraded_jobs_total",
+            "jobs pinned to the host backend by the open breaker",
+        );
+    }
+    inner.status.set(
+        job_id,
+        JobState::Running {
+            iteration: resume.as_ref().map_or(0, |c| c.iteration as u64),
+            residual: f64::NAN,
+        },
+    );
+
+    let mut spec = JobSpec::new(
+        payload.matrix,
+        JobKernel::Pcg {
+            b: payload.b,
+            opts: SolverOptions {
+                tol: payload.tol,
+                max_iters: usize::try_from(payload.max_iters).unwrap_or(usize::MAX),
+            },
+        },
+    )
+    .with_id(job_id)
+    .with_checkpoint_every(inner.config.checkpoint_every)
+    .with_cpu_only(cpu_only);
+    if let Some(ckpt) = resume {
+        spec = spec.with_resume_from(ckpt);
+    }
+
+    let record = inner
+        .fleet
+        .execute_on(station, job_id as usize, &spec, enqueued.elapsed());
+
+    let (state, terminal) = match record.result {
+        Ok(out) => {
+            if probe {
+                inner.breaker.record_probe(true);
+            } else if !cpu_only {
+                inner.breaker.record_success();
+            }
+            let result = match &out {
+                JobOutput::Pcg { outcome } => SolveResult {
+                    x: outcome.x.clone(),
+                    iterations: outcome.iterations as u64,
+                    residual: outcome.residual,
+                    converged: outcome.converged,
+                    solution_fingerprint: out.solution_fingerprint(),
+                },
+                // A Pcg spec always yields a Pcg output; tolerate anything
+                // else defensively rather than panicking a worker.
+                other => SolveResult {
+                    x: other.values().to_vec(),
+                    iterations: 0,
+                    residual: f64::NAN,
+                    converged: false,
+                    solution_fingerprint: other.solution_fingerprint(),
+                },
+            };
+            let terminal = JournalRecord::Completed {
+                job_id,
+                fingerprint: result.solution_fingerprint,
+                iterations: result.iterations,
+                residual: result.residual,
+                converged: result.converged,
+            };
+            (JobState::Done { result }, terminal)
+        }
+        Err(e) => {
+            if probe {
+                inner.breaker.record_probe(false);
+            } else if !cpu_only {
+                inner.breaker.record_failure();
+            }
+            let error = e.to_string();
+            (
+                JobState::Failed {
+                    error: error.clone(),
+                },
+                JournalRecord::Failed { job_id, error },
+            )
+        }
+    };
+
+    // Terminal record first (durable), then the in-memory state clients
+    // see. A crash between the two re-runs the job on recovery, which is
+    // safe: the solve is deterministic and fingerprint-identical.
+    if lock(&inner.journal).terminal(&terminal).is_err() {
+        inner.count(
+            "alserve_journal_terminal_failures_total",
+            "terminal records that failed to append",
+        );
+    }
+    let _ = std::fs::remove_file(inner.ckpt_path(job_id));
+    lock(&inner.quota).release(&tenant);
+    inner.status.set(job_id, state);
+    inner.count(
+        "alserve_jobs_finished_total",
+        "jobs that reached a terminal state",
+    );
+}

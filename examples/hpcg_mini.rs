@@ -15,15 +15,18 @@
 //! With `--workers N`, a batch of PCG solves (one per right-hand side of
 //! an HPCG-style campaign) runs through the `alrescha-fleet` runtime on N
 //! workers: Algorithm-1 conversion and the alverify preflight are paid
-//! once and shared through the conversion cache.
+//! once and shared through the conversion cache. `--queue N` caps fleet
+//! admission: jobs past the cap come back rejected with a structured
+//! `retry_after` hint, which the example honors — it sleeps the hint out
+//! and resubmits until every solve has run.
 //!
 //! With `--trace-out trace.json`, the whole run — host spans plus the
 //! engine's cycle-level timeline — is written as a Chrome/Perfetto trace
 //! (open it at <https://ui.perfetto.dev>). `--metrics-out metrics.json`
 //! writes the metrics-registry snapshot (inspect with `alobs metrics`).
 
-use alrescha::fleet::{Fleet, FleetConfig, JobKernel, JobSpec};
-use alrescha::{AcceleratedMgPcg, AcceleratedPcg, Alrescha, KernelType, SolverOptions};
+use alrescha::fleet::{Fleet, FleetConfig, JobKernel, JobRecord, JobSpec};
+use alrescha::{AcceleratedMgPcg, AcceleratedPcg, Alrescha, CoreError, KernelType, SolverOptions};
 use alrescha_lint::Preflight;
 use alrescha_kernels::multigrid::GridHierarchy;
 use alrescha_kernels::spmv::spmv;
@@ -46,6 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let trace_out = flag_value("--trace-out");
     let metrics_out = flag_value("--metrics-out");
+    let queue: Option<usize> = flag_value("--queue").map(|s| s.parse()).transpose()?;
     let side: usize = args
         .iter()
         .enumerate()
@@ -54,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 && (i == 0
                     || !matches!(
                         args[i - 1].as_str(),
-                        "--workers" | "--trace-out" | "--metrics-out"
+                        "--workers" | "--trace-out" | "--metrics-out" | "--queue"
                     ))
         })
         .map(|(_, s)| s.parse())
@@ -127,7 +131,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 )
             })
             .collect();
-        let mut fleet = Fleet::new(FleetConfig::default().with_workers(n_workers));
+        let mut config = FleetConfig::default().with_workers(n_workers);
+        if let Some(cap) = queue {
+            config = config.with_queue_capacity(cap);
+        }
+        let mut fleet = Fleet::new(config);
         fleet = match &tele {
             Some(t) => fleet
                 .with_preflight(alrescha_lint::fleet_preflight_hook_with_telemetry(
@@ -136,24 +144,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .with_telemetry(std::sync::Arc::clone(t)),
             None => fleet.with_preflight(alrescha_lint::fleet_preflight_hook()),
         };
-        let batch = fleet.run(jobs);
-        let s = &batch.stats;
-        println!(
-            "  fleet: {} solves on {} workers in {:.1} ms ({:.1} jobs/s)",
-            s.completed,
-            s.workers,
-            s.wall_time.as_secs_f64() * 1e3,
-            s.jobs_per_second()
-        );
-        println!(
-            "  conversion cache: {} hits / {} misses; engines: {} built, {} reused",
-            s.cache_hits, s.cache_misses, s.engine_rebuilds, s.engine_reuses
-        );
-        for rec in &batch.jobs {
+        // Run with backpressure honored: a job past the queue capacity is
+        // rejected in-band with a `retry_after` hint. Sleep the largest
+        // hint out and resubmit the leftovers until every solve has run.
+        let mut pending: Vec<(usize, JobSpec)> = jobs.into_iter().enumerate().collect();
+        let mut records: Vec<Option<JobRecord>> = (0..n_rhs).map(|_| None).collect();
+        while !pending.is_empty() {
+            let specs: Vec<JobSpec> = pending.iter().map(|(_, s)| s.clone()).collect();
+            let batch = fleet.run(specs);
+            let s = &batch.stats;
+            println!(
+                "  fleet: {} solves on {} workers in {:.1} ms ({:.1} jobs/s)",
+                s.completed,
+                s.workers,
+                s.wall_time.as_secs_f64() * 1e3,
+                s.jobs_per_second()
+            );
+            println!(
+                "  conversion cache: {} hits / {} misses; engines: {} built, {} reused",
+                s.cache_hits, s.cache_misses, s.engine_rebuilds, s.engine_reuses
+            );
+            let mut deferred: Vec<(usize, JobSpec)> = Vec::new();
+            let mut wait = std::time::Duration::ZERO;
+            for (rec, (orig, spec)) in batch.jobs.into_iter().zip(pending) {
+                if let Err(CoreError::QueueFull { retry_after, .. }) = &rec.result {
+                    wait = wait.max(*retry_after);
+                    deferred.push((orig, spec));
+                } else {
+                    records[orig] = Some(rec);
+                }
+            }
+            pending = deferred;
+            if !pending.is_empty() {
+                println!(
+                    "  backpressure: {} jobs past the queue capacity, honoring retry_after = {:.1} ms",
+                    pending.len(),
+                    wait.as_secs_f64() * 1e3
+                );
+                std::thread::sleep(wait);
+            }
+        }
+        for (orig, rec) in records.iter().enumerate() {
+            let Some(rec) = rec else { continue };
             match &rec.result {
                 Ok(alrescha::fleet::JobOutput::Pcg { outcome }) => println!(
-                    "    job {}: {} in {} iterations, residual {:.2e} (worker {}, cache {})",
-                    rec.job,
+                    "    job {orig}: {} in {} iterations, residual {:.2e} (worker {}, cache {})",
                     outcome.reason,
                     outcome.iterations,
                     outcome.residual,
@@ -161,7 +196,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     if rec.cache_hit { "hit" } else { "miss" },
                 ),
                 Ok(_) => unreachable!("batch only submits PCG jobs"),
-                Err(e) => println!("    job {}: FAILED: {e}", rec.job),
+                Err(e) => println!("    job {orig}: FAILED: {e}"),
             }
         }
         if let Some(t) = &tele {

@@ -10,14 +10,17 @@
 //! With `--workers N`, several solves of the same system (distinct
 //! right-hand sides) run through the `alrescha-fleet` runtime: conversion
 //! and verification happen once, cached, and every engine is reused.
+//! `--queue N` caps fleet admission; solves past the cap are rejected
+//! with a `retry_after` hint, which the example sleeps out before
+//! resubmitting the remainder.
 //!
 //! `--trace-out trace.json` writes a Chrome/Perfetto trace of the run
 //! (host spans plus the engine's cycle-level timeline; open it at
 //! <https://ui.perfetto.dev>); `--metrics-out metrics.json` writes the
 //! metrics-registry snapshot.
 
-use alrescha::fleet::{Fleet, FleetConfig, JobKernel, JobOutput, JobSpec};
-use alrescha::{AcceleratedPcg, Alrescha, SolverOptions};
+use alrescha::fleet::{Fleet, FleetConfig, JobKernel, JobOutput, JobRecord, JobSpec};
+use alrescha::{AcceleratedPcg, Alrescha, CoreError, SolverOptions};
 use alrescha_kernels::spmv::spmv;
 use alrescha_sparse::{gen, Csr, MetaData};
 
@@ -37,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let trace_out = flag_value("--trace-out");
     let metrics_out = flag_value("--metrics-out");
+    let queue: Option<usize> = flag_value("--queue").map(|s| s.parse()).transpose()?;
     let tele = (trace_out.is_some() || metrics_out.is_some())
         .then(alrescha_obs::Telemetry::new);
     let write_telemetry = |tele: &std::sync::Arc<alrescha_obs::Telemetry>| {
@@ -82,7 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 )
             })
             .collect();
-        let mut fleet = Fleet::new(FleetConfig::default().with_workers(n_workers));
+        let mut config = FleetConfig::default().with_workers(n_workers);
+        if let Some(cap) = queue {
+            config = config.with_queue_capacity(cap);
+        }
+        let mut fleet = Fleet::new(config);
         fleet = match &tele {
             Some(t) => fleet
                 .with_preflight(alrescha_lint::fleet_preflight_hook_with_telemetry(
@@ -91,25 +99,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .with_telemetry(std::sync::Arc::clone(t)),
             None => fleet.with_preflight(alrescha_lint::fleet_preflight_hook()),
         };
-        let batch = fleet.run(jobs);
-        let s = &batch.stats;
-        println!(
-            "fleet: {} solves on {} workers in {:.1} ms ({:.1} jobs/s); cache {} hits / {} misses",
-            s.completed,
-            s.workers,
-            s.wall_time.as_secs_f64() * 1e3,
-            s.jobs_per_second(),
-            s.cache_hits,
-            s.cache_misses
-        );
-        for rec in &batch.jobs {
+        // Honor queue backpressure: rejected solves carry a `retry_after`
+        // hint; sleep it out and resubmit until the whole campaign has run.
+        let n_jobs = jobs.len();
+        let mut pending: Vec<(usize, JobSpec)> = jobs.into_iter().enumerate().collect();
+        let mut records: Vec<Option<JobRecord>> = (0..n_jobs).map(|_| None).collect();
+        while !pending.is_empty() {
+            let specs: Vec<JobSpec> = pending.iter().map(|(_, s)| s.clone()).collect();
+            let batch = fleet.run(specs);
+            let s = &batch.stats;
+            println!(
+                "fleet: {} solves on {} workers in {:.1} ms ({:.1} jobs/s); cache {} hits / {} misses",
+                s.completed,
+                s.workers,
+                s.wall_time.as_secs_f64() * 1e3,
+                s.jobs_per_second(),
+                s.cache_hits,
+                s.cache_misses
+            );
+            let mut deferred: Vec<(usize, JobSpec)> = Vec::new();
+            let mut wait = std::time::Duration::ZERO;
+            for (rec, (orig, spec)) in batch.jobs.into_iter().zip(pending) {
+                if let Err(CoreError::QueueFull { retry_after, .. }) = &rec.result {
+                    wait = wait.max(*retry_after);
+                    deferred.push((orig, spec));
+                } else {
+                    records[orig] = Some(rec);
+                }
+            }
+            pending = deferred;
+            if !pending.is_empty() {
+                println!(
+                    "backpressure: {} solves past the queue capacity, honoring retry_after = {:.1} ms",
+                    pending.len(),
+                    wait.as_secs_f64() * 1e3
+                );
+                std::thread::sleep(wait);
+            }
+        }
+        for (orig, rec) in records.iter().enumerate() {
+            let Some(rec) = rec else { continue };
             match &rec.result {
                 Ok(JobOutput::Pcg { outcome }) => println!(
-                    "  job {}: {} in {} iterations, residual {:.3e}",
-                    rec.job, outcome.reason, outcome.iterations, outcome.residual
+                    "  job {orig}: {} in {} iterations, residual {:.3e}",
+                    outcome.reason, outcome.iterations, outcome.residual
                 ),
                 Ok(_) => unreachable!("batch only submits PCG jobs"),
-                Err(e) => println!("  job {}: FAILED: {e}", rec.job),
+                Err(e) => println!("  job {orig}: FAILED: {e}"),
             }
         }
         if let Some(t) = &tele {

@@ -155,6 +155,7 @@ fn populated_fleet_report() -> FleetReport {
             result: Err(CoreError::QueueFull {
                 capacity: 3,
                 offered: 4,
+                retry_after: Duration::from_millis(25),
             }),
         },
     ];
