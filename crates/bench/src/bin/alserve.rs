@@ -183,6 +183,7 @@ fn cmd_solve(flags: &Flags<'_>) -> Result<(), String> {
         "--tenant",
         "--tol",
         "--max-iters",
+        "--priority",
     ])?;
     let side = flags.parse("--side", 4usize)?;
     let seed = flags.parse("--seed", 0u64)?;
@@ -196,6 +197,7 @@ fn cmd_solve(flags: &Flags<'_>) -> Result<(), String> {
             .collect(),
         tol: flags.parse("--tol", 1e-10f64)?,
         max_iters: flags.parse("--max-iters", 500u64)?,
+        priority: flags.parse("--priority", 0u8)?,
     };
     let mut client = client_for(flags)?;
     let job_id = client.submit(tenant, &job).map_err(|e| e.to_string())?;

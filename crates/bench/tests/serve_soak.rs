@@ -45,6 +45,7 @@ fn sample_job(side: usize, seed: u64) -> JobPayload {
         b,
         tol: 1e-10,
         max_iters: 200,
+        priority: 0,
     }
 }
 

@@ -178,6 +178,11 @@ pub struct JobSpec {
     /// planned CPU mode a service enters while the device breaker is open
     /// (agrees with the device to rounding; no device cycles simulated).
     pub cpu_only: bool,
+    /// Scheduling priority: higher levels are dequeued first by consumers
+    /// that order work (e.g. the alserve queue); within a level ordering
+    /// is stable FIFO. The fleet's own batch APIs preserve submission
+    /// order regardless — this field is carried for schedulers above.
+    pub priority: u8,
 }
 
 impl JobSpec {
@@ -195,6 +200,7 @@ impl JobSpec {
             checkpoint_every: 0,
             resume_from: None,
             cpu_only: false,
+            priority: 0,
         }
     }
 
@@ -251,6 +257,13 @@ impl JobSpec {
     #[must_use]
     pub fn with_cpu_only(mut self, cpu_only: bool) -> Self {
         self.cpu_only = cpu_only;
+        self
+    }
+
+    /// Sets the scheduling priority (higher runs first; 0 is default).
+    #[must_use]
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
         self
     }
 }

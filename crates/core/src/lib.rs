@@ -41,6 +41,7 @@ pub mod convert;
 pub mod fleet;
 pub mod program;
 pub mod solver;
+pub mod storage;
 
 pub use accelerator::{Alrescha, ProgrammedKernel};
 pub use breaker::{BackendChoice, BreakerConfig, BreakerState, CircuitBreaker, SharedBreaker};
@@ -51,6 +52,9 @@ pub use fleet::{
     JobSpec, PreflightHook, Station,
 };
 pub use program::ProgramBinary;
+pub use storage::{
+    ChaosStorage, IoFaultCounters, IoFaultKind, IoFaultPlan, RealStorage, StorageFile, StorageIo,
+};
 pub use solver::{
     AcceleratedMgPcg, AcceleratedPcg, SolveOutcome, SolverOptions, TerminationReason,
 };

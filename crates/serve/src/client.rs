@@ -342,6 +342,21 @@ impl Client {
                 Ok(Frame::Failed { error, .. }) => return Ok(JobStatus::Failed(error)),
                 Ok(Frame::Parked { .. }) => return Ok(JobStatus::Parked),
                 Ok(Frame::NotFound { .. }) => return Ok(JobStatus::NotFound),
+                // Transient rejection (e.g. the server CRC-rejected a
+                // transport-damaged frame and hung up): honor the hint
+                // and re-ask on a fresh connection.
+                Ok(Frame::Rejected {
+                    retry_after: Some(hint),
+                    ..
+                }) => {
+                    self.drop_conn();
+                    let backoff = self.policy.backoff(attempt, &mut self.rng);
+                    std::thread::sleep(hint.max(backoff));
+                }
+                Ok(Frame::Rejected {
+                    reason,
+                    retry_after: None,
+                }) => return Err(ClientError::Rejected { reason }),
                 Ok(_) => return Err(ClientError::Protocol("unexpected reply to Status")),
                 Err(_) => {
                     self.drop_conn();
@@ -411,6 +426,23 @@ impl Client {
                         continue 'reconnect;
                     }
                     Ok(Frame::NotFound { .. }) => return Err(ClientError::NotFound { job_id }),
+                    // Transient rejection: the server CRC-rejected a
+                    // transport-damaged Wait frame and hung up. Re-wait
+                    // on a fresh connection.
+                    Ok(Frame::Rejected {
+                        retry_after: Some(_),
+                        ..
+                    }) => {
+                        self.drop_conn();
+                        let backoff = self.policy.backoff(attempt, &mut self.rng);
+                        std::thread::sleep(backoff);
+                        attempt += 1;
+                        continue 'reconnect;
+                    }
+                    Ok(Frame::Rejected {
+                        reason,
+                        retry_after: None,
+                    }) => return Err(ClientError::Rejected { reason }),
                     Ok(_) => return Err(ClientError::Protocol("unexpected frame during Wait")),
                     Err(WireError::Io(e))
                         if e.kind() == io::ErrorKind::WouldBlock
@@ -486,6 +518,7 @@ mod tests {
             b,
             tol: 1e-8,
             max_iters: 50,
+            priority: 0,
         }
     }
 
@@ -584,6 +617,59 @@ mod tests {
             other => panic!("expected deadline, got {other:?}"),
         }
         assert!(started.elapsed() < Duration::from_secs(3));
+    }
+
+    #[test]
+    fn retry_schedule_is_deterministic_across_reconnects_for_a_fixed_seed() {
+        // Two clients with the same policy seed, driven through an
+        // identical gauntlet (backpressure, transient CRC-style
+        // rejection, a dropped connection, then acceptance — every reply
+        // on a fresh connection), must consume their jitter streams in
+        // lockstep: same answer, same private rng end-state. This is the
+        // chaos harness's replayability contract — a CHAOS_SEED rerun
+        // reproduces the client's exact backoff schedule.
+        let script = || {
+            vec![
+                Frame::Rejected {
+                    reason: "queue full".to_owned(),
+                    retry_after: Some(Duration::from_millis(1)),
+                },
+                Frame::Rejected {
+                    reason: "frame CRC mismatch".to_owned(),
+                    retry_after: Some(Duration::from_millis(1)),
+                },
+                Frame::Rejected {
+                    reason: "storage pressure".to_owned(),
+                    retry_after: Some(Duration::from_millis(2)),
+                },
+                Frame::Accepted { job_id: 9 },
+            ]
+        };
+        let run = |seed: u64| {
+            let (addr, h) = scripted_server(script());
+            let mut client = Client::tcp(
+                addr,
+                RetryPolicy {
+                    seed,
+                    ..policy_fast()
+                },
+            );
+            let id = client.submit("t", &sample_job()).unwrap();
+            h.join().unwrap();
+            (id, client.rng)
+        };
+        let (id_a, rng_a) = run(0xD00D);
+        let (id_b, rng_b) = run(0xD00D);
+        assert_eq!(id_a, 9);
+        assert_eq!(id_b, 9);
+        assert_eq!(
+            rng_a, rng_b,
+            "identical seeds through identical reconnect gauntlets must end in identical rng states"
+        );
+        // A different seed lands the job but walks a different stream.
+        let (id_c, rng_c) = run(0xBEEF);
+        assert_eq!(id_c, 9);
+        assert_ne!(rng_c, rng_a, "distinct seeds should diverge");
     }
 
     #[test]

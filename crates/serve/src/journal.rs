@@ -29,12 +29,12 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-use alrescha::checkpoint::crc32;
-use alrescha::write_atomic;
+use alrescha::checkpoint::{crc32, write_atomic_with};
+use alrescha::storage::{self, RealStorage, StorageFile, StorageIo};
 
 use crate::protocol::{put_job, put_str, put_u64, JobPayload, Reader, WireError};
 
@@ -233,17 +233,32 @@ pub struct JournalStats {
 /// An open, durable, append-only job journal.
 ///
 /// All appends are `fsync`ed before returning: when [`Journal::accept`]
-/// comes back `Ok`, the record survives power loss.
+/// comes back `Ok`, the record survives power loss. All file traffic goes
+/// through an injectable [`StorageIo`] ([`RealStorage`] by default), so
+/// the chaos harness can drive the same code through short writes,
+/// `ENOSPC` tears, failed fsyncs, and read-side bit flips.
 pub struct Journal {
-    file: File,
+    io: Arc<dyn StorageIo>,
+    file: Box<dyn StorageFile>,
     path: PathBuf,
+    /// Durable end of the log: the byte offset every intact record fits
+    /// under. A failed append rolls the file back to this point so the
+    /// log never carries a torn record *followed by* good ones.
+    offset: u64,
     /// Accepted-but-not-terminal jobs, in id order.
     pending: BTreeMap<u64, (String, JobPayload)>,
     /// Terminal records, in id order — replayed so a restarted server can
     /// still answer `Status`/`Wait` for jobs settled in a previous run.
     settled: BTreeMap<u64, JournalRecord>,
+    /// Job ids of terminal records in append/replay order — the observable
+    /// *execution order*, used by priority-scheduling tests.
+    terminal_order: Vec<u64>,
     /// Highest job id ever seen (terminal or not).
     max_id: Option<u64>,
+    /// Set when a failed append could not be rolled back: appending past a
+    /// torn record would strand everything after it, so the journal
+    /// refuses all further appends instead.
+    wedged: bool,
     stats: JournalStats,
 }
 
@@ -251,12 +266,64 @@ impl fmt::Debug for Journal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Journal")
             .field("path", &self.path)
+            .field("offset", &self.offset)
             .field("pending", &self.pending.len())
             .field("max_id", &self.max_id)
             .field("stats", &self.stats)
             .finish_non_exhaustive()
     }
 }
+
+/// What one replay pass over a byte image found.
+struct Replay {
+    pending: BTreeMap<u64, (String, JobPayload)>,
+    settled: BTreeMap<u64, JournalRecord>,
+    terminal_order: Vec<u64>,
+    max_id: Option<u64>,
+    records: usize,
+    valid_end: usize,
+}
+
+fn replay(bytes: &[u8]) -> Replay {
+    let mut out = Replay {
+        pending: BTreeMap::new(),
+        settled: BTreeMap::new(),
+        terminal_order: Vec::new(),
+        max_id: None,
+        records: 0,
+        valid_end: 0,
+    };
+    let mut pos = 0usize;
+    while let Some((record, used)) = next_record(&bytes[pos..]) {
+        match record {
+            JournalRecord::Accepted {
+                job_id,
+                tenant,
+                job,
+            } => {
+                out.max_id = Some(out.max_id.map_or(job_id, |m: u64| m.max(job_id)));
+                out.pending.insert(job_id, (tenant, job));
+            }
+            JournalRecord::Completed { job_id, .. } | JournalRecord::Failed { job_id, .. } => {
+                out.max_id = Some(out.max_id.map_or(job_id, |m: u64| m.max(job_id)));
+                out.pending.remove(&job_id);
+                out.settled.insert(job_id, record);
+                out.terminal_order.push(job_id);
+            }
+        }
+        out.records += 1;
+        pos += used;
+    }
+    out.valid_end = pos;
+    out
+}
+
+/// Consecutive whole-file reads attempted before giving up on telling a
+/// transient read anomaly (a bit flip that vanishes on re-read) from a
+/// stable one (a genuinely torn tail). Each attempt is clean with
+/// probability `1 − bit_flip_rate`, so even aggressive chaos plans
+/// converge in one or two reads.
+const READ_RETRY_LIMIT: usize = 32;
 
 impl Journal {
     /// Opens (or creates) the journal at `path`, replaying every intact
@@ -268,63 +335,74 @@ impl Journal {
     /// I/O failures, or [`JournalError::Malformed`] when a CRC-valid
     /// record fails to decode (format corruption beyond a torn write).
     pub fn open(path: impl Into<PathBuf>) -> Result<Self, JournalError> {
-        let path = path.into();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .create(true)
-            .append(true)
-            .open(&path)?;
-        let mut bytes = Vec::new();
-        file.seek(SeekFrom::Start(0))?;
-        file.read_to_end(&mut bytes)?;
+        Journal::open_with(path, Arc::new(RealStorage))
+    }
 
-        let mut pending: BTreeMap<u64, (String, JobPayload)> = BTreeMap::new();
-        let mut settled: BTreeMap<u64, JournalRecord> = BTreeMap::new();
-        let mut max_id = None;
-        let mut stats = JournalStats::default();
-        let mut pos = 0usize;
-        let valid_end = loop {
-            match next_record(&bytes[pos..]) {
-                Some((record, used)) => {
-                    match record {
-                        JournalRecord::Accepted {
-                            job_id,
-                            tenant,
-                            job,
-                        } => {
-                            max_id = Some(max_id.map_or(job_id, |m: u64| m.max(job_id)));
-                            pending.insert(job_id, (tenant, job));
-                        }
-                        JournalRecord::Completed { job_id, .. }
-                        | JournalRecord::Failed { job_id, .. } => {
-                            max_id = Some(max_id.map_or(job_id, |m: u64| m.max(job_id)));
-                            pending.remove(&job_id);
-                            settled.insert(job_id, record);
-                        }
-                    }
-                    stats.records += 1;
-                    pos += used;
-                }
-                None => break pos,
+    /// [`Journal::open`] through an injectable [`StorageIo`].
+    ///
+    /// Replay distinguishes *transient* read anomalies from *stable* ones:
+    /// a pass that stops short of the end of the file is retried until two
+    /// consecutive reads return identical bytes (a bit flip injected by a
+    /// chaos read vanishes on re-read; a genuinely torn tail does not).
+    /// Only a stable short replay truncates the tail — so read-side
+    /// corruption can never silently discard an acknowledged record.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or [`JournalError::Malformed`] when a CRC-valid
+    /// record fails to decode (format corruption beyond a torn write).
+    pub fn open_with(
+        path: impl Into<PathBuf>,
+        io: Arc<dyn StorageIo>,
+    ) -> Result<Self, JournalError> {
+        let path = path.into();
+        // Creates the file if absent; also the append handle we keep.
+        let mut file = io.open_append(&path)?;
+
+        let mut prev: Option<Vec<u8>> = None;
+        let mut chosen: Option<(Vec<u8>, Replay)> = None;
+        for _ in 0..READ_RETRY_LIMIT {
+            let bytes = io.read(&path)?;
+            let pass = replay(&bytes);
+            let clean = pass.valid_end == bytes.len();
+            let stable = prev.as_deref() == Some(bytes.as_slice());
+            if clean || stable {
+                chosen = Some((bytes, pass));
+                break;
             }
+            prev = Some(bytes);
+        }
+        let (bytes, pass) = chosen.ok_or_else(|| {
+            JournalError::Io(io::Error::other(
+                "journal replay: no stable read after retries",
+            ))
+        })?;
+
+        let mut stats = JournalStats {
+            records: pass.records,
+            ..JournalStats::default()
         };
-        let torn = bytes.len() - valid_end;
+        let torn = bytes.len() - pass.valid_end;
         if torn > 0 {
             // A record was being appended when the process died. Everything
             // before it is intact; drop the tail so future appends start at
-            // a record boundary.
-            file.set_len(valid_end as u64)?;
-            file.sync_all()?;
+            // a record boundary. (Durability of the truncate rides on the
+            // next append's fsync; a torn tail resurfacing after a crash
+            // here is CRC-invalid and re-truncated by the next open.)
+            file.set_len(pass.valid_end as u64)?;
             stats.torn_bytes = torn as u64;
         }
-        file.seek(SeekFrom::End(0))?;
-        stats.pending = pending.len();
+        stats.pending = pass.pending.len();
         Ok(Journal {
+            io,
             file,
             path,
-            pending,
-            settled,
-            max_id,
+            offset: pass.valid_end as u64,
+            pending: pass.pending,
+            settled: pass.settled,
+            terminal_order: pass.terminal_order,
+            max_id: pass.max_id,
+            wedged: false,
             stats,
         })
     }
@@ -382,14 +460,37 @@ impl Journal {
         self.max_id = Some(self.max_id.map_or(job_id, |m| m.max(job_id)));
         self.pending.remove(&job_id);
         self.settled.insert(job_id, record.clone());
+        self.terminal_order.push(job_id);
         Ok(())
     }
 
     fn append(&mut self, record: &JournalRecord) -> Result<(), JournalError> {
+        if self.wedged {
+            return Err(JournalError::Io(io::Error::other(
+                "journal wedged: a failed append could not be rolled back",
+            )));
+        }
         let bytes = record.encode();
-        self.file.write_all(&bytes)?;
-        self.file.sync_all()?;
-        Ok(())
+        let result = storage::write_all(self.file.as_mut(), &bytes).and_then(|()| self.file.sync());
+        match result {
+            Ok(()) => {
+                self.offset += bytes.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                // The append may have torn a partial record onto the tail
+                // (short write, ENOSPC) or landed fully but unsynced. Roll
+                // the file back to the last durable boundary so a *later*
+                // successful append is not stranded behind a torn record
+                // that would end replay early. If even the rollback fails,
+                // wedge the journal: every further append must fail rather
+                // than silently strand records behind a torn one.
+                if self.file.set_len(self.offset).is_err() {
+                    self.wedged = true;
+                }
+                Err(e.into())
+            }
+        }
     }
 
     /// Terminal records seen by this journal (replayed from disk plus any
@@ -405,6 +506,13 @@ impl Journal {
             .iter()
             .map(|(&id, (tenant, job))| (id, tenant.clone(), job.clone()))
             .collect()
+    }
+
+    /// Job ids of terminal records in the order they were appended
+    /// (replayed history first, then this run) — the journal's view of
+    /// execution order, which priority scheduling tests assert against.
+    pub fn terminal_order(&self) -> &[u64] {
+        &self.terminal_order
     }
 
     /// Atomically rewrites the journal, dropping the *Accepted* records of
@@ -432,10 +540,20 @@ impl Journal {
         for record in self.settled.values() {
             bytes.extend_from_slice(&record.encode());
         }
-        write_atomic(&self.path, &bytes)?;
-        // Reopen the handle so appends target the new inode.
-        self.file = OpenOptions::new().read(true).append(true).open(&self.path)?;
-        self.file.seek(SeekFrom::End(0))?;
+        write_atomic_with(self.io.as_ref(), &self.path, &bytes)?;
+        // Reopen the handle so appends target the new inode. If the
+        // reopen fails, the old handle points at the unlinked inode —
+        // appending there would silently lose records — so wedge the
+        // journal instead: every further append fails cleanly.
+        self.file = match self.io.open_append(&self.path) {
+            Ok(file) => file,
+            Err(e) => {
+                self.wedged = true;
+                return Err(e.into());
+            }
+        };
+        self.offset = bytes.len() as u64;
+        self.wedged = false;
         self.stats.records = self.pending.len() + self.settled.len();
         self.stats.torn_bytes = 0;
         Ok(())
@@ -490,6 +608,7 @@ mod tests {
             b,
             tol: 1e-8,
             max_iters: 100 + seed,
+            priority: 0,
         }
     }
 

@@ -19,7 +19,10 @@
 //!   work to the CPU backend while the device is suspect (admitting
 //!   exactly one half-open probe), and graceful drain;
 //! * [`client`] — a reconnecting client with deadline, bounded retries,
-//!   and deterministic equal-jitter backoff that honors `retry_after`.
+//!   and deterministic equal-jitter backoff that honors `retry_after`;
+//! * [`chaos`] — a seeded, frame-aware fault proxy for the ALSV
+//!   transport (delay, drop, truncate, corrupt, disconnect), the
+//!   network leg of the `alchaos` fault-injection layer.
 //!
 //! The crate is std-only: sockets, threads, and files come from the
 //! standard library, matching the workspace's no-new-dependencies rule.
@@ -28,12 +31,14 @@
 #![warn(missing_debug_implementations)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod chaos;
 pub mod client;
 pub mod journal;
 pub mod protocol;
 pub mod quota;
 pub mod server;
 
+pub use chaos::{ChaosProxy, NetFaultCounters, NetFaultKind, NetFaultPlan};
 pub use client::{Client, ClientError, JobStatus, RetryPolicy};
 pub use journal::{Journal, JournalError, JournalRecord, JournalStats, TerminalKind};
 pub use protocol::{Frame, JobPayload, SolveResult, WireError};

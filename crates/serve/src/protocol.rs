@@ -26,8 +26,8 @@ use alrescha_sparse::Coo;
 
 /// Frame magic: "ALSV" (ALrescha SerVe).
 pub const MAGIC: [u8; 4] = *b"ALSV";
-/// Current wire-format version.
-pub const VERSION: u32 = 1;
+/// Current wire-format version (2 added the job `priority` byte).
+pub const VERSION: u32 = 2;
 /// Upper bound on a frame payload (a 3-D stencil system of a few million
 /// rows fits comfortably; anything bigger is a corrupt length field).
 pub const MAX_PAYLOAD: usize = 256 << 20;
@@ -118,6 +118,9 @@ pub struct JobPayload {
     pub tol: f64,
     /// Iteration cap.
     pub max_iters: u64,
+    /// Scheduling priority: higher levels run first; within a level the
+    /// queue is stable FIFO. 0 is the default (lowest) priority.
+    pub priority: u8,
 }
 
 /// The terminal payload of a completed solve.
@@ -476,6 +479,7 @@ pub(crate) fn put_job(out: &mut Vec<u8>, job: &JobPayload) {
     put_f64_vec(out, &job.b);
     put_u64(out, job.tol.to_bits());
     put_u64(out, job.max_iters);
+    out.push(job.priority);
 }
 
 /// Bounded, allocation-validating payload reader (same discipline as the
@@ -562,6 +566,7 @@ impl<'a> Reader<'a> {
         let b = self.f64_vec()?;
         let tol = self.f64()?;
         let max_iters = self.u64()?;
+        let priority = self.u8()?;
         if b.len() != rows {
             return Err(WireError::Malformed("rhs length disagrees with rows"));
         }
@@ -570,6 +575,7 @@ impl<'a> Reader<'a> {
             b,
             tol,
             max_iters,
+            priority,
         })
     }
 }
@@ -587,6 +593,7 @@ mod tests {
             b,
             tol: 1e-9,
             max_iters: 120,
+            priority: 0,
         }
     }
 

@@ -141,6 +141,73 @@ mod tests {
     }
 
     #[test]
+    fn ramp_boundaries_first_rejection_and_growth() {
+        // The linear ramp, exactly at its boundaries: the FIRST rejection
+        // (count == cap) is 1×hint, and each recovery `charge` past the
+        // cap adds one more hint to the next rejection.
+        let hint = Duration::from_millis(7);
+        let mut q = QuotaTable::new(2, hint);
+        assert_eq!(q.try_admit("t"), QuotaDecision::Admit);
+        assert_eq!(q.try_admit("t"), QuotaDecision::Admit);
+        assert_eq!(
+            q.try_admit("t"),
+            QuotaDecision::Reject { retry_after: hint },
+            "first rejection must be exactly 1×hint"
+        );
+        // Rejections do not consume slots: asking again at the same
+        // occupancy yields the same hint, not a growing one.
+        assert_eq!(q.try_admit("t"), QuotaDecision::Reject { retry_after: hint });
+        // Recovery charges bypass the cap and push occupancy over it.
+        q.charge("t"); // 3 in flight, cap 2 → excess 2
+        assert_eq!(
+            q.try_admit("t"),
+            QuotaDecision::Reject {
+                retry_after: hint * 2
+            }
+        );
+        q.charge("t"); // 4 in flight → excess 3
+        assert_eq!(
+            q.try_admit("t"),
+            QuotaDecision::Reject {
+                retry_after: hint * 3
+            }
+        );
+        // Draining back down to the cap boundary re-admits exactly when
+        // occupancy drops below the cap.
+        q.release("t"); // 3
+        q.release("t"); // 2
+        assert_eq!(q.try_admit("t"), QuotaDecision::Reject { retry_after: hint });
+        q.release("t"); // 1 < cap
+        assert_eq!(q.try_admit("t"), QuotaDecision::Admit);
+        assert_eq!(q.rejections(), 5);
+    }
+
+    #[test]
+    fn ramp_saturates_instead_of_overflowing() {
+        // An absurd overshoot must clamp, not wrap or panic: the excess
+        // saturates at u32::MAX hints and the multiply saturates at
+        // Duration::MAX.
+        let mut q = QuotaTable::new(0, Duration::MAX);
+        for _ in 0..3 {
+            q.charge("flood");
+        }
+        let QuotaDecision::Reject { retry_after } = q.try_admit("flood") else {
+            panic!("over-cap tenant admitted");
+        };
+        assert_eq!(retry_after, Duration::MAX);
+        // And the zero-hint degenerate case stays zero across the ramp.
+        let mut zero = QuotaTable::new(0, Duration::ZERO);
+        zero.charge("z");
+        zero.charge("z");
+        assert_eq!(
+            zero.try_admit("z"),
+            QuotaDecision::Reject {
+                retry_after: Duration::ZERO
+            }
+        );
+    }
+
+    #[test]
     fn zero_cap_rejects_everything() {
         let mut q = QuotaTable::new(0, Duration::from_millis(25));
         assert_eq!(

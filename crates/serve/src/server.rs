@@ -29,7 +29,8 @@
 //! that reconnects after a server crash observes the same answer it would
 //! have gotten from an uninterrupted run.
 
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -43,6 +44,7 @@ use std::time::{Duration, Instant};
 use alrescha::breaker::{BackendChoice, BreakerConfig, SharedBreaker};
 use alrescha::checkpoint::SolverCheckpoint;
 use alrescha::fleet::{Fleet, FleetConfig, JobKernel, JobOutput, JobSpec, Station};
+use alrescha::storage::{RealStorage, StorageIo};
 use alrescha::SolverOptions;
 use alrescha_obs::Telemetry;
 
@@ -83,6 +85,11 @@ pub struct ServerConfig {
     pub breaker: BreakerConfig,
     /// Optional telemetry sink for spans/metrics.
     pub telemetry: Option<Arc<Telemetry>>,
+    /// Storage backend for the journal and checkpoint files. The default
+    /// is the real filesystem; the chaos harness swaps in a
+    /// [`alrescha::ChaosStorage`] to exercise every durability path under
+    /// injected faults.
+    pub storage: Arc<dyn StorageIo>,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +104,7 @@ impl Default for ServerConfig {
             retry_after_hint: Duration::from_millis(25),
             breaker: BreakerConfig::default(),
             telemetry: None,
+            storage: Arc::new(RealStorage),
         }
     }
 }
@@ -224,6 +232,37 @@ struct QueuedJob {
     enqueued: Instant,
 }
 
+/// The admission queue: strict priority levels (higher first), stable
+/// FIFO within a level. Keys are `(Reverse(priority), sequence)`, so
+/// `BTreeMap::pop_first` yields the highest-priority, oldest job.
+#[derive(Default)]
+struct JobQueue {
+    entries: BTreeMap<(Reverse<u8>, u64), QueuedJob>,
+    seq: u64,
+}
+
+impl JobQueue {
+    fn push(&mut self, job: QueuedJob) {
+        let key = (Reverse(job.job.priority), self.seq);
+        self.seq += 1;
+        self.entries.insert(key, job);
+    }
+
+    fn pop(&mut self) -> Option<QueuedJob> {
+        self.entries.pop_first().map(|(_, job)| job)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn drain_all(&mut self) -> Vec<QueuedJob> {
+        std::mem::take(&mut self.entries)
+            .into_values()
+            .collect()
+    }
+}
+
 /// State shared between the accept loop, connection threads, and workers.
 struct Inner {
     config: ServerConfig,
@@ -231,7 +270,12 @@ struct Inner {
     quota: Mutex<QuotaTable>,
     fleet: Fleet,
     breaker: SharedBreaker,
-    queue: Mutex<VecDeque<QueuedJob>>,
+    /// Storage-pressure breaker: trips on journal append failures
+    /// (`ENOSPC`, failed fsync) so a filling disk turns into in-band
+    /// `Rejected { retry_after }` backpressure instead of per-request
+    /// journal hammering.
+    storage_breaker: SharedBreaker,
+    queue: Mutex<JobQueue>,
     queue_cv: Condvar,
     status: Arc<StatusBoard>,
     next_id: AtomicU64,
@@ -363,14 +407,20 @@ impl Server {
     pub fn start(self) -> Result<ServerHandle, ServerError> {
         let config = self.config;
         std::fs::create_dir_all(&config.data_dir)?;
-        let mut journal = Journal::open(config.data_dir.join("jobs.wal"))?;
+        let mut journal = Journal::open_with(
+            config.data_dir.join("jobs.wal"),
+            Arc::clone(&config.storage),
+        )?;
         let recovered = journal.recover();
         let settled = journal.settled();
         let next_id = journal.next_job_id();
         // Startup compaction: drop the bulky Accepted records of settled
         // jobs (terminal records and pending jobs are kept), bounding log
-        // growth across kill/restart cycles.
-        journal.compact()?;
+        // growth across kill/restart cycles. Best-effort — compaction is
+        // an optimization, and its atomic rewrite leaves the journal
+        // intact on failure, so a flaky disk at startup must not prevent
+        // serving the jobs the journal already guarantees.
+        let compaction_failed = journal.compact().is_err();
 
         let status = Arc::new(StatusBoard {
             map: Mutex::new(HashMap::new()),
@@ -384,6 +434,7 @@ impl Server {
         // restart from iteration zero).
         let hook_dir = config.data_dir.clone();
         let hook_status = Arc::clone(&status);
+        let hook_storage = Arc::clone(&config.storage);
         let fleet = Fleet::new(
             FleetConfig::default()
                 .with_workers(1)
@@ -391,7 +442,10 @@ impl Server {
                 .with_retry_after_hint(config.retry_after_hint),
         )
         .with_checkpoint_hook(Arc::new(move |job_id, ckpt| {
-            let _ = ckpt.write_to_path(&hook_dir.join(format!("job-{job_id}.ckpt")));
+            let _ = ckpt.write_to_path_with(
+                hook_storage.as_ref(),
+                &hook_dir.join(format!("job-{job_id}.ckpt")),
+            );
             hook_status.set(
                 job_id,
                 JobState::Running {
@@ -422,6 +476,7 @@ impl Server {
 
         let quota = QuotaTable::new(config.per_tenant_quota, config.retry_after_hint);
         let breaker = SharedBreaker::new(config.breaker);
+        let storage_breaker = SharedBreaker::new(config.breaker);
         let workers = config.workers.max(1);
         let inner = Arc::new(Inner {
             config,
@@ -429,7 +484,8 @@ impl Server {
             quota: Mutex::new(quota),
             fleet,
             breaker,
-            queue: Mutex::new(VecDeque::new()),
+            storage_breaker,
+            queue: Mutex::new(JobQueue::default()),
             queue_cv: Condvar::new(),
             status,
             next_id: AtomicU64::new(next_id),
@@ -437,6 +493,12 @@ impl Server {
             draining: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
         });
+        if compaction_failed {
+            inner.count(
+                "alserve_compaction_failures_total",
+                "startup journal compactions that failed and were skipped",
+            );
+        }
 
         // Settled replay: jobs that reached a terminal state in a previous
         // run stay queryable, so a client reconnecting across a crash can
@@ -475,10 +537,14 @@ impl Server {
             let mut queue = lock(&inner.queue);
             let mut quota = lock(&inner.quota);
             for (job_id, tenant, job) in recovered {
-                let resume = SolverCheckpoint::read_from_path(&inner.ckpt_path(job_id)).ok();
+                let resume = SolverCheckpoint::read_from_path_with(
+                    inner.config.storage.as_ref(),
+                    &inner.ckpt_path(job_id),
+                )
+                .ok();
                 quota.charge(&tenant);
                 inner.status.set(job_id, JobState::Queued);
-                queue.push_back(QueuedJob {
+                queue.push(QueuedJob {
                     job_id,
                     tenant,
                     job,
@@ -595,7 +661,7 @@ impl Drop for ServerHandle {
 
 fn drain_server(inner: &Arc<Inner>) {
     inner.draining.store(true, Ordering::SeqCst);
-    let parked: Vec<QueuedJob> = lock(&inner.queue).drain(..).collect();
+    let parked: Vec<QueuedJob> = lock(&inner.queue).drain_all();
     {
         let mut quota = lock(&inner.quota);
         for job in &parked {
@@ -658,11 +724,27 @@ fn connection_loop(inner: &Arc<Inner>, stream: Stream) {
             }
             Err(WireError::Io(_)) => break, // EOF or transport failure.
             Err(e) => {
-                // Decodable-transport, undecodable-frame: tell the client
-                // why (permanently — no retry hint) before hanging up.
+                // Undecodable frame. Integrity failures (bad magic, CRC
+                // mismatch, truncation) are transport damage — the client
+                // may well resend the frame intact, so hint a retry. Only
+                // a frame that decodes as structurally impossible (unknown
+                // tag, malformed field, future version) is permanent.
+                let transport_damage = matches!(
+                    e,
+                    WireError::BadMagic
+                        | WireError::CrcMismatch { .. }
+                        | WireError::Truncated { .. }
+                        | WireError::TooLarge { .. }
+                );
+                if transport_damage {
+                    inner.count(
+                        "alserve_frame_integrity_rejections_total",
+                        "frames rejected for transport integrity (CRC/magic/truncation)",
+                    );
+                }
                 let _ = Frame::Rejected {
                     reason: e.to_string(),
-                    retry_after: None,
+                    retry_after: transport_damage.then_some(inner.config.retry_after_hint),
                 }
                 .write_to(&mut stream);
                 break;
@@ -747,17 +829,51 @@ fn admit(inner: &Arc<Inner>, tenant: &str, job: JobPayload) -> Frame {
             };
         }
     }
+    // Storage-pressure gate: while the storage breaker is open (recent
+    // journal append failures — ENOSPC, failed fsync), pre-reject with a
+    // retry hint instead of hammering a failing disk. Half-open lets one
+    // probe submission through to test recovery.
+    let storage_choice = inner.storage_breaker.gate();
+    if matches!(storage_choice, BackendChoice::Cpu) {
+        lock(&inner.quota).release(tenant);
+        inner.count(
+            "alserve_storage_rejections_total",
+            "submissions rejected by storage-pressure admission control",
+        );
+        return Frame::Rejected {
+            reason: "storage pressure: journal writes are failing".to_owned(),
+            retry_after: Some(inner.config.retry_after_hint.saturating_mul(4)),
+        };
+    }
+    let storage_probe = matches!(storage_choice, BackendChoice::Probe);
     let job_id = inner.next_id.fetch_add(1, Ordering::SeqCst);
     // Durability point: fsync the Accepted record BEFORE acknowledging.
     if let Err(e) = lock(&inner.journal).accept(job_id, tenant, &job) {
         lock(&inner.quota).release(tenant);
+        if storage_probe {
+            inner.storage_breaker.record_probe(false);
+        } else {
+            inner.storage_breaker.record_failure();
+        }
+        inner.count(
+            "alserve_storage_rejections_total",
+            "submissions rejected by storage-pressure admission control",
+        );
+        // In-band, transient: the client backs off and retries rather than
+        // losing the connection. The job was never acknowledged, so no
+        // durability promise is broken.
         return Frame::Rejected {
-            reason: format!("journal append failed: {e}"),
-            retry_after: None,
+            reason: format!("storage pressure: journal append failed: {e}"),
+            retry_after: Some(inner.config.retry_after_hint.saturating_mul(4)),
         };
     }
+    if storage_probe {
+        inner.storage_breaker.record_probe(true);
+    } else {
+        inner.storage_breaker.record_success();
+    }
     inner.status.set(job_id, JobState::Queued);
-    lock(&inner.queue).push_back(QueuedJob {
+    lock(&inner.queue).push(QueuedJob {
         job_id,
         tenant: tenant.to_owned(),
         job,
@@ -820,7 +936,7 @@ fn worker_loop(inner: &Arc<Inner>, worker: usize) {
                 if inner.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                if let Some(job) = queue.pop_front() {
+                if let Some(job) = queue.pop() {
                     break job;
                 }
                 let (q, _) = inner
@@ -874,7 +990,8 @@ fn run_job(inner: &Arc<Inner>, station: &mut Station, job: QueuedJob) {
     )
     .with_id(job_id)
     .with_checkpoint_every(inner.config.checkpoint_every)
-    .with_cpu_only(cpu_only);
+    .with_cpu_only(cpu_only)
+    .with_priority(payload.priority);
     if let Some(ckpt) = resume {
         spec = spec.with_resume_from(ckpt);
     }
@@ -942,7 +1059,7 @@ fn run_job(inner: &Arc<Inner>, station: &mut Station, job: QueuedJob) {
             "terminal records that failed to append",
         );
     }
-    let _ = std::fs::remove_file(inner.ckpt_path(job_id));
+    let _ = inner.config.storage.remove_file(&inner.ckpt_path(job_id));
     lock(&inner.quota).release(&tenant);
     inner.status.set(job_id, state);
     inner.count(

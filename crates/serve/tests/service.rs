@@ -34,6 +34,7 @@ fn sample_job(side: usize, seed: u64) -> JobPayload {
         b,
         tol: 1e-10,
         max_iters: 200,
+        priority: 0,
     }
 }
 
@@ -250,6 +251,45 @@ fn recovery_resumes_from_checkpoint_bit_identically() {
     assert_eq!(journal.recover().len(), 0);
     // The checkpoint file was cleaned up at completion.
     assert!(!dir.join("job-1.ckpt").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Priority scheduling is deterministic: strict priority order across
+/// levels, stable FIFO (journal id order) within a level — observable in
+/// the journal's terminal-record order. Forging the backlog as Accepted
+/// records and recovering it on a single-worker server makes the whole
+/// queue visible to the scheduler at once, so the execution order is a
+/// pure function of (priority, id).
+#[test]
+fn priority_order_is_strict_and_fifo_within_a_level() {
+    let dir = tempdir("priority");
+    // Backlog with duplicate and distinct priorities, deliberately out of
+    // submission order: high priorities late, duplicates interleaved.
+    let priorities: [(u64, u8); 5] = [(1, 0), (2, 200), (3, 9), (4, 200), (5, 0)];
+    {
+        let mut journal = Journal::open(dir.join("jobs.wal")).unwrap();
+        for &(id, priority) in &priorities {
+            let mut job = sample_job(2, id);
+            job.priority = priority;
+            journal.accept(id, "acme", &job).unwrap();
+        }
+    }
+    let mut config = server_config(dir.clone());
+    config.workers = 1;
+    let handle = Server::new(config).start().unwrap();
+    let mut client = Client::tcp(handle.addr().to_owned(), fast_policy());
+    for &(id, _) in &priorities {
+        assert!(client.wait(id).unwrap().converged, "job {id} did not converge");
+    }
+    handle.stop();
+
+    // Highest priority first; equal priorities keep journal id order.
+    let journal = Journal::open(dir.join("jobs.wal")).unwrap();
+    assert_eq!(
+        journal.terminal_order(),
+        &[2, 4, 3, 1, 5],
+        "execution order must be (priority desc, id asc)"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
