@@ -91,6 +91,21 @@ use crate::{CoreError, Result};
 pub type PreflightHook =
     Arc<dyn Fn(&ProgrammedKernel, &SimConfig) -> std::result::Result<(), String> + Send + Sync>;
 
+/// An admission hook run on every program a job is about to execute,
+/// *after* conversion/preflight but *before* any engine cycle is charged.
+///
+/// Unlike [`PreflightHook`], it also sees the job's effective
+/// [`ExecBudget`], so a static analyzer (alprove's AL404 cycle bound) can
+/// reject a job whose proven minimum cost already exceeds the deadline —
+/// and because the verdict depends on the budget, it runs on cache *hits*
+/// too. Returning `Err` fails the job in-band as
+/// [`CoreError::Admission`]; see `alrescha_lint::fleet_admission_hook`.
+pub type AdmissionHook = Arc<
+    dyn Fn(&ProgrammedKernel, &SimConfig, &ExecBudget) -> std::result::Result<(), String>
+        + Send
+        + Sync,
+>;
+
 /// A durability hook invoked with every [`SolverCheckpoint`] a journaled
 /// PCG job emits, keyed by the job's stable identifier
 /// ([`JobSpec::with_id`], falling back to the batch index).
@@ -757,6 +772,7 @@ pub struct Fleet {
     config: FleetConfig,
     cache: ConversionCache,
     preflight: Option<PreflightHook>,
+    admission: Option<AdmissionHook>,
     checkpoint_hook: Option<CheckpointHook>,
     telemetry: Option<Arc<alrescha_obs::Telemetry>>,
 }
@@ -767,6 +783,7 @@ impl fmt::Debug for Fleet {
             .field("config", &self.config)
             .field("cached_programs", &self.cache.len())
             .field("preflight", &self.preflight.is_some())
+            .field("admission", &self.admission.is_some())
             .field("checkpoint_hook", &self.checkpoint_hook.is_some())
             .field("telemetry", &self.telemetry.is_some())
             .finish()
@@ -781,6 +798,7 @@ impl Fleet {
             config,
             cache,
             preflight: None,
+            admission: None,
             checkpoint_hook: None,
             telemetry: None,
         }
@@ -791,6 +809,16 @@ impl Fleet {
     #[must_use]
     pub fn with_preflight(mut self, hook: PreflightHook) -> Self {
         self.preflight = Some(hook);
+        self
+    }
+
+    /// Installs an admission hook run on every program a job executes,
+    /// with the job's effective budget (cache hits included — the verdict
+    /// depends on the budget, not just the program). Rejections fail the
+    /// job with [`CoreError::Admission`].
+    #[must_use]
+    pub fn with_admission(mut self, hook: AdmissionHook) -> Self {
+        self.admission = Some(hook);
         self
     }
 
@@ -1051,12 +1079,12 @@ impl Fleet {
             let acc = station.accelerator(&spec.config);
             acc.set_telemetry(self.telemetry.clone());
             let mut convert = |acc: &mut Alrescha, kind: KernelType| {
-                if caching {
+                let prog = if caching {
                     let (prog, hit) =
                         self.cache
                             .get_or_convert(acc, kind, &spec.matrix, self.preflight.as_ref())?;
                     cache_hit &= hit;
-                    Ok::<ProgrammedKernel, CoreError>((*prog).clone())
+                    (*prog).clone()
                 } else {
                     cache_hit = false;
                     let prog = acc.program(kind, &spec.matrix)?;
@@ -1064,8 +1092,13 @@ impl Fleet {
                         hook(&prog, acc.config())
                             .map_err(|message| CoreError::Preflight { message })?;
                     }
-                    Ok(prog)
+                    prog
+                };
+                if let Some(hook) = &self.admission {
+                    hook(&prog, acc.config(), &budget)
+                        .map_err(|message| CoreError::Admission { message })?;
                 }
+                Ok::<ProgrammedKernel, CoreError>(prog)
             };
             match &spec.kernel {
                 JobKernel::SpMv { x } => {

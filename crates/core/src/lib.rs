@@ -48,10 +48,10 @@ pub use breaker::{BackendChoice, BreakerConfig, BreakerState, CircuitBreaker, Sh
 pub use checkpoint::{write_atomic, CheckpointError, SolverCheckpoint, SolverKind};
 pub use convert::{ConfigEntry, ConfigTable, DataPath, KernelType};
 pub use fleet::{
-    CheckpointHook, Fleet, FleetConfig, FleetReport, FleetStats, JobKernel, JobOutput, JobRecord,
-    JobSpec, PreflightHook, Station,
+    AdmissionHook, CheckpointHook, Fleet, FleetConfig, FleetReport, FleetStats, JobKernel,
+    JobOutput, JobRecord, JobSpec, PreflightHook, Station,
 };
-pub use program::ProgramBinary;
+pub use program::{EntryLayout, FieldSpec, ProgramBinary};
 pub use storage::{
     ChaosStorage, IoFaultCounters, IoFaultKind, IoFaultPlan, RealStorage, StorageFile, StorageIo,
 };
@@ -137,6 +137,12 @@ pub enum CoreError {
         /// The verifier's explanation.
         message: String,
     },
+    /// An admission hook rejected a job before execution: the static
+    /// analysis proved its cycle bound cannot meet the deadline budget.
+    Admission {
+        /// The analyzer's explanation (carries the AL4xx code).
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -193,6 +199,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::Preflight { message } => {
                 write!(f, "preflight rejected program: {message}")
+            }
+            CoreError::Admission { message } => {
+                write!(f, "admission rejected job: {message}")
             }
         }
     }

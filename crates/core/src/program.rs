@@ -67,44 +67,189 @@ fn read_bits(bits: &[u8], pos: usize, width: usize) -> usize {
     value
 }
 
+/// One named bit-field within a packed configuration-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldSpec {
+    /// The field name as it appears in the paper (`data_path`, `order`,
+    /// `op`, `inx_in`, `inx_out`).
+    pub name: &'static str,
+    /// Bit offset from the start of the entry.
+    pub offset: usize,
+    /// Field width in bits.
+    pub width: usize,
+}
+
+/// The §4.1 bit layout of one configuration-table entry — the single
+/// source of truth for field offsets and widths, shared by the codec
+/// ([`ProgramBinary`]), the structural verifier (`alrescha-lint` AL0xx/
+/// AL1xx), and the abstract interpreter (`alprove` AL4xx) so the three
+/// can never drift.
+///
+/// An entry is `2·⌈log₂(n/ω)⌉ + 3` bits:
+///
+/// | field       | offset          | width     |
+/// |-------------|-----------------|-----------|
+/// | `data_path` | 0               | 1         |
+/// | `order`     | 1               | 1         |
+/// | `op`        | 2               | 1         |
+/// | `inx_in`    | 3               | idx_bits  |
+/// | `inx_out`   | 3 + idx_bits    | idx_bits  |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryLayout {
+    entry_bits: usize,
+    idx_bits: usize,
+    omega: usize,
+}
+
+impl EntryLayout {
+    /// The layout for an `n`-dimension matrix blocked at `omega`.
+    pub fn for_matrix(n: usize, omega: usize) -> Self {
+        let entry_bits = config_entry_bits(n, omega);
+        EntryLayout {
+            entry_bits,
+            idx_bits: (entry_bits - 3) / 2,
+            omega: omega.max(1),
+        }
+    }
+
+    /// Total bits per entry (the paper's `2·⌈log₂(n/ω)⌉ + 3`).
+    pub fn entry_bits(&self) -> usize {
+        self.entry_bits
+    }
+
+    /// Width of each block-index field.
+    pub fn idx_bits(&self) -> usize {
+        self.idx_bits
+    }
+
+    /// The five fields in packing order.
+    pub fn fields(&self) -> [FieldSpec; 5] {
+        [
+            FieldSpec {
+                name: "data_path",
+                offset: 0,
+                width: 1,
+            },
+            FieldSpec {
+                name: "order",
+                offset: 1,
+                width: 1,
+            },
+            FieldSpec {
+                name: "op",
+                offset: 2,
+                width: 1,
+            },
+            FieldSpec {
+                name: "inx_in",
+                offset: 3,
+                width: self.idx_bits,
+            },
+            FieldSpec {
+                name: "inx_out",
+                offset: 3 + self.idx_bits,
+                width: self.idx_bits,
+            },
+        ]
+    }
+
+    /// Packed size in bytes of a table with `entries` entries.
+    pub fn packed_bytes(&self, entries: usize) -> usize {
+        (entries * self.entry_bits).div_ceil(8)
+    }
+
+    /// The largest value an index field can carry.
+    fn idx_mask(&self) -> usize {
+        if self.idx_bits >= usize::BITS as usize {
+            usize::MAX
+        } else {
+            (1usize << self.idx_bits) - 1
+        }
+    }
+
+    /// Packs `entry` at bit offset `base`.
+    pub fn encode_entry(&self, entry: &ConfigEntry, bits: &mut [u8], base: usize) {
+        let [dp, order, op, inx_in, inx_out] = self.fields();
+        write_bits(
+            bits,
+            base + dp.offset,
+            dp.width,
+            usize::from(matches!(entry.data_path, DataPath::DSymGs)),
+        );
+        write_bits(
+            bits,
+            base + order.offset,
+            order.width,
+            usize::from(matches!(entry.order, AccessOrder::R2L)),
+        );
+        write_bits(
+            bits,
+            base + op.offset,
+            op.width,
+            usize::from(matches!(entry.op, OperandPort::Port2)),
+        );
+        write_bits(
+            bits,
+            base + inx_in.offset,
+            inx_in.width,
+            entry.inx_in / self.omega,
+        );
+        // Inx_out is derivable (see module docs); the field carries the
+        // block index when present, masked to the field width.
+        let out_block = entry.inx_out.map_or(0, |v| v / self.omega);
+        write_bits(
+            bits,
+            base + inx_out.offset,
+            inx_out.width,
+            out_block & self.idx_mask(),
+        );
+    }
+
+    /// Unpacks the entry at bit offset `base`, reconstructing the fields
+    /// `kernel` semantics derive (see module docs).
+    pub fn decode_entry(&self, kernel: KernelType, bits: &[u8], base: usize) -> ConfigEntry {
+        let [dp, order, op, inx_in, inx_out] = self.fields();
+        let is_dsymgs = read_bits(bits, base + dp.offset, dp.width) == 1;
+        let r2l = read_bits(bits, base + order.offset, order.width) == 1;
+        let port2 = read_bits(bits, base + op.offset, op.width) == 1;
+        let in_block = read_bits(bits, base + inx_in.offset, inx_in.width);
+        let data_path = if is_dsymgs {
+            DataPath::DSymGs
+        } else {
+            kernel.data_path()
+        };
+        // Reconstruct Inx_out from kernel semantics (module docs).
+        let out = match (kernel, is_dsymgs) {
+            (KernelType::SymGs, false) => None, // GEMV -> link stack
+            (KernelType::SymGs, true) => Some((in_block + 1) * self.omega),
+            _ => Some(read_bits(bits, base + inx_out.offset, inx_out.width) * self.omega),
+        };
+        ConfigEntry {
+            data_path,
+            inx_in: in_block * self.omega,
+            inx_out: out,
+            order: if r2l {
+                AccessOrder::R2L
+            } else {
+                AccessOrder::L2R
+            },
+            op: if port2 {
+                OperandPort::Port2
+            } else {
+                OperandPort::Port1
+            },
+        }
+    }
+}
+
 impl ProgramBinary {
     /// Encodes a configuration table for an `n`-dimension matrix blocked at
     /// `omega`.
     pub fn encode(kernel: KernelType, table: &ConfigTable, n: usize, omega: usize) -> Self {
-        let entry_bits = config_entry_bits(n, omega);
-        let idx_bits = (entry_bits - 3) / 2;
-        let total_bits = table.entries().len() * entry_bits;
-        let mut bits = vec![0u8; total_bits.div_ceil(8)];
+        let layout = EntryLayout::for_matrix(n, omega);
+        let mut bits = vec![0u8; layout.packed_bytes(table.entries().len())];
         for (e, entry) in table.entries().iter().enumerate() {
-            let base = e * entry_bits;
-            write_bits(
-                &mut bits,
-                base,
-                1,
-                usize::from(matches!(entry.data_path, DataPath::DSymGs)),
-            );
-            write_bits(
-                &mut bits,
-                base + 1,
-                1,
-                usize::from(matches!(entry.order, AccessOrder::R2L)),
-            );
-            write_bits(
-                &mut bits,
-                base + 2,
-                1,
-                usize::from(matches!(entry.op, OperandPort::Port2)),
-            );
-            write_bits(&mut bits, base + 3, idx_bits, entry.inx_in / omega.max(1));
-            // Inx_out is derivable (see module docs); the field carries the
-            // block index when present, masked to the field width.
-            let out_block = entry.inx_out.map_or(0, |v| v / omega.max(1));
-            let mask = if idx_bits >= usize::BITS as usize {
-                usize::MAX
-            } else {
-                (1usize << idx_bits) - 1
-            };
-            write_bits(&mut bits, base + 3 + idx_bits, idx_bits, out_block & mask);
+            layout.encode_entry(entry, &mut bits, e * layout.entry_bits());
         }
         ProgramBinary {
             kernel,
@@ -122,53 +267,23 @@ impl ProgramBinary {
     /// Returns [`CoreError::DimensionMismatch`] if the byte buffer is too
     /// short for the declared entry count.
     pub fn decode(&self) -> Result<ConfigTable> {
-        let entry_bits = config_entry_bits(self.n, self.omega);
-        let idx_bits = (entry_bits - 3) / 2;
-        let needed_bits = self.entries * entry_bits;
+        let layout = EntryLayout::for_matrix(self.n, self.omega);
+        let needed_bits = self.entries * layout.entry_bits();
         if self.bits.len() * 8 < needed_bits {
             return Err(CoreError::DimensionMismatch {
                 expected: needed_bits.div_ceil(8),
                 found: self.bits.len(),
             });
         }
-        let omega = self.omega.max(1);
         let entries = (0..self.entries)
-            .map(|e| {
-                let base = e * entry_bits;
-                let is_dsymgs = read_bits(&self.bits, base, 1) == 1;
-                let r2l = read_bits(&self.bits, base + 1, 1) == 1;
-                let port2 = read_bits(&self.bits, base + 2, 1) == 1;
-                let in_block = read_bits(&self.bits, base + 3, idx_bits);
-                let inx_in = in_block * omega;
-                let data_path = if is_dsymgs {
-                    DataPath::DSymGs
-                } else {
-                    self.kernel.data_path()
-                };
-                // Reconstruct Inx_out from kernel semantics (module docs).
-                let inx_out = match (self.kernel, is_dsymgs) {
-                    (KernelType::SymGs, false) => None, // GEMV -> link stack
-                    (KernelType::SymGs, true) => Some((in_block + 1) * omega),
-                    _ => Some(read_bits(&self.bits, base + 3 + idx_bits, idx_bits) * omega),
-                };
-                ConfigEntry {
-                    data_path,
-                    inx_in,
-                    inx_out,
-                    order: if r2l {
-                        AccessOrder::R2L
-                    } else {
-                        AccessOrder::L2R
-                    },
-                    op: if port2 {
-                        OperandPort::Port2
-                    } else {
-                        OperandPort::Port1
-                    },
-                }
-            })
+            .map(|e| layout.decode_entry(self.kernel, &self.bits, e * layout.entry_bits()))
             .collect();
-        Ok(ConfigTable::from_entries(entries, entry_bits))
+        Ok(ConfigTable::from_entries(entries, layout.entry_bits()))
+    }
+
+    /// The entry layout this binary's header implies.
+    pub fn layout(&self) -> EntryLayout {
+        EntryLayout::for_matrix(self.n, self.omega)
     }
 
     /// The kernel this binary programs.
@@ -281,6 +396,40 @@ mod tests {
         let mut binary = ProgramBinary::encode(KernelType::SpMv, &table, 27, 8);
         binary.bits.truncate(1);
         assert!(binary.decode().is_err());
+    }
+
+    #[test]
+    fn layout_fields_tile_the_entry_exactly() {
+        for (n, omega) in [(64usize, 8usize), (27, 8), (120, 4), (1000, 16)] {
+            let layout = EntryLayout::for_matrix(n, omega);
+            let fields = layout.fields();
+            let mut next = 0;
+            for f in fields {
+                assert_eq!(f.offset, next, "field {} not contiguous", f.name);
+                next += f.width;
+            }
+            assert_eq!(next, layout.entry_bits(), "fields must tile the entry");
+            assert_eq!(layout.idx_bits() * 2 + 3, layout.entry_bits());
+        }
+    }
+
+    #[test]
+    fn layout_entry_round_trips_each_field() {
+        let layout = EntryLayout::for_matrix(64, 8);
+        let entry = ConfigEntry {
+            data_path: DataPath::Gemv,
+            inx_in: 40,
+            inx_out: Some(16),
+            order: AccessOrder::R2L,
+            op: OperandPort::Port2,
+        };
+        let mut bits = vec![0u8; layout.packed_bytes(1)];
+        layout.encode_entry(&entry, &mut bits, 0);
+        let back = layout.decode_entry(KernelType::SpMv, &bits, 0);
+        assert_eq!(back.inx_in, entry.inx_in);
+        assert_eq!(back.inx_out, entry.inx_out);
+        assert_eq!(back.order, entry.order);
+        assert_eq!(back.op, entry.op);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::process::ExitCode;
 
 use alrescha::convert::{convert, KernelType};
 use alrescha::program::ProgramBinary;
-use alrescha_lint::{count, render_json, render_text, verify, Severity};
+use alrescha_lint::{analyze, count, render_json, render_text, verify, Severity, RULES};
 use alrescha_sim::SimConfig;
 use alrescha_sparse::{gen, mm, Coo};
 
@@ -40,7 +40,17 @@ VERIFICATION OPTIONS:
 OUTPUT:
     --json              emit the diagnostic list as JSON
     --quiet             suppress per-diagnostic lines, keep the summary
+    --analyze           also run the alprove abstract interpreter (AL4xx)
+                        and report its resource/cycle bounds; with --json
+                        the output becomes {\"diagnostics\":..,\"analysis\":..}
+    --list-rules        print the rule catalog (code, severity, summary)
+                        and exit
     -h, --help          show this help
+
+EXIT STATUS:
+    0   no error-severity diagnostics (warnings and notes may exist)
+    1   at least one error-severity diagnostic: the program is rejected
+    2   usage or I/O failure (bad flags, unreadable matrix, conversion error)
 ";
 
 struct Args {
@@ -52,6 +62,8 @@ struct Args {
     seed: u64,
     json: bool,
     quiet: bool,
+    analyze: bool,
+    list_rules: bool,
 }
 
 fn parse_kernel(name: &str) -> Result<KernelType, String> {
@@ -76,6 +88,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         seed: 42,
         json: false,
         quiet: false,
+        analyze: false,
+        list_rules: false,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -107,6 +121,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--json" => args.json = true,
             "--quiet" => args.quiet = true,
+            "--analyze" => args.analyze = true,
+            "--list-rules" => args.list_rules = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -182,8 +198,25 @@ fn run(args: &Args) -> Result<bool, String> {
     let config = SimConfig::paper().with_omega(args.config_omega.unwrap_or(args.omega));
 
     let diags = verify(&program, &alf, &config);
+    let analysis = if args.analyze {
+        Some(analyze(&program, &alf, &config))
+    } else {
+        None
+    };
     if args.json {
-        println!("{}", render_json(&diags));
+        match &analysis {
+            Some(Ok(a)) => println!(
+                "{{\"diagnostics\":{},\"analysis\":{}}}",
+                render_json(&diags),
+                a.to_json(&config)
+            ),
+            Some(Err(errs)) => println!(
+                "{{\"diagnostics\":{},\"analysis\":null,\"analysis_errors\":{}}}",
+                render_json(&diags),
+                render_json(errs)
+            ),
+            None => println!("{}", render_json(&diags)),
+        }
     } else if args.quiet {
         let lines = render_text(&diags);
         if let Some(summary) = lines.lines().last() {
@@ -199,8 +232,58 @@ fn run(args: &Args) -> Result<bool, String> {
             args.omega
         );
         println!("{}", render_text(&diags));
+        match &analysis {
+            Some(Ok(a)) => {
+                println!(
+                    "alprove: link stack {}/{} entries, operand FIFO {}/{} values",
+                    a.link_stack_bound,
+                    config.link_stack_capacity(),
+                    a.operand_fifo_bound,
+                    config.operand_fifo_capacity()
+                );
+                println!(
+                    "alprove: cycle bound {} (overhead {}, {}/round, {} runs)",
+                    a.cycle_bound.admission_bound(),
+                    a.cycle_bound.overhead_cycles,
+                    a.cycle_bound.steady_cycles,
+                    a.cycle_bound.runs_per_application
+                );
+                println!("{}", render_text(&a.diagnostics));
+            }
+            Some(Err(errs)) => println!("{}", render_text(errs)),
+            None => {}
+        }
     }
-    Ok(count(&diags, Severity::Error) == 0)
+    let structurally_clean = count(&diags, Severity::Error) == 0;
+    let provably_safe = match &analysis {
+        Some(Ok(a)) => a.is_admissible(),
+        Some(Err(_)) => false,
+        None => true,
+    };
+    Ok(structurally_clean && provably_safe)
+}
+
+fn print_rules(json: bool) {
+    if json {
+        let rows: Vec<String> = RULES
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"code\":\"{}\",\"severity\":\"{}\",\"summary\":\"{}\"}}",
+                    r.code,
+                    r.severity.label(),
+                    r.summary
+                )
+            })
+            .collect();
+        println!("[{}]", rows.join(","));
+    } else {
+        for r in RULES {
+            println!("{}  {:<7}  {}", r.code,
+                    r.severity.label(),
+                    r.summary);
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -217,6 +300,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.list_rules {
+        print_rules(args.json);
+        return ExitCode::SUCCESS;
+    }
     match run(&args) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::from(1),

@@ -19,6 +19,11 @@
 //!   order, RCU LIFO/FIFO depth bounds, reconfiguration-point legality.
 //! * **AL3xx — resource**: cache working set, block-width/engine agreement,
 //!   padded-tail visibility, structural sanity.
+//! * **AL4xx — semantic** ([`analysis`], DESIGN.md §14): the alprove
+//!   abstract interpreter — proved link-stack/FIFO peaks, sweep
+//!   dependency order over the decoded table, a static cycle bound built
+//!   from the engine's own cost constants (enforced at admission by
+//!   [`fleet_admission_hook`] and `alserve`), and liveness.
 //!
 //! The [`Preflight`] extension trait wires the pass into the
 //! [`Alrescha`](alrescha::Alrescha) facade: `acc.preflight(&prog)` refuses
@@ -26,6 +31,7 @@
 //! [`PreflightGate::WarnOnly`] as the bench opt-out).
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::fmt;
 
@@ -34,8 +40,12 @@ use alrescha::program::ProgramBinary;
 use alrescha_sim::SimConfig;
 use alrescha_sparse::Alf;
 
+pub mod analysis;
 mod rules;
 
+pub use analysis::{
+    analyze, analyze_programmed, analyze_table, fleet_admission_hook, Analysis, CycleBound,
+};
 pub use rules::{verify_alf, verify_table};
 
 /// How bad a finding is.
@@ -58,6 +68,131 @@ impl Severity {
             Severity::Error => "error",
         }
     }
+}
+
+/// One row of the static rule catalog: the stable code, the severity a
+/// finding of this rule carries by default (variable-severity rules list
+/// their ceiling; downgraded instances use [`Diagnostic::of_with`]), and a
+/// one-line summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleInfo {
+    /// Stable rule code (`AL001` … `AL405`).
+    pub code: &'static str,
+    /// Default (ceiling) severity of the rule's findings.
+    pub severity: Severity,
+    /// One-line description shown by `alverify --list-rules`.
+    pub summary: &'static str,
+}
+
+/// The complete rule catalog — the single source of truth for codes,
+/// severities, and summaries, consumed by `rules.rs` (structural tier),
+/// [`analysis`] (semantic tier), and the `alverify --list-rules` CLI.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        code: "AL001",
+        severity: Severity::Error,
+        summary: "ALF stream order must equal the order of computation",
+    },
+    RuleInfo {
+        code: "AL002",
+        severity: Severity::Error,
+        summary: "stored value order / diagonal extraction must match the layout",
+    },
+    RuleInfo {
+        code: "AL003",
+        severity: Severity::Warning,
+        summary: "padding density: all-zero blocks and low mean block fill",
+    },
+    RuleInfo {
+        code: "AL004",
+        severity: Severity::Error,
+        summary: "entry width must equal the paper's 2*ceil(log2(n/w))+3 bit budget",
+    },
+    RuleInfo {
+        code: "AL101",
+        severity: Severity::Error,
+        summary: "program binary must survive the decode/encode round-trip",
+    },
+    RuleInfo {
+        code: "AL102",
+        severity: Severity::Error,
+        summary: "table indices must be w-aligned and inside the padded dimension",
+    },
+    RuleInfo {
+        code: "AL103",
+        severity: Severity::Error,
+        summary: "every entry must agree with the streamed block it programs",
+    },
+    RuleInfo {
+        code: "AL104",
+        severity: Severity::Error,
+        summary: "binary header must agree with the matrix geometry",
+    },
+    RuleInfo {
+        code: "AL201",
+        severity: Severity::Error,
+        summary: "D-SymGS dependence chain must stream topologically ordered",
+    },
+    RuleInfo {
+        code: "AL202",
+        severity: Severity::Error,
+        summary: "RCU LIFO/FIFO static depth estimates within configured capacity",
+    },
+    RuleInfo {
+        code: "AL203",
+        severity: Severity::Error,
+        summary: "reconfigurations only at drain-hidden data-path boundaries",
+    },
+    RuleInfo {
+        code: "AL301",
+        severity: Severity::Warning,
+        summary: "per-block-row working set must fit the local cache",
+    },
+    RuleInfo {
+        code: "AL302",
+        severity: Severity::Error,
+        summary: "format block width must match the engine configuration",
+    },
+    RuleInfo {
+        code: "AL303",
+        severity: Severity::Warning,
+        summary: "padded tail chunks are visible to every vector operand",
+    },
+    RuleInfo {
+        code: "AL304",
+        severity: Severity::Error,
+        summary: "structural sanity: block grid bounds, payload geometry, diagonal length",
+    },
+    RuleInfo {
+        code: "AL401",
+        severity: Severity::Error,
+        summary: "proved worst-case link-stack depth must fit the LIFO capacity",
+    },
+    RuleInfo {
+        code: "AL402",
+        severity: Severity::Error,
+        summary: "proved worst-case operand-FIFO occupancy must fit the FIFO capacity",
+    },
+    RuleInfo {
+        code: "AL403",
+        severity: Severity::Error,
+        summary: "decoded sweep schedule must respect block-row data dependencies",
+    },
+    RuleInfo {
+        code: "AL404",
+        severity: Severity::Info,
+        summary: "static cycle bound (admission compares it to the deadline budget)",
+    },
+    RuleInfo {
+        code: "AL405",
+        severity: Severity::Warning,
+        summary: "liveness: entries and blocks the schedule can never use",
+    },
+];
+
+/// Looks up a rule by code.
+pub fn rule(code: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.code == code)
 }
 
 /// Span-like location of a finding.
@@ -127,6 +262,29 @@ impl Diagnostic {
             location,
             message,
         }
+    }
+
+    /// Builds a finding whose severity comes from the [`RULES`] catalog —
+    /// the normal constructor, so rule code and severity can't drift.
+    pub(crate) fn of(code: &'static str, location: Location, message: String) -> Self {
+        let severity = rule(code).map_or(Severity::Error, |r| r.severity);
+        Diagnostic::new(code, severity, location, message)
+    }
+
+    /// Builds a finding at an explicit severity for variable-severity
+    /// rules; the catalog entry is the ceiling a downgraded instance must
+    /// stay under.
+    pub(crate) fn of_with(
+        code: &'static str,
+        severity: Severity,
+        location: Location,
+        message: String,
+    ) -> Self {
+        debug_assert!(
+            rule(code).is_none_or(|r| severity <= r.severity),
+            "{code} instance exceeds its catalog ceiling"
+        );
+        Diagnostic::new(code, severity, location, message)
     }
 
     /// Renders as a single JSON object (no external serializer available in

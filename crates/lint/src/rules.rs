@@ -4,7 +4,8 @@
 use alrescha::convert::{AccessOrder, ConfigTable, DataPath, KernelType, OperandPort};
 use alrescha::program::ProgramBinary;
 use alrescha_sim::SimConfig;
-use alrescha_sparse::alf::{config_entry_bits, AlfLayout};
+use alrescha::program::EntryLayout;
+use alrescha_sparse::alf::AlfLayout;
 use alrescha_sparse::{Alf, BlockKind};
 
 use crate::{Diagnostic, Location, Severity};
@@ -15,9 +16,8 @@ pub(crate) fn verify_binary(program: &ProgramBinary, alf: &Alf) -> Vec<Diagnosti
     let mut diags = Vec::new();
     let n = alf.rows().max(alf.cols());
     if program.n() != n {
-        diags.push(Diagnostic::new(
+        diags.push(Diagnostic::of(
             "AL104",
-            Severity::Error,
             Location::Field { name: "n" },
             format!(
                 "binary header declares n={} but the matrix is {}x{}",
@@ -28,9 +28,8 @@ pub(crate) fn verify_binary(program: &ProgramBinary, alf: &Alf) -> Vec<Diagnosti
         ));
     }
     if program.omega() != alf.omega() {
-        diags.push(Diagnostic::new(
+        diags.push(Diagnostic::of(
             "AL104",
-            Severity::Error,
             Location::Field { name: "omega" },
             format!(
                 "binary header declares ω={} but the matrix is blocked at ω={}",
@@ -40,9 +39,8 @@ pub(crate) fn verify_binary(program: &ProgramBinary, alf: &Alf) -> Vec<Diagnosti
         ));
     }
     if program.entry_count() != alf.blocks().len() {
-        diags.push(Diagnostic::new(
+        diags.push(Diagnostic::of(
             "AL104",
-            Severity::Error,
             Location::Field { name: "entries" },
             format!(
                 "binary header declares {} entries but the format stores {} blocks",
@@ -54,10 +52,9 @@ pub(crate) fn verify_binary(program: &ProgramBinary, alf: &Alf) -> Vec<Diagnosti
 
     match program.decode() {
         Err(_) => {
-            let entry_bits = config_entry_bits(program.n(), program.omega());
-            diags.push(Diagnostic::new(
+            let entry_bits = EntryLayout::for_matrix(program.n(), program.omega()).entry_bits();
+            diags.push(Diagnostic::of(
                 "AL101",
-                Severity::Error,
                 Location::ByteOffset {
                     offset: program.len_bytes(),
                 },
@@ -79,9 +76,8 @@ pub(crate) fn verify_binary(program: &ProgramBinary, alf: &Alf) -> Vec<Diagnosti
                     .zip(reencoded.as_bytes())
                     .position(|(a, b)| a != b)
                     .unwrap_or_else(|| reencoded.len_bytes().min(program.len_bytes()));
-                diags.push(Diagnostic::new(
+                diags.push(Diagnostic::of(
                     "AL101",
-                    Severity::Error,
                     Location::ByteOffset { offset },
                     "decode/encode round-trip diverges: the packed bytes carry bits the \
                      codec cannot reproduce"
@@ -132,11 +128,10 @@ pub fn verify_table(
     // AL004: the one-time table must use exactly 2·ceil(log2(n/ω)) + 3 bits
     // per entry — wider wastes the §4.1 budget, narrower cannot address
     // every block.
-    let want_bits = config_entry_bits(n, omega);
+    let want_bits = EntryLayout::for_matrix(n, omega).entry_bits();
     if table.entry_bits() != want_bits {
-        diags.push(Diagnostic::new(
+        diags.push(Diagnostic::of(
             "AL004",
-            Severity::Error,
             Location::Field { name: "entry_bits" },
             format!(
                 "entry width is {} bits; 2·ceil(log2({n}/{omega})) + 3 = {want_bits}",
@@ -151,9 +146,8 @@ pub fn verify_table(
         // dimension (the hardware shifts them left by log2 ω; a stray index
         // would address memory outside the streamed vectors).
         if entry.inx_in % omega != 0 {
-            diags.push(Diagnostic::new(
+            diags.push(Diagnostic::of(
                 "AL102",
-                Severity::Error,
                 Location::Entry {
                     index: i,
                     field: "inx_in",
@@ -162,9 +156,8 @@ pub fn verify_table(
             ));
         }
         if entry.inx_in >= padded.max(omega) {
-            diags.push(Diagnostic::new(
+            diags.push(Diagnostic::of(
                 "AL102",
-                Severity::Error,
                 Location::Entry {
                     index: i,
                     field: "inx_in",
@@ -177,9 +170,8 @@ pub fn verify_table(
         }
         if let Some(out) = entry.inx_out {
             if out % omega != 0 {
-                diags.push(Diagnostic::new(
+                diags.push(Diagnostic::of(
                     "AL102",
-                    Severity::Error,
                     Location::Entry {
                         index: i,
                         field: "inx_out",
@@ -191,9 +183,8 @@ pub fn verify_table(
             // equal the padded dimension on the last block row; anything
             // beyond that is out of range.
             if out > padded {
-                diags.push(Diagnostic::new(
+                diags.push(Diagnostic::of(
                     "AL102",
-                    Severity::Error,
                     Location::Entry {
                         index: i,
                         field: "inx_out",
@@ -205,9 +196,8 @@ pub fn verify_table(
         // AL103: the 1-bit data-path field only distinguishes paths within
         // one kernel's repertoire.
         if !paths.contains(&entry.data_path) {
-            diags.push(Diagnostic::new(
+            diags.push(Diagnostic::of(
                 "AL103",
-                Severity::Error,
                 Location::Entry {
                     index: i,
                     field: "data_path",
@@ -221,9 +211,8 @@ pub fn verify_table(
     }
 
     if table.entries().len() != alf.blocks().len() {
-        diags.push(Diagnostic::new(
+        diags.push(Diagnostic::of(
             "AL103",
-            Severity::Error,
             Location::Field { name: "entries" },
             format!(
                 "table has {} entries for {} streamed blocks — one entry per block",
@@ -242,9 +231,8 @@ pub fn verify_table(
                 let is_diag = block.kind() == BlockKind::Diagonal;
                 let entry_diag = entry.data_path == DataPath::DSymGs;
                 if is_diag != entry_diag {
-                    diags.push(Diagnostic::new(
+                    diags.push(Diagnostic::of(
                         "AL103",
-                        Severity::Error,
                         Location::Entry {
                             index: i,
                             field: "data_path",
@@ -258,9 +246,8 @@ pub fn verify_table(
                     continue;
                 }
                 if entry.inx_in != bc * omega {
-                    diags.push(Diagnostic::new(
+                    diags.push(Diagnostic::of(
                         "AL103",
-                        Severity::Error,
                         Location::Entry {
                             index: i,
                             field: "inx_in",
@@ -274,9 +261,8 @@ pub fn verify_table(
                 }
                 if is_diag {
                     if entry.inx_out != Some((br + 1) * omega) {
-                        diags.push(Diagnostic::new(
+                        diags.push(Diagnostic::of(
                             "AL103",
-                            Severity::Error,
                             Location::Entry {
                                 index: i,
                                 field: "inx_out",
@@ -289,9 +275,8 @@ pub fn verify_table(
                         ));
                     }
                 } else if entry.inx_out.is_some() {
-                    diags.push(Diagnostic::new(
+                    diags.push(Diagnostic::of(
                         "AL103",
-                        Severity::Error,
                         Location::Entry {
                             index: i,
                             field: "inx_out",
@@ -304,9 +289,8 @@ pub fn verify_table(
                 // port follows the triangle (Algorithm 1, lines 14-27).
                 let want_r2l = block.reversed();
                 if (entry.order == AccessOrder::R2L) != want_r2l {
-                    diags.push(Diagnostic::new(
+                    diags.push(Diagnostic::of(
                         "AL103",
-                        Severity::Error,
                         Location::Entry {
                             index: i,
                             field: "order",
@@ -324,9 +308,8 @@ pub fn verify_table(
                     OperandPort::Port1
                 };
                 if entry.op != want_port {
-                    diags.push(Diagnostic::new(
+                    diags.push(Diagnostic::of(
                         "AL103",
-                        Severity::Error,
                         Location::Entry {
                             index: i,
                             field: "op",
@@ -340,9 +323,8 @@ pub fn verify_table(
             }
             _ => {
                 if entry.inx_in != br * omega || entry.inx_out != Some(bc * omega) {
-                    diags.push(Diagnostic::new(
+                    diags.push(Diagnostic::of(
                         "AL103",
-                        Severity::Error,
                         Location::Entry {
                             index: i,
                             field: "inx_in",
@@ -365,7 +347,7 @@ pub fn verify_table(
     // program interface; it is free only while the FCU pipeline drains.
     let window = drain_window(kernel, config);
     if table.switch_count() > 0 && config.cache_latency > window {
-        diags.push(Diagnostic::new(
+        diags.push(Diagnostic::of_with(
             "AL203",
             Severity::Warning,
             Location::Field {
@@ -399,9 +381,8 @@ pub fn verify_table(
                     && blocks[i].block_row() > blocks[i - 1].block_row()
             };
             if !legal {
-                diags.push(Diagnostic::new(
+                diags.push(Diagnostic::of(
                     "AL203",
-                    Severity::Error,
                     Location::Entry {
                         index: i,
                         field: "data_path",
@@ -437,18 +418,16 @@ pub fn verify_alf(alf: &Alf, config: &SimConfig) -> Vec<Diagnostic> {
 
         // AL304: structural sanity — coordinates and payload geometry.
         if br >= row_bound || bc >= col_bound {
-            diags.push(Diagnostic::new(
+            diags.push(Diagnostic::of(
                 "AL304",
-                Severity::Error,
                 Location::Block { index: i },
                 format!("block ({br},{bc}) lies outside the {row_bound}x{col_bound} block grid"),
             ));
             continue;
         }
         if block.payload().len() != omega * omega {
-            diags.push(Diagnostic::new(
+            diags.push(Diagnostic::of(
                 "AL304",
-                Severity::Error,
                 Location::Block { index: i },
                 format!(
                     "payload holds {} values; a locally-dense block streams ω² = {}",
@@ -462,9 +441,8 @@ pub fn verify_alf(alf: &Alf, config: &SimConfig) -> Vec<Diagnostic> {
         // non-decreasing, and within a row every off-diagonal (GEMV) block
         // before the diagonal (D-SymGS) block.
         if br < last_row {
-            diags.push(Diagnostic::new(
+            diags.push(Diagnostic::of(
                 "AL001",
-                Severity::Error,
                 Location::Block { index: i },
                 format!("block row {br} streams after block row {last_row}"),
             ));
@@ -473,9 +451,8 @@ pub fn verify_alf(alf: &Alf, config: &SimConfig) -> Vec<Diagnostic> {
         match block.kind() {
             BlockKind::Diagonal => {
                 if diag_seen[br] {
-                    diags.push(Diagnostic::new(
+                    diags.push(Diagnostic::of(
                         "AL001",
-                        Severity::Error,
                         Location::Block { index: i },
                         format!("block row {br} streams two diagonal blocks"),
                     ));
@@ -485,9 +462,8 @@ pub fn verify_alf(alf: &Alf, config: &SimConfig) -> Vec<Diagnostic> {
                 // diagonal blocks must stream in ascending order.
                 if let Some(prev) = last_diag_row {
                     if br <= prev {
-                        diags.push(Diagnostic::new(
+                        diags.push(Diagnostic::of(
                             "AL201",
-                            Severity::Error,
                             Location::Block { index: i },
                             format!(
                                 "diagonal block {br} streams after diagonal block {prev}: the \
@@ -500,9 +476,8 @@ pub fn verify_alf(alf: &Alf, config: &SimConfig) -> Vec<Diagnostic> {
             }
             BlockKind::OffDiagonal => {
                 if symgs && bc == br && alf.rows() == alf.cols() {
-                    diags.push(Diagnostic::new(
+                    diags.push(Diagnostic::of(
                         "AL002",
-                        Severity::Error,
                         Location::Block { index: i },
                         format!(
                             "block ({br},{bc}) sits on the diagonal but is not marked as a \
@@ -511,9 +486,8 @@ pub fn verify_alf(alf: &Alf, config: &SimConfig) -> Vec<Diagnostic> {
                     ));
                 }
                 if symgs && diag_seen[br] {
-                    diags.push(Diagnostic::new(
+                    diags.push(Diagnostic::of(
                         "AL001",
-                        Severity::Error,
                         Location::Block { index: i },
                         format!(
                             "off-diagonal block ({br},{bc}) streams after its row's diagonal \
@@ -524,9 +498,8 @@ pub fn verify_alf(alf: &Alf, config: &SimConfig) -> Vec<Diagnostic> {
                 // AL201: a lower-triangle GEMV consumes x of its column's
                 // block row, produced by that row's D-SymGS this sweep.
                 if symgs && bc < br && bc < diag_seen.len() && !diag_seen[bc] {
-                    diags.push(Diagnostic::new(
+                    diags.push(Diagnostic::of(
                         "AL201",
-                        Severity::Error,
                         Location::Block { index: i },
                         format!(
                             "lower-triangle block ({br},{bc}) streams before diagonal block \
@@ -541,9 +514,8 @@ pub fn verify_alf(alf: &Alf, config: &SimConfig) -> Vec<Diagnostic> {
         // (upper-triangle and diagonal rows right-to-left under SymGS).
         let want = block.expected_reversed(alf.layout());
         if block.reversed() != want {
-            diags.push(Diagnostic::new(
+            diags.push(Diagnostic::of(
                 "AL002",
-                Severity::Error,
                 Location::Block { index: i },
                 format!(
                     "block ({br},{bc}) streams {} but the {:?} layout requires {}",
@@ -554,9 +526,8 @@ pub fn verify_alf(alf: &Alf, config: &SimConfig) -> Vec<Diagnostic> {
             ));
         }
         if !symgs && block.kind() == BlockKind::Diagonal {
-            diags.push(Diagnostic::new(
+            diags.push(Diagnostic::of(
                 "AL002",
-                Severity::Error,
                 Location::Block { index: i },
                 format!("diagonal-kind block ({br},{bc}) in a streaming-layout format"),
             ));
@@ -566,9 +537,8 @@ pub fn verify_alf(alf: &Alf, config: &SimConfig) -> Vec<Diagnostic> {
         if symgs && block.kind() == BlockKind::Diagonal {
             for k in 0..omega {
                 if block.get(k, k) != 0.0 {
-                    diags.push(Diagnostic::new(
+                    diags.push(Diagnostic::of(
                         "AL002",
-                        Severity::Error,
                         Location::Block { index: i },
                         format!(
                             "diagonal block ({br},{bc}) still carries a diagonal value at \
@@ -584,9 +554,8 @@ pub fn verify_alf(alf: &Alf, config: &SimConfig) -> Vec<Diagnostic> {
         // construction never emits one, so its presence means corruption
         // or a wasteful producer (ω²·8 streamed bytes for nothing).
         if block.kind() == BlockKind::OffDiagonal && block.fill_count() == 0 {
-            diags.push(Diagnostic::new(
+            diags.push(Diagnostic::of(
                 "AL003",
-                Severity::Warning,
                 Location::Block { index: i },
                 format!(
                     "off-diagonal block ({br},{bc}) is all padding: {} streamed bytes carry \
@@ -600,7 +569,7 @@ pub fn verify_alf(alf: &Alf, config: &SimConfig) -> Vec<Diagnostic> {
     // AL003 (note): low mean fill erodes the locally-dense premise.
     let fill = alf.mean_block_fill();
     if !alf.blocks().is_empty() && fill < 1.0 / omega as f64 {
-        diags.push(Diagnostic::new(
+        diags.push(Diagnostic::of_with(
             "AL003",
             Severity::Info,
             Location::Format,
@@ -615,9 +584,8 @@ pub fn verify_alf(alf: &Alf, config: &SimConfig) -> Vec<Diagnostic> {
     // AL304: the extracted diagonal's length is fixed by the layout.
     let want_diag = if symgs { alf.rows().min(alf.cols()) } else { 0 };
     if alf.diagonal().len() != want_diag {
-        diags.push(Diagnostic::new(
+        diags.push(Diagnostic::of(
             "AL304",
-            Severity::Error,
             Location::Field { name: "diagonal" },
             format!(
                 "extracted diagonal holds {} values; the {:?} layout requires {want_diag}",
@@ -632,9 +600,8 @@ pub fn verify_alf(alf: &Alf, config: &SimConfig) -> Vec<Diagnostic> {
     // every block's cycles (the engine rejects it at run time — this rule
     // rejects it before issue).
     if alf.omega() != config.omega {
-        diags.push(Diagnostic::new(
+        diags.push(Diagnostic::of(
             "AL302",
-            Severity::Error,
             Location::Field { name: "omega" },
             format!(
                 "format is blocked at ω={} but the engine is configured for ω={}",
@@ -647,9 +614,8 @@ pub fn verify_alf(alf: &Alf, config: &SimConfig) -> Vec<Diagnostic> {
     // AL303: a dimension that is not a multiple of ω pads the final chunk;
     // legal (the engine clamps the tail) but worth surfacing.
     if alf.has_padded_tail() {
-        diags.push(Diagnostic::new(
+        diags.push(Diagnostic::of(
             "AL303",
-            Severity::Warning,
             Location::Format,
             format!(
                 "dimension {}x{} is not a multiple of ω={}: the final chunk of every vector \
@@ -666,7 +632,7 @@ pub fn verify_alf(alf: &Alf, config: &SimConfig) -> Vec<Diagnostic> {
         // block of a row until the row's D-SymGS pops them.
         let peak = omega * alf.max_off_diagonal_blocks_per_row();
         if peak > config.link_stack_capacity() {
-            diags.push(Diagnostic::new(
+            diags.push(Diagnostic::of_with(
                 "AL202",
                 Severity::Warning,
                 Location::Format,
@@ -679,9 +645,8 @@ pub fn verify_alf(alf: &Alf, config: &SimConfig) -> Vec<Diagnostic> {
         }
         // AL202: the b/diagonal FIFOs hold exactly one ω-chunk.
         if alf.omega() > config.operand_fifo_capacity() {
-            diags.push(Diagnostic::new(
+            diags.push(Diagnostic::of(
                 "AL202",
-                Severity::Error,
                 Location::Field { name: "omega" },
                 format!(
                     "operand FIFOs hold {} values but each block row fills them with ω={} \
@@ -697,9 +662,8 @@ pub fn verify_alf(alf: &Alf, config: &SimConfig) -> Vec<Diagnostic> {
         // prefetch schedule to stand.
         let working_set = (alf.max_operand_blocks_per_row() + 2) * omega;
         if working_set > config.cache_values() {
-            diags.push(Diagnostic::new(
+            diags.push(Diagnostic::of(
                 "AL301",
-                Severity::Warning,
                 Location::Format,
                 format!(
                     "per-block-row working set of {working_set} values exceeds the \

@@ -43,10 +43,13 @@ use std::time::{Duration, Instant};
 
 use alrescha::breaker::{BackendChoice, BreakerConfig, SharedBreaker};
 use alrescha::checkpoint::SolverCheckpoint;
+use alrescha::convert::{convert, KernelType};
 use alrescha::fleet::{Fleet, FleetConfig, JobKernel, JobOutput, JobSpec, Station};
 use alrescha::storage::{RealStorage, StorageIo};
 use alrescha::SolverOptions;
+use alrescha_lint::analyze_table;
 use alrescha_obs::Telemetry;
+use alrescha_sim::SimConfig;
 
 use crate::journal::{Journal, JournalError, JournalRecord};
 use crate::protocol::{Frame, JobPayload, SolveResult, WireError};
@@ -90,6 +93,15 @@ pub struct ServerConfig {
     /// [`alrescha::ChaosStorage`] to exercise every durability path under
     /// injected faults.
     pub storage: Arc<dyn StorageIo>,
+    /// Service-level deadline budget in engine cycles. When set, every
+    /// submission is bounded at admission by the alprove AL404 static
+    /// analysis: the worst case of a full PCG solve — `max_iters + 1`
+    /// iterations of one SpMV plus one SymGS preconditioner application —
+    /// is computed from the job's matrix alone, and a job whose bound
+    /// already exceeds the budget is rejected in-band before any engine
+    /// work or journal write happens. `None` (the default) disables the
+    /// gate.
+    pub admission_cycle_budget: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -105,6 +117,7 @@ impl Default for ServerConfig {
             breaker: BreakerConfig::default(),
             telemetry: None,
             storage: Arc::new(RealStorage),
+            admission_cycle_budget: None,
         }
     }
 }
@@ -779,8 +792,51 @@ fn handle_frame(inner: &Arc<Inner>, stream: &mut Stream, frame: Frame) -> bool {
     }
 }
 
-/// Admission: drain gate → job sanity → per-tenant quota → queue room →
-/// durable journal append → `Accepted`.
+/// The alprove static-admission gate (`Some(reason)` = reject). Converts
+/// the job's matrix for the two kernels a PCG iteration applies, runs the
+/// abstract interpreter on each, and bounds the whole solve as
+/// `(max_iters + 1) · (SpMV bound + SymGS bound)` — the `+ 1` covers the
+/// residual/setup application before the loop. Resource errors
+/// (AL401–AL403) also reject: a schedule the analysis proves to wedge the
+/// RCU would burn its whole budget stalled. Semantics are deliberately
+/// conservative — "cannot prove it fits the deadline" rejects, so an
+/// accepted job never owes the engine more cycles than the budget.
+fn static_admission_reason(inner: &Arc<Inner>, job: &JobPayload) -> Option<String> {
+    let budget = inner.config.admission_cycle_budget?;
+    let config = SimConfig::default();
+    let mut total: u64 = 0;
+    for kernel in [KernelType::SpMv, KernelType::SymGs] {
+        let (alf, table) = match convert(kernel, &job.matrix, config.omega) {
+            Ok(pair) => pair,
+            Err(e) => return Some(format!("malformed job: {kernel:?} conversion failed: {e}")),
+        };
+        let analysis = analyze_table(kernel, &table, &alf, &config);
+        if !analysis.is_admissible() {
+            let codes: Vec<&str> = analysis
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == alrescha_lint::Severity::Error)
+                .map(|d| d.code)
+                .collect();
+            return Some(format!(
+                "static analysis rejects {kernel:?} program: {}",
+                codes.join(", ")
+            ));
+        }
+        total = total.saturating_add(analysis.cycle_bound.admission_bound());
+    }
+    let bound = total.saturating_mul(job.max_iters.saturating_add(1));
+    (bound > budget).then(|| {
+        format!(
+            "AL404: static cycle bound {bound} for {} PCG iterations exceeds the \
+             {budget}-cycle service budget",
+            job.max_iters
+        )
+    })
+}
+
+/// Admission: drain gate → job sanity → alprove static bound → per-tenant
+/// quota → queue room → durable journal append → `Accepted`.
 fn admit(inner: &Arc<Inner>, tenant: &str, job: JobPayload) -> Frame {
     if inner.draining.load(Ordering::SeqCst) {
         return Frame::Draining;
@@ -788,6 +844,18 @@ fn admit(inner: &Arc<Inner>, tenant: &str, job: JobPayload) -> Frame {
     if job.matrix.rows() != job.matrix.cols() || job.b.len() != job.matrix.rows() {
         return Frame::Rejected {
             reason: "malformed job: matrix must be square and match |b|".to_owned(),
+            retry_after: None,
+        };
+    }
+    if let Some(reason) = static_admission_reason(inner, &job) {
+        inner.count(
+            "alserve_admission_rejected_static_total",
+            "submissions rejected by the alprove static cycle bound (AL404)",
+        );
+        // Permanent for this job shape: retrying the same job cannot help,
+        // so no retry_after hint.
+        return Frame::Rejected {
+            reason,
             retry_after: None,
         };
     }

@@ -308,3 +308,52 @@ fn malformed_submissions_are_rejected_permanently() {
     handle.stop();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn static_admission_gate_bounds_jobs_before_any_work() {
+    let dir = tempdir("al404");
+    let tele = alrescha_obs::Telemetry::new();
+    let config = ServerConfig {
+        // Generous enough for the small sample job's full solve, far too
+        // small for a million-iteration request on the same matrix.
+        admission_cycle_budget: Some(5_000_000),
+        telemetry: Some(tele.clone()),
+        ..server_config(dir.clone())
+    };
+    let handle = Server::new(config).start().unwrap();
+    let mut client = Client::tcp(handle.addr().to_owned(), fast_policy());
+
+    // A provably-infeasible job is rejected in-band with the AL404 bound,
+    // permanently (no retry_after), before the journal ever sees it.
+    let mut infeasible = sample_job(3, 1);
+    infeasible.max_iters = 1_000_000;
+    match client.submit("acme", &infeasible) {
+        Err(ClientError::Rejected { reason }) => {
+            assert!(reason.contains("AL404"), "reason must cite the rule: {reason}");
+        }
+        other => panic!("expected AL404 rejection, got {other:?}"),
+    }
+    assert_eq!(
+        tele.metrics()
+            .counter(
+                "alserve_admission_rejected_static_total",
+                true,
+                "submissions rejected by the alprove static cycle bound (AL404)",
+            )
+            .value(),
+        1,
+        "the rejection must be counted"
+    );
+
+    // The same matrix with a sane iteration cap fits the budget and runs
+    // to convergence — the gate is a bound, not a blanket refusal.
+    let feasible = sample_job(3, 1);
+    let job_id = client.submit("acme", &feasible).unwrap();
+    assert!(client.wait(job_id).unwrap().converged);
+
+    handle.stop();
+    // The rejected job must have left no durable trace.
+    let journal = Journal::open(dir.join("jobs.wal")).unwrap();
+    assert_eq!(journal.terminal_order().len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

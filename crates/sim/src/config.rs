@@ -181,6 +181,16 @@ impl SimConfig {
     pub fn cache_values(&self) -> usize {
         self.cache_lines() * self.values_per_line()
     }
+
+    /// Exposed (non-overlapped) cycles of one RCU switch reprogramming when
+    /// `drain` cycles of FCU drain are available to hide it behind (§4.3:
+    /// the switch loads its program from the local cache, `cache_latency`
+    /// cycles, while the FCU drains). This is the same arithmetic
+    /// `Rcu::configure` charges — exported so the alprove AL404 static
+    /// cycle bound uses the engine's own constant instead of copying it.
+    pub fn exposed_switch_cycles(&self, drain: u64) -> u64 {
+        self.cache_latency.saturating_sub(drain)
+    }
 }
 
 impl Default for SimConfig {

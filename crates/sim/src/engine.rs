@@ -205,6 +205,7 @@ struct RunState {
     reconfig_base: crate::rcu::ReconfigStats,
     breakdown: crate::report::CycleBreakdown,
     link_stack_peak: usize,
+    operand_fifo_peak: usize,
     fault_base: FaultCounters,
     wall_start: std::time::Instant,
     /// Telemetry was attached and enabled when the run began; the trace
@@ -414,6 +415,7 @@ impl Engine {
                 ..Default::default()
             },
             link_stack_peak: 0,
+            operand_fifo_peak: 0,
             fault_base: self
                 .faults
                 .as_ref()
@@ -1124,6 +1126,7 @@ impl Engine {
                 }
                 // Occupancy check: both FIFOs must hold exactly one entry
                 // per valid lane before the recurrence starts.
+                state.operand_fifo_peak = state.operand_fifo_peak.max(b_fifo.len());
                 if b_fifo.len() == filled && diag_fifo.len() == filled {
                     if fifo_caught > 0 {
                         if let Some(inj) = &self.faults {
@@ -1281,6 +1284,7 @@ impl Engine {
 
         state.memory.record_bytes(a.rows() as u64 * 8); // x write-back
         state.counts.link_stack_peak = state.link_stack_peak as u64;
+        state.counts.operand_fifo_peak = state.operand_fifo_peak as u64;
         let mut report = self.finish(
             if backward {
                 "symgs-backward"

@@ -94,6 +94,10 @@ pub struct DataPathCounts {
     /// High-water mark of the GEMV→D-SymGS link stack (sizes the hardware
     /// buffer; 0 for kernels that never use it).
     pub link_stack_peak: u64,
+    /// High-water mark of the RCU operand FIFOs (`b` / extracted diagonal),
+    /// in values; 0 for kernels that never run the D-SymGS path. The
+    /// alprove AL402 static bound must dominate this.
+    pub operand_fifo_peak: u64,
 }
 
 /// Everything the simulator measured about one kernel execution.
@@ -163,7 +167,8 @@ impl ExecutionReport {
                 "\"cache\":{{\"hits\":{hits},\"misses\":{misses},\"writes\":{writes},",
                 "\"busy_cycles\":{busy}}},",
                 "\"datapaths\":{{\"gemv_blocks\":{gb},\"dsymgs_blocks\":{db2},",
-                "\"graph_blocks\":{grb},\"iterations\":{it},\"link_stack_peak\":{lsp}}},",
+                "\"graph_blocks\":{grb},\"iterations\":{it},\"link_stack_peak\":{lsp},",
+                "\"operand_fifo_peak\":{ofp}}},",
                 "\"breakdown\":{{\"gemv_cycles\":{gc},\"dsymgs_cycles\":{dc},",
                 "\"graph_cycles\":{grc},\"drain_cycles\":{drc},\"recovery_cycles\":{rc}}},",
                 "\"faults\":{{\"injected\":{fi},\"detected\":{fd},\"recovered\":{fr},",
@@ -196,6 +201,7 @@ impl ExecutionReport {
             grb = self.datapaths.graph_blocks,
             it = self.datapaths.iterations,
             lsp = self.datapaths.link_stack_peak,
+            ofp = self.datapaths.operand_fifo_peak,
             gc = self.breakdown.gemv_cycles,
             dc = self.breakdown.dsymgs_cycles,
             grc = self.breakdown.graph_cycles,
@@ -247,6 +253,10 @@ impl ExecutionReport {
             .datapaths
             .link_stack_peak
             .max(other.datapaths.link_stack_peak);
+        self.datapaths.operand_fifo_peak = self
+            .datapaths
+            .operand_fifo_peak
+            .max(other.datapaths.operand_fifo_peak);
         self.breakdown.gemv_cycles += other.breakdown.gemv_cycles;
         self.breakdown.dsymgs_cycles += other.breakdown.dsymgs_cycles;
         self.breakdown.graph_cycles += other.breakdown.graph_cycles;

@@ -4,7 +4,7 @@
 
 use alrescha::convert::{convert, ConfigTable, KernelType};
 use alrescha::program::ProgramBinary;
-use alrescha_lint::{verify, verify_alf, verify_table, Severity};
+use alrescha_lint::{analyze_table, verify, verify_alf, verify_table, Severity};
 use alrescha_sim::SimConfig;
 use alrescha_sparse::gen;
 use alrescha_sparse::{Alf, BlockKind};
@@ -143,6 +143,78 @@ fn mid_row_path_flip_yields_al103_and_al203() {
     let found = codes(&diags);
     assert!(found.contains(&"AL103"), "expected AL103, got {found:?}");
     assert!(found.contains(&"AL203"), "expected AL203, got {found:?}");
+}
+
+/// AL4xx mutant: a schedule whose densest block row provably overflows
+/// the link stack — ~100 scattered off-diagonals per row at ω = 8 prove a
+/// 248-entry peak against the 128-entry LIFO.
+#[test]
+fn overdeep_stack_schedule_yields_al401() {
+    let coo = gen::scattered(256, 100, 5);
+    let cfg = SimConfig::paper();
+    let (alf, table) = convert(KernelType::SymGs, &coo, cfg.omega).expect("convert");
+    let analysis = analyze_table(KernelType::SymGs, &table, &alf, &cfg);
+    assert!(
+        analysis
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "AL401" && d.severity == Severity::Error),
+        "expected AL401 error, got {:?}",
+        codes(&analysis.diagnostics)
+    );
+    assert!(!analysis.is_admissible());
+}
+
+/// AL4xx mutant: swapping two D-SymGS entries breaks the sweep's
+/// ascending dependency order — the second of the pair now reads an
+/// iterate no earlier entry has produced.
+#[test]
+fn illegal_sweep_order_yields_al403() {
+    let (alf, table) = symgs_alf(8);
+    let mut entries = table.entries().to_vec();
+    let diag_idx: Vec<usize> = entries
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.data_path == alrescha::convert::DataPath::DSymGs)
+        .map(|(i, _)| i)
+        .collect();
+    entries.swap(diag_idx[0], diag_idx[2]);
+    let doctored = ConfigTable::from_entries(entries, table.entry_bits());
+    let analysis = analyze_table(KernelType::SymGs, &doctored, &alf, &SimConfig::paper());
+    assert!(
+        analysis
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "AL403" && d.severity == Severity::Error),
+        "expected AL403 error, got {:?}",
+        codes(&analysis.diagnostics)
+    );
+    assert!(!analysis.is_admissible());
+}
+
+/// AL4xx mutant: duplicating a row's D-SymGS entry leaves a dead config
+/// entry the engine can never use (it keeps only the last recurrence).
+#[test]
+fn dead_config_entry_yields_al405() {
+    let (alf, table) = symgs_alf(8);
+    let mut entries = table.entries().to_vec();
+    let first_diag = entries
+        .iter()
+        .position(|e| e.data_path == alrescha::convert::DataPath::DSymGs)
+        .expect("has dsymgs");
+    let last = entries.len() - 1;
+    entries[last] = entries[first_diag];
+    let doctored = ConfigTable::from_entries(entries, table.entry_bits());
+    let analysis = analyze_table(KernelType::SymGs, &doctored, &alf, &SimConfig::paper());
+    assert!(
+        analysis
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "AL405" && d.severity == Severity::Warning),
+        "expected AL405 warning, got {:?}",
+        codes(&analysis.diagnostics)
+    );
+    assert_eq!(analysis.dead_entries, vec![last]);
 }
 
 proptest! {

@@ -82,6 +82,7 @@ fn populated_execution_report() -> ExecutionReport {
             graph_blocks: 7,
             iterations: 2,
             link_stack_peak: 5,
+            operand_fifo_peak: 6,
         },
         breakdown: CycleBreakdown {
             gemv_cycles: 1000,

@@ -1,0 +1,80 @@
+//! Property tests for the bit-packed program codec: `encode → decode →
+//! re-encode` must be bit-identical through the shared
+//! [`alrescha::EntryLayout`] tables for every kernel, matrix shape, and
+//! block width — the layout is defined exactly once, so any drift between
+//! the encoder, the decoder, and the verifier's width arithmetic shows up
+//! here as a byte mismatch.
+
+use alrescha::convert::{convert, KernelType};
+use alrescha::{EntryLayout, ProgramBinary};
+use alrescha_sparse::gen;
+use proptest::prelude::*;
+
+const KERNELS: [KernelType; 6] = [
+    KernelType::SpMv,
+    KernelType::SymGs,
+    KernelType::Bfs,
+    KernelType::Sssp,
+    KernelType::PageRank,
+    KernelType::ConnectedComponents,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn encode_decode_reencode_is_bit_identical(
+        kernel_pick in 0usize..6,
+        side in 2usize..6,
+        omega in 2usize..17,
+        seed in 0u64..1024,
+    ) {
+        let kernel = KERNELS[kernel_pick];
+        let coo = gen::banded(side * side * side, side, seed);
+        let coo = match kernel {
+            KernelType::SpMv | KernelType::SymGs => coo,
+            _ => coo.transpose(),
+        };
+        let n = coo.rows().max(coo.cols());
+        let (_, table) = convert(kernel, &coo, omega).expect("convert");
+
+        let first = ProgramBinary::encode(kernel, &table, n, omega);
+        let decoded = first.decode().expect("decode");
+        let second = ProgramBinary::encode(kernel, &decoded, n, omega);
+
+        prop_assert_eq!(first.as_bytes(), second.as_bytes(), "re-encode must be bit-identical");
+        prop_assert_eq!(decoded.entries(), table.entries(), "decoded entries must match");
+    }
+
+    /// The layout's field windows always tile the paper's entry budget
+    /// exactly, for any geometry: 1 + 1 + 1 + two idx windows.
+    #[test]
+    fn layout_tiles_entry_bits_for_any_geometry(n in 1usize..100_000, omega in 1usize..65) {
+        let layout = EntryLayout::for_matrix(n, omega);
+        let mut end = 0;
+        for field in layout.fields() {
+            prop_assert_eq!(field.offset, end, "field {} must abut its predecessor", field.name);
+            end += field.width;
+        }
+        prop_assert_eq!(end, layout.entry_bits());
+    }
+
+    /// Scattered (worst-case irregular) structures round-trip too — the
+    /// SymGS port/order/index reconstruction has the most special cases.
+    #[test]
+    fn symgs_roundtrip_on_scattered_structures(
+        n in 16usize..200,
+        per_row in 1usize..12,
+        omega in 2usize..12,
+        seed in 0u64..256,
+    ) {
+        let coo = gen::scattered(n, per_row, seed);
+        let (_, table) = convert(KernelType::SymGs, &coo, omega).expect("convert");
+        let n_dim = coo.rows().max(coo.cols());
+        let first = ProgramBinary::encode(KernelType::SymGs, &table, n_dim, omega);
+        let decoded = first.decode().expect("decode");
+        prop_assert_eq!(decoded.entries(), table.entries());
+        let second = ProgramBinary::encode(KernelType::SymGs, &decoded, n_dim, omega);
+        prop_assert_eq!(first.as_bytes(), second.as_bytes());
+    }
+}
