@@ -1,0 +1,127 @@
+//! Lexical layer of the alasm syntax: lines of whitespace-separated
+//! tokens, `;` comments to end of line, optional `name:` labels.
+//!
+//! The token stream is the identity contract of the text form: two
+//! listings are equivalent iff their token streams (comments stripped)
+//! are equal, which is what the `text → binary → text` round-trip
+//! property pins.
+
+use crate::Span;
+
+/// One lexical token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text, verbatim.
+    pub text: String,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// Lexes a listing into tokens, stripping comments. Never fails: the
+/// lexical grammar is just "non-whitespace runs"; meaning is the parser's
+/// problem.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    for (line_idx, line) in source.lines().enumerate() {
+        let code = match line.find(';') {
+            Some(cut) => &line[..cut],
+            None => line,
+        };
+        let mut col = 0usize;
+        for piece in code.split_inclusive(char::is_whitespace) {
+            let trimmed = piece.trim_end_matches(char::is_whitespace);
+            if !trimmed.is_empty() {
+                tokens.push(Token {
+                    text: trimmed.to_string(),
+                    span: Span {
+                        line: line_idx + 1,
+                        col: col + 1,
+                    },
+                });
+            }
+            col += piece.len();
+        }
+    }
+    tokens
+}
+
+/// The comment-insensitive token stream of a listing — the equality
+/// surface for round-trip properties.
+pub fn token_stream(source: &str) -> Vec<String> {
+    tokenize(source).into_iter().map(|t| t.text).collect()
+}
+
+/// Formats an `f64` payload value canonically: Rust's shortest
+/// round-trip form for finite values, and a raw-bits form (`#x...`) for
+/// the non-finite values a hand-written listing could contain but the
+/// decimal grammar cannot express losslessly.
+pub fn format_value(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        format!("#x{:016x}", v.to_bits())
+    }
+}
+
+/// Parses a payload value: decimal (anything `f64::from_str` accepts) or
+/// the `#x` raw-bits form. Returns `None` on malformed input.
+pub fn parse_value(text: &str) -> Option<f64> {
+    if let Some(hex) = text.strip_prefix("#x") {
+        return u64::from_str_radix(hex, 16).ok().map(f64::from_bits);
+    }
+    text.parse::<f64>().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_carry_line_and_column() {
+        let src = ".block 0 2 offdiag r2l ; block 0,2 (Gemv)\n  .row 1.0 -2.5\n";
+        let toks = tokenize(src);
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec![".block", "0", "2", "offdiag", "r2l", ".row", "1.0", "-2.5"]
+        );
+        assert_eq!(toks[0].span, Span { line: 1, col: 1 });
+        assert_eq!(toks[3].span, Span { line: 1, col: 12 });
+        assert_eq!(toks[5].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn comments_do_not_perturb_the_token_stream() {
+        let a = ".kernel symgs ; the kernel\n.n 9\n";
+        let b = "\n.kernel   symgs\n; standalone comment\n.n 9";
+        assert_eq!(token_stream(a), token_stream(b));
+    }
+
+    #[test]
+    fn value_round_trip_is_bit_exact() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            -2.5,
+            0.1,
+            f64::from_bits(0x3ff0_0000_0000_0001), // 1.0 + 1 ulp
+            1.797_693_134_862_315_7e308,
+            5e-324, // subnormal
+        ] {
+            let text = format_value(v);
+            let back = parse_value(&text).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "value {text} drifted");
+        }
+        // Non-finite values survive through the raw-bits form.
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let text = format_value(v);
+            assert!(text.starts_with("#x"));
+            let back = parse_value(&text).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+        assert_eq!(parse_value("#x3ff0000000000000"), Some(1.0));
+        assert!(parse_value("#xzz").is_none());
+        assert!(parse_value("one").is_none());
+    }
+}

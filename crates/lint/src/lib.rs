@@ -24,6 +24,12 @@
 //!   dependency order over the decoded table, a static cycle bound built
 //!   from the engine's own cost constants (enforced at admission by
 //!   [`fleet_admission_hook`] and `alserve`), and liveness.
+//! * **AL5xx — alasm text** (DESIGN.md §15): syntax, encoding-width,
+//!   structure, duplicate, and geometry findings produced by the
+//!   `alrescha-asm` assembler/disassembler. The diagnostics themselves are
+//!   emitted by that crate (they carry line/column spans rather than
+//!   block/entry locations), but their codes, severities, and summaries
+//!   live here so `alverify --list-rules` stays the one rule inventory.
 //!
 //! The [`Preflight`] extension trait wires the pass into the
 //! [`Alrescha`](alrescha::Alrescha) facade: `acc.preflight(&prog)` refuses
@@ -187,6 +193,31 @@ pub const RULES: &[RuleInfo] = &[
         code: "AL405",
         severity: Severity::Warning,
         summary: "liveness: entries and blocks the schedule can never use",
+    },
+    RuleInfo {
+        code: "AL501",
+        severity: Severity::Error,
+        summary: "alasm syntax: unknown directive, mnemonic, or malformed token",
+    },
+    RuleInfo {
+        code: "AL502",
+        severity: Severity::Error,
+        summary: "alasm encoding: field value exceeds its EntryLayout bit width",
+    },
+    RuleInfo {
+        code: "AL503",
+        severity: Severity::Error,
+        summary: "alasm structure: truncated or arity-mismatched entry/payload",
+    },
+    RuleInfo {
+        code: "AL504",
+        severity: Severity::Error,
+        summary: "alasm duplicate label or repeated unique directive",
+    },
+    RuleInfo {
+        code: "AL505",
+        severity: Severity::Error,
+        summary: "alasm header/geometry disagreement across directives",
     },
 ];
 

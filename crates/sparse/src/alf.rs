@@ -124,6 +124,45 @@ impl AlfBlock {
         self.reversed = reversed;
     }
 
+    /// Builds a block directly from a streamed payload — the assembler's
+    /// entry point (`alrescha-asm`), where the text listing *is* the stream
+    /// and no COO round-trip exists to canonicalize it. The payload is taken
+    /// verbatim in streaming order; `reversed` records how logical columns
+    /// map onto it (see [`AlfBlock::get`]). Format invariants beyond the
+    /// payload geometry (ordering, reversal legality, diagonal extraction)
+    /// are alverify's job, not this constructor's.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidBlockWidth`] if `omega == 0`.
+    /// * [`Error::DimensionMismatch`] if `payload.len() != ω²`.
+    pub fn from_streamed_payload(
+        block_row: usize,
+        block_col: usize,
+        kind: BlockKind,
+        payload: Vec<f64>,
+        omega: usize,
+        reversed: bool,
+    ) -> Result<Self> {
+        if omega == 0 {
+            return Err(Error::InvalidBlockWidth { omega });
+        }
+        if payload.len() != omega * omega {
+            return Err(Error::DimensionMismatch {
+                expected: (omega, omega),
+                found: (payload.len(), 1),
+            });
+        }
+        Ok(AlfBlock {
+            block_row,
+            block_col,
+            kind,
+            payload,
+            omega,
+            reversed,
+        })
+    }
+
     /// One streamed row of the payload (already in access order).
     ///
     /// # Panics
@@ -224,6 +263,65 @@ impl Alf {
             blocks,
             diagonal,
             nnz: bcsr.nnz(),
+        })
+    }
+
+    /// Assembles a format directly from streamed blocks — the inverse of
+    /// rendering one as text. [`Alf::from_coo`] always re-canonicalizes the
+    /// block order (off-diagonals first, diagonal last, rows ascending), so
+    /// an assembler that went through COO could never carry a reordered
+    /// schedule to the engine; this constructor preserves the given stream
+    /// order verbatim. Only geometry is validated here — stream-order and
+    /// reversal legality are alverify's AL0xx/AL2xx rules, which is exactly
+    /// what lets verifier tests and the differential fuzzer build
+    /// non-canonical (but still legal) schedules.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidBlockWidth`] if `omega == 0`.
+    /// * [`Error::DimensionMismatch`] if a block was built at a different ω,
+    ///   or the diagonal length disagrees with the layout (`min(rows, cols)`
+    ///   under [`AlfLayout::SymGs`], empty under [`AlfLayout::Streaming`]).
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        omega: usize,
+        layout: AlfLayout,
+        blocks: Vec<AlfBlock>,
+        diagonal: Vec<f64>,
+    ) -> Result<Self> {
+        if omega == 0 {
+            return Err(Error::InvalidBlockWidth { omega });
+        }
+        for b in &blocks {
+            if b.omega != omega || b.payload.len() != omega * omega {
+                return Err(Error::DimensionMismatch {
+                    expected: (omega, omega),
+                    found: (b.omega, b.payload.len() / b.omega.max(1)),
+                });
+            }
+        }
+        let want_diag = if layout == AlfLayout::SymGs {
+            rows.min(cols)
+        } else {
+            0
+        };
+        if diagonal.len() != want_diag {
+            return Err(Error::DimensionMismatch {
+                expected: (want_diag, 1),
+                found: (diagonal.len(), 1),
+            });
+        }
+        let nnz = blocks.iter().map(AlfBlock::fill_count).sum::<usize>()
+            + diagonal.iter().filter(|v| **v != 0.0).count();
+        Ok(Alf {
+            rows,
+            cols,
+            omega,
+            layout,
+            blocks,
+            diagonal,
+            nnz,
         })
     }
 
@@ -587,6 +685,63 @@ mod tests {
     #[test]
     fn rejects_zero_omega() {
         assert!(Alf::from_coo(&paper_like(), 0, AlfLayout::SymGs).is_err());
+    }
+
+    #[test]
+    fn from_raw_parts_preserves_non_canonical_stream_order() {
+        // Rebuild a converted format with one block row's off-diagonals
+        // reversed: from_coo would re-canonicalize, from_raw_parts must not.
+        let canonical = Alf::from_coo(&paper_like(), 3, AlfLayout::SymGs).unwrap();
+        let mut blocks: Vec<AlfBlock> = canonical.blocks().to_vec();
+        blocks.swap(0, 1); // off-diagonal (0,2) and diagonal (0,0)
+        let rebuilt = Alf::from_raw_parts(
+            canonical.rows(),
+            canonical.cols(),
+            canonical.omega(),
+            canonical.layout(),
+            blocks.clone(),
+            canonical.diagonal().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.blocks(), blocks.as_slice());
+        assert_eq!(rebuilt.nnz(), canonical.nnz());
+        assert_eq!(rebuilt.diagonal(), canonical.diagonal());
+    }
+
+    #[test]
+    fn raw_constructors_reject_bad_geometry() {
+        let block =
+            AlfBlock::from_streamed_payload(0, 0, BlockKind::OffDiagonal, vec![1.0; 9], 3, false)
+                .unwrap();
+        assert_eq!(block.payload(), &[1.0; 9]);
+        assert!(AlfBlock::from_streamed_payload(
+            0,
+            0,
+            BlockKind::OffDiagonal,
+            vec![1.0; 8],
+            3,
+            false
+        )
+        .is_err());
+        assert!(
+            AlfBlock::from_streamed_payload(0, 0, BlockKind::OffDiagonal, vec![], 0, false)
+                .is_err()
+        );
+        // Diagonal length must match the layout.
+        assert!(
+            Alf::from_raw_parts(6, 6, 3, AlfLayout::SymGs, vec![block.clone()], vec![]).is_err()
+        );
+        assert!(Alf::from_raw_parts(
+            6,
+            6,
+            3,
+            AlfLayout::Streaming,
+            vec![block.clone()],
+            vec![1.0; 6]
+        )
+        .is_err());
+        // Block built at a different ω is refused.
+        assert!(Alf::from_raw_parts(6, 6, 2, AlfLayout::Streaming, vec![block], vec![]).is_err());
     }
 
     #[test]

@@ -227,6 +227,44 @@ fn fleet_json_fingerprints_are_reproducible() {
     assert_eq!(a, b);
 }
 
+/// Canonical alasm listings are a contract with the same shape: the
+/// disassembler's directive ordering, comment text, value formatting, and
+/// alobs span cross-references feed saved program files and triage
+/// workflows, so drift must be deliberate. Each fixture must also
+/// assemble back to the exact bits it was disassembled from (the codec's
+/// round-trip guarantee, pinned here on committed artifacts).
+#[test]
+fn disassembled_listings_match_golden() {
+    use alrescha::convert::{convert, KernelType};
+    use alrescha::ProgramBinary;
+    use alrescha_asm::{assemble_text, disassemble};
+
+    let coo = alrescha_sparse::gen::stencil27(2);
+    for (name, kernel, omega) in [
+        ("listings/stencil27_spmv_w4.alasm", KernelType::SpMv, 4),
+        ("listings/stencil27_symgs_w4.alasm", KernelType::SymGs, 4),
+    ] {
+        let (alf, table) = convert(kernel, &coo, omega).expect("convert");
+        let binary = ProgramBinary::encode(kernel, &table, coo.rows().max(coo.cols()), omega);
+        let text = disassemble(kernel, &table, &alf);
+        assert_golden(name, text.trim_end());
+        let asm = assemble_text(&text).expect("golden listing must assemble");
+        assert_eq!(
+            asm.binary.as_bytes(),
+            binary.as_bytes(),
+            "{name}: reassembly must be bit-identical"
+        );
+        assert_eq!(asm.alf, alf, "{name}: payload must survive the round-trip");
+    }
+
+    // One generator-produced listing pins the differential fuzzer's
+    // canonical text form (including its converter-unreachable schedule).
+    let generated = alrescha_asm::genprog::generate(42);
+    assert_golden("listings/genprog_seed42.alasm", generated.text.trim_end());
+    let asm = assemble_text(&generated.text).expect("generated listing must assemble");
+    assert_eq!(asm.alf.omega(), generated.omega);
+}
+
 /// The deterministic slice of the telemetry metrics registry is an external
 /// contract too: metric names, types, histogram bucket bounds, and number
 /// formatting feed dashboards and the `alobs` summarizer. A fixed sequential

@@ -4,10 +4,18 @@
 //! block width — the layout is defined exactly once, so any drift between
 //! the encoder, the decoder, and the verifier's width arithmetic shows up
 //! here as a byte mismatch.
+//!
+//! The alasm text form joins the same contract from the other side:
+//! `binary → text → binary` must reproduce the program bits and payload
+//! exactly, and `text → binary → text` must reproduce the token stream
+//! (comments and whitespace excluded), for converter output over every
+//! kernel × generator class.
 
 use alrescha::convert::{convert, KernelType};
 use alrescha::{EntryLayout, ProgramBinary};
-use alrescha_sparse::gen;
+use alrescha_asm::syntax::token_stream;
+use alrescha_asm::{assemble_text, disassemble};
+use alrescha_sparse::{gen, Coo};
 use proptest::prelude::*;
 
 const KERNELS: [KernelType; 6] = [
@@ -76,5 +84,58 @@ proptest! {
         prop_assert_eq!(decoded.entries(), table.entries());
         let second = ProgramBinary::encode(KernelType::SymGs, &decoded, n_dim, omega);
         prop_assert_eq!(first.as_bytes(), second.as_bytes());
+    }
+
+    /// `binary → text → binary` over converter output: disassembling any
+    /// converted program and reassembling the listing must reproduce the
+    /// program bits and the ALF payload exactly, for every kernel ×
+    /// generator class.
+    #[test]
+    fn text_roundtrip_is_bit_identical_over_converter_output(
+        kernel_pick in 0usize..6,
+        class in 0usize..6,
+        omega_pick in 0usize..3,
+        seed in 0u64..256,
+    ) {
+        let kernel = KERNELS[kernel_pick];
+        let omega = [2, 4, 8][omega_pick];
+        let coo = generator_class(class, seed);
+        let coo = match kernel {
+            KernelType::SpMv | KernelType::SymGs => coo,
+            _ => coo.transpose(),
+        };
+        // Graph-shaped structures can lack diagonal entries SymGS needs;
+        // those (kernel, matrix) pairs are converter errors, not codec
+        // territory.
+        let Ok((alf, table)) = convert(kernel, &coo, omega) else {
+            return Ok(());
+        };
+        let n = coo.rows().max(coo.cols());
+        let binary = ProgramBinary::encode(kernel, &table, n, omega);
+
+        let text = disassemble(kernel, &table, &alf);
+        let asm = assemble_text(&text)
+            .unwrap_or_else(|e| panic!("canonical listing rejected: {e}"));
+        prop_assert_eq!(asm.binary.as_bytes(), binary.as_bytes(), "program bits");
+        prop_assert_eq!(&asm.alf, &alf, "ALF payload");
+        prop_assert_eq!(asm.table.entries(), table.entries(), "config entries");
+
+        // `text → binary → text`: the canonical form is a fixed point of
+        // the codec at token-stream granularity.
+        let text2 = disassemble(asm.kernel, &asm.table, &asm.alf);
+        prop_assert_eq!(token_stream(&text), token_stream(&text2), "token stream");
+    }
+}
+
+/// One representative structure per generator class the alverify `--gen`
+/// grammar exposes (sizes kept small — proptest multiplies the cases).
+fn generator_class(class: usize, seed: u64) -> Coo {
+    match class {
+        0 => gen::stencil27(2),
+        1 => gen::banded(24, 3, seed),
+        2 => gen::circuit(20, seed),
+        3 => gen::scattered(18, 4, seed),
+        4 => gen::rmat(16, 4, seed),
+        _ => gen::road_grid(4),
     }
 }
