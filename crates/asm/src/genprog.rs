@@ -22,26 +22,25 @@ use alrescha_sparse::{Alf, AlfBlock, BlockKind};
 
 use crate::disasm::disassemble;
 
-/// SplitMix64 — the seeding PRNG of the house chaos harness: tiny, fast,
-/// and equidistributed enough for schedule shuffling.
+/// SplitMix64 — the seeding PRNG of the house chaos harness, backed by the
+/// workspace-shared stream in [`alrescha::util`]; kept as a local type so
+/// generator-specific draws (`value`, `diag_value`, `shuffle`) stay here.
 #[derive(Debug, Clone)]
 pub struct SplitMix64 {
-    state: u64,
+    inner: alrescha::util::SplitMix64,
 }
 
 impl SplitMix64 {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        SplitMix64 { state: seed }
+        SplitMix64 {
+            inner: alrescha::util::SplitMix64::new(seed),
+        }
     }
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+        self.inner.next_u64()
     }
 
     /// Uniform value in `0..bound` (`bound > 0`).
@@ -51,7 +50,7 @@ impl SplitMix64 {
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        alrescha::util::unit_f64(self.next_u64())
     }
 
     /// A payload value in `[-2, 2]`, quantized so listings stay short.

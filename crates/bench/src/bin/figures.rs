@@ -25,6 +25,7 @@ struct Args {
     skip_preflight: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    bench_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         skip_preflight: false,
         trace_out: None,
         metrics_out: None,
+        bench_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -70,6 +72,9 @@ fn parse_args() -> Result<Args, String> {
             "--metrics-out" => {
                 args.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?);
             }
+            "--bench-out" => {
+                args.bench_out = Some(it.next().ok_or("--bench-out needs a directory")?);
+            }
             "--all" => args.all = true,
             "--skip-preflight" => args.skip_preflight = true,
             "--scale" => {
@@ -95,6 +100,7 @@ fn print_help() {
     println!("  --breakdown           device-side SymGS cycle breakdown");
     println!("  --verify              check every headline claim; exit 1 on failure");
     println!("  --out <dir>           export every figure's rows as CSV");
+    println!("  --bench-out <dir>     write machine-readable BENCH_<workload>.json results");
     println!("  --ablation block-size the §5.2 block-width sweep");
     println!("  --ablation drain      drain-hidden reconfiguration cost");
     println!("  --ablation reorder    RCM-before-conversion fill/time sweep");
@@ -140,7 +146,8 @@ fn main() {
         || args.fig.is_some()
         || args.breakdown
         || args.ablation.is_some()
-        || args.out.is_some();
+        || args.out.is_some()
+        || args.bench_out.is_some();
     if benchmarks_requested && !args.skip_preflight {
         match alrescha_bench::preflight_suites(n) {
             Ok(checked) => println!("preflight: {checked} dataset/kernel pairs verified clean\n"),
@@ -166,6 +173,21 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        ran = true;
+    }
+    if let Some(dir) = &args.bench_out {
+        match fig::export::export_bench_json(std::path::Path::new(dir), n) {
+            Ok(files) => {
+                println!("wrote {} benchmark JSON files to {dir}:", files.len());
+                for f in files {
+                    println!("  {f}");
+                }
+            }
+            Err(e) => {
+                eprintln!("bench export failed: {e}");
                 std::process::exit(1);
             }
         }

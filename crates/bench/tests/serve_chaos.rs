@@ -23,6 +23,7 @@ use std::time::Duration;
 
 use alrescha::fleet::{Fleet, FleetConfig, JobKernel, JobSpec};
 use alrescha::{ChaosStorage, IoFaultPlan, SolverOptions, StorageIo};
+use alrescha_obs::flight::FlightDump;
 use alrescha_serve::chaos::{ChaosProxy, NetFaultCounters, NetFaultPlan};
 use alrescha_serve::{Bind, Client, JobPayload, Journal, RetryPolicy, Server, ServerConfig};
 
@@ -85,6 +86,18 @@ fn chaos_server(dir: &std::path::Path, storage: Arc<dyn StorageIo>) -> ServerCon
         retry_after_hint: Duration::from_millis(2),
         storage,
         ..ServerConfig::default()
+    }
+}
+
+/// Preserves the server's flight-recorder dump for a failing seed: the
+/// `.alfr` in the data dir is copied to a stable path so the panic
+/// message can point at the black box that explains the failure.
+fn capture_flight(dir: &std::path::Path, seed: u64) -> String {
+    let src = dir.join("alserve.alfr");
+    let dst = std::env::temp_dir().join(format!("alserve-chaos-flight-{seed:x}.alfr"));
+    match std::fs::copy(&src, &dst) {
+        Ok(_) => format!("flight dump captured at {} (decode with `alobs flight`)", dst.display()),
+        Err(e) => format!("no flight dump captured ({}: {e})", src.display()),
     }
 }
 
@@ -169,6 +182,18 @@ fn chaos_soak_stop_restart_under_storage_and_network_faults() {
             .unwrap_or_else(|e| panic!("journal unreadable after cycle {cycle} (CHAOS_SEED={seed}): {e}"));
         pending_observed += journal.recover().len();
         drop(journal);
+        // The flight dump must stay CRC-valid and non-empty under active
+        // storage and network hostility — it is the artifact a failing
+        // seed gets triaged from, so it may never be the casualty.
+        let dump = FlightDump::read(&dir.join("alserve.alfr"))
+            .unwrap_or_else(|e| panic!("no flight dump after cycle {cycle} (CHAOS_SEED={seed}): {e}"))
+            .unwrap_or_else(|e| {
+                panic!("flight dump corrupt after cycle {cycle} (CHAOS_SEED={seed}): {e}")
+            });
+        assert!(
+            !dump.records.is_empty(),
+            "empty flight dump after cycle {cycle} (CHAOS_SEED={seed})"
+        );
         handle = Server::new(chaos_server(&dir, Arc::clone(&storage) as Arc<dyn StorageIo>))
             .start()
             .unwrap_or_else(|e| panic!("restart {cycle} failed (CHAOS_SEED={seed}): {e}"));
@@ -180,13 +205,21 @@ fn chaos_soak_stop_restart_under_storage_and_network_faults() {
     let mut client = chaos_client(handle.addr(), seed);
     for (&id, &(side, payload_seed)) in &accepted {
         let result = client.wait(id).unwrap_or_else(|e| {
-            panic!("job {id} lost after {cycles} chaotic cycles (CHAOS_SEED={seed}): {e}")
+            panic!(
+                "job {id} lost after {cycles} chaotic cycles (CHAOS_SEED={seed}): {e}; {}",
+                capture_flight(&dir, seed)
+            )
         });
-        assert!(result.converged, "job {id} did not converge (CHAOS_SEED={seed})");
+        assert!(
+            result.converged,
+            "job {id} did not converge (CHAOS_SEED={seed}); {}",
+            capture_flight(&dir, seed)
+        );
         assert_eq!(
             result.solution_fingerprint,
             reference_fingerprint(&sample_job(side, payload_seed)),
-            "job {id} diverged from the uninterrupted reference (CHAOS_SEED={seed})"
+            "job {id} diverged from the uninterrupted reference (CHAOS_SEED={seed}); {}",
+            capture_flight(&dir, seed)
         );
     }
     assert_eq!(accepted.len() as u64, cycles * 2, "acceptance bookkeeping is off");

@@ -24,6 +24,7 @@ use std::time::Duration;
 
 use alrescha::fleet::{Fleet, FleetConfig, JobKernel, JobSpec};
 use alrescha::SolverOptions;
+use alrescha_obs::flight::{self, FlightDump};
 use alrescha_serve::{Client, JobPayload, Journal, RetryPolicy};
 
 fn tempdir(name: &str) -> PathBuf {
@@ -152,12 +153,14 @@ fn kill_restart_soak_loses_no_accepted_jobs_and_stays_bit_identical() {
         let mut client = soak_client(&addr);
         // Two fresh jobs per cycle: one quick (side 3), one that takes
         // more iterations (side 5) so kills land mid-solve.
+        let mut cycle_ids = Vec::new();
         for &side in &[3usize, 5] {
             let seed = cycle * 2 + u64::from(side == 5);
             let id = client
                 .submit("soak", &sample_job(side, seed))
                 .unwrap_or_else(|e| panic!("cycle {cycle}: submit failed: {e}"));
             assert!(accepted.insert(id, seed).is_none(), "job id {id} reused");
+            cycle_ids.push(id);
         }
         // Let the solvers run for a random slice, then SIGKILL: no drain,
         // no flush, no goodbye — exactly a crash. Alternate cycles kill
@@ -173,6 +176,34 @@ fn kill_restart_soak_loses_no_accepted_jobs_and_stays_bit_identical() {
         // truncation the restarting server would.)
         let journal = Journal::open(dir.join("jobs.wal")).expect("journal readable after kill");
         pending_observed += journal.recover().len();
+        // The flight recorder must survive the SIGKILL too: the ring is
+        // synced to disk before every `Accepted` ack and after every
+        // terminal record, so the dump is CRC-valid and its journal
+        // events agree with the journal the next incarnation replays.
+        let dump = FlightDump::read(&dir.join("alserve.alfr"))
+            .unwrap_or_else(|e| panic!("no flight dump after kill {cycle}: {e}"))
+            .unwrap_or_else(|e| panic!("flight dump corrupt after kill {cycle}: {e}"));
+        let accepts: Vec<u64> = dump
+            .records
+            .iter()
+            .filter(|r| r.code == flight::EV_JOURNAL_ACCEPT)
+            .map(|r| r.b)
+            .collect();
+        for id in &cycle_ids {
+            assert!(
+                accepts.contains(id),
+                "cycle {cycle}: acked job {id} missing from the flight dump"
+            );
+        }
+        for rec in &dump.records {
+            if rec.code == flight::EV_JOURNAL_TERMINAL {
+                assert!(
+                    journal.terminal_order().contains(&rec.b),
+                    "cycle {cycle}: flight terminal for job {} has no journal record",
+                    rec.b
+                );
+            }
+        }
         drop(journal);
         let restart_started = std::time::Instant::now();
         let (c, a) = start_server(&dir);

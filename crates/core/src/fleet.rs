@@ -198,6 +198,11 @@ pub struct JobSpec {
     /// is stable FIFO. The fleet's own batch APIs preserve submission
     /// order regardless — this field is carried for schedulers above.
     pub priority: u8,
+    /// Distributed-trace identifier minted by the submitting client
+    /// (`0` = untraced). When set, the per-job span name is prefixed
+    /// `trace:<id>:` so the alobs stitcher can merge client, server, and
+    /// engine events under one trace.
+    pub trace_id: u64,
 }
 
 impl JobSpec {
@@ -216,6 +221,7 @@ impl JobSpec {
             resume_from: None,
             cpu_only: false,
             priority: 0,
+            trace_id: 0,
         }
     }
 
@@ -279,6 +285,13 @@ impl JobSpec {
     #[must_use]
     pub fn with_priority(mut self, priority: u8) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Propagates a distributed-trace id into the job span (`0` clears).
+    #[must_use]
+    pub fn with_trace_id(mut self, trace_id: u64) -> Self {
+        self.trace_id = trace_id;
         self
     }
 }
@@ -1073,7 +1086,14 @@ impl Fleet {
         let kernel = spec.kernel.name();
         let caching = station.caching;
         let mut cache_hit = true;
-        let _job_span = alrescha_obs::span!(self.telemetry, format!("job:{index}:{kernel}"));
+        let _job_span = if spec.trace_id != 0 {
+            alrescha_obs::span!(
+                self.telemetry,
+                format!("trace:{:016x}:job:{index}:{kernel}", spec.trace_id)
+            )
+        } else {
+            alrescha_obs::span!(self.telemetry, format!("job:{index}:{kernel}"))
+        };
         let result = (|| -> Result<JobOutput> {
             let budget = effective_budget(spec, &self.config, deadline)?;
             let acc = station.accelerator(&spec.config);

@@ -42,6 +42,7 @@ pub mod fleet;
 pub mod program;
 pub mod solver;
 pub mod storage;
+pub mod util;
 
 pub use accelerator::{Alrescha, ProgrammedKernel};
 pub use breaker::{BackendChoice, BreakerConfig, BreakerState, CircuitBreaker, SharedBreaker};

@@ -349,17 +349,11 @@ pub fn is_storage_full(e: &io::Error) -> bool {
         || e.kind() == io::ErrorKind::QuotaExceeded
 }
 
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+use crate::util::splitmix64;
 
 /// One uniform draw in `[0, 1)` from the splitmix64 stream.
 fn draw_unit(state: &mut u64) -> f64 {
-    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+    crate::util::unit_f64(splitmix64(state))
 }
 
 // ---------------------------------------------------------------------------

@@ -38,14 +38,21 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod chrome;
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod prom;
 pub mod summary;
 pub mod telemetry;
 
 pub use chrome::export_chrome_trace;
+pub use flight::{FlightDump, FlightError, FlightRecord, FlightRecorder};
 pub use metrics::{Counter, Gauge, Histogram, Registry, CYCLE_BUCKETS, MICROS_BUCKETS};
-pub use summary::{count_spans_named, span_self_times, validate_chrome_trace, SpanStat, TraceSummary};
+pub use prom::validate_prometheus;
+pub use summary::{
+    count_spans_named, span_self_times, stitch_traces, trace_ids, validate_chrome_trace, SpanStat,
+    TraceSummary,
+};
 pub use telemetry::{
     ArgValue, DeviceEvent, DeviceTimeline, SpanEvent, SpanGuard, Telemetry, ThreadLog,
     ThreadSnapshot,

@@ -310,29 +310,40 @@ impl Registry {
 
     /// Prometheus text exposition (`# HELP` / `# TYPE` plus samples);
     /// histograms expand to cumulative `_bucket{le=...}`, `_sum`, `_count`.
+    ///
+    /// A metric registered with a `{label="value"}` suffix in its name
+    /// (e.g. `alserve_slo_e2e_us{tenant="acme"}`) is exposed as a labelled
+    /// sample of the *family* (the name up to `{`): `# HELP` / `# TYPE`
+    /// are emitted once per family, and histogram expansion splices `le`
+    /// in after the caller's labels. The `BTreeMap` name order keeps all
+    /// samples of a labelled family contiguous.
     pub fn to_prometheus(&self) -> String {
         let entries = lock(&self.entries);
         let mut out = String::new();
+        let mut last_family = String::new();
         for (name, entry) in entries.iter() {
-            let _ = writeln!(
-                        out,"# HELP {name} {}", entry.help);
+            let (family, labels) = split_labels(name);
+            let kind = match &entry.cell {
+                Cell::Counter(_) => "counter",
+                Cell::Gauge(_) => "gauge",
+                Cell::Histogram(_) => "histogram",
+            };
+            if family != last_family {
+                let _ = writeln!(out, "# HELP {family} {}", entry.help);
+                let _ = writeln!(out, "# TYPE {family} {kind}");
+                family.clone_into(&mut last_family);
+            }
             match &entry.cell {
                 Cell::Counter(c) => {
-                    let _ = writeln!(
-                        out,"# TYPE {name} counter");
                     let _ = writeln!(
                         out,"{name} {}", c.load(Ordering::Relaxed));
                 }
                 Cell::Gauge(c) => {
-                    let _ = writeln!(
-                        out,"# TYPE {name} gauge");
                     let v = f64::from_bits(c.load(Ordering::Relaxed));
                     let _ = writeln!(
                         out,"{name} {v}");
                 }
                 Cell::Histogram(h) => {
-                    let _ = writeln!(
-                        out,"# TYPE {name} histogram");
                     let mut cumulative = 0u64;
                     for (i, bucket) in h.buckets.iter().enumerate() {
                         cumulative += bucket.load(Ordering::Relaxed);
@@ -340,22 +351,43 @@ impl Registry {
                             .bounds
                             .get(i)
                             .map_or_else(|| "+Inf".to_owned(), ToString::to_string);
-                        let _ = writeln!(
-                        out,
-                            "{name}_bucket{{le=\"{le}\"}} {cumulative}"
-                        );
+                        let sample = if labels.is_empty() {
+                            format!("{family}_bucket{{le=\"{le}\"}}")
+                        } else {
+                            format!("{family}_bucket{{{labels},le=\"{le}\"}}")
+                        };
+                        let _ = writeln!(out, "{sample} {cumulative}");
                     }
+                    let suffix = if labels.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{{{labels}}}")
+                    };
                     let _ = writeln!(
-                        out,"{name}_sum {}", h.sum.load(Ordering::Relaxed));
+                        out,"{family}_sum{suffix} {}", h.sum.load(Ordering::Relaxed));
                     let _ = writeln!(
                         out,
-                        "{name}_count {}",
+                        "{family}_count{suffix} {}",
                         h.count.load(Ordering::Relaxed)
                     );
                 }
             }
         }
         out
+    }
+}
+
+/// Splits a registry name into `(family, labels)`: `f{t="a"}` becomes
+/// `("f", "t=\"a\"")`, an unlabelled name becomes `(name, "")`.
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(open) => {
+            let family = &name[..open];
+            let rest = &name[open + 1..];
+            let labels = rest.strip_suffix('}').unwrap_or(rest);
+            (family, labels)
+        }
+        None => (name, ""),
     }
 }
 
@@ -444,6 +476,25 @@ mod tests {
             .filter_map(|m| m.get("name").and_then(crate::json::Value::as_str))
             .collect();
         assert_eq!(names, ["a_total", "b_total"]);
+    }
+
+    #[test]
+    fn labelled_family_emits_help_and_type_once() {
+        let reg = open_registry();
+        reg.counter("alserve_slo_breach_total{tenant=\"a\"}", false, "slo breaches")
+            .add(2);
+        reg.counter("alserve_slo_breach_total{tenant=\"b\"}", false, "slo breaches")
+            .add(5);
+        reg.histogram("alserve_slo_e2e_us{tenant=\"a\"}", &[10, 100], false, "e2e latency")
+            .observe(42);
+        let prom = reg.to_prometheus();
+        assert_eq!(prom.matches("# HELP alserve_slo_breach_total ").count(), 1, "{prom}");
+        assert_eq!(prom.matches("# TYPE alserve_slo_breach_total counter").count(), 1);
+        assert!(prom.contains("alserve_slo_breach_total{tenant=\"a\"} 2"));
+        assert!(prom.contains("alserve_slo_breach_total{tenant=\"b\"} 5"));
+        assert!(prom.contains("alserve_slo_e2e_us_bucket{tenant=\"a\",le=\"100\"} 1"), "{prom}");
+        assert!(prom.contains("alserve_slo_e2e_us_sum{tenant=\"a\"} 42"));
+        assert!(prom.contains("alserve_slo_e2e_us_count{tenant=\"a\"} 1"));
     }
 
     #[test]

@@ -151,6 +151,95 @@ pub fn validate_chrome_trace(doc: &Value) -> Result<TraceSummary, String> {
     })
 }
 
+/// Merges several Chrome traces (client-side, server-side) into one
+/// timeline document.
+///
+/// Each source becomes its own process: `pid` = source index + 1, with a
+/// `process_name` metadata event carrying the source label, and every
+/// track is remapped onto a globally unique `tid` so per-track `B`/`E`
+/// pairing survives the merge. Event order *within* a source is
+/// preserved (the exporter emits per-track LIFO order; the viewers sort
+/// by `ts` themselves), so the stitched document validates iff the
+/// sources did. Cross-process correlation rides on span names: spans
+/// carrying the same `trace:<16-hex>` prefix line up as one distributed
+/// request across the client and server processes.
+pub fn stitch_traces(sources: &[(String, Value)]) -> Result<Value, String> {
+    let mut out_events: Vec<Value> = Vec::new();
+    let mut next_tid: u64 = 1;
+    for (idx, (label, doc)) in sources.iter().enumerate() {
+        validate_chrome_trace(doc).map_err(|e| format!("source '{label}': {e}"))?;
+        #[allow(clippy::cast_precision_loss)]
+        let pid = (idx + 1) as f64;
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("source '{label}': missing traceEvents"))?;
+        out_events.push(Value::Obj(vec![
+            ("name".to_owned(), Value::Str("process_name".to_owned())),
+            ("ph".to_owned(), Value::Str("M".to_owned())),
+            ("ts".to_owned(), Value::Num(0.0)),
+            ("pid".to_owned(), Value::Num(pid)),
+            ("tid".to_owned(), Value::Num(0.0)),
+            (
+                "args".to_owned(),
+                Value::Obj(vec![("name".to_owned(), Value::Str(label.clone()))]),
+            ),
+        ]));
+        let mut tid_map: BTreeMap<u64, u64> = BTreeMap::new();
+        for event in events {
+            let Value::Obj(fields) = event else {
+                return Err(format!("source '{label}': non-object trace event"));
+            };
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let old_tid = event
+                .get("tid")
+                .and_then(Value::as_f64)
+                .unwrap_or_default() as u64;
+            let new_tid = *tid_map.entry(old_tid).or_insert_with(|| {
+                let t = next_tid;
+                next_tid += 1;
+                t
+            });
+            let mut rewritten = Vec::with_capacity(fields.len());
+            for (k, v) in fields {
+                match k.as_str() {
+                    "pid" => rewritten.push((k.clone(), Value::Num(pid))),
+                    #[allow(clippy::cast_precision_loss)]
+                    "tid" => rewritten.push((k.clone(), Value::Num(new_tid as f64))),
+                    _ => rewritten.push((k.clone(), v.clone())),
+                }
+            }
+            out_events.push(Value::Obj(rewritten));
+        }
+    }
+    let stitched = Value::Obj(vec![(
+        "traceEvents".to_owned(),
+        Value::Arr(out_events),
+    )]);
+    validate_chrome_trace(&stitched).map_err(|e| format!("stitched trace invalid: {e}"))?;
+    Ok(stitched)
+}
+
+/// Collects the distinct `trace:<16-hex>` prefixes appearing in span or
+/// instant names — the distributed-trace ids present in a document.
+pub fn trace_ids(doc: &Value) -> Vec<String> {
+    let mut ids: Vec<String> = Vec::new();
+    if let Some(events) = doc.get("traceEvents").and_then(Value::as_arr) {
+        for event in events {
+            if let Some(name) = event.get("name").and_then(Value::as_str) {
+                if let Some(rest) = name.strip_prefix("trace:") {
+                    let id: String = rest.chars().take_while(char::is_ascii_hexdigit).collect();
+                    if id.len() == 16 && !ids.contains(&id) {
+                        ids.push(id);
+                    }
+                }
+            }
+        }
+    }
+    ids.sort();
+    ids
+}
+
 /// Aggregated timing for one span name.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanStat {
@@ -286,6 +375,48 @@ mod tests {
         assert!(validate_chrome_trace(&x_without_dur)
             .expect_err("missing dur")
             .contains("'dur'"));
+    }
+
+    #[test]
+    fn stitch_remaps_tracks_onto_disjoint_processes() {
+        let client = doc(
+            r#"{"name":"trace:00000000deadbeef:submit","ph":"B","ts":0,"pid":1,"tid":1},
+               {"name":"trace:00000000deadbeef:submit","ph":"E","ts":5,"pid":1,"tid":1}"#,
+        );
+        let server = doc(
+            r#"{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"worker-0"}},
+               {"name":"trace:00000000deadbeef:journal","ph":"B","ts":1,"pid":1,"tid":1},
+               {"name":"trace:00000000deadbeef:journal","ph":"E","ts":2,"pid":1,"tid":1},
+               {"name":"other","ph":"B","ts":3,"pid":1,"tid":2},
+               {"name":"other","ph":"E","ts":4,"pid":1,"tid":2}"#,
+        );
+        let stitched = stitch_traces(&[
+            ("client".to_owned(), client),
+            ("server".to_owned(), server),
+        ])
+        .expect("stitches");
+        let summary = validate_chrome_trace(&stitched).expect("valid");
+        // 1 client track + 2 server tracks + shared metadata track 0.
+        assert_eq!(summary.tracks.len(), 4);
+        let ids = trace_ids(&stitched);
+        assert_eq!(ids, ["00000000deadbeef"]);
+        // Both processes named.
+        let events = stitched.get("traceEvents").and_then(Value::as_arr).expect("arr");
+        let process_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("process_name"))
+            .filter_map(|e| {
+                e.get("args").and_then(|a| a.get("name")).and_then(Value::as_str)
+            })
+            .collect();
+        assert_eq!(process_names, ["client", "server"]);
+    }
+
+    #[test]
+    fn stitch_rejects_an_invalid_source() {
+        let bad = doc(r#"{"name":"a","ph":"E","ts":0,"pid":1,"tid":1}"#);
+        let err = stitch_traces(&[("bad".to_owned(), bad)]).expect_err("rejects");
+        assert!(err.contains("source 'bad'"), "{err}");
     }
 
     #[test]

@@ -42,18 +42,10 @@ const TRAILER_LEN: usize = 4;
 /// Poll interval for the accept loop and stop-flag checks.
 const POLL: Duration = Duration::from_millis(5);
 
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+use alrescha::util::{splitmix64, unit_f64};
 
 fn draw_unit(state: &mut u64) -> f64 {
-    #[allow(clippy::cast_precision_loss)]
-    let unit = (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64;
-    unit
+    unit_f64(splitmix64(state))
 }
 
 /// Seeded per-frame fault probabilities for the ALSV proxy.

@@ -11,14 +11,18 @@
 //! hint spreads the retry ramp across rejected clients, the jitter breaks
 //! ties within it.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::io;
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::protocol::{Frame, JobPayload, SolveResult, WireError};
+use alrescha_obs::Telemetry;
+
+use crate::protocol::{Frame, JobPayload, ScrapeKind, SolveResult, TraceContext, WireError};
 use crate::server::Stream;
 
 /// Retry/backoff policy for one client.
@@ -67,13 +71,11 @@ impl RetryPolicy {
     }
 }
 
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+use alrescha::util::splitmix64;
+
+/// Salt xor'd into the policy seed to derive the trace-id stream, so the
+/// jitter and trace streams are distinct but both reproducible per seed.
+const TRACE_STREAM_SALT: u64 = 0x7472_6163_6531_3634; // "trace164"
 
 /// Client-side errors.
 #[derive(Debug)]
@@ -176,6 +178,15 @@ pub struct Client {
     policy: RetryPolicy,
     rng: u64,
     conn: Option<Stream>,
+    /// Optional span/metric sink; spans carry `trace:<id>:` prefixes that
+    /// `alobs stitch` lines up with the server's trace file.
+    telemetry: Option<Arc<Telemetry>>,
+    /// Deterministic trace-id stream, decoupled from the jitter stream so
+    /// tracing never perturbs the retry schedule (and vice versa).
+    trace_rng: u64,
+    /// job_id → trace_id for jobs this client submitted, so `wait` spans
+    /// join the same trace as the submit that created the job.
+    traces: HashMap<u64, u64>,
 }
 
 impl fmt::Debug for Client {
@@ -191,22 +202,61 @@ impl Client {
     /// A client for a TCP server at `addr` (`host:port`).
     pub fn tcp(addr: impl Into<String>, policy: RetryPolicy) -> Self {
         let rng = policy.seed;
+        let trace_rng = policy.seed ^ TRACE_STREAM_SALT;
         Client {
             target: Target::Tcp(addr.into()),
             policy,
             rng,
             conn: None,
+            telemetry: None,
+            trace_rng,
+            traces: HashMap::new(),
         }
     }
 
     /// A client for a unix-socket server at `path`.
     pub fn unix(path: impl Into<PathBuf>, policy: RetryPolicy) -> Self {
         let rng = policy.seed;
+        let trace_rng = policy.seed ^ TRACE_STREAM_SALT;
         Client {
             target: Target::Unix(path.into()),
             policy,
             rng,
             conn: None,
+            telemetry: None,
+            trace_rng,
+            traces: HashMap::new(),
+        }
+    }
+
+    /// Attaches a telemetry sink: client-side spans (`submit`, `wait`,
+    /// reconnect markers) are recorded with the trace-id prefix the
+    /// server's spans share.
+    #[must_use]
+    pub fn with_telemetry(mut self, tele: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(tele);
+        self
+    }
+
+    /// Mints the next nonzero trace id from the deterministic stream.
+    fn mint_trace_id(&mut self) -> u64 {
+        loop {
+            let id = splitmix64(&mut self.trace_rng);
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+
+    /// The trace id minted for `job_id`'s submit, if this client made it.
+    #[must_use]
+    pub fn trace_id_of(&self, job_id: u64) -> Option<u64> {
+        self.traces.get(&job_id).copied()
+    }
+
+    fn trace_instant(&self, trace_id: u64, what: &str) {
+        if let Some(tele) = &self.telemetry {
+            tele.instant(format!("trace:{trace_id:016x}:{what}"));
         }
     }
 
@@ -267,9 +317,20 @@ impl Client {
     /// [`ClientError::Deadline`] when the budget runs out, or a wire
     /// error no retry could absorb.
     pub fn submit(&mut self, tenant: &str, job: &JobPayload) -> Result<u64, ClientError> {
+        // One trace id per submit *operation*: every retry of this job
+        // carries the same id, so the stitched timeline shows the whole
+        // gauntlet (rejections, reconnects, the final accept) as one
+        // trace even across a server restart.
+        let trace_id = self.mint_trace_id();
+        let tele = self.telemetry.clone();
+        let _span = alrescha_obs::span!(tele, format!("trace:{trace_id:016x}:submit"));
         let request = Frame::Submit {
             tenant: tenant.to_owned(),
             job: job.clone(),
+            trace: TraceContext {
+                trace_id,
+                parent_span: 0,
+            },
         };
         let started = Instant::now();
         let mut attempt = 0u32;
@@ -281,13 +342,17 @@ impl Client {
                 });
             }
             match self.exchange(&request, started) {
-                Ok(Frame::Accepted { job_id }) => return Ok(job_id),
+                Ok(Frame::Accepted { job_id }) => {
+                    self.traces.insert(job_id, trace_id);
+                    return Ok(job_id);
+                }
                 Ok(Frame::Rejected {
                     reason,
                     retry_after,
                 }) => match retry_after {
                     // Transient: honor the hint, jitter on top.
                     Some(hint) => {
+                        self.trace_instant(trace_id, "rejected-transient");
                         let backoff = self.policy.backoff(attempt, &mut self.rng);
                         std::thread::sleep(hint.max(backoff));
                     }
@@ -303,6 +368,7 @@ impl Client {
                 Ok(_) => return Err(ClientError::Protocol("unexpected reply to Submit")),
                 Err(_) => {
                     // Disconnect or garbage: reconnect after a backoff.
+                    self.trace_instant(trace_id, "reconnect");
                     self.drop_conn();
                     let backoff = self.policy.backoff(attempt, &mut self.rng);
                     std::thread::sleep(backoff);
@@ -377,6 +443,28 @@ impl Client {
     /// [`ClientError::NotFound`] for an unknown id, or
     /// [`ClientError::Deadline`].
     pub fn wait(&mut self, job_id: u64) -> Result<SolveResult, ClientError> {
+        self.wait_inner(job_id, false)
+    }
+
+    /// Passively observes a job this client did **not** necessarily
+    /// submit: streams the same progress a waiter sees, but read-only —
+    /// the terminal `Done` arrives with the solution vector stripped
+    /// (scalars and fingerprint intact).
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`Client::wait`].
+    pub fn observe(&mut self, job_id: u64) -> Result<SolveResult, ClientError> {
+        self.wait_inner(job_id, true)
+    }
+
+    fn wait_inner(&mut self, job_id: u64, observe: bool) -> Result<SolveResult, ClientError> {
+        let trace_id = self.traces.get(&job_id).copied().unwrap_or(0);
+        let tele = self.telemetry.clone();
+        let verb = if observe { "observe" } else { "wait" };
+        let _span = (trace_id != 0)
+            .then(|| alrescha_obs::span!(tele, format!("trace:{trace_id:016x}:{verb}:{job_id}")))
+            .flatten();
         let started = Instant::now();
         let mut attempt = 0u32;
         'reconnect: loop {
@@ -392,7 +480,12 @@ impl Client {
                 attempt += 1;
                 continue 'reconnect;
             };
-            if (Frame::Wait { job_id }).write_to(stream).is_err() {
+            let request = if observe {
+                Frame::Observe { job_id }
+            } else {
+                Frame::Wait { job_id }
+            };
+            if request.write_to(stream).is_err() {
                 self.drop_conn();
                 let backoff = self.policy.backoff(attempt, &mut self.rng);
                 std::thread::sleep(backoff);
@@ -450,6 +543,9 @@ impl Client {
                     Err(_) => {
                         // Server died mid-wait: reconnect and re-wait. The
                         // journal guarantees the job is still owed.
+                        if trace_id != 0 {
+                            self.trace_instant(trace_id, "reconnect");
+                        }
                         self.drop_conn();
                         let backoff = self.policy.backoff(attempt, &mut self.rng);
                         std::thread::sleep(backoff);
@@ -490,6 +586,47 @@ impl Client {
                 self.drop_conn();
                 Err(e.into())
             }
+        }
+    }
+
+    /// Live introspection: asks the daemon for one scrape body (Prometheus
+    /// metrics, health JSON, the job table, or the per-tenant top view).
+    ///
+    /// # Errors
+    ///
+    /// Deadline exhaustion or unabsorbed wire errors.
+    pub fn scrape(&mut self, kind: ScrapeKind) -> Result<String, ClientError> {
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            if attempt >= self.policy.max_attempts || started.elapsed() >= self.policy.deadline {
+                return Err(ClientError::Deadline {
+                    waited: started.elapsed(),
+                    attempts: attempt,
+                });
+            }
+            match self.exchange(&Frame::Scrape { kind }, started) {
+                Ok(Frame::ScrapeReply { body }) => return Ok(body),
+                Ok(Frame::Rejected {
+                    retry_after: Some(hint),
+                    ..
+                }) => {
+                    self.drop_conn();
+                    let backoff = self.policy.backoff(attempt, &mut self.rng);
+                    std::thread::sleep(hint.max(backoff));
+                }
+                Ok(Frame::Rejected {
+                    reason,
+                    retry_after: None,
+                }) => return Err(ClientError::Rejected { reason }),
+                Ok(_) => return Err(ClientError::Protocol("unexpected reply to Scrape")),
+                Err(_) => {
+                    self.drop_conn();
+                    let backoff = self.policy.backoff(attempt, &mut self.rng);
+                    std::thread::sleep(backoff);
+                }
+            }
+            attempt += 1;
         }
     }
 }

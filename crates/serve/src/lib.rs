@@ -37,10 +37,12 @@ pub mod journal;
 pub mod protocol;
 pub mod quota;
 pub mod server;
+pub mod slo;
 
 pub use chaos::{ChaosProxy, NetFaultCounters, NetFaultKind, NetFaultPlan};
 pub use client::{Client, ClientError, JobStatus, RetryPolicy};
 pub use journal::{Journal, JournalError, JournalRecord, JournalStats, TerminalKind};
-pub use protocol::{Frame, JobPayload, SolveResult, WireError};
+pub use protocol::{Frame, JobPayload, ScrapeKind, SolveResult, TraceContext, WireError};
 pub use quota::{QuotaDecision, QuotaTable};
+pub use slo::{BurnWindow, SloHistogram, SloTable, TenantSlo, SLO_BUCKETS_US};
 pub use server::{Bind, Server, ServerConfig, ServerError, ServerHandle};

@@ -26,8 +26,13 @@ use alrescha_sparse::Coo;
 
 /// Frame magic: "ALSV" (ALrescha SerVe).
 pub const MAGIC: [u8; 4] = *b"ALSV";
-/// Current wire-format version (2 added the job `priority` byte).
-pub const VERSION: u32 = 2;
+/// Current wire-format version (2 added the job `priority` byte; 3 added
+/// the [`TraceContext`] on `Submit` and the `Scrape`/`Observe` frames).
+pub const VERSION: u32 = 3;
+/// Oldest version this build still decodes. A v2 `Submit` payload is a
+/// strict prefix of the v3 layout (the trace context is appended after
+/// the priority byte), so v2 peers keep working with a zero trace.
+pub const MIN_VERSION: u32 = 2;
 /// Upper bound on a frame payload (a 3-D stencil system of a few million
 /// rows fits comfortably; anything bigger is a corrupt length field).
 pub const MAX_PAYLOAD: usize = 256 << 20;
@@ -123,6 +128,71 @@ pub struct JobPayload {
     pub priority: u8,
 }
 
+/// Distributed-trace context carried by a [`Frame::Submit`]: the client
+/// mints a `trace_id` (deterministically from its retry seed), and every
+/// span the request touches — client retries, server journal fsyncs,
+/// checkpoint writes, fleet job execution, engine device events — carries
+/// a `trace:<trace_id as 016x>` name prefix so `alobs stitch` can line
+/// the processes up on one timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// Request-scoped identifier; 0 means "untraced" (v2 peers).
+    pub trace_id: u64,
+    /// Client-side span id that encloses the submit, for future use by
+    /// viewers that support explicit parent links; 0 when absent.
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// True when this context carries no trace (v2 peer or tracing off).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.trace_id == 0 && self.parent_span == 0
+    }
+
+    /// The span-name prefix for this trace: `trace:<16 hex digits>`.
+    #[must_use]
+    pub fn prefix(&self) -> String {
+        format!("trace:{:016x}", self.trace_id)
+    }
+}
+
+/// What a [`Frame::Scrape`] asks the daemon for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScrapeKind {
+    /// Prometheus text exposition of the live metrics registry.
+    Metrics,
+    /// One-line JSON health summary (uptime, queue, breaker states).
+    Health,
+    /// JSON array of every job the status board knows.
+    Jobs,
+    /// JSON for the `alserve top` view: queue depth, per-tenant quota
+    /// burn and SLO burn rate, breaker states.
+    Top,
+}
+
+impl ScrapeKind {
+    fn code(self) -> u8 {
+        match self {
+            ScrapeKind::Metrics => 0,
+            ScrapeKind::Health => 1,
+            ScrapeKind::Jobs => 2,
+            ScrapeKind::Top => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, WireError> {
+        Ok(match code {
+            0 => ScrapeKind::Metrics,
+            1 => ScrapeKind::Health,
+            2 => ScrapeKind::Jobs,
+            3 => ScrapeKind::Top,
+            _ => return Err(WireError::Malformed("scrape kind")),
+        })
+    }
+}
+
 /// The terminal payload of a completed solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveResult {
@@ -150,6 +220,8 @@ pub enum Frame {
         tenant: String,
         /// The job itself.
         job: JobPayload,
+        /// Distributed-trace context (zero from v2 peers).
+        trace: TraceContext,
     },
     /// Ask for a one-shot status of a job.
     Status {
@@ -215,6 +287,24 @@ pub enum Frame {
         /// Journal job identifier.
         job_id: u64,
     },
+    /// Ask the daemon for live introspection data (v3).
+    Scrape {
+        /// Which view to render.
+        kind: ScrapeKind,
+    },
+    /// Reply to [`Frame::Scrape`]: the rendered text/JSON body.
+    ScrapeReply {
+        /// Exposition body (Prometheus text or JSON, per the request).
+        body: String,
+    },
+    /// Subscribe read-only to an in-flight job's progress stream (v3).
+    /// Streams the same frames as [`Frame::Wait`], but the terminal
+    /// [`Frame::Done`] omits the solution vector — passive observers get
+    /// scalars and the fingerprint, not the tenant's data.
+    Observe {
+        /// Journal job identifier.
+        job_id: u64,
+    },
 }
 
 impl Frame {
@@ -234,6 +324,9 @@ impl Frame {
             Frame::Draining => 12,
             Frame::NotFound { .. } => 13,
             Frame::Parked { .. } => 14,
+            Frame::Scrape { .. } => 15,
+            Frame::ScrapeReply { .. } => 16,
+            Frame::Observe { .. } => 17,
         }
     }
 
@@ -254,12 +347,15 @@ impl Frame {
     fn encode_payload(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Frame::Submit { tenant, job } => {
+            Frame::Submit { tenant, job, trace } => {
                 put_str(&mut out, tenant);
                 put_job(&mut out, job);
+                put_u64(&mut out, trace.trace_id);
+                put_u64(&mut out, trace.parent_span);
             }
             Frame::Status { job_id }
             | Frame::Wait { job_id }
+            | Frame::Observe { job_id }
             | Frame::Accepted { job_id }
             | Frame::NotFound { job_id }
             | Frame::Parked { job_id } => put_u64(&mut out, *job_id),
@@ -298,6 +394,8 @@ impl Frame {
                 put_u64(&mut out, *job_id);
                 put_str(&mut out, error);
             }
+            Frame::Scrape { kind } => out.push(kind.code()),
+            Frame::ScrapeReply { body } => put_str(&mut out, body),
         }
         out
     }
@@ -325,7 +423,7 @@ impl Frame {
             return Err(WireError::CrcMismatch { stored, computed });
         }
         let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(WireError::UnsupportedVersion(version));
         }
         let tag = bytes[8];
@@ -341,19 +439,29 @@ impl Frame {
             bytes: payload,
             pos: 0,
         };
-        let frame = Frame::decode_payload(tag, &mut rd)?;
+        let frame = Frame::decode_payload(tag, version, &mut rd)?;
         if rd.pos != payload.len() {
             return Err(WireError::Malformed("trailing bytes after payload"));
         }
         Ok(frame)
     }
 
-    fn decode_payload(tag: u8, rd: &mut Reader<'_>) -> Result<Self, WireError> {
+    fn decode_payload(tag: u8, version: u32, rd: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(match tag {
-            1 => Frame::Submit {
-                tenant: rd.string()?,
-                job: rd.job()?,
-            },
+            1 => {
+                let tenant = rd.string()?;
+                let job = rd.job()?;
+                // v2 ends at the priority byte; v3 appends the trace.
+                let trace = if version >= 3 {
+                    TraceContext {
+                        trace_id: rd.u64()?,
+                        parent_span: rd.u64()?,
+                    }
+                } else {
+                    TraceContext::default()
+                };
+                Frame::Submit { tenant, job, trace }
+            }
             2 => Frame::Status { job_id: rd.u64()? },
             3 => Frame::Wait { job_id: rd.u64()? },
             4 => Frame::Ping,
@@ -406,6 +514,11 @@ impl Frame {
             12 => Frame::Draining,
             13 => Frame::NotFound { job_id: rd.u64()? },
             14 => Frame::Parked { job_id: rd.u64()? },
+            15 => Frame::Scrape {
+                kind: ScrapeKind::from_code(rd.u8()?)?,
+            },
+            16 => Frame::ScrapeReply { body: rd.string()? },
+            17 => Frame::Observe { job_id: rd.u64()? },
             other => return Err(WireError::UnknownFrame(other)),
         })
     }
@@ -602,6 +715,10 @@ mod tests {
             Frame::Submit {
                 tenant: "tenant-α".to_owned(),
                 job: sample_job(),
+                trace: TraceContext {
+                    trace_id: 0x0123_4567_89AB_CDEF,
+                    parent_span: 7,
+                },
             },
             Frame::Status { job_id: 7 },
             Frame::Wait { job_id: u64::MAX },
@@ -639,6 +756,16 @@ mod tests {
             Frame::Draining,
             Frame::NotFound { job_id: 404 },
             Frame::Parked { job_id: 11 },
+            Frame::Scrape {
+                kind: ScrapeKind::Metrics,
+            },
+            Frame::Scrape {
+                kind: ScrapeKind::Top,
+            },
+            Frame::ScrapeReply {
+                body: "# HELP alserve_jobs_total jobs\n".to_owned(),
+            },
+            Frame::Observe { job_id: 12 },
         ]
     }
 
@@ -656,6 +783,7 @@ mod tests {
         let frame = Frame::Submit {
             tenant: "t".to_owned(),
             job: sample_job(),
+            trace: TraceContext::default(),
         };
         let Frame::Submit { job, .. } = Frame::decode(&frame.encode()).unwrap() else {
             panic!("wrong frame");
@@ -729,6 +857,59 @@ mod tests {
             Err(WireError::Truncated { .. } | WireError::Malformed(_)) => {}
             other => panic!("expected typed rejection, got {other:?}"),
         }
+    }
+
+    /// Encodes a Submit exactly as a v2 peer would: version 2 in the
+    /// header, payload ending at the priority byte.
+    fn encode_v2_submit(tenant: &str, job: &JobPayload) -> Vec<u8> {
+        let mut payload = Vec::new();
+        put_str(&mut payload, tenant);
+        put_job(&mut payload, job);
+        let mut out = Vec::with_capacity(17 + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&2u32.to_le_bytes());
+        out.push(1); // Submit
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn v2_submit_decodes_with_a_zero_trace() {
+        let bytes = encode_v2_submit("legacy", &sample_job());
+        let Frame::Submit { tenant, job, trace } = Frame::decode(&bytes).unwrap() else {
+            panic!("wrong frame");
+        };
+        assert_eq!(tenant, "legacy");
+        assert_eq!(job, sample_job());
+        assert!(trace.is_zero());
+    }
+
+    #[test]
+    fn v2_frames_without_trailing_trace_still_round_trip() {
+        // Non-Submit v2 frames are byte-identical to v3 except the header
+        // version; all must decode.
+        for frame in [Frame::Ping, Frame::Status { job_id: 3 }] {
+            let mut bytes = frame.encode();
+            bytes[4..8].copy_from_slice(&2u32.to_le_bytes());
+            let crc_pos = bytes.len() - 4;
+            let crc = crc32(&bytes[..crc_pos]);
+            bytes[crc_pos..].copy_from_slice(&crc.to_le_bytes());
+            assert_eq!(Frame::decode(&bytes).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn trace_prefix_is_sixteen_hex_digits() {
+        let t = TraceContext {
+            trace_id: 0xBEEF,
+            parent_span: 0,
+        };
+        assert_eq!(t.prefix(), "trace:000000000000beef");
+        assert!(!t.is_zero());
+        assert!(TraceContext::default().is_zero());
     }
 
     #[test]

@@ -32,6 +32,7 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::fmt::Write as _;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -48,12 +49,14 @@ use alrescha::fleet::{Fleet, FleetConfig, JobKernel, JobOutput, JobSpec, Station
 use alrescha::storage::{RealStorage, StorageIo};
 use alrescha::SolverOptions;
 use alrescha_lint::analyze_table;
-use alrescha_obs::Telemetry;
+use alrescha_obs::flight::{self, FlightRecorder};
+use alrescha_obs::{Telemetry, MICROS_BUCKETS};
 use alrescha_sim::SimConfig;
 
 use crate::journal::{Journal, JournalError, JournalRecord};
-use crate::protocol::{Frame, JobPayload, SolveResult, WireError};
+use crate::protocol::{Frame, JobPayload, ScrapeKind, SolveResult, TraceContext, WireError};
 use crate::quota::{QuotaDecision, QuotaTable};
+use crate::slo::SloTable;
 
 /// Where the server listens.
 #[derive(Debug, Clone)]
@@ -102,6 +105,20 @@ pub struct ServerConfig {
     /// work or journal write happens. `None` (the default) disables the
     /// gate.
     pub admission_cycle_budget: Option<u64>,
+    /// Always-on flight recorder: a fixed-size in-memory ring of
+    /// structured events (admission decisions, breaker transitions,
+    /// journal/compaction ops) synced to `data_dir/alserve.alfr` at every
+    /// durability point, so even a SIGKILL leaves a readable record of
+    /// the server's last moments that lags the journal by at most one
+    /// event. Sharing one recorder between the daemon and a process-wide
+    /// panic hook is the intended use.
+    pub flight: Arc<FlightRecorder>,
+    /// End-to-end latency target per request for the per-tenant SLO
+    /// (accept → terminal). Requests over this burn the tenant's error
+    /// budget.
+    pub slo_target_e2e: Duration,
+    /// Width of the sliding burn-rate window, in whole seconds.
+    pub slo_window: Duration,
 }
 
 impl Default for ServerConfig {
@@ -118,6 +135,9 @@ impl Default for ServerConfig {
             telemetry: None,
             storage: Arc::new(RealStorage),
             admission_cycle_budget: None,
+            flight: Arc::new(FlightRecorder::new(1024)),
+            slo_target_e2e: Duration::from_millis(250),
+            slo_window: Duration::from_mins(1),
         }
     }
 }
@@ -243,6 +263,9 @@ struct QueuedJob {
     job: JobPayload,
     resume: Option<SolverCheckpoint>,
     enqueued: Instant,
+    /// Client-minted distributed-trace id (0 = untraced; recovered jobs
+    /// run untraced — the id lives in the Submit frame, not the journal).
+    trace_id: u64,
 }
 
 /// The admission queue: strict priority levels (higher first), stable
@@ -295,6 +318,18 @@ struct Inner {
     shutdown: AtomicBool,
     draining: AtomicBool,
     conns: Mutex<Vec<JoinHandle<()>>>,
+    /// Per-tenant SLO state (latency histograms + burn windows).
+    slo: Mutex<SloTable>,
+    /// job_id → trace_id for in-flight jobs, so the checkpoint hook and
+    /// terminal paths can stamp their spans with the submitting client's
+    /// trace. Shared with the fleet checkpoint hook.
+    trace_ids: Arc<Mutex<HashMap<u64, u64>>>,
+    /// Server start instant; burn-window slots are whole seconds since.
+    started: Instant,
+    /// Last observed breaker states `(device, storage)` as Display
+    /// strings, so transitions (and only transitions) hit the flight
+    /// recorder.
+    breaker_seen: Mutex<(String, String)>,
 }
 
 impl Inner {
@@ -310,6 +345,58 @@ impl Inner {
 
     fn ckpt_path(&self, job_id: u64) -> PathBuf {
         self.config.data_dir.join(format!("job-{job_id}.ckpt"))
+    }
+
+    fn flight_path(&self) -> PathBuf {
+        self.config.data_dir.join("alserve.alfr")
+    }
+
+    /// Records one flight event (always on; the ring is allocation-free).
+    fn fr(&self, code: u16, a: u64, b: u64, tag: &str) {
+        self.config.flight.record(code, a, b, tag);
+    }
+
+    /// Best-effort atomic dump of the flight ring next to the journal.
+    /// Called at durability points so a SIGKILL leaves a dump whose tail
+    /// matches the journal tail.
+    fn flight_sync(&self) {
+        let _ = self.config.flight.sync_to(&self.flight_path());
+    }
+
+    /// Burn-window slot for "now": whole seconds since server start.
+    fn slot(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Records per-tenant latency into both the SLO table and (when
+    /// telemetry is attached) the labelled Prometheus histograms.
+    fn observe_latency(&self, kind: &str, tenant: &str, us: u64) {
+        if let Some(tele) = self.tele() {
+            tele.metrics()
+                .histogram(
+                    &format!("alserve_slo_{kind}_us{{tenant=\"{tenant}\"}}"),
+                    MICROS_BUCKETS,
+                    false,
+                    "per-tenant SLO latency (microseconds)",
+                )
+                .observe(us);
+        }
+    }
+
+    /// Diffs both breaker states against the last observation and flight-
+    /// records any transition.
+    fn note_breakers(&self) {
+        let device = self.breaker.state().to_string();
+        let storage = self.storage_breaker.state().to_string();
+        let mut seen = lock(&self.breaker_seen);
+        if seen.0 != device {
+            self.fr(flight::EV_BREAKER, 0, 0, &format!("device:{device}"));
+            seen.0 = device;
+        }
+        if seen.1 != storage {
+            self.fr(flight::EV_BREAKER, 1, 0, &format!("storage:{storage}"));
+            seen.1 = storage;
+        }
     }
 
     /// Queued + running jobs (anything non-terminal in the status map).
@@ -420,6 +507,7 @@ impl Server {
     pub fn start(self) -> Result<ServerHandle, ServerError> {
         let config = self.config;
         std::fs::create_dir_all(&config.data_dir)?;
+        config.flight.record(flight::EV_START, 0, 0, "alserve start");
         let mut journal = Journal::open_with(
             config.data_dir.join("jobs.wal"),
             Arc::clone(&config.storage),
@@ -434,6 +522,12 @@ impl Server {
         // intact on failure, so a flaky disk at startup must not prevent
         // serving the jobs the journal already guarantees.
         let compaction_failed = journal.compact().is_err();
+        config.flight.record(
+            flight::EV_JOURNAL_COMPACT,
+            u64::from(compaction_failed),
+            0,
+            if compaction_failed { "failed" } else { "ok" },
+        );
 
         let status = Arc::new(StatusBoard {
             map: Mutex::new(HashMap::new()),
@@ -445,9 +539,13 @@ impl Server {
         // A failed checkpoint write degrades durability, not correctness —
         // recovery falls back to the previous intact checkpoint (or a
         // restart from iteration zero).
+        let trace_ids: Arc<Mutex<HashMap<u64, u64>>> = Arc::new(Mutex::new(HashMap::new()));
         let hook_dir = config.data_dir.clone();
         let hook_status = Arc::clone(&status);
         let hook_storage = Arc::clone(&config.storage);
+        let hook_flight = Arc::clone(&config.flight);
+        let hook_traces = Arc::clone(&trace_ids);
+        let hook_tele = config.telemetry.clone();
         let fleet = Fleet::new(
             FleetConfig::default()
                 .with_workers(1)
@@ -455,6 +553,17 @@ impl Server {
                 .with_retry_after_hint(config.retry_after_hint),
         )
         .with_checkpoint_hook(Arc::new(move |job_id, ckpt| {
+            let iteration = ckpt.iteration as u64;
+            // Checkpoint writes are part of the job's distributed trace:
+            // stamp an instant with the submitting client's trace id so
+            // `alobs stitch` nests it under the same timeline.
+            if let Some(tele) = &hook_tele {
+                let trace = lock(&hook_traces).get(&job_id).copied().unwrap_or(0);
+                if trace != 0 {
+                    tele.instant(format!("trace:{trace:016x}:checkpoint:{job_id}:{iteration}"));
+                }
+            }
+            hook_flight.record(flight::EV_CHECKPOINT, job_id, iteration, "ckpt");
             let _ = ckpt.write_to_path_with(
                 hook_storage.as_ref(),
                 &hook_dir.join(format!("job-{job_id}.ckpt")),
@@ -462,7 +571,7 @@ impl Server {
             hook_status.set(
                 job_id,
                 JobState::Running {
-                    iteration: ckpt.iteration as u64,
+                    iteration,
                     residual: ckpt.residual_history.last().copied().unwrap_or(f64::NAN),
                 },
             );
@@ -491,6 +600,14 @@ impl Server {
         let breaker = SharedBreaker::new(config.breaker);
         let storage_breaker = SharedBreaker::new(config.breaker);
         let workers = config.workers.max(1);
+        let slo = SloTable::new(
+            u64::try_from(config.slo_target_e2e.as_micros()).unwrap_or(u64::MAX),
+            config.slo_window.as_secs().max(1),
+        );
+        let breaker_seen = (
+            breaker.state().to_string(),
+            storage_breaker.state().to_string(),
+        );
         let inner = Arc::new(Inner {
             config,
             journal: Mutex::new(journal),
@@ -505,6 +622,10 @@ impl Server {
             shutdown: AtomicBool::new(false),
             draining: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
+            slo: Mutex::new(slo),
+            trace_ids,
+            started: Instant::now(),
+            breaker_seen: Mutex::new(breaker_seen),
         });
         if compaction_failed {
             inner.count(
@@ -557,12 +678,19 @@ impl Server {
                 .ok();
                 quota.charge(&tenant);
                 inner.status.set(job_id, JobState::Queued);
+                inner.fr(
+                    flight::EV_RECOVERY,
+                    job_id,
+                    u64::from(resume.is_some()),
+                    &tenant,
+                );
                 queue.push(QueuedJob {
                     job_id,
                     tenant,
                     job,
                     resume,
                     enqueued: Instant::now(),
+                    trace_id: 0,
                 });
                 inner.count(
                     "alserve_jobs_recovered_total",
@@ -571,6 +699,7 @@ impl Server {
             }
         }
         inner.queue_cv.notify_all();
+        inner.flight_sync();
 
         let mut worker_threads = Vec::with_capacity(workers);
         for w in 0..workers {
@@ -648,6 +777,8 @@ impl ServerHandle {
     }
 
     fn shutdown_and_join(&mut self) {
+        self.inner.fr(flight::EV_SHUTDOWN, 0, 0, "graceful stop");
+        self.inner.flight_sync();
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.queue_cv.notify_all();
         self.inner.status.cv.notify_all();
@@ -675,6 +806,7 @@ impl Drop for ServerHandle {
 fn drain_server(inner: &Arc<Inner>) {
     inner.draining.store(true, Ordering::SeqCst);
     let parked: Vec<QueuedJob> = lock(&inner.queue).drain_all();
+    inner.fr(flight::EV_DRAIN, parked.len() as u64, 0, "drain");
     {
         let mut quota = lock(&inner.quota);
         for job in &parked {
@@ -688,6 +820,7 @@ fn drain_server(inner: &Arc<Inner>) {
             "queued jobs parked by a drain (recovered on next start)",
         );
     }
+    inner.flight_sync();
     inner.queue_cv.notify_all();
 }
 
@@ -778,7 +911,9 @@ fn handle_frame(inner: &Arc<Inner>, stream: &mut Stream, frame: Frame) -> bool {
             drain_server(inner);
             Frame::Draining.write_to(stream).is_ok()
         }
-        Frame::Submit { tenant, job } => admit(inner, &tenant, job).write_to(stream).is_ok(),
+        Frame::Submit { tenant, job, trace } => {
+            admit(inner, &tenant, job, trace).write_to(stream).is_ok()
+        }
         Frame::Status { job_id } => {
             let frame = inner
                 .status
@@ -786,7 +921,13 @@ fn handle_frame(inner: &Arc<Inner>, stream: &mut Stream, frame: Frame) -> bool {
                 .map_or(Frame::NotFound { job_id }, |s| s.to_frame(job_id));
             frame.write_to(stream).is_ok()
         }
-        Frame::Wait { job_id } => wait_loop(inner, stream, job_id),
+        Frame::Scrape { kind } => Frame::ScrapeReply {
+            body: scrape(inner, kind),
+        }
+        .write_to(stream)
+        .is_ok(),
+        Frame::Wait { job_id } => wait_loop(inner, stream, job_id, false),
+        Frame::Observe { job_id } => wait_loop(inner, stream, job_id, true),
         // Server-to-client frames arriving at the server are misuse.
         _ => false,
     }
@@ -836,12 +977,20 @@ fn static_admission_reason(inner: &Arc<Inner>, job: &JobPayload) -> Option<Strin
 }
 
 /// Admission: drain gate → job sanity → alprove static bound → per-tenant
-/// quota → queue room → durable journal append → `Accepted`.
-fn admit(inner: &Arc<Inner>, tenant: &str, job: JobPayload) -> Frame {
+/// quota → queue room → durable journal append → `Accepted`. Every
+/// decision lands in the flight recorder; the quota `retry_after` is
+/// additionally scaled by the tenant's SLO burn rate, so a tenant already
+/// torching its error budget is told to back off harder.
+fn admit(inner: &Arc<Inner>, tenant: &str, job: JobPayload, trace: TraceContext) -> Frame {
+    let _span = (trace.trace_id != 0)
+        .then(|| alrescha_obs::span!(inner.config.telemetry, format!("{}:admit", trace.prefix())))
+        .flatten();
     if inner.draining.load(Ordering::SeqCst) {
+        inner.fr(flight::EV_REJECT_DRAINING, trace.trace_id, 0, tenant);
         return Frame::Draining;
     }
     if job.matrix.rows() != job.matrix.cols() || job.b.len() != job.matrix.rows() {
+        inner.fr(flight::EV_REJECT_SANITY, trace.trace_id, 0, tenant);
         return Frame::Rejected {
             reason: "malformed job: matrix must be square and match |b|".to_owned(),
             retry_after: None,
@@ -852,6 +1001,7 @@ fn admit(inner: &Arc<Inner>, tenant: &str, job: JobPayload) -> Frame {
             "alserve_admission_rejected_static_total",
             "submissions rejected by the alprove static cycle bound (AL404)",
         );
+        inner.fr(flight::EV_REJECT_STATIC, trace.trace_id, 0, tenant);
         // Permanent for this job shape: retrying the same job cannot help,
         // so no retry_after hint.
         return Frame::Rejected {
@@ -864,6 +1014,17 @@ fn admit(inner: &Arc<Inner>, tenant: &str, job: JobPayload) -> Frame {
             inner.count(
                 "alserve_quota_rejections_total",
                 "submissions rejected by per-tenant quota",
+            );
+            // SLO coupling: the burn-rate window turns into harder
+            // backpressure — 1× inside the error budget, up to 8× when
+            // the tenant is burning it flat out.
+            let scale = lock(&inner.slo).retry_scale(tenant);
+            let retry_after = retry_after.saturating_mul(scale);
+            inner.fr(
+                flight::EV_REJECT_QUOTA,
+                trace.trace_id,
+                u64::from(scale),
+                tenant,
             );
             return Frame::Rejected {
                 reason: format!(
@@ -891,6 +1052,12 @@ fn admit(inner: &Arc<Inner>, tenant: &str, job: JobPayload) -> Frame {
                 "alserve_queue_rejections_total",
                 "submissions rejected by the bounded queue",
             );
+            inner.fr(
+                flight::EV_REJECT_QUEUE_FULL,
+                trace.trace_id,
+                queue.len() as u64,
+                tenant,
+            );
             return Frame::Rejected {
                 reason: format!("queue full: capacity {capacity}"),
                 retry_after: Some(retry_after),
@@ -908,6 +1075,8 @@ fn admit(inner: &Arc<Inner>, tenant: &str, job: JobPayload) -> Frame {
             "alserve_storage_rejections_total",
             "submissions rejected by storage-pressure admission control",
         );
+        inner.fr(flight::EV_REJECT_STORAGE, trace.trace_id, 0, tenant);
+        inner.note_breakers();
         return Frame::Rejected {
             reason: "storage pressure: journal writes are failing".to_owned(),
             retry_after: Some(inner.config.retry_after_hint.saturating_mul(4)),
@@ -916,7 +1085,16 @@ fn admit(inner: &Arc<Inner>, tenant: &str, job: JobPayload) -> Frame {
     let storage_probe = matches!(storage_choice, BackendChoice::Probe);
     let job_id = inner.next_id.fetch_add(1, Ordering::SeqCst);
     // Durability point: fsync the Accepted record BEFORE acknowledging.
-    if let Err(e) = lock(&inner.journal).accept(job_id, tenant, &job) {
+    let accepted = {
+        let _journal_span = (trace.trace_id != 0).then(|| {
+            alrescha_obs::span!(
+                inner.config.telemetry,
+                format!("{}:journal-accept:{job_id}", trace.prefix())
+            )
+        });
+        lock(&inner.journal).accept(job_id, tenant, &job)
+    };
+    if let Err(e) = accepted {
         lock(&inner.quota).release(tenant);
         if storage_probe {
             inner.storage_breaker.record_probe(false);
@@ -927,6 +1105,8 @@ fn admit(inner: &Arc<Inner>, tenant: &str, job: JobPayload) -> Frame {
             "alserve_storage_rejections_total",
             "submissions rejected by storage-pressure admission control",
         );
+        inner.fr(flight::EV_FAULT_STORAGE, trace.trace_id, job_id, tenant);
+        inner.note_breakers();
         // In-band, transient: the client backs off and retries rather than
         // losing the connection. The job was never acknowledged, so no
         // durability promise is broken.
@@ -940,6 +1120,11 @@ fn admit(inner: &Arc<Inner>, tenant: &str, job: JobPayload) -> Frame {
     } else {
         inner.storage_breaker.record_success();
     }
+    inner.note_breakers();
+    if trace.trace_id != 0 {
+        lock(&inner.trace_ids).insert(job_id, trace.trace_id);
+    }
+    inner.fr(flight::EV_JOURNAL_ACCEPT, trace.trace_id, job_id, tenant);
     inner.status.set(job_id, JobState::Queued);
     lock(&inner.queue).push(QueuedJob {
         job_id,
@@ -947,17 +1132,187 @@ fn admit(inner: &Arc<Inner>, tenant: &str, job: JobPayload) -> Frame {
         job,
         resume: None,
         enqueued: Instant::now(),
+        trace_id: trace.trace_id,
     });
     inner.queue_cv.notify_one();
     inner.count(
         "alserve_jobs_accepted_total",
         "jobs durably journaled and acknowledged",
     );
+    inner.fr(flight::EV_ADMIT_OK, trace.trace_id, job_id, tenant);
+    // Durability point for the flight dump too: after this sync the
+    // on-disk ring's tail contains this job's journal-accept event, so a
+    // SIGKILL dump can be cross-checked against the journal tail.
+    inner.flight_sync();
     Frame::Accepted { job_id }
 }
 
-/// Streams progress to a waiting client until the job is terminal.
-fn wait_loop(inner: &Arc<Inner>, stream: &mut Stream, job_id: u64) -> bool {
+/// Minimal JSON string escaping for the hand-rolled scrape bodies.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one live-introspection body for a [`Frame::Scrape`].
+fn scrape(inner: &Arc<Inner>, kind: ScrapeKind) -> String {
+    let queue_depth = lock(&inner.queue).len();
+    match kind {
+        ScrapeKind::Metrics => {
+            let Some(tele) = inner.tele() else {
+                return "# alserve: telemetry not attached; no metrics collected\n".to_owned();
+            };
+            // Refresh the point-in-time families right before rendering.
+            let m = tele.metrics();
+            m.gauge("alserve_queue_depth", false, "queued (not yet running) jobs")
+                .set(queue_depth as f64);
+            m.gauge("alserve_active_jobs", false, "queued + running jobs")
+                .set(inner.active_jobs() as f64);
+            m.gauge(
+                "alserve_flight_events_total",
+                false,
+                "events recorded by the flight recorder since start",
+            )
+            .set(inner.config.flight.total() as f64);
+            let slo = lock(&inner.slo);
+            for (tenant, _) in slo.tenants() {
+                m.gauge(
+                    &format!("alserve_slo_burn_rate{{tenant=\"{tenant}\"}}"),
+                    false,
+                    "fraction of requests missing the e2e SLO in the burn window",
+                )
+                .set(slo.burn_rate(tenant));
+                m.gauge(
+                    &format!("alserve_slo_retry_scale{{tenant=\"{tenant}\"}}"),
+                    false,
+                    "current burn-driven multiplier on quota retry_after hints",
+                )
+                .set(f64::from(slo.retry_scale(tenant)));
+            }
+            drop(slo);
+            m.to_prometheus()
+        }
+        ScrapeKind::Health => {
+            let status = if inner.shutdown.load(Ordering::SeqCst) {
+                "stopping"
+            } else if inner.draining.load(Ordering::SeqCst) {
+                "draining"
+            } else {
+                "ok"
+            };
+            format!(
+                "{{\"status\":\"{status}\",\"active_jobs\":{},\"queue_depth\":{queue_depth},\
+                 \"breaker\":\"{}\",\"storage_breaker\":\"{}\",\"flight_events\":{},\
+                 \"uptime_secs\":{}}}",
+                inner.active_jobs(),
+                inner.breaker.state(),
+                inner.storage_breaker.state(),
+                inner.config.flight.total(),
+                inner.started.elapsed().as_secs(),
+            )
+        }
+        ScrapeKind::Jobs => {
+            let map = lock(&inner.status.map);
+            let mut ids: Vec<u64> = map.keys().copied().collect();
+            ids.sort_unstable();
+            let rows: Vec<String> = ids
+                .iter()
+                .filter_map(|id| {
+                    map.get(id).map(|state| {
+                        let (name, detail) = match state {
+                            JobState::Queued => ("queued".to_owned(), String::new()),
+                            JobState::Running {
+                                iteration,
+                                residual,
+                            } => (
+                                "running".to_owned(),
+                                if residual.is_finite() {
+                                    format!(",\"iteration\":{iteration},\"residual\":{residual:e}")
+                                } else {
+                                    format!(",\"iteration\":{iteration},\"residual\":null")
+                                },
+                            ),
+                            JobState::Done { result } => (
+                                "done".to_owned(),
+                                format!(
+                                    ",\"iterations\":{},\"converged\":{}",
+                                    result.iterations, result.converged
+                                ),
+                            ),
+                            JobState::Failed { error } => (
+                                "failed".to_owned(),
+                                format!(",\"error\":\"{}\"", json_escape(error)),
+                            ),
+                            JobState::Parked => ("parked".to_owned(), String::new()),
+                        };
+                        format!("{{\"job_id\":{id},\"state\":\"{name}\"{detail}}}")
+                    })
+                })
+                .collect();
+            format!("[{}]", rows.join(","))
+        }
+        ScrapeKind::Top => {
+            let slo = lock(&inner.slo);
+            let quota = lock(&inner.quota);
+            // Tenants seen by either the quota table (in-flight now) or
+            // the SLO table (any history).
+            let mut tenants: Vec<String> = slo
+                .tenants()
+                .iter()
+                .map(|(name, _)| (*name).to_owned())
+                .collect();
+            tenants.sort();
+            let rows: Vec<String> = tenants
+                .iter()
+                .map(|tenant| {
+                    let row = slo
+                        .tenants()
+                        .into_iter()
+                        .find(|(name, _)| name == tenant)
+                        .map_or(0, |(_, t)| t.e2e.count());
+                    format!(
+                        "{{\"tenant\":\"{}\",\"inflight\":{},\"quota\":{},\
+                         \"burn_rate\":{:.4},\"retry_scale\":{},\"e2e_count\":{row}}}",
+                        json_escape(tenant),
+                        quota.inflight(tenant),
+                        quota.per_tenant(),
+                        slo.burn_rate(tenant),
+                        slo.retry_scale(tenant),
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"queue_depth\":{queue_depth},\"active_jobs\":{},\"draining\":{},\
+                 \"breaker\":\"{}\",\"storage_breaker\":\"{}\",\"quota_rejections\":{},\
+                 \"tenants\":[{}]}}",
+                inner.active_jobs(),
+                inner.draining.load(Ordering::SeqCst),
+                inner.breaker.state(),
+                inner.storage_breaker.state(),
+                quota.rejections(),
+                rows.join(","),
+            )
+        }
+    }
+}
+
+/// Streams progress to a client until the job is terminal. With
+/// `observe` set (a passive [`Frame::Observe`] subscriber), terminal
+/// `Done` frames are sent with the solution vector stripped: observers
+/// get the job's progress and scalar outcome, not the tenant's data.
+fn wait_loop(inner: &Arc<Inner>, stream: &mut Stream, job_id: u64, observe: bool) -> bool {
     let mut last_sent: Option<String> = None;
     loop {
         if inner.shutdown.load(Ordering::SeqCst) {
@@ -966,7 +1321,12 @@ fn wait_loop(inner: &Arc<Inner>, stream: &mut Stream, job_id: u64) -> bool {
         let Some(state) = inner.status.get(job_id) else {
             return Frame::NotFound { job_id }.write_to(stream).is_ok();
         };
-        let frame = state.to_frame(job_id);
+        let mut frame = state.to_frame(job_id);
+        if observe {
+            if let Frame::Done { result, .. } = &mut frame {
+                result.x = Vec::new();
+            }
+        }
         let key = format!("{frame:?}");
         if last_sent.as_deref() != Some(&key) {
             if frame.write_to(stream).is_err() {
@@ -1025,7 +1385,21 @@ fn run_job(inner: &Arc<Inner>, station: &mut Station, job: QueuedJob) {
         job: payload,
         resume,
         enqueued,
+        trace_id,
     } = job;
+    let queue_wait = enqueued.elapsed();
+    {
+        let mut slo = lock(&inner.slo);
+        slo.observe_queue_wait(
+            &tenant,
+            u64::try_from(queue_wait.as_micros()).unwrap_or(u64::MAX),
+        );
+    }
+    inner.observe_latency(
+        "queue_wait",
+        &tenant,
+        u64::try_from(queue_wait.as_micros()).unwrap_or(u64::MAX),
+    );
     // Service-level breaker: while the device is suspect, new jobs are
     // pinned to the host backend; exactly one half-open probe runs
     // on-device at a time (SharedBreaker's single-probe invariant).
@@ -1059,14 +1433,17 @@ fn run_job(inner: &Arc<Inner>, station: &mut Station, job: QueuedJob) {
     .with_id(job_id)
     .with_checkpoint_every(inner.config.checkpoint_every)
     .with_cpu_only(cpu_only)
-    .with_priority(payload.priority);
+    .with_priority(payload.priority)
+    .with_trace_id(trace_id);
     if let Some(ckpt) = resume {
         spec = spec.with_resume_from(ckpt);
     }
 
+    let solve_started = Instant::now();
     let record = inner
         .fleet
-        .execute_on(station, job_id as usize, &spec, enqueued.elapsed());
+        .execute_on(station, job_id as usize, &spec, queue_wait);
+    let solve_us = u64::try_from(solve_started.elapsed().as_micros()).unwrap_or(u64::MAX);
 
     let (state, terminal) = match record.result {
         Ok(out) => {
@@ -1109,6 +1486,10 @@ fn run_job(inner: &Arc<Inner>, station: &mut Station, job: QueuedJob) {
                 inner.breaker.record_failure();
             }
             let error = e.to_string();
+            // A solve fault is exactly the moment the flight recorder
+            // exists for: capture it and flush the ring immediately.
+            inner.fr(flight::EV_SOLVE_FAULT, trace_id, job_id, &error);
+            inner.flight_sync();
             (
                 JobState::Failed {
                     error: error.clone(),
@@ -1117,21 +1498,56 @@ fn run_job(inner: &Arc<Inner>, station: &mut Station, job: QueuedJob) {
             )
         }
     };
+    inner.note_breakers();
 
     // Terminal record first (durable), then the in-memory state clients
     // see. A crash between the two re-runs the job on recovery, which is
     // safe: the solve is deterministic and fingerprint-identical.
-    if lock(&inner.journal).terminal(&terminal).is_err() {
+    let appended = {
+        let _terminal_span = (trace_id != 0).then(|| {
+            alrescha_obs::span!(
+                inner.config.telemetry,
+                format!("trace:{trace_id:016x}:journal-terminal:{job_id}")
+            )
+        });
+        lock(&inner.journal).terminal(&terminal)
+    };
+    if appended.is_err() {
         inner.count(
             "alserve_journal_terminal_failures_total",
             "terminal records that failed to append",
         );
     }
+    inner.fr(
+        flight::EV_JOURNAL_TERMINAL,
+        trace_id,
+        job_id,
+        if matches!(terminal, JournalRecord::Completed { .. }) {
+            "completed"
+        } else {
+            "failed"
+        },
+    );
     let _ = inner.config.storage.remove_file(&inner.ckpt_path(job_id));
     lock(&inner.quota).release(&tenant);
-    inner.status.set(job_id, state);
+    lock(&inner.trace_ids).remove(&job_id);
+    // Per-tenant SLO accounting at the terminal edge: solve latency and
+    // end-to-end (accept → terminal), the latter judged against the
+    // target and charged to this second's burn slot. Recorded *before*
+    // the terminal state is published, so a scrape issued the moment a
+    // waiter's `Done` lands already reflects this job.
+    let e2e_us = u64::try_from(enqueued.elapsed().as_micros()).unwrap_or(u64::MAX);
+    {
+        let mut slo = lock(&inner.slo);
+        slo.observe_solve(&tenant, solve_us);
+        slo.observe_e2e(&tenant, e2e_us, inner.slot());
+    }
+    inner.observe_latency("solve", &tenant, solve_us);
+    inner.observe_latency("e2e", &tenant, e2e_us);
     inner.count(
         "alserve_jobs_finished_total",
         "jobs that reached a terminal state",
     );
+    inner.status.set(job_id, state);
+    inner.flight_sync();
 }
